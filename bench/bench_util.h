@@ -1,0 +1,105 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Each bench regenerates one paper figure/table as text rows. The helpers
+// here build the paper's standard experiment configurations, construct
+// selectors/policies by name, and format results uniformly.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/core/float_controller.h"
+#include "src/core/heuristic_policy.h"
+#include "src/fl/async_engine.h"
+#include "src/fl/sync_engine.h"
+#include "src/selection/oort_selector.h"
+#include "src/selection/random_selector.h"
+#include "src/selection/refl_selector.h"
+
+namespace floatfl_bench {
+
+using namespace floatfl;
+
+// The paper's Section-6.1 default setup: 200 clients, 30 per round, 300
+// rounds, ResNet-34, batch 20, 5 local epochs, Dirichlet alpha 0.1, dynamic
+// on-device interference. FedBuff runs 100 concurrent with a buffer of 30.
+inline ExperimentConfig PaperConfig(DatasetId dataset = DatasetId::kFemnist,
+                                    ModelId model = ModelId::kResNet34, uint64_t seed = 42) {
+  ExperimentConfig config;
+  config.num_clients = 200;
+  config.clients_per_round = 30;
+  config.rounds = 300;
+  config.epochs = 5;
+  config.batch_size = 20;
+  config.dataset = dataset;
+  config.model = model;
+  config.alpha = 0.1;
+  config.interference = InterferenceScenario::kDynamic;
+  config.seed = seed;
+  config.async_concurrency = 100;
+  config.async_buffer = 30;
+  return config;
+}
+
+inline std::unique_ptr<Selector> MakeSelector(const std::string& name,
+                                              const ExperimentConfig& config) {
+  if (name == "fedavg") {
+    return std::make_unique<RandomSelector>(config.seed + 101);
+  }
+  if (name == "oort") {
+    return std::make_unique<OortSelector>(config.seed + 202, config.num_clients);
+  }
+  if (name == "refl") {
+    return std::make_unique<ReflSelector>(config.seed + 303, config.num_clients);
+  }
+  std::cerr << "unknown selector: " << name << "\n";
+  std::abort();
+}
+
+// Runs a synchronous experiment with an optional tuning policy.
+inline ExperimentResult RunSync(const ExperimentConfig& config, const std::string& selector_name,
+                                TuningPolicy* policy) {
+  const std::unique_ptr<Selector> selector = MakeSelector(selector_name, config);
+  SyncEngine engine(config, selector.get(), policy);
+  return engine.Run();
+}
+
+// Runs FedBuff (async) with an optional tuning policy.
+inline ExperimentResult RunAsync(const ExperimentConfig& config, TuningPolicy* policy) {
+  AsyncEngine engine(config, policy);
+  return engine.Run();
+}
+
+inline void AddResultRow(TablePrinter& table, const std::string& name,
+                         const ExperimentResult& r) {
+  table.Cell(name)
+      .Cell(100.0 * r.accuracy_top10, 1)
+      .Cell(100.0 * r.accuracy_avg, 1)
+      .Cell(100.0 * r.accuracy_bottom10, 1)
+      .Cell(static_cast<long long>(r.total_completed))
+      .Cell(static_cast<long long>(r.total_dropouts))
+      .Cell(r.wasted.compute_hours, 1)
+      .Cell(r.wasted.comm_hours, 2)
+      .Cell(r.wasted.memory_tb, 2)
+      .EndRow();
+}
+
+inline std::vector<std::string> ResultHeaders() {
+  return {"system",   "top10%",        "acc%",          "bottom10%",    "completed",
+          "dropouts", "waste-comp(h)", "waste-comm(h)", "waste-mem(TB)"};
+}
+
+inline double Ratio(double base, double improved) {
+  if (improved <= 0.0) {
+    return 0.0;
+  }
+  return base / improved;
+}
+
+}  // namespace floatfl_bench
+
+#endif  // BENCH_BENCH_UTIL_H_

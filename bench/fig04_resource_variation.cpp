@@ -1,0 +1,64 @@
+// Figure 4: compute and communication resource variations across the three
+// on-device interference scenarios.
+//
+// For a 200-client population we sample, over 24 simulated hours, the
+// effective compute throughput (GFLOP/s after interference) and effective
+// bandwidth (Mbps after interference) of every client, and print the
+// distribution percentiles per scenario. Expected shapes: "none" has ample
+// resources; "static" shifts the whole distribution down; "dynamic" spans
+// the widest range (it covers all possibilities, the paper's realistic
+// focus).
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+
+using namespace floatfl_bench;
+
+namespace {
+
+void RunScenario(InterferenceScenario scenario) {
+  ExperimentConfig config = PaperConfig(DatasetId::kFemnist, ModelId::kResNet34);
+  config.interference = scenario;
+  std::vector<Client> clients = BuildPopulation(
+      GetDatasetSpec(config.dataset), config.num_clients, config.alpha, scenario, config.seed);
+
+  std::vector<double> compute;
+  std::vector<double> bandwidth;
+  constexpr double kHorizonS = 24.0 * 3600.0;
+  constexpr double kSampleEveryS = 600.0;
+  for (Client& client : clients) {
+    for (double t = 0.0; t < kHorizonS; t += kSampleEveryS) {
+      const ResourceAvailability avail = client.interference().At(t);
+      compute.push_back(client.compute().GflopsAt(t) * avail.cpu);
+      bandwidth.push_back(client.network().BandwidthMbpsAt(t) * avail.network);
+    }
+  }
+
+  auto row = [](TablePrinter& table, const std::string& name, std::vector<double>& v) {
+    table.Cell(name)
+        .Cell(Percentile(v, 5.0), 2)
+        .Cell(Percentile(v, 25.0), 2)
+        .Cell(Percentile(v, 50.0), 2)
+        .Cell(Percentile(v, 75.0), 2)
+        .Cell(Percentile(v, 95.0), 2)
+        .EndRow();
+  };
+  std::cout << "\n--- interference: " << ToString(scenario) << " ---\n";
+  TablePrinter table({"resource", "p5", "p25", "p50", "p75", "p95"});
+  row(table, "effective compute (GFLOP/s)", compute);
+  row(table, "effective bandwidth (Mbps)", bandwidth);
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduces Figure 4: compute and communication resource variations\n"
+               "under no / static / dynamic on-device interference.\n";
+  RunScenario(InterferenceScenario::kNone);
+  RunScenario(InterferenceScenario::kStatic);
+  RunScenario(InterferenceScenario::kDynamic);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6: heuristic-based tuning vs FLOAT (FedAvg baseline).
+//
+// Left panel: accuracy and successful/dropped clients for vanilla FedAvg,
+// the Section-4.4 heuristic, and FLOAT, on non-IID FEMNIST (Dirichlet alpha
+// 0.01) under dynamic on-device interference.
+// Middle panel: compute/communication/memory inefficiency (wasted resources
+// of dropped clients).
+// Right panel: per-technique selection success/failure counts for the
+// heuristic and for FLOAT, showing FLOAT's adeptness at picking the right
+// optimization and configuration.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace floatfl_bench;
+
+namespace {
+
+void PrintPerTechnique(const std::string& name, const ExperimentResult& r) {
+  std::cout << "\n" << name << " per-technique success/failure:\n";
+  TablePrinter table({"technique", "success", "failure"});
+  for (const auto& [kind, stats] : r.per_technique) {
+    table.Cell(ToString(kind))
+        .Cell(static_cast<long long>(stats.success))
+        .Cell(static_cast<long long>(stats.failure))
+        .EndRow();
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduces Figure 6: heuristic vs FLOAT on FEMNIST (alpha=0.01,\n"
+               "dynamic interference). Expected shapes: heuristic beats vanilla\n"
+               "FedAvg on accuracy and participation, FLOAT beats the heuristic by\n"
+               "a further wide margin (paper: ~20% accuracy) with fewer dropouts\n"
+               "and a better per-technique success-to-failure ratio.\n\n";
+  ExperimentConfig config = PaperConfig(DatasetId::kFemnist, ModelId::kResNet34);
+  config.alpha = 0.01;
+
+  const ExperimentResult vanilla = RunSync(config, "fedavg", nullptr);
+  HeuristicPolicy heuristic_policy(config.seed + 17);
+  const ExperimentResult heuristic = RunSync(config, "fedavg", &heuristic_policy);
+  auto controller = FloatController::MakeDefault(config.seed, config.rounds);
+  const ExperimentResult with_float = RunSync(config, "fedavg", controller.get());
+
+  TablePrinter table(ResultHeaders());
+  AddResultRow(table, "FedAvg", vanilla);
+  AddResultRow(table, "Heuristic", heuristic);
+  AddResultRow(table, "FLOAT", with_float);
+  table.Print(std::cout);
+
+  PrintPerTechnique("Heuristic", heuristic);
+  PrintPerTechnique("FLOAT", with_float);
+
+  std::cout << "\nFLOAT vs heuristic accuracy gain: "
+            << FormatDouble(100.0 * (with_float.accuracy_avg - heuristic.accuracy_avg), 1)
+            << " points; dropout reduction: "
+            << FormatDouble(Ratio(static_cast<double>(heuristic.total_dropouts),
+                                  static_cast<double>(with_float.total_dropouts)),
+                            2)
+            << "x\n";
+  return 0;
+}

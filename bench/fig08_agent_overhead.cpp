@@ -1,0 +1,80 @@
+// Figure 8: RLHF agent overhead as the state space grows.
+//
+// google-benchmark microbenchmarks of the agent's per-decision cost
+// (ChooseActionIndex) and per-feedback cost (FeedbackIndexed — the full
+// Q-table update with moving-average rewards), plus the memory footprint of
+// the learned state, for state counts from the paper's 125-state operating
+// point (red line in the figure) up to 10^5 states. Expected shapes: memory
+// under 0.2 MB and per-round training time well under a millisecond at the
+// operating point; linear growth in states.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/rlhf_agent.h"
+
+using namespace floatfl;
+
+namespace {
+
+// resource_bins^3 states (runtime-variance dimensions only, no HF / global).
+RlhfAgent MakeAgent(size_t resource_bins, size_t actions = 8) {
+  StateEncoderConfig encoder;
+  encoder.include_human_feedback = false;
+  encoder.resource_bins = resource_bins;
+  RlhfConfig config;
+  config.seed = 99;
+  return RlhfAgent(encoder, config, actions);
+}
+
+void BM_ChooseAction(benchmark::State& state) {
+  RlhfAgent agent = MakeAgent(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  size_t round = 0;
+  for (auto _ : state) {
+    const size_t s = static_cast<size_t>(rng.UniformInt(agent.NumStates()));
+    benchmark::DoNotOptimize(agent.ChooseActionIndex(s, round++ % 300));
+  }
+  state.counters["states"] = static_cast<double>(agent.NumStates());
+  state.counters["memory_kb"] = static_cast<double>(agent.MemoryBytes()) / 1024.0;
+}
+
+void BM_Feedback(benchmark::State& state) {
+  RlhfAgent agent = MakeAgent(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  size_t round = 0;
+  for (auto _ : state) {
+    const size_t s = static_cast<size_t>(rng.UniformInt(agent.NumStates()));
+    const size_t a = static_cast<size_t>(rng.UniformInt(agent.NumActions()));
+    agent.FeedbackIndexed(s, a, rng.Bernoulli(0.8), rng.NextDouble() * 0.01, round++ % 300);
+  }
+  state.counters["states"] = static_cast<double>(agent.NumStates());
+  state.counters["memory_kb"] = static_cast<double>(agent.MemoryBytes()) / 1024.0;
+}
+
+// One full agent round at the paper's operating point: K decisions + K
+// feedbacks for K = 30 participants. The paper reports < 1 ms.
+void BM_FullRound(benchmark::State& state) {
+  RlhfAgent agent = MakeAgent(5);  // 125 states
+  Rng rng(7);
+  size_t round = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 30; ++k) {
+      const size_t s = static_cast<size_t>(rng.UniformInt(agent.NumStates()));
+      const size_t a = agent.ChooseActionIndex(s, round % 300);
+      agent.FeedbackIndexed(s, a, rng.Bernoulli(0.8), rng.NextDouble() * 0.01, round % 300);
+    }
+    ++round;
+  }
+  state.counters["states"] = static_cast<double>(agent.NumStates());
+  state.counters["memory_kb"] = static_cast<double>(agent.MemoryBytes()) / 1024.0;
+}
+
+}  // namespace
+
+// 5^3=125 (paper operating point), 10^3=1000, 22^3=10648, 46^3=97336.
+BENCHMARK(BM_ChooseAction)->Arg(5)->Arg(10)->Arg(22)->Arg(46);
+BENCHMARK(BM_Feedback)->Arg(5)->Arg(10)->Arg(22)->Arg(46);
+BENCHMARK(BM_FullRound);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Scenario example: attaching FLOAT to asynchronous FL (FedBuff).
+//
+// FedBuff trains up to 60 clients concurrently and aggregates every 20
+// buffered updates. The example contrasts plain FedBuff with FLOAT(FedBuff):
+// the async protocol is already resilient to stragglers (over-selection),
+// so FLOAT's accuracy gain is small — but it sharply cuts the resources
+// wasted on updates that arrive too stale or never arrive (the paper's
+// Figure 12 FedBuff columns).
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/core/float_controller.h"
+#include "src/fl/async_engine.h"
+
+using namespace floatfl;
+
+int main() {
+  ExperimentConfig config;
+  config.num_clients = 150;
+  config.rounds = 120;  // aggregations
+  config.async_concurrency = 60;
+  config.async_buffer = 20;
+  config.dataset = DatasetId::kCifar10;
+  config.model = ModelId::kResNet34;
+  config.alpha = 0.1;
+  config.interference = InterferenceScenario::kDynamic;
+  config.seed = 33;
+
+  AsyncEngine base_engine(config, nullptr);
+  const ExperimentResult base = base_engine.Run();
+
+  auto controller = FloatController::MakeDefault(config.seed, config.rounds);
+  AsyncEngine float_engine(config, controller.get());
+  const ExperimentResult with_float = float_engine.Run();
+
+  TablePrinter table({"system", "acc%", "bottom10%", "accepted-updates", "discarded/dropped",
+                      "wall-clock(h)", "wasted-comp(h)", "wasted-mem(TB)"});
+  auto add = [&](const std::string& name, const ExperimentResult& r) {
+    table.Cell(name)
+        .Cell(100.0 * r.accuracy_avg, 1)
+        .Cell(100.0 * r.accuracy_bottom10, 1)
+        .Cell(static_cast<long long>(r.total_completed))
+        .Cell(static_cast<long long>(r.total_dropouts))
+        .Cell(r.wall_clock_hours, 1)
+        .Cell(r.wasted.compute_hours, 1)
+        .Cell(r.wasted.memory_tb, 2)
+        .EndRow();
+  };
+  add("FedBuff", base);
+  add("FLOAT (FedBuff)", with_float);
+  table.Print(std::cout);
+
+  std::cout << "\nFLOAT reduces FedBuff's wasted compute by "
+            << FormatDouble(base.wasted.compute_hours /
+                                std::max(1e-9, with_float.wasted.compute_hours),
+                            2)
+            << "x while matching wall-clock ("
+            << FormatDouble(with_float.wall_clock_hours, 1) << "h vs "
+            << FormatDouble(base.wall_clock_hours, 1) << "h).\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Scenario example: *real* federated training with real optimizations.
+//
+// A 20-client federation trains an actual MLP (src/nn) with SGD on
+// Dirichlet-partitioned synthetic data; uploads go through the real
+// tensor-level implementations of each acceleration (affine quantization,
+// magnitude pruning + sparse encoding, frozen-layer partial training,
+// lossless RLE compression) and the server aggregates real weights with
+// FedAvg. The printed table shows the measured accuracy/bytes trade-off of
+// every technique — the ground truth behind the cost multipliers the
+// trace-driven simulator charges.
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/fl/real_engine.h"
+
+using namespace floatfl;
+
+int main() {
+  RealFlConfig config;
+  config.num_clients = 20;
+  config.clients_per_round = 6;
+  config.num_classes = 8;
+  config.input_dim = 12;
+  config.class_separation = 1.1;  // hard task: technique accuracy costs show
+  config.alpha = 0.3;
+  config.hidden_dims = {32};
+  config.sgd.learning_rate = 0.08f;
+  config.sgd.batch_size = 16;
+  config.sgd.epochs = 2;
+  config.seed = 11;
+
+  constexpr size_t kRounds = 25;
+
+  TablePrinter table(
+      {"technique", "final-acc%", "upload-KiB", "vs-fp32", "max-injected-error"});
+  for (TechniqueKind kind :
+       {TechniqueKind::kNone, TechniqueKind::kQuant16, TechniqueKind::kQuant8,
+        TechniqueKind::kPrune50, TechniqueKind::kPrune75, TechniqueKind::kPartial50,
+        TechniqueKind::kCompressLossless}) {
+    RealFlEngine engine(config);
+    RealRoundStats stats;
+    for (size_t round = 0; round < kRounds; ++round) {
+      stats = engine.RunRound(kind);
+    }
+    const double dense_kib = static_cast<double>(engine.DenseUpdateBytes()) / 1024.0;
+    const double upload_kib = stats.mean_upload_bytes / 1024.0;
+    table.Cell(ToString(kind))
+        .Cell(100.0 * stats.test_accuracy, 1)
+        .Cell(upload_kib, 2)
+        .Cell(upload_kib > 0 ? dense_kib / upload_kib : 0.0, 2)
+        .Cell(stats.mean_update_error, 5)
+        .EndRow();
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nExpected shapes: quant16/compress match fp32 accuracy at ~2x smaller\n"
+               "uploads; quant8 ~4x smaller with a small accuracy dip; prune75 ~2x\n"
+               "smaller (sparse index+value encoding breaks even at 50% sparsity)\n"
+               "with the largest accuracy dip; partial training changes no bytes.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scenario example: FLOAT-style communication optimization in Vertical FL
+// (Section 7, "FLOAT for non-horizontal FL").
+//
+// Three parties hold disjoint feature slices of the same samples and train a
+// split model (party-side encoders + server-side classifier). The
+// embedding/gradient exchange each step is the communication bottleneck of
+// VFL; the example shows the accuracy/traffic trade-off of leaving it in
+// fp32, 16-bit, or 8-bit — the same quantization actions FLOAT tunes for
+// horizontal FL, applied without any structural change to the protocol.
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/fl/vfl_engine.h"
+
+using namespace floatfl;
+
+int main() {
+  VflConfig config;
+  config.num_parties = 3;
+  config.features_per_party = 6;
+  config.embedding_dim = 8;
+  config.num_classes = 5;
+  config.train_samples = 400;
+  config.test_samples = 250;
+  config.class_separation = 1.6;
+  config.seed = 9;
+
+  constexpr int kEpochs = 12;
+
+  TablePrinter table({"exchange", "final-acc%", "traffic-MB/epoch", "vs-fp32"});
+  double dense_traffic = 0.0;
+  for (TechniqueKind kind :
+       {TechniqueKind::kNone, TechniqueKind::kQuant16, TechniqueKind::kQuant8}) {
+    VflEngine engine(config);
+    VflRoundStats stats;
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      stats = engine.TrainEpoch(kind);
+    }
+    const double traffic_mb = stats.traffic_bytes / (1024.0 * 1024.0);
+    if (kind == TechniqueKind::kNone) {
+      dense_traffic = traffic_mb;
+    }
+    table.Cell(kind == TechniqueKind::kNone ? "fp32" : ToString(kind))
+        .Cell(100.0 * stats.test_accuracy, 1)
+        .Cell(traffic_mb, 3)
+        .Cell(traffic_mb > 0.0 ? dense_traffic / traffic_mb : 0.0, 2)
+        .EndRow();
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shapes: 16-bit exchange matches fp32 accuracy at half the\n"
+               "traffic; 8-bit quarters the traffic with a small accuracy dip.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Lightweight invariant checking for library code.
+//
+// The library does not throw exceptions; violated invariants indicate
+// programming errors and abort the process with a source location.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FLOATFL_CHECK(cond)                                                          \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "FLOATFL_CHECK failed: %s at %s:%d\n", #cond, __FILE__,   \
+                   __LINE__);                                                        \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define FLOATFL_CHECK_MSG(cond, msg)                                                 \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "FLOATFL_CHECK failed: %s (%s) at %s:%d\n", #cond, (msg), \
+                   __FILE__, __LINE__);                                              \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,60 @@
+#include "src/common/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace floatfl {
+
+Discretizer::Discretizer(std::vector<double> boundaries) : boundaries_(std::move(boundaries)) {
+  for (size_t i = 1; i < boundaries_.size(); ++i) {
+    FLOATFL_CHECK_MSG(boundaries_[i] > boundaries_[i - 1], "boundaries must strictly increase");
+  }
+}
+
+Discretizer Discretizer::Uniform(double lo, double hi, size_t num_bins) {
+  FLOATFL_CHECK(num_bins >= 1);
+  FLOATFL_CHECK(hi > lo);
+  std::vector<double> b;
+  b.reserve(num_bins - 1);
+  for (size_t i = 1; i < num_bins; ++i) {
+    b.push_back(lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(num_bins));
+  }
+  return Discretizer(std::move(b));
+}
+
+Discretizer Discretizer::FromQuantiles(const std::vector<double>& samples, size_t num_bins) {
+  FLOATFL_CHECK(num_bins >= 1);
+  if (samples.empty() || num_bins == 1) {
+    return Discretizer({});
+  }
+  std::vector<double> b;
+  b.reserve(num_bins - 1);
+  for (size_t i = 1; i < num_bins; ++i) {
+    const double q =
+        Percentile(samples, 100.0 * static_cast<double>(i) / static_cast<double>(num_bins));
+    b.push_back(q);
+  }
+  // Enforce strictly increasing boundaries: nudge duplicates by an epsilon
+  // scaled to the data range so every requested bin survives.
+  double range = b.back() - b.front();
+  if (range <= 0.0) {
+    range = std::max(1.0, std::fabs(b.front()));
+  }
+  const double eps = range * 1e-9 + 1e-12;
+  for (size_t i = 1; i < b.size(); ++i) {
+    if (b[i] <= b[i - 1]) {
+      b[i] = b[i - 1] + eps;
+    }
+  }
+  return Discretizer(std::move(b));
+}
+
+size_t Discretizer::BinOf(double value) const {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  return static_cast<size_t>(it - boundaries_.begin());
+}
+
+}  // namespace floatfl

@@ -1,0 +1,40 @@
+// Continuous-to-discrete binning used by FLOAT's state encoder (RQ5).
+//
+// The paper reduces continuous client metrics (CPU/memory/network
+// availability, deadline difference) to 5 discrete states using statistical
+// (variance/percentile-driven) bin boundaries. This header provides both
+// uniform bins (the fixed Table-1 ranges) and quantile bins fitted from
+// observed samples.
+#ifndef SRC_COMMON_DISCRETIZER_H_
+#define SRC_COMMON_DISCRETIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace floatfl {
+
+class Discretizer {
+ public:
+  // `boundaries` must be strictly increasing; a value v maps to the number of
+  // boundaries strictly below it, giving boundaries.size() + 1 bins.
+  explicit Discretizer(std::vector<double> boundaries);
+
+  // num_bins uniform bins over [lo, hi].
+  static Discretizer Uniform(double lo, double hi, size_t num_bins);
+
+  // Boundaries at the (100*i/num_bins)-th percentiles of `samples`.
+  // Degenerate (duplicate) percentiles are nudged to stay strictly
+  // increasing, so the bin count is always exactly num_bins.
+  static Discretizer FromQuantiles(const std::vector<double>& samples, size_t num_bins);
+
+  size_t NumBins() const { return boundaries_.size() + 1; }
+  size_t BinOf(double value) const;
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+ private:
+  std::vector<double> boundaries_;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_COMMON_DISCRETIZER_H_

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic component of the simulation draws from an Rng seeded from
+// the experiment seed, so whole experiments are reproducible bit-for-bit.
+// The generator is xoshiro256++ (public-domain algorithm by Blackman &
+// Vigna), seeded through SplitMix64 so that nearby seeds give independent
+// streams.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace floatfl {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Standard normal via Box–Muller (cached pair).
+  double Normal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Log-normal such that the *median* of the distribution is `median` and the
+  // underlying normal has standard deviation `sigma` (in log space).
+  double LogNormal(double median, double sigma);
+
+  // Exponential with the given mean. Requires mean > 0.
+  double Exponential(double mean);
+
+  // Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Non-positive weights are treated as zero; if all weights are zero the
+  // index is uniform.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Samples from a symmetric Dirichlet distribution with concentration
+  // `alpha` over `k` categories (via Gamma(alpha, 1) marginals).
+  std::vector<double> Dirichlet(double alpha, size_t k);
+
+  // Gamma(shape, 1) sample (Marsaglia–Tsang, with boost for shape < 1).
+  double Gamma(double shape);
+
+  // Fisher–Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<size_t> Permutation(size_t n);
+
+  // Forks an independent stream; deterministic given this stream's state.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,80 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FLOATFL_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  FLOATFL_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TablePrinter& TablePrinter::Cell(const std::string& s) {
+  pending_.push_back(s);
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(double v, int precision) {
+  pending_.push_back(FormatDouble(v, precision));
+  return *this;
+}
+
+TablePrinter& TablePrinter::Cell(long long v) {
+  pending_.push_back(std::to_string(v));
+  return *this;
+}
+
+void TablePrinter::EndRow() {
+  AddRow(std::move(pending_));
+  pending_.clear();
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        for (size_t pad = row[c].size(); pad < widths[c] + 2; ++pad) {
+          os << ' ';
+        }
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  for (size_t i = 0; i + 2 < total; ++i) {
+    os << '-';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace floatfl

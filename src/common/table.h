@@ -1,0 +1,38 @@
+// Fixed-width text table printer for the benchmark harnesses.
+//
+// Every bench binary regenerates a paper figure/table as rows of text; this
+// keeps the output uniform and diff-able.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace floatfl {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Convenience: formats doubles with the given precision.
+  void AddRow(std::vector<std::string> cells);
+  TablePrinter& Cell(const std::string& s);
+  TablePrinter& Cell(double v, int precision = 2);
+  TablePrinter& Cell(long long v);
+  void EndRow();
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+// Formats a double with fixed precision (helper shared with benches).
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace floatfl
+
+#endif  // SRC_COMMON_TABLE_H_

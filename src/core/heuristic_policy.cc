@@ -1,0 +1,27 @@
+#include "src/core/heuristic_policy.h"
+
+namespace floatfl {
+namespace {
+
+// Table-1 "Moderate" band starts at 21 % availability.
+constexpr double kModerate = 0.21;
+
+const TechniqueKind kExtreme[] = {TechniqueKind::kPrune75, TechniqueKind::kPartial75,
+                                  TechniqueKind::kQuant8};
+const TechniqueKind kMild[] = {TechniqueKind::kPrune25, TechniqueKind::kPartial25,
+                               TechniqueKind::kQuant16};
+
+}  // namespace
+
+HeuristicPolicy::HeuristicPolicy(uint64_t seed) : rng_(seed) {}
+
+TechniqueKind HeuristicPolicy::Decide(size_t client_id, const ClientObservation& client,
+                                      const GlobalObservation& global) {
+  (void)client_id;
+  (void)global;
+  const bool constrained = client.cpu_avail < kModerate && client.net_avail < kModerate;
+  const auto& band = constrained ? kExtreme : kMild;
+  return band[rng_.UniformInt(3)];
+}
+
+}  // namespace floatfl

@@ -1,0 +1,83 @@
+#include "src/data/dataset.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace floatfl {
+namespace {
+
+// Parameters are calibrated to the qualitative properties reported in the
+// paper and its referenced benchmarks: FEMNIST converges fast to high
+// accuracy, CIFAR10 is harder, OpenImage (1.6M images, ShuffleNet) is the
+// heaviest per sample, and Speech has low resource needs and converges fast
+// (which is why FLOAT helps it least — Section 6.2).
+constexpr size_t kNumSpecs = 5;
+
+const DatasetSpec kSpecs[kNumSpecs] = {
+    {DatasetId::kFemnist, "FEMNIST", 62, 140.0, 0.6, 0.82, 1.0 / 62.0, 0.035, 1.0, 32},
+    {DatasetId::kCifar10, "CIFAR10", 10, 250.0, 0.5, 0.78, 0.10, 0.025, 1.6, 32},
+    {DatasetId::kOpenImage, "OpenImage", 596, 320.0, 0.8, 0.62, 1.0 / 596.0, 0.018, 2.4, 48},
+    {DatasetId::kSpeech, "Speech", 35, 110.0, 0.5, 0.86, 1.0 / 35.0, 0.060, 0.45, 24},
+    {DatasetId::kEmnist, "EMNIST", 47, 160.0, 0.6, 0.84, 1.0 / 47.0, 0.040, 0.9, 32},
+};
+
+}  // namespace
+
+const DatasetSpec& GetDatasetSpec(DatasetId id) {
+  for (const auto& spec : kSpecs) {
+    if (spec.id == id) {
+      return spec;
+    }
+  }
+  FLOATFL_CHECK_MSG(false, "unknown dataset id");
+  return kSpecs[0];
+}
+
+std::vector<double> ClientShard::LabelDistribution() const {
+  std::vector<double> dist(class_counts.size(), 0.0);
+  if (total == 0) {
+    if (!dist.empty()) {
+      const double u = 1.0 / static_cast<double>(dist.size());
+      for (auto& d : dist) {
+        d = u;
+      }
+    }
+    return dist;
+  }
+  for (size_t i = 0; i < class_counts.size(); ++i) {
+    dist[i] = static_cast<double>(class_counts[i]) / static_cast<double>(total);
+  }
+  return dist;
+}
+
+double LabelDivergence(const ClientShard& shard, const std::vector<double>& global_dist) {
+  FLOATFL_CHECK(shard.class_counts.size() == global_dist.size());
+  const std::vector<double> local = shard.LabelDistribution();
+  double l1 = 0.0;
+  for (size_t i = 0; i < local.size(); ++i) {
+    l1 += std::fabs(local[i] - global_dist[i]);
+  }
+  return l1;
+}
+
+std::vector<double> GlobalLabelDistribution(const std::vector<ClientShard>& shards) {
+  FLOATFL_CHECK(!shards.empty());
+  std::vector<double> dist(shards[0].class_counts.size(), 0.0);
+  double total = 0.0;
+  for (const auto& shard : shards) {
+    FLOATFL_CHECK(shard.class_counts.size() == dist.size());
+    for (size_t i = 0; i < dist.size(); ++i) {
+      dist[i] += static_cast<double>(shard.class_counts[i]);
+    }
+    total += static_cast<double>(shard.total);
+  }
+  if (total > 0.0) {
+    for (auto& d : dist) {
+      d /= total;
+    }
+  }
+  return dist;
+}
+
+}  // namespace floatfl

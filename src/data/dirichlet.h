@@ -1,0 +1,39 @@
+// Dirichlet non-IID partitioner.
+//
+// Standard FL benchmark practice (Hsu et al. [26]; used throughout the
+// paper's motivation and evaluation): each client's label distribution is a
+// draw from Dirichlet(alpha); small alpha (0.01–0.1 in the paper) makes
+// shards extremely skewed.
+#ifndef SRC_DATA_DIRICHLET_H_
+#define SRC_DATA_DIRICHLET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace floatfl {
+
+class Rng;
+
+struct PartitionConfig {
+  size_t num_clients = 0;
+  size_t num_classes = 0;
+  double alpha = 0.1;
+  // Log-normal per-client sample counts.
+  double samples_median = 150.0;
+  double samples_sigma = 0.5;
+  size_t min_samples = 8;
+};
+
+// Draws one shard per client: sample count ~ LogNormal, label distribution
+// ~ Dirichlet(alpha), class counts multinomial given both.
+std::vector<ClientShard> PartitionDirichlet(const PartitionConfig& config, Rng& rng);
+
+// Convenience: partition using a DatasetSpec's population parameters.
+std::vector<ClientShard> PartitionDataset(const DatasetSpec& spec, size_t num_clients,
+                                          double alpha, Rng& rng);
+
+}  // namespace floatfl
+
+#endif  // SRC_DATA_DIRICHLET_H_

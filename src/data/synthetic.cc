@@ -1,0 +1,61 @@
+#include "src/data/synthetic.h"
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace floatfl {
+
+SyntheticTaskData::SyntheticTaskData(size_t num_classes, size_t dim, double separation, Rng& rng)
+    : num_classes_(num_classes), dim_(dim), noise_(1.0) {
+  FLOATFL_CHECK(num_classes > 0);
+  FLOATFL_CHECK(dim > 0);
+  FLOATFL_CHECK(separation > 0.0);
+  centers_.resize(num_classes_);
+  for (auto& center : centers_) {
+    center.resize(dim_);
+    for (auto& x : center) {
+      x = static_cast<float>(rng.Normal(0.0, separation));
+    }
+  }
+}
+
+std::vector<float> SyntheticTaskData::Sample(size_t cls, Rng& rng) const {
+  FLOATFL_CHECK(cls < num_classes_);
+  std::vector<float> out(dim_);
+  for (size_t j = 0; j < dim_; ++j) {
+    out[j] = centers_[cls][j] + static_cast<float>(rng.Normal(0.0, noise_));
+  }
+  return out;
+}
+
+void SyntheticTaskData::MaterializeShard(const ClientShard& shard, Rng& rng, Tensor* inputs,
+                                         std::vector<int>* labels) const {
+  FLOATFL_CHECK(inputs != nullptr && labels != nullptr);
+  FLOATFL_CHECK(shard.class_counts.size() == num_classes_);
+  *inputs = Tensor(shard.total, dim_);
+  labels->clear();
+  labels->reserve(shard.total);
+  size_t row = 0;
+  for (size_t cls = 0; cls < num_classes_; ++cls) {
+    for (size_t s = 0; s < shard.class_counts[cls]; ++s) {
+      const std::vector<float> x = Sample(cls, rng);
+      for (size_t j = 0; j < dim_; ++j) {
+        inputs->At(row, j) = x[j];
+      }
+      labels->push_back(static_cast<int>(cls));
+      ++row;
+    }
+  }
+  FLOATFL_CHECK(row == shard.total);
+}
+
+void SyntheticTaskData::MakeTestSet(size_t per_class, Rng& rng, Tensor* inputs,
+                                    std::vector<int>* labels) const {
+  FLOATFL_CHECK(inputs != nullptr && labels != nullptr);
+  ClientShard shard;
+  shard.class_counts.assign(num_classes_, per_class);
+  shard.total = per_class * num_classes_;
+  MaterializeShard(shard, rng, inputs, labels);
+}
+
+}  // namespace floatfl

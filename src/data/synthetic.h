@@ -1,0 +1,48 @@
+// Synthetic class-conditional data for the real-training mode.
+//
+// Each class is an anisotropic Gaussian blob in R^dim; a client materializes
+// its shard (per dirichlet.h class counts) as actual tensors, so the MLP in
+// src/nn trains on genuinely non-IID local data and FedAvg aggregation of
+// real weights can be demonstrated end to end.
+#ifndef SRC_DATA_SYNTHETIC_H_
+#define SRC_DATA_SYNTHETIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/nn/tensor.h"
+
+namespace floatfl {
+
+class Rng;
+
+class SyntheticTaskData {
+ public:
+  // Creates `num_classes` Gaussian class centers in R^dim. `separation`
+  // controls task difficulty (distance between centers relative to noise).
+  SyntheticTaskData(size_t num_classes, size_t dim, double separation, Rng& rng);
+
+  size_t num_classes() const { return num_classes_; }
+  size_t dim() const { return dim_; }
+
+  // Draws one sample of the given class.
+  std::vector<float> Sample(size_t cls, Rng& rng) const;
+
+  // Materializes a whole shard: inputs (total x dim) and labels.
+  void MaterializeShard(const ClientShard& shard, Rng& rng, Tensor* inputs,
+                        std::vector<int>* labels) const;
+
+  // Builds a balanced IID test set of `per_class` samples per class.
+  void MakeTestSet(size_t per_class, Rng& rng, Tensor* inputs, std::vector<int>* labels) const;
+
+ private:
+  size_t num_classes_;
+  size_t dim_;
+  double noise_;
+  std::vector<std::vector<float>> centers_;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_DATA_SYNTHETIC_H_

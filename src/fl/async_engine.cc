@@ -1,0 +1,229 @@
+#include "src/fl/async_engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+#include "src/fl/cost_model.h"
+
+namespace floatfl {
+
+AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
+    : config_(config),
+      policy_(policy),
+      clients_(BuildPopulation(GetDatasetSpec(config.dataset), config.num_clients, config.alpha,
+                               config.interference, config.seed)),
+      tracker_(config.num_clients),
+      rng_(config.seed ^ 0xA5F1C3D2E4B60789ULL),
+      busy_(config.num_clients, false) {
+  FLOATFL_CHECK(config.async_concurrency > 0);
+  FLOATFL_CHECK(config.async_buffer > 0);
+  if (config_.deadline_s <= 0.0) {
+    config_.deadline_s = AutoDeadlineSeconds(config_, clients_);
+  }
+  reference_ = ComputePopulationReference(clients_);
+  std::vector<ClientShard> shards;
+  shards.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    shards.push_back(c.shard());
+  }
+  // The surrogate's participation target for async FL is the buffer size:
+  // each aggregation folds in `async_buffer` updates.
+  surrogate_ = std::make_unique<SurrogateAccuracyModel>(
+      SurrogateConfigFor(GetDatasetSpec(config.dataset),
+                         static_cast<double>(config.async_buffer)),
+      shards);
+}
+
+ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s,
+                                                    TechniqueKind technique) {
+  ClientRoundOutcome outcome;
+  outcome.client_id = client.id();
+  outcome.technique = technique;
+
+  const ModelProfile& model = GetModelProfile(config_.model);
+  const DatasetSpec& dataset = GetDatasetSpec(config_.dataset);
+  const ResourceAvailability avail = client.interference().At(now_s);
+
+  RoundCostInputs inputs;
+  inputs.model = &model;
+  inputs.dataset = &dataset;
+  inputs.local_samples = client.shard().total;
+  inputs.epochs = config_.epochs;
+  inputs.batch_size = config_.batch_size;
+  inputs.technique = technique;
+  inputs.device_gflops = client.compute().GflopsAt(now_s);
+  inputs.bandwidth_mbps = client.network().BandwidthMbpsAt(now_s);
+  inputs.device_memory_gb = client.compute().MemoryGb();
+  inputs.availability = avail;
+  outcome.costs = ComputeRoundCosts(inputs);
+
+  if (config_.assume_no_dropouts) {
+    outcome.completed = true;
+    outcome.time_spent_s = outcome.costs.total_time_s;
+    return outcome;
+  }
+  if (outcome.costs.out_of_memory) {
+    outcome.reason = DropoutReason::kOutOfMemory;
+    outcome.costs.train_time_s = 0.0;
+    outcome.costs.comm_time_s *= 0.5;
+    outcome.costs.peak_memory_mb = 0.0;
+    outcome.time_spent_s = outcome.costs.comm_time_s;
+    return outcome;
+  }
+  // Async FL has no hard deadline, but a device that leaves mid-training
+  // still loses its work.
+  if (!client.availability().AvailableFor(now_s, outcome.costs.total_time_s)) {
+    outcome.reason = DropoutReason::kDeparted;
+    const double available = std::max(0.0, client.availability().PeriodEndAfter(now_s) - now_s);
+    const double frac = std::min(1.0, available / std::max(1e-9, outcome.costs.total_time_s));
+    outcome.costs.train_time_s *= frac;
+    outcome.costs.comm_time_s *= frac;
+    outcome.time_spent_s = available;
+    // The overshoot relative to the sync deadline still informs the agent.
+    outcome.deadline_diff =
+        std::max(0.0, (outcome.costs.total_time_s - available) / config_.deadline_s);
+    return outcome;
+  }
+  outcome.completed = true;
+  outcome.time_spent_s = outcome.costs.total_time_s;
+  return outcome;
+}
+
+void AsyncEngine::LaunchClients() {
+  GlobalObservation global;
+  global.batch_size = config_.batch_size;
+  global.epochs = config_.epochs;
+  global.participants = config_.async_concurrency;
+
+  // Collect idle, currently-available clients.
+  std::vector<size_t> candidates;
+  for (const auto& client : clients_) {
+    if (!busy_[client.id()]) {
+      candidates.push_back(client.id());
+    }
+  }
+  // Uniformly random launch order (FedBuff does not rank clients).
+  const std::vector<size_t> order = rng_.Permutation(candidates.size());
+  for (size_t idx : order) {
+    if (in_flight_.size() >= config_.async_concurrency) {
+      break;
+    }
+    const size_t id = candidates[idx];
+    Client& client = clients_[id];
+    if (!config_.assume_no_dropouts && !client.availability().IsAvailableAt(now_s_)) {
+      continue;
+    }
+    const ClientObservation obs = ObserveClient(client, now_s_, reference_);
+    const TechniqueKind technique =
+        policy_ != nullptr ? policy_->Decide(id, obs, global) : TechniqueKind::kNone;
+
+    InFlight flight;
+    flight.client_id = id;
+    flight.start_version = version_;
+    flight.technique = technique;
+    flight.observation = obs;
+    flight.outcome = SimulateAsyncClient(client, now_s_, technique);
+    flight.finish_time_s = now_s_ + std::max(1.0, flight.outcome.time_spent_s);
+    in_flight_.push_back(flight);
+    busy_[id] = true;
+    ++client.times_selected;
+  }
+}
+
+ExperimentResult AsyncEngine::Run() {
+  GlobalObservation global;
+  global.batch_size = config_.batch_size;
+  global.epochs = config_.epochs;
+  global.participants = config_.async_concurrency;
+
+  while (version_ < config_.rounds) {
+    LaunchClients();
+    if (in_flight_.empty()) {
+      // Nobody available right now; let time pass.
+      now_s_ += 60.0;
+      continue;
+    }
+    // Pop the earliest finisher.
+    size_t next = 0;
+    for (size_t i = 1; i < in_flight_.size(); ++i) {
+      if (in_flight_[i].finish_time_s < in_flight_[next].finish_time_s) {
+        next = i;
+      }
+    }
+    InFlight flight = in_flight_[next];
+    in_flight_[next] = in_flight_.back();
+    in_flight_.pop_back();
+    busy_[flight.client_id] = false;
+    now_s_ = std::max(now_s_, flight.finish_time_s);
+
+    Client& client = clients_[flight.client_id];
+    const double staleness = static_cast<double>(version_ - flight.start_version);
+    bool accepted = false;
+    if (flight.outcome.completed && staleness <= kMaxStaleness) {
+      ClientContribution contribution;
+      contribution.client_id = flight.client_id;
+      contribution.quality = 1.0 - EffectOf(flight.technique).accuracy_impact;
+      contribution.staleness = staleness;
+      buffer_.push_back(contribution);
+      accepted = true;
+      ++client.times_completed;
+    } else {
+      switch (flight.outcome.reason) {
+        case DropoutReason::kOutOfMemory:
+          ++dropout_breakdown_.out_of_memory;
+          break;
+        case DropoutReason::kDeparted:
+          ++dropout_breakdown_.departed;
+          break;
+        default:
+          // Completed but too stale: the work is discarded.
+          ++dropout_breakdown_.missed_deadline;
+          break;
+      }
+    }
+    client.last_round_duration_s = flight.outcome.time_spent_s;
+    client.UpdateDeadlineDiff(flight.outcome.deadline_diff);
+    accountant_.Record(flight.outcome.costs.train_time_s, flight.outcome.costs.comm_time_s,
+                       flight.outcome.costs.peak_memory_mb, accepted);
+    tracker_.Record(flight.client_id, flight.technique, accepted);
+    if (policy_ != nullptr) {
+      const double client_accuracy_credit =
+          last_accuracy_delta_ * (1.0 - EffectOf(flight.technique).accuracy_impact);
+      policy_->Report(flight.client_id, flight.observation, global, flight.technique, accepted,
+                      client_accuracy_credit);
+    }
+
+    if (buffer_.size() >= config_.async_buffer) {
+      const double before = surrogate_->GlobalAccuracy();
+      surrogate_->RoundUpdate(buffer_);
+      last_accuracy_delta_ = surrogate_->GlobalAccuracy() - before;
+      buffer_.clear();
+      ++version_;
+      accuracy_history_.push_back(surrogate_->GlobalAccuracy());
+    }
+  }
+
+  ExperimentResult result;
+  const std::vector<double> accuracies = surrogate_->AllClientAccuracies();
+  result.accuracy_avg = Mean(accuracies);
+  result.accuracy_top10 = TopFractionMean(accuracies, 0.10);
+  result.accuracy_bottom10 = BottomFractionMean(accuracies, 0.10);
+  result.global_accuracy = surrogate_->GlobalAccuracy();
+  result.total_selected = tracker_.TotalSelected();
+  result.total_completed = tracker_.TotalCompleted();
+  result.total_dropouts = tracker_.TotalDropouts();
+  result.never_selected = tracker_.NeverSelected();
+  result.never_completed = tracker_.NeverCompleted();
+  result.dropout_breakdown = dropout_breakdown_;
+  result.useful = accountant_.Useful();
+  result.wasted = accountant_.Wasted();
+  result.wall_clock_hours = now_s_ / 3600.0;
+  result.per_technique = tracker_.PerTechnique();
+  result.accuracy_history = accuracy_history_;
+  result.per_client_selected = tracker_.selected();
+  result.per_client_completed = tracker_.completed();
+  return result;
+}
+
+}  // namespace floatfl

@@ -1,0 +1,72 @@
+// Asynchronous FL engine modeling FedBuff (Nguyen et al. [51]).
+//
+// Up to `async_concurrency` clients train concurrently; completed updates
+// enter a buffer and every `async_buffer` updates are aggregated into a new
+// model version. Slow clients keep training on stale versions; staleness
+// discounts their contribution, and updates staler than kMaxStaleness are
+// discarded. Over-selection makes FedBuff fast in wall-clock but heavy in
+// aggregate client resource spend — the trade-off of Figure 2b.
+#ifndef SRC_FL_ASYNC_ENGINE_H_
+#define SRC_FL_ASYNC_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fl/client.h"
+#include "src/fl/experiment.h"
+#include "src/fl/observation.h"
+#include "src/fl/sync_engine.h"
+#include "src/fl/tuning_policy.h"
+#include "src/metrics/participation_tracker.h"
+#include "src/metrics/resource_accountant.h"
+#include "src/models/surrogate_accuracy.h"
+
+namespace floatfl {
+
+class AsyncEngine {
+ public:
+  // `policy` may be null. Not owned.
+  AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy);
+
+  // Runs until `config.rounds` aggregations have happened.
+  ExperimentResult Run();
+
+  const SurrogateAccuracyModel& accuracy_model() const { return *surrogate_; }
+
+ private:
+  struct InFlight {
+    size_t client_id;
+    double finish_time_s;
+    size_t start_version;
+    TechniqueKind technique;
+    ClientRoundOutcome outcome;
+    ClientObservation observation;
+  };
+
+  void LaunchClients();
+  ClientRoundOutcome SimulateAsyncClient(Client& client, double now_s, TechniqueKind technique);
+
+  static constexpr double kMaxStaleness = 10.0;
+
+  ExperimentConfig config_;
+  TuningPolicy* policy_;
+  std::vector<Client> clients_;
+  PopulationReference reference_;
+  std::unique_ptr<SurrogateAccuracyModel> surrogate_;
+  ResourceAccountant accountant_;
+  ParticipationTracker tracker_;
+  DropoutBreakdown dropout_breakdown_;
+  std::vector<double> accuracy_history_;
+  Rng rng_;
+  std::vector<InFlight> in_flight_;
+  std::vector<bool> busy_;
+  std::vector<ClientContribution> buffer_;
+  size_t version_ = 0;
+  double now_s_ = 0.0;
+  double last_accuracy_delta_ = 0.0;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_FL_ASYNC_ENGINE_H_

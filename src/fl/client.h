@@ -1,0 +1,65 @@
+// Simulated FL client: a device (compute/network/availability/interference
+// traces) plus its local data shard and participation history.
+#ifndef SRC_FL_CLIENT_H_
+#define SRC_FL_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/trace/availability_trace.h"
+#include "src/trace/compute_trace.h"
+#include "src/trace/interference.h"
+#include "src/trace/network_trace.h"
+
+namespace floatfl {
+
+class Client {
+ public:
+  Client(size_t id, ClientShard shard, ComputeTrace compute, NetworkTrace network,
+         AvailabilityTrace availability, InterferenceModel interference);
+
+  size_t id() const { return id_; }
+  const ClientShard& shard() const { return shard_; }
+  ComputeTrace& compute() { return compute_; }
+  const ComputeTrace& compute() const { return compute_; }
+  NetworkTrace& network() { return network_; }
+  const NetworkTrace& network() const { return network_; }
+  AvailabilityTrace& availability() { return availability_; }
+  InterferenceModel& interference() { return interference_; }
+
+  // Participation history (used by selectors and the human-feedback state).
+  size_t times_selected = 0;
+  size_t times_completed = 0;
+  // Duration of the client's last attempted round, seconds (0 if never ran).
+  double last_round_duration_s = 0.0;
+  // Smoothed deadline overshoot as a fraction of the deadline — the paper's
+  // "deadline difference" human feedback: how much this client *typically*
+  // deviates from the prescribed round deadline. An EWMA so one rescued
+  // round does not erase a chronic straggler's profile.
+  double last_deadline_diff = 0.0;
+
+  void UpdateDeadlineDiff(double observed) {
+    last_deadline_diff = 0.7 * last_deadline_diff + 0.3 * observed;
+  }
+  // Most recent observed on-period length, for REFL-style window prediction.
+  double observed_window_s = 0.0;
+
+ private:
+  size_t id_;
+  ClientShard shard_;
+  ComputeTrace compute_;
+  NetworkTrace network_;
+  AvailabilityTrace availability_;
+  InterferenceModel interference_;
+};
+
+// Builds a full client population for an experiment: Dirichlet shards plus
+// per-client device traces (70 % 4G / 30 % 5G as in mixed mobile fleets).
+std::vector<Client> BuildPopulation(const DatasetSpec& spec, size_t num_clients, double alpha,
+                                    InterferenceScenario interference, uint64_t seed);
+
+}  // namespace floatfl
+
+#endif  // SRC_FL_CLIENT_H_

@@ -1,0 +1,68 @@
+#include "src/fl/cost_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+#include "src/fl/client.h"
+#include "src/fl/experiment.h"
+
+namespace floatfl {
+
+RoundCosts ComputeRoundCosts(const RoundCostInputs& in) {
+  FLOATFL_CHECK(in.model != nullptr && in.dataset != nullptr);
+  FLOATFL_CHECK(in.device_gflops > 0.0 && in.bandwidth_mbps > 0.0);
+  const CostEffect& effect = EffectOf(in.technique);
+  RoundCosts out;
+
+  // --- Computation: epochs x samples x per-sample training FLOPs, scaled by
+  // the technique's compute multiplier, executed at the CPU share left over
+  // by co-located apps.
+  const double gflop_total = static_cast<double>(in.epochs) *
+                             static_cast<double>(in.local_samples) *
+                             in.model->train_gflops_per_sample * in.dataset->sample_cost_scale *
+                             effect.compute_mult;
+  const double effective_gflops = in.device_gflops * std::max(0.02, in.availability.cpu);
+  out.train_time_s = gflop_total / effective_gflops;
+
+  // --- Communication: full model down, optimized update up.
+  out.traffic_mb = in.model->weight_mb * (1.0 + effect.comm_mult);
+  const double effective_mbps = in.bandwidth_mbps * std::max(0.02, in.availability.network);
+  out.comm_time_s = out.traffic_mb * 8.0 / effective_mbps;
+
+  // --- Memory: two model copies (global + local) plus activations for one
+  // mini-batch, reduced by the technique's memory multiplier.
+  out.peak_memory_mb = (in.model->weight_mb * 2.0 +
+                        in.model->activation_mb_per_sample * static_cast<double>(in.batch_size)) *
+                       effect.memory_mult;
+  const double available_mb = in.device_memory_gb * 1024.0 * std::max(0.02, in.availability.memory);
+  out.out_of_memory = out.peak_memory_mb > available_mb;
+
+  out.total_time_s = out.train_time_s + out.comm_time_s;
+  return out;
+}
+
+double AutoDeadlineSeconds(const ExperimentConfig& config, const std::vector<Client>& clients) {
+  FLOATFL_CHECK(!clients.empty());
+  const ModelProfile& model = GetModelProfile(config.model);
+  const DatasetSpec& dataset = GetDatasetSpec(config.dataset);
+  std::vector<double> estimates;
+  estimates.reserve(clients.size());
+  for (const Client& client : clients) {
+    RoundCostInputs inputs;
+    inputs.model = &model;
+    inputs.dataset = &dataset;
+    inputs.local_samples = client.shard().total;
+    inputs.epochs = config.epochs;
+    inputs.batch_size = config.batch_size;
+    inputs.technique = TechniqueKind::kNone;
+    inputs.device_gflops = client.compute().BaseGflops();
+    inputs.bandwidth_mbps = client.network().NominalMbps();
+    inputs.device_memory_gb = client.compute().MemoryGb();
+    inputs.availability = ResourceAvailability{};  // un-interfered
+    estimates.push_back(ComputeRoundCosts(inputs).total_time_s);
+  }
+  return 2.5 * Percentile(estimates, 50.0);
+}
+
+}  // namespace floatfl

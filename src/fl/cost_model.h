@@ -1,0 +1,56 @@
+// Per-round client cost model: turns (model, dataset, hyper-parameters,
+// optimization technique, instantaneous resource conditions) into training
+// time, communication time, traffic and peak memory — the quantities the
+// engines charge against deadlines, availability windows and device limits.
+#ifndef SRC_FL_COST_MODEL_H_
+#define SRC_FL_COST_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/models/model_zoo.h"
+#include "src/opt/technique.h"
+#include "src/trace/interference.h"
+
+namespace floatfl {
+
+struct RoundCostInputs {
+  const ModelProfile* model = nullptr;
+  const DatasetSpec* dataset = nullptr;
+  size_t local_samples = 0;
+  size_t epochs = 1;
+  size_t batch_size = 20;
+  TechniqueKind technique = TechniqueKind::kNone;
+  // Instantaneous device state.
+  double device_gflops = 1.0;
+  double bandwidth_mbps = 1.0;
+  double device_memory_gb = 4.0;
+  ResourceAvailability availability;
+};
+
+struct RoundCosts {
+  double train_time_s = 0.0;
+  double comm_time_s = 0.0;
+  double total_time_s = 0.0;
+  double traffic_mb = 0.0;       // download + (optimized) upload
+  double peak_memory_mb = 0.0;
+  bool out_of_memory = false;
+};
+
+RoundCosts ComputeRoundCosts(const RoundCostInputs& in);
+
+class Client;
+struct ExperimentConfig;
+
+// Auto-calibrated synchronous round deadline: 2.5x the population-median
+// nominal round time (un-interfered device at base speed and nominal
+// bandwidth, no optimization). With this deadline the faster part of an
+// interfered population completes unaided, and the acceleration techniques
+// (compute/comm multipliers down to ~0.25x) can rescue clients several times
+// slower than the median — the regime the paper operates in.
+double AutoDeadlineSeconds(const ExperimentConfig& config, const std::vector<Client>& clients);
+
+}  // namespace floatfl
+
+#endif  // SRC_FL_COST_MODEL_H_

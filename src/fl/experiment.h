@@ -1,0 +1,77 @@
+// Experiment configuration and result records shared by the synchronous and
+// asynchronous engines and by every bench binary.
+#ifndef SRC_FL_EXPERIMENT_H_
+#define SRC_FL_EXPERIMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/metrics/participation_tracker.h"
+#include "src/metrics/resource_accountant.h"
+#include "src/models/model_zoo.h"
+#include "src/opt/technique.h"
+#include "src/trace/interference.h"
+
+namespace floatfl {
+
+struct ExperimentConfig {
+  // Population and schedule (paper defaults, Section 6.1).
+  size_t num_clients = 200;
+  size_t clients_per_round = 30;
+  size_t rounds = 300;
+  size_t epochs = 5;
+  size_t batch_size = 20;
+  // Synchronous round deadline, seconds. 0 = auto-calibrate to twice the
+  // population-median nominal round time (see AutoDeadlineSeconds).
+  double deadline_s = 0.0;
+  DatasetId dataset = DatasetId::kFemnist;
+  ModelId model = ModelId::kResNet34;
+  double alpha = 0.1;
+  InterferenceScenario interference = InterferenceScenario::kDynamic;
+  uint64_t seed = 42;
+  // Figure-3 counterfactual: pretend every selected client completes.
+  bool assume_no_dropouts = false;
+  // FedBuff parameters (async engine only).
+  size_t async_concurrency = 100;
+  size_t async_buffer = 30;
+};
+
+struct DropoutBreakdown {
+  size_t unavailable = 0;   // selected while offline
+  size_t out_of_memory = 0;
+  size_t missed_deadline = 0;
+  size_t departed = 0;      // availability ended mid-round
+
+  size_t Total() const { return unavailable + out_of_memory + missed_deadline + departed; }
+};
+
+struct ExperimentResult {
+  // Final per-client accuracy statistics (paper's Top-10% / avg / Bottom-10%).
+  double accuracy_avg = 0.0;
+  double accuracy_top10 = 0.0;
+  double accuracy_bottom10 = 0.0;
+  double global_accuracy = 0.0;
+
+  size_t total_selected = 0;
+  size_t total_completed = 0;
+  size_t total_dropouts = 0;
+  size_t never_selected = 0;
+  size_t never_completed = 0;
+  DropoutBreakdown dropout_breakdown;
+
+  ResourceTotals useful;
+  ResourceTotals wasted;
+  double wall_clock_hours = 0.0;
+
+  std::map<TechniqueKind, ParticipationTracker::TechniqueStats> per_technique;
+  std::vector<double> accuracy_history;       // global accuracy per round
+  std::vector<size_t> per_client_selected;
+  std::vector<size_t> per_client_completed;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_FL_EXPERIMENT_H_

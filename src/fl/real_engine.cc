@@ -1,0 +1,173 @@
+#include "src/fl/real_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/data/dirichlet.h"
+#include "src/opt/compress.h"
+#include "src/opt/prune.h"
+#include "src/opt/quantize.h"
+
+namespace floatfl {
+
+RealFlEngine::RealFlEngine(const RealFlConfig& config) : config_(config), rng_(config.seed) {
+  FLOATFL_CHECK(config.num_clients > 0);
+  FLOATFL_CHECK(config.clients_per_round > 0);
+  FLOATFL_CHECK(config.num_classes >= 2);
+
+  task_ = std::make_unique<SyntheticTaskData>(config.num_classes, config.input_dim,
+                                              config.class_separation, rng_);
+
+  PartitionConfig partition;
+  partition.num_clients = config.num_clients;
+  partition.num_classes = config.num_classes;
+  partition.alpha = config.alpha;
+  partition.samples_median = 60.0;
+  partition.samples_sigma = 0.4;
+  partition.min_samples = 10;
+  shards_ = PartitionDirichlet(partition, rng_);
+
+  client_inputs_.resize(shards_.size());
+  client_labels_.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    task_->MaterializeShard(shards_[i], rng_, &client_inputs_[i], &client_labels_[i]);
+  }
+
+  model_dims_.push_back(config.input_dim);
+  for (size_t h : config.hidden_dims) {
+    model_dims_.push_back(h);
+  }
+  model_dims_.push_back(config.num_classes);
+  global_ = std::make_unique<Mlp>(model_dims_, rng_);
+
+  task_->MakeTestSet(config.test_samples_per_class, rng_, &test_inputs_, &test_labels_);
+}
+
+size_t RealFlEngine::DenseUpdateBytes() const { return global_->ParamCount() * sizeof(float); }
+
+size_t RealFlEngine::FrozenLayersFor(TechniqueKind technique) const {
+  const double frac = PartialTrainingFraction(technique);
+  if (frac <= 0.0) {
+    return 0;
+  }
+  // Freeze the leading fraction of layers, keeping at least the output layer
+  // trainable.
+  const size_t layers = global_->NumLayers();
+  const size_t frozen = static_cast<size_t>(std::llround(frac * static_cast<double>(layers)));
+  return std::min(frozen, layers - 1);
+}
+
+RealFlEngine::ProcessedUpdate RealFlEngine::ProcessUpload(std::vector<float> params,
+                                                          TechniqueKind technique) const {
+  ProcessedUpdate out;
+  switch (technique) {
+    case TechniqueKind::kQuant16:
+    case TechniqueKind::kQuant8: {
+      const int bits = QuantizationBits(technique);
+      const QuantizedBlob blob = Quantize(params, bits);
+      out.upload_bytes = blob.ByteSize();
+      out.params = Dequantize(blob);
+      double max_err = 0.0;
+      for (size_t i = 0; i < params.size(); ++i) {
+        max_err = std::max(max_err, std::fabs(static_cast<double>(params[i]) - out.params[i]));
+      }
+      out.max_error = max_err;
+      return out;
+    }
+    case TechniqueKind::kPrune25:
+    case TechniqueKind::kPrune50:
+    case TechniqueKind::kPrune75: {
+      double max_before = 0.0;
+      std::vector<float> original = params;
+      MagnitudePrune(params, PruningFraction(technique));
+      for (size_t i = 0; i < params.size(); ++i) {
+        max_before =
+            std::max(max_before, std::fabs(static_cast<double>(original[i]) - params[i]));
+      }
+      out.upload_bytes = SparseEncodingBytes(params);
+      out.params = std::move(params);
+      out.max_error = max_before;
+      return out;
+    }
+    case TechniqueKind::kCompressLossless: {
+      // Quantize to 16 bits (near-lossless) then RLE-compress the codes,
+      // falling back to the raw codes when the payload is incompressible
+      // (dense weight noise) — as any real sender would.
+      const QuantizedBlob blob = Quantize(params, 16);
+      const size_t compressed = RleCompress(blob.data).size();
+      out.upload_bytes = std::min(compressed, blob.data.size()) + sizeof(float) * 2;
+      out.params = Dequantize(blob);
+      double max_err = 0.0;
+      for (size_t i = 0; i < params.size(); ++i) {
+        max_err = std::max(max_err, std::fabs(static_cast<double>(params[i]) - out.params[i]));
+      }
+      out.max_error = max_err;
+      return out;
+    }
+    case TechniqueKind::kNone:
+    case TechniqueKind::kPartial25:
+    case TechniqueKind::kPartial50:
+    case TechniqueKind::kPartial75:
+    default:
+      // Partial training changes what gets *trained*, not the serialization.
+      out.upload_bytes = params.size() * sizeof(float);
+      out.params = std::move(params);
+      return out;
+  }
+}
+
+RealRoundStats RealFlEngine::RunRound(
+    const std::function<TechniqueKind(size_t)>& choose_technique) {
+  const std::vector<float> global_params = global_->GetParameters();
+  const std::vector<size_t> order = rng_.Permutation(shards_.size());
+  const size_t k = std::min(config_.clients_per_round, shards_.size());
+
+  std::vector<std::vector<float>> updates;
+  std::vector<double> weights;
+  RealRoundStats stats;
+  double total_bytes = 0.0;
+  double total_error = 0.0;
+
+  for (size_t i = 0; i < k; ++i) {
+    const size_t id = order[i];
+    const TechniqueKind technique = choose_technique(id);
+
+    // Local training from the current global model.
+    Mlp local(model_dims_, rng_);
+    local.SetParameters(global_params);
+    SgdConfig sgd = config_.sgd;
+    sgd.frozen_layers = FrozenLayersFor(technique);
+    Rng local_rng = rng_.Fork();
+    TrainSgd(local, client_inputs_[id], client_labels_[id], sgd, local_rng);
+
+    ProcessedUpdate processed = ProcessUpload(local.GetParameters(), technique);
+    total_bytes += static_cast<double>(processed.upload_bytes);
+    total_error += processed.max_error;
+    updates.push_back(std::move(processed.params));
+    weights.push_back(static_cast<double>(shards_[id].total));
+  }
+
+  if (!updates.empty()) {
+    global_->SetParameters(Mlp::Aggregate(updates, weights));
+  }
+
+  stats.participants = updates.size();
+  stats.mean_upload_bytes = updates.empty() ? 0.0 : total_bytes / updates.size();
+  stats.mean_update_error = updates.empty() ? 0.0 : total_error / updates.size();
+  stats.test_accuracy = EvaluateAccuracy();
+  stats.test_loss = EvaluateLoss();
+  return stats;
+}
+
+RealRoundStats RealFlEngine::RunRound(TechniqueKind technique) {
+  return RunRound([technique](size_t) { return technique; });
+}
+
+double RealFlEngine::EvaluateAccuracy() {
+  return global_->EvaluateAccuracy(test_inputs_, test_labels_);
+}
+
+double RealFlEngine::EvaluateLoss() { return global_->EvaluateLoss(test_inputs_, test_labels_); }
+
+}  // namespace floatfl

@@ -1,0 +1,240 @@
+#include "src/fl/sync_engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace floatfl {
+namespace {
+
+// Server-side aggregation and bookkeeping gap between rounds, seconds.
+constexpr double kRoundOverheadS = 10.0;
+
+}  // namespace
+
+SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, TuningPolicy* policy)
+    : config_(config),
+      selector_(selector),
+      policy_(policy),
+      clients_(BuildPopulation(GetDatasetSpec(config.dataset), config.num_clients, config.alpha,
+                               config.interference, config.seed)),
+      tracker_(config.num_clients) {
+  FLOATFL_CHECK(selector_ != nullptr);
+  FLOATFL_CHECK(config.clients_per_round > 0);
+  if (config_.deadline_s <= 0.0) {
+    config_.deadline_s = AutoDeadlineSeconds(config_, clients_);
+  }
+  reference_ = ComputePopulationReference(clients_);
+  std::vector<ClientShard> shards;
+  shards.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    shards.push_back(c.shard());
+  }
+  surrogate_ = std::make_unique<SurrogateAccuracyModel>(
+      SurrogateConfigFor(GetDatasetSpec(config.dataset),
+                         static_cast<double>(config.clients_per_round)),
+      shards);
+}
+
+ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
+                                              TechniqueKind technique) const {
+  ClientRoundOutcome outcome;
+  outcome.client_id = client.id();
+  outcome.technique = technique;
+
+  const ModelProfile& model = GetModelProfile(config_.model);
+  const DatasetSpec& dataset = GetDatasetSpec(config_.dataset);
+  const ResourceAvailability avail = client.interference().At(now_s);
+
+  RoundCostInputs inputs;
+  inputs.model = &model;
+  inputs.dataset = &dataset;
+  inputs.local_samples = client.shard().total;
+  inputs.epochs = config_.epochs;
+  inputs.batch_size = config_.batch_size;
+  inputs.technique = technique;
+  inputs.device_gflops = client.compute().GflopsAt(now_s);
+  inputs.bandwidth_mbps = client.network().BandwidthMbpsAt(now_s);
+  inputs.device_memory_gb = client.compute().MemoryGb();
+  inputs.availability = avail;
+  outcome.costs = ComputeRoundCosts(inputs);
+
+  const double deadline = config_.deadline_s;
+  if (config_.assume_no_dropouts) {
+    outcome.completed = true;
+    outcome.time_spent_s = std::min(outcome.costs.total_time_s, deadline);
+    return outcome;
+  }
+
+  if (!client.availability().IsAvailableAt(now_s)) {
+    // Selected while offline: the server pushed a task that is never picked
+    // up; only the model download attempt is charged.
+    outcome.reason = DropoutReason::kUnavailable;
+    outcome.costs.train_time_s = 0.0;
+    outcome.costs.comm_time_s *= 0.5;  // download leg only
+    outcome.costs.peak_memory_mb = 0.0;
+    outcome.time_spent_s = outcome.costs.comm_time_s;
+    return outcome;
+  }
+  if (outcome.costs.out_of_memory) {
+    // Training never starts; the model download is wasted.
+    outcome.reason = DropoutReason::kOutOfMemory;
+    outcome.costs.train_time_s = 0.0;
+    outcome.costs.comm_time_s *= 0.5;
+    outcome.time_spent_s = outcome.costs.comm_time_s;
+    return outcome;
+  }
+  if (outcome.costs.total_time_s > deadline) {
+    // Straggler: works until the deadline, then the round closes without it.
+    outcome.reason = DropoutReason::kMissedDeadline;
+    outcome.deadline_diff = (outcome.costs.total_time_s - deadline) / deadline;
+    const double frac = deadline / outcome.costs.total_time_s;
+    outcome.costs.train_time_s *= frac;
+    outcome.costs.comm_time_s *= frac;
+    outcome.time_spent_s = deadline;
+    return outcome;
+  }
+  if (!client.availability().AvailableFor(now_s, outcome.costs.total_time_s)) {
+    // The device leaves (battery, user activity) mid-round.
+    outcome.reason = DropoutReason::kDeparted;
+    const double available = std::max(0.0, client.availability().PeriodEndAfter(now_s) - now_s);
+    const double frac = std::min(1.0, available / outcome.costs.total_time_s);
+    outcome.costs.train_time_s *= frac;
+    outcome.costs.comm_time_s *= frac;
+    outcome.time_spent_s = available;
+    outcome.deadline_diff = (outcome.costs.total_time_s - available) / deadline;
+    return outcome;
+  }
+  outcome.completed = true;
+  outcome.time_spent_s = outcome.costs.total_time_s;
+  return outcome;
+}
+
+void SyncEngine::RunRound(size_t round) {
+  const std::vector<size_t> selected =
+      selector_->Select(round, now_s_, config_.clients_per_round, clients_);
+
+  GlobalObservation global;
+  global.batch_size = config_.batch_size;
+  global.epochs = config_.epochs;
+  global.participants = config_.clients_per_round;
+
+  std::vector<ClientRoundOutcome> outcomes;
+  std::vector<ClientObservation> observations;
+  outcomes.reserve(selected.size());
+  observations.reserve(selected.size());
+
+  for (size_t id : selected) {
+    FLOATFL_CHECK(id < clients_.size());
+    Client& client = clients_[id];
+    const ClientObservation obs = ObserveClient(client, now_s_, reference_);
+    const TechniqueKind technique =
+        policy_ != nullptr ? policy_->Decide(id, obs, global) : TechniqueKind::kNone;
+
+    ClientRoundOutcome outcome = SimulateClient(client, now_s_, technique);
+    ++client.times_selected;
+    if (outcome.completed) {
+      ++client.times_completed;
+    }
+    client.last_round_duration_s = outcome.time_spent_s;
+    client.UpdateDeadlineDiff(outcome.deadline_diff);
+
+    accountant_.Record(outcome.costs.train_time_s, outcome.costs.comm_time_s,
+                       outcome.costs.peak_memory_mb, outcome.completed);
+    tracker_.Record(id, technique, outcome.completed);
+    switch (outcome.reason) {
+      case DropoutReason::kUnavailable:
+        ++dropout_breakdown_.unavailable;
+        break;
+      case DropoutReason::kOutOfMemory:
+        ++dropout_breakdown_.out_of_memory;
+        break;
+      case DropoutReason::kMissedDeadline:
+        ++dropout_breakdown_.missed_deadline;
+        break;
+      case DropoutReason::kDeparted:
+        ++dropout_breakdown_.departed;
+        break;
+      case DropoutReason::kNone:
+        break;
+    }
+    outcomes.push_back(outcome);
+    observations.push_back(obs);
+  }
+
+  // Aggregate the successful updates into the convergence model.
+  const double accuracy_before = surrogate_->GlobalAccuracy();
+  std::vector<ClientContribution> contributions;
+  double round_duration = 0.0;
+  bool any_dropout = false;
+  for (const auto& outcome : outcomes) {
+    if (outcome.completed) {
+      ClientContribution contribution;
+      contribution.client_id = outcome.client_id;
+      contribution.quality = 1.0 - EffectOf(outcome.technique).accuracy_impact;
+      contributions.push_back(contribution);
+      round_duration = std::max(round_duration, outcome.time_spent_s);
+    } else {
+      any_dropout = true;
+    }
+  }
+  surrogate_->RoundUpdate(contributions);
+  const double accuracy_delta = surrogate_->GlobalAccuracy() - accuracy_before;
+
+  // Feedback to the tuning policy and the selector.
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& outcome = outcomes[i];
+    if (policy_ != nullptr) {
+      // The accuracy credit a client earns is the round's global improvement
+      // scaled by the quality of its own (possibly optimized) update, so the
+      // agent feels the accuracy cost of aggressive accelerations.
+      const double client_accuracy_credit =
+          accuracy_delta * (1.0 - EffectOf(outcome.technique).accuracy_impact);
+      policy_->Report(outcome.client_id, observations[i], global, outcome.technique,
+                      outcome.completed, client_accuracy_credit);
+    }
+    selector_->OnOutcome(outcome.client_id, outcome.completed, outcome.time_spent_s,
+                         config_.deadline_s);
+  }
+
+  // A synchronous server waits out the deadline if anyone is missing.
+  if (any_dropout) {
+    round_duration = config_.deadline_s;
+  }
+  now_s_ += round_duration + kRoundOverheadS;
+  accuracy_history_.push_back(surrogate_->GlobalAccuracy());
+  ++rounds_run_;
+}
+
+ExperimentResult SyncEngine::Snapshot() const {
+  ExperimentResult result;
+  const std::vector<double> accuracies = surrogate_->AllClientAccuracies();
+  result.accuracy_avg = Mean(accuracies);
+  result.accuracy_top10 = TopFractionMean(accuracies, 0.10);
+  result.accuracy_bottom10 = BottomFractionMean(accuracies, 0.10);
+  result.global_accuracy = surrogate_->GlobalAccuracy();
+  result.total_selected = tracker_.TotalSelected();
+  result.total_completed = tracker_.TotalCompleted();
+  result.total_dropouts = tracker_.TotalDropouts();
+  result.never_selected = tracker_.NeverSelected();
+  result.never_completed = tracker_.NeverCompleted();
+  result.dropout_breakdown = dropout_breakdown_;
+  result.useful = accountant_.Useful();
+  result.wasted = accountant_.Wasted();
+  result.wall_clock_hours = now_s_ / 3600.0;
+  result.per_technique = tracker_.PerTechnique();
+  result.accuracy_history = accuracy_history_;
+  result.per_client_selected = tracker_.selected();
+  result.per_client_completed = tracker_.completed();
+  return result;
+}
+
+ExperimentResult SyncEngine::Run() {
+  for (size_t round = rounds_run_; round < config_.rounds; ++round) {
+    RunRound(round);
+  }
+  return Snapshot();
+}
+
+}  // namespace floatfl

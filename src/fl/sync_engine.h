@@ -1,0 +1,80 @@
+// Synchronous FL engine (FedAvg-style deadline-driven rounds).
+//
+// Each round: the attached Selector picks K clients; each selected client's
+// round is simulated against its traces (interference, compute, network,
+// availability); the attached TuningPolicy (FLOAT, heuristic, static, or
+// none) may apply an acceleration technique; completions are aggregated into
+// the surrogate convergence model; outcomes feed back to the policy and the
+// selector; the wall clock advances by the round duration.
+#ifndef SRC_FL_SYNC_ENGINE_H_
+#define SRC_FL_SYNC_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fl/client.h"
+#include "src/fl/cost_model.h"
+#include "src/fl/experiment.h"
+#include "src/fl/observation.h"
+#include "src/fl/tuning_policy.h"
+#include "src/metrics/participation_tracker.h"
+#include "src/metrics/resource_accountant.h"
+#include "src/models/surrogate_accuracy.h"
+#include "src/selection/selector.h"
+
+namespace floatfl {
+
+enum class DropoutReason { kNone, kUnavailable, kOutOfMemory, kMissedDeadline, kDeparted };
+
+struct ClientRoundOutcome {
+  size_t client_id = 0;
+  TechniqueKind technique = TechniqueKind::kNone;
+  bool completed = false;
+  DropoutReason reason = DropoutReason::kNone;
+  RoundCosts costs;
+  // Time actually spent before completing / giving up, seconds.
+  double time_spent_s = 0.0;
+  double deadline_diff = 0.0;  // overshoot fraction, 0 when met
+};
+
+class SyncEngine {
+ public:
+  // `selector` is required; `policy` may be null (vanilla baseline).
+  // Neither is owned.
+  SyncEngine(const ExperimentConfig& config, Selector* selector, TuningPolicy* policy);
+
+  // Runs all configured rounds and returns the aggregate result.
+  ExperimentResult Run();
+
+  // Runs a single round (exposed for tests and the fine-tuning benches).
+  void RunRound(size_t round);
+
+  ExperimentResult Snapshot() const;
+
+  const SurrogateAccuracyModel& accuracy_model() const { return *surrogate_; }
+  std::vector<Client>& clients() { return clients_; }
+  double now() const { return now_s_; }
+
+  // Simulates one client's round at time `now_s` without recording it
+  // (used by tests and by the async engine's shared logic).
+  ClientRoundOutcome SimulateClient(Client& client, double now_s, TechniqueKind technique) const;
+
+ private:
+  ExperimentConfig config_;
+  Selector* selector_;
+  TuningPolicy* policy_;
+  std::vector<Client> clients_;
+  PopulationReference reference_;
+  std::unique_ptr<SurrogateAccuracyModel> surrogate_;
+  ResourceAccountant accountant_;
+  ParticipationTracker tracker_;
+  DropoutBreakdown dropout_breakdown_;
+  std::vector<double> accuracy_history_;
+  double now_s_ = 0.0;
+  size_t rounds_run_ = 0;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_FL_SYNC_ENGINE_H_

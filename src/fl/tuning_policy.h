@@ -1,0 +1,69 @@
+// Interface between the FL engines and an optimization-tuning policy.
+//
+// A TuningPolicy decides, per selected client and round, which acceleration
+// technique (if any) the client should apply, and receives the outcome as
+// feedback. FLOAT's RLHF controller, the Section-4.4 heuristic and the
+// static single-technique baselines all implement this interface, which is
+// what makes FLOAT non-intrusive: engines and selectors never know which
+// policy is attached.
+#ifndef SRC_FL_TUNING_POLICY_H_
+#define SRC_FL_TUNING_POLICY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/opt/technique.h"
+
+namespace floatfl {
+
+// Global training state shared by all clients (Table 1, "Global Parameters").
+struct GlobalObservation {
+  size_t batch_size = 20;
+  size_t epochs = 5;
+  size_t participants = 30;
+};
+
+// Per-client runtime state (Table 1, "Runtime Variance" + "Human Feedback").
+struct ClientObservation {
+  double cpu_avail = 1.0;      // fraction of CPU available to FL
+  double mem_avail = 1.0;      // fraction of memory available to FL
+  double net_avail = 1.0;      // fraction of network available to FL
+  double deadline_diff = 0.0;  // last overshoot as a fraction of the deadline
+};
+
+class TuningPolicy {
+ public:
+  virtual ~TuningPolicy() = default;
+
+  virtual TechniqueKind Decide(size_t client_id, const ClientObservation& client,
+                               const GlobalObservation& global) = 0;
+
+  // Outcome feedback after the round: whether the client participated
+  // successfully and the accuracy improvement attributable to the round.
+  virtual void Report(size_t client_id, const ClientObservation& client,
+                      const GlobalObservation& global, TechniqueKind technique, bool participated,
+                      double accuracy_improvement) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+// Always applies one fixed technique — the "static optimizations" of
+// Section 4.3 / Figure 5.
+class StaticPolicy final : public TuningPolicy {
+ public:
+  explicit StaticPolicy(TechniqueKind kind) : kind_(kind) {}
+
+  TechniqueKind Decide(size_t, const ClientObservation&, const GlobalObservation&) override {
+    return kind_;
+  }
+  void Report(size_t, const ClientObservation&, const GlobalObservation&, TechniqueKind, bool,
+              double) override {}
+  std::string Name() const override { return "static:" + ToString(kind_); }
+
+ private:
+  TechniqueKind kind_;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_FL_TUNING_POLICY_H_

@@ -1,0 +1,139 @@
+#include "src/fl/vfl_engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/data/synthetic.h"
+#include "src/opt/quantize.h"
+
+namespace floatfl {
+namespace {
+
+// Splits a full-feature sample matrix into per-party column slices.
+std::vector<Tensor> SliceByParty(const Tensor& full, size_t parties, size_t per_party) {
+  std::vector<Tensor> slices;
+  slices.reserve(parties);
+  for (size_t p = 0; p < parties; ++p) {
+    Tensor slice(full.rows(), per_party);
+    for (size_t r = 0; r < full.rows(); ++r) {
+      for (size_t c = 0; c < per_party; ++c) {
+        slice.At(r, c) = full.At(r, p * per_party + c);
+      }
+    }
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+}  // namespace
+
+VflEngine::VflEngine(const VflConfig& config) : config_(config), rng_(config.seed) {
+  FLOATFL_CHECK(config.num_parties >= 2);
+  FLOATFL_CHECK(config.features_per_party > 0);
+
+  const size_t total_features = config.num_parties * config.features_per_party;
+  SyntheticTaskData task(config.num_classes, total_features, config.class_separation, rng_);
+
+  Tensor train_full;
+  task.MakeTestSet(std::max<size_t>(1, config.train_samples / config.num_classes), rng_,
+                   &train_full, &train_labels_);
+  Tensor test_full;
+  task.MakeTestSet(std::max<size_t>(1, config.test_samples / config.num_classes), rng_,
+                   &test_full, &test_labels_);
+  train_features_ = SliceByParty(train_full, config.num_parties, config.features_per_party);
+  test_features_ = SliceByParty(test_full, config.num_parties, config.features_per_party);
+
+  bottoms_.reserve(config.num_parties);
+  for (size_t p = 0; p < config.num_parties; ++p) {
+    bottoms_.emplace_back(config.features_per_party, config.embedding_dim, /*relu=*/true, rng_);
+  }
+  top_ = std::make_unique<DenseLayer>(config.num_parties * config.embedding_dim,
+                                      config.num_classes, /*relu=*/false, rng_);
+}
+
+Tensor VflEngine::ForwardParties(const std::vector<Tensor>& inputs, size_t start, size_t count,
+                                 TechniqueKind technique, double* traffic_bytes) {
+  const size_t embed = config_.embedding_dim;
+  Tensor concat(count, bottoms_.size() * embed);
+  const int bits = QuantizationBits(technique);
+  for (size_t p = 0; p < bottoms_.size(); ++p) {
+    Tensor slice(count, inputs[p].cols());
+    for (size_t r = 0; r < count; ++r) {
+      for (size_t c = 0; c < inputs[p].cols(); ++c) {
+        slice.At(r, c) = inputs[p].At(start + r, c);
+      }
+    }
+    Tensor embedding = bottoms_[p].Forward(slice);
+    if (bits < 32) {
+      // Party quantizes its embedding before sending it to the server.
+      if (traffic_bytes != nullptr) {
+        *traffic_bytes += static_cast<double>(Quantize(embedding.flat(), bits).ByteSize());
+      }
+      QuantizeDequantize(embedding.flat(), bits);
+    } else if (traffic_bytes != nullptr) {
+      *traffic_bytes += static_cast<double>(embedding.size() * sizeof(float));
+    }
+    for (size_t r = 0; r < count; ++r) {
+      for (size_t c = 0; c < embed; ++c) {
+        concat.At(r, p * embed + c) = embedding.At(r, c);
+      }
+    }
+  }
+  return concat;
+}
+
+VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
+  VflRoundStats stats;
+  const size_t n = train_labels_.size();
+  const size_t embed = config_.embedding_dim;
+  const int bits = QuantizationBits(comm_technique);
+  double loss_sum = 0.0;
+  size_t batches = 0;
+
+  for (size_t start = 0; start < n; start += config_.batch_size) {
+    const size_t count = std::min(config_.batch_size, n - start);
+    const Tensor concat =
+        ForwardParties(train_features_, start, count, comm_technique, &stats.traffic_bytes);
+    const Tensor logits = top_->Forward(concat);
+    std::vector<int> batch_labels(train_labels_.begin() + static_cast<ptrdiff_t>(start),
+                                  train_labels_.begin() + static_cast<ptrdiff_t>(start + count));
+    Tensor probs;
+    loss_sum += SoftmaxXent::Loss(logits, batch_labels, &probs);
+    ++batches;
+
+    // Server backprop to the concatenated embedding, then split the gradient
+    // back to parties (the downlink leg, also quantized).
+    Tensor grad_concat = top_->Backward(SoftmaxXent::Gradient(probs, batch_labels));
+    top_->Step(config_.learning_rate, /*frozen=*/false);
+    if (bits < 32) {
+      stats.traffic_bytes +=
+          static_cast<double>(Quantize(grad_concat.flat(), bits).ByteSize());
+      QuantizeDequantize(grad_concat.flat(), bits);
+    } else {
+      stats.traffic_bytes += static_cast<double>(grad_concat.size() * sizeof(float));
+    }
+    for (size_t p = 0; p < bottoms_.size(); ++p) {
+      Tensor grad_p(count, embed);
+      for (size_t r = 0; r < count; ++r) {
+        for (size_t c = 0; c < embed; ++c) {
+          grad_p.At(r, c) = grad_concat.At(r, p * embed + c);
+        }
+      }
+      bottoms_[p].Backward(grad_p);
+      bottoms_[p].Step(config_.learning_rate, /*frozen=*/false);
+    }
+  }
+
+  stats.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+  stats.test_accuracy = EvaluateAccuracy();
+  return stats;
+}
+
+double VflEngine::EvaluateAccuracy() {
+  const Tensor concat = ForwardParties(test_features_, 0, test_labels_.size(),
+                                       TechniqueKind::kNone, nullptr);
+  const Tensor logits = top_->Forward(concat);
+  return SoftmaxXent::Accuracy(logits, test_labels_);
+}
+
+}  // namespace floatfl

@@ -1,0 +1,48 @@
+// Participation bookkeeping: selected-vs-completed per client (Figure 2a's
+// bias analysis) and success/failure counts per optimization technique
+// (Figures 6 and 11, right panels).
+#ifndef SRC_METRICS_PARTICIPATION_TRACKER_H_
+#define SRC_METRICS_PARTICIPATION_TRACKER_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "src/opt/technique.h"
+
+namespace floatfl {
+
+class ParticipationTracker {
+ public:
+  explicit ParticipationTracker(size_t num_clients);
+
+  void Record(size_t client_id, TechniqueKind technique, bool completed);
+
+  size_t SelectedCount(size_t client_id) const;
+  size_t CompletedCount(size_t client_id) const;
+  size_t TotalSelected() const;
+  size_t TotalCompleted() const;
+  size_t TotalDropouts() const { return TotalSelected() - TotalCompleted(); }
+
+  // Number of clients never selected / never completing a round.
+  size_t NeverSelected() const;
+  size_t NeverCompleted() const;
+
+  struct TechniqueStats {
+    size_t success = 0;
+    size_t failure = 0;
+  };
+  const std::map<TechniqueKind, TechniqueStats>& PerTechnique() const { return per_technique_; }
+
+  const std::vector<size_t>& selected() const { return selected_; }
+  const std::vector<size_t>& completed() const { return completed_; }
+
+ private:
+  std::vector<size_t> selected_;
+  std::vector<size_t> completed_;
+  std::map<TechniqueKind, TechniqueStats> per_technique_;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_METRICS_PARTICIPATION_TRACKER_H_

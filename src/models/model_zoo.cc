@@ -1,0 +1,30 @@
+#include "src/models/model_zoo.h"
+
+#include "src/common/check.h"
+
+namespace floatfl {
+namespace {
+
+// FLOPs: published forward-pass figures x3 for backward; weights: params x 4
+// bytes / 2^20; activation memory per batch sample from standard profiling.
+const ModelProfile kProfiles[] = {
+    {ModelId::kResNet18, "ResNet-18", 11'689'512, 5.4, 44.6, 23.0},
+    {ModelId::kResNet34, "ResNet-34", 21'797'672, 11.0, 83.2, 34.0},
+    {ModelId::kResNet50, "ResNet-50", 25'557'032, 12.3, 97.5, 103.0},
+    {ModelId::kShuffleNetV2, "ShuffleNetV2", 2'278'604, 0.44, 8.7, 12.0},
+    {ModelId::kSpeechCnn, "SpeechCNN", 540'000, 0.11, 2.1, 4.0},
+};
+
+}  // namespace
+
+const ModelProfile& GetModelProfile(ModelId id) {
+  for (const auto& p : kProfiles) {
+    if (p.id == id) {
+      return p;
+    }
+  }
+  FLOATFL_CHECK_MSG(false, "unknown model id");
+  return kProfiles[0];
+}
+
+}  // namespace floatfl

@@ -1,0 +1,40 @@
+// Cost profiles of the DNN architectures used in the paper's evaluation.
+//
+// The simulator never executes these networks; it charges their compute
+// (training FLOPs/sample), communication (weight bytes up + down) and memory
+// (weights + activations) costs against the client's simulated resources,
+// exactly as FedScale does. Parameter/FLOP numbers follow the standard
+// published figures for each architecture.
+#ifndef SRC_MODELS_MODEL_ZOO_H_
+#define SRC_MODELS_MODEL_ZOO_H_
+
+#include <cstddef>
+#include <string>
+
+namespace floatfl {
+
+enum class ModelId {
+  kResNet18,
+  kResNet34,
+  kResNet50,
+  kShuffleNetV2,
+  kSpeechCnn,
+};
+
+struct ModelProfile {
+  ModelId id;
+  std::string name;
+  size_t param_count;
+  // Training cost (forward + backward) per sample, in GFLOP.
+  double train_gflops_per_sample;
+  // Serialized model update size in MB (fp32 weights).
+  double weight_mb;
+  // Peak training memory per sample of batch, in MB (activations + grads).
+  double activation_mb_per_sample;
+};
+
+const ModelProfile& GetModelProfile(ModelId id);
+
+}  // namespace floatfl
+
+#endif  // SRC_MODELS_MODEL_ZOO_H_

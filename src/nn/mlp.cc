@@ -1,0 +1,107 @@
+#include "src/nn/mlp.h"
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace floatfl {
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng) {
+  FLOATFL_CHECK(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool relu = (i + 2 < dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1], relu, rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer.Forward(x);
+  }
+  return x;
+}
+
+double Mlp::TrainBatch(const Tensor& input, const std::vector<int>& labels, float lr,
+                       size_t frozen_layers) {
+  FLOATFL_CHECK(frozen_layers <= layers_.size());
+  const Tensor logits = Forward(input);
+  Tensor probs;
+  const double loss = SoftmaxXent::Loss(logits, labels, &probs);
+  Tensor grad = SoftmaxXent::Gradient(probs, labels);
+  for (size_t i = layers_.size(); i-- > 0;) {
+    grad = layers_[i].Backward(grad);
+  }
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].Step(lr, /*frozen=*/i < frozen_layers);
+  }
+  return loss;
+}
+
+double Mlp::EvaluateAccuracy(const Tensor& input, const std::vector<int>& labels) {
+  return SoftmaxXent::Accuracy(Forward(input), labels);
+}
+
+double Mlp::EvaluateLoss(const Tensor& input, const std::vector<int>& labels) {
+  Tensor probs;
+  return SoftmaxXent::Loss(Forward(input), labels, &probs);
+}
+
+size_t Mlp::ParamCount() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.ParamCount();
+  }
+  return n;
+}
+
+std::vector<float> Mlp::GetParameters() const {
+  std::vector<float> out;
+  out.reserve(ParamCount());
+  for (const auto& layer : layers_) {
+    const auto& w = layer.weights().flat();
+    const auto& b = layer.bias().flat();
+    out.insert(out.end(), w.begin(), w.end());
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+void Mlp::SetParameters(const std::vector<float>& params) {
+  FLOATFL_CHECK(params.size() == ParamCount());
+  size_t pos = 0;
+  for (auto& layer : layers_) {
+    auto& w = layer.weights().flat();
+    for (auto& x : w) {
+      x = params[pos++];
+    }
+    auto& b = layer.bias().flat();
+    for (auto& x : b) {
+      x = params[pos++];
+    }
+  }
+}
+
+std::vector<float> Mlp::Aggregate(const std::vector<std::vector<float>>& parameter_sets,
+                                  const std::vector<double>& weights) {
+  FLOATFL_CHECK(!parameter_sets.empty());
+  FLOATFL_CHECK(parameter_sets.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    FLOATFL_CHECK(w >= 0.0);
+    total += w;
+  }
+  FLOATFL_CHECK(total > 0.0);
+  const size_t n = parameter_sets[0].size();
+  std::vector<float> out(n, 0.0f);
+  for (size_t s = 0; s < parameter_sets.size(); ++s) {
+    FLOATFL_CHECK(parameter_sets[s].size() == n);
+    const float w = static_cast<float>(weights[s] / total);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] += w * parameter_sets[s][i];
+    }
+  }
+  return out;
+}
+
+}  // namespace floatfl

@@ -1,0 +1,69 @@
+#include "src/opt/compress.h"
+
+#include "src/common/check.h"
+
+namespace floatfl {
+namespace {
+
+// Delta transform: out[i] = in[i] - in[i-1] (mod 256). Makes slowly varying
+// byte streams (sorted indices, similar quant codes) run-heavy.
+std::vector<uint8_t> DeltaEncode(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out(input.size());
+  uint8_t prev = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    out[i] = static_cast<uint8_t>(input[i] - prev);
+    prev = input[i];
+  }
+  return out;
+}
+
+std::vector<uint8_t> DeltaDecode(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out(input.size());
+  uint8_t prev = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    prev = static_cast<uint8_t>(prev + input[i]);
+    out[i] = prev;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> RleCompress(const std::vector<uint8_t>& input) {
+  const std::vector<uint8_t> delta = DeltaEncode(input);
+  std::vector<uint8_t> out;
+  out.reserve(delta.size() / 2 + 8);
+  size_t i = 0;
+  while (i < delta.size()) {
+    const uint8_t value = delta[i];
+    size_t run = 1;
+    while (i + run < delta.size() && delta[i + run] == value && run < 255) {
+      ++run;
+    }
+    out.push_back(static_cast<uint8_t>(run));
+    out.push_back(value);
+    i += run;
+  }
+  return out;
+}
+
+std::vector<uint8_t> RleDecompress(const std::vector<uint8_t>& input) {
+  FLOATFL_CHECK(input.size() % 2 == 0);
+  std::vector<uint8_t> delta;
+  delta.reserve(input.size() * 4);
+  for (size_t i = 0; i < input.size(); i += 2) {
+    const size_t run = input[i];
+    const uint8_t value = input[i + 1];
+    delta.insert(delta.end(), run, value);
+  }
+  return DeltaDecode(delta);
+}
+
+double CompressionRatio(const std::vector<uint8_t>& input) {
+  if (input.empty()) {
+    return 1.0;
+  }
+  return static_cast<double>(RleCompress(input).size()) / static_cast<double>(input.size());
+}
+
+}  // namespace floatfl

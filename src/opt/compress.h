@@ -1,0 +1,24 @@
+// Real lossless compression of serialized updates.
+//
+// Byte-level run-length encoding over a zigzag-delta transform. Quantized or
+// pruned updates contain long runs (zeros, repeated codes), which is exactly
+// where the paper's "lossless compression reduces bandwidth at extra compute
+// cost" trade-off comes from.
+#ifndef SRC_OPT_COMPRESS_H_
+#define SRC_OPT_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace floatfl {
+
+// RLE over delta-encoded bytes. Round-trips exactly.
+std::vector<uint8_t> RleCompress(const std::vector<uint8_t>& input);
+std::vector<uint8_t> RleDecompress(const std::vector<uint8_t>& input);
+
+// Convenience: compressed_size / original_size (1.0 for empty input).
+double CompressionRatio(const std::vector<uint8_t>& input);
+
+}  // namespace floatfl
+
+#endif  // SRC_OPT_COMPRESS_H_

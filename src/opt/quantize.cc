@@ -1,0 +1,67 @@
+#include "src/opt/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+QuantizedBlob Quantize(const std::vector<float>& values, int bits) {
+  FLOATFL_CHECK(bits == 8 || bits == 16);
+  QuantizedBlob blob;
+  blob.bits = bits;
+  blob.count = values.size();
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const uint32_t levels = (bits == 8) ? 255u : 65535u;
+  float range = hi - lo;
+  if (range <= 0.0f) {
+    range = 1.0f;
+  }
+  blob.scale = range / static_cast<float>(levels);
+  blob.zero_point = lo;
+  blob.data.reserve(values.size() * static_cast<size_t>(bits / 8));
+  for (float v : values) {
+    const float q = (v - blob.zero_point) / blob.scale;
+    const uint32_t code =
+        static_cast<uint32_t>(std::clamp(std::lround(q), 0L, static_cast<long>(levels)));
+    blob.data.push_back(static_cast<uint8_t>(code & 0xFF));
+    if (bits == 16) {
+      blob.data.push_back(static_cast<uint8_t>((code >> 8) & 0xFF));
+    }
+  }
+  return blob;
+}
+
+std::vector<float> Dequantize(const QuantizedBlob& blob) {
+  std::vector<float> out;
+  out.reserve(blob.count);
+  const size_t stride = static_cast<size_t>(blob.bits / 8);
+  FLOATFL_CHECK(blob.data.size() == blob.count * stride);
+  for (size_t i = 0; i < blob.count; ++i) {
+    uint32_t code = blob.data[i * stride];
+    if (blob.bits == 16) {
+      code |= static_cast<uint32_t>(blob.data[i * stride + 1]) << 8;
+    }
+    out.push_back(blob.zero_point + blob.scale * static_cast<float>(code));
+  }
+  return out;
+}
+
+double QuantizeDequantize(std::vector<float>& values, int bits) {
+  const QuantizedBlob blob = Quantize(values, bits);
+  const std::vector<float> restored = Dequantize(blob);
+  double max_err = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(static_cast<double>(values[i]) - restored[i]));
+  }
+  values = restored;
+  return max_err;
+}
+
+}  // namespace floatfl

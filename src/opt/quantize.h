@@ -1,0 +1,36 @@
+// Real uniform affine quantization of model parameters.
+//
+// Used by the nn-backed path: a client quantizes its update before upload,
+// the server dequantizes before aggregation. QuantizeDequantize round-trips
+// in place so tests can measure the induced error directly.
+#ifndef SRC_OPT_QUANTIZE_H_
+#define SRC_OPT_QUANTIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace floatfl {
+
+struct QuantizedBlob {
+  std::vector<uint8_t> data;   // packed codes, little-endian per value
+  float scale = 1.0f;
+  float zero_point = 0.0f;
+  int bits = 8;                // 8 or 16
+  size_t count = 0;
+
+  size_t ByteSize() const { return data.size() + sizeof(float) * 2 + sizeof(int); }
+};
+
+// Quantizes `values` to `bits` (8 or 16) with a symmetric-range affine map.
+QuantizedBlob Quantize(const std::vector<float>& values, int bits);
+
+// Inverse of Quantize.
+std::vector<float> Dequantize(const QuantizedBlob& blob);
+
+// Round-trips values through quantization; returns max absolute error.
+double QuantizeDequantize(std::vector<float>& values, int bits);
+
+}  // namespace floatfl
+
+#endif  // SRC_OPT_QUANTIZE_H_

@@ -1,0 +1,31 @@
+#include "src/selection/random_selector.h"
+
+#include <algorithm>
+
+namespace floatfl {
+
+RandomSelector::RandomSelector(uint64_t seed) : rng_(seed) {}
+
+std::vector<size_t> RandomSelector::Select(size_t round, double now_s, size_t k,
+                                           std::vector<Client>& clients) {
+  (void)round;
+  // Uniformly random among currently checked-in (available) clients; the
+  // server only contacts online devices, as in FedScale. No resource
+  // awareness beyond that.
+  std::vector<size_t> available;
+  available.reserve(clients.size());
+  for (auto& client : clients) {
+    if (client.availability().IsAvailableAt(now_s)) {
+      available.push_back(client.id());
+    }
+  }
+  const std::vector<size_t> order = rng_.Permutation(available.size());
+  std::vector<size_t> selected;
+  selected.reserve(std::min(k, available.size()));
+  for (size_t i = 0; i < order.size() && selected.size() < k; ++i) {
+    selected.push_back(available[order[i]]);
+  }
+  return selected;
+}
+
+}  // namespace floatfl

@@ -1,0 +1,40 @@
+// Client-selection interface shared by the synchronous engine.
+//
+// Implementations: RandomSelector (FedAvg), OortSelector, ReflSelector.
+// FedBuff's over-selection lives in the async engine, which draws from a
+// RandomSelector over available clients.
+#ifndef SRC_SELECTION_SELECTOR_H_
+#define SRC_SELECTION_SELECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/fl/client.h"
+
+namespace floatfl {
+
+class Selector {
+ public:
+  virtual ~Selector() = default;
+
+  // Chooses up to k client ids for the round starting at `now_s`. The
+  // population is non-const because reading the stateful traces (e.g.
+  // availability) advances them.
+  virtual std::vector<size_t> Select(size_t round, double now_s, size_t k,
+                                     std::vector<Client>& clients) = 0;
+
+  // Outcome feedback for one selected client.
+  virtual void OnOutcome(size_t client_id, bool completed, double duration_s, double deadline_s) {
+    (void)client_id;
+    (void)completed;
+    (void)duration_s;
+    (void)deadline_s;
+  }
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_SELECTION_SELECTOR_H_

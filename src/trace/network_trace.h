@@ -1,0 +1,55 @@
+// Synthetic per-client network bandwidth process.
+//
+// Stand-in for the commercial 4G/5G smartphone traces of Narayanan et al.
+// [50] used by the paper. What the simulator consumes from those traces is a
+// temporally correlated, heavy-tailed, occasionally-zero bandwidth signal per
+// client; we reproduce that with a regime-switching (good / degraded /
+// outage) mean-reverting log-AR(1) process with distinct 4G and 5G
+// parameterizations. See DESIGN.md §3.
+#ifndef SRC_TRACE_NETWORK_TRACE_H_
+#define SRC_TRACE_NETWORK_TRACE_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace floatfl {
+
+enum class NetworkKind { kFourG, kFiveG };
+
+class NetworkTrace {
+ public:
+  NetworkTrace(NetworkKind kind, uint64_t seed);
+
+  // Bandwidth in Mbps at simulated time `time_s` (seconds). The process is
+  // evaluated in fixed steps; queries must be non-decreasing in time (the
+  // engines advance monotonically); an earlier query returns the current
+  // value.
+  double BandwidthMbpsAt(double time_s);
+
+  // Long-run median of the good regime (used for provisioning estimates).
+  double NominalMbps() const { return nominal_mbps_; }
+
+  NetworkKind kind() const { return kind_; }
+
+ private:
+  void Step();
+
+  NetworkKind kind_;
+  Rng rng_;
+  double nominal_mbps_;
+  double sigma_;           // log-space innovation scale
+  double revert_;          // AR(1) mean reversion per step
+  double outage_prob_;     // per-step chance of entering an outage
+  double degrade_prob_;    // per-step chance of entering a degraded regime
+  double recover_prob_;    // per-step chance of leaving a bad regime
+  int regime_ = 0;         // 0 good, 1 degraded, 2 outage
+  double log_dev_ = 0.0;   // deviation from regime median, log space
+  double current_mbps_;
+  double current_time_ = 0.0;
+  static constexpr double kStepSeconds = 10.0;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_TRACE_NETWORK_TRACE_H_

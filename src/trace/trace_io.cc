@@ -1,0 +1,86 @@
+#include "src/trace/trace_io.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+double SampledSeries::At(double time_s) const {
+  FLOATFL_CHECK(!values.empty());
+  FLOATFL_CHECK(step_seconds > 0.0);
+  if (time_s <= 0.0) {
+    return values.front();
+  }
+  const size_t idx = static_cast<size_t>(time_s / step_seconds);
+  if (idx >= values.size()) {
+    return values.back();
+  }
+  return values[idx];
+}
+
+bool WriteSeriesCsv(const std::string& path, const SampledSeries& series) {
+  if (series.values.empty() || series.step_seconds <= 0.0) {
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "time_s,value\n");
+  for (size_t i = 0; i < series.values.size(); ++i) {
+    std::fprintf(f, "%.6f,%.9g\n", static_cast<double>(i) * series.step_seconds,
+                 series.values[i]);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool ReadSeriesCsv(const std::string& path, SampledSeries* series) {
+  FLOATFL_CHECK(series != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  char header[256];
+  if (std::fgets(header, sizeof(header), f) == nullptr) {
+    std::fclose(f);
+    return false;
+  }
+  series->values.clear();
+  series->step_seconds = 0.0;
+  double prev_time = 0.0;
+  double time = 0.0;
+  double value = 0.0;
+  bool first = true;
+  while (std::fscanf(f, "%lf,%lf", &time, &value) == 2) {
+    if (!first && series->step_seconds == 0.0) {
+      series->step_seconds = time - prev_time;
+      if (series->step_seconds <= 0.0) {
+        std::fclose(f);
+        return false;
+      }
+    } else if (!first) {
+      // Constant step required (within tolerance).
+      if (std::fabs((time - prev_time) - series->step_seconds) >
+          1e-6 * series->step_seconds + 1e-9) {
+        std::fclose(f);
+        return false;
+      }
+    }
+    series->values.push_back(value);
+    prev_time = time;
+    first = false;
+  }
+  std::fclose(f);
+  if (series->values.empty()) {
+    return false;
+  }
+  if (series->step_seconds == 0.0) {
+    series->step_seconds = 1.0;  // single row: arbitrary step
+  }
+  return true;
+}
+
+}  // namespace floatfl

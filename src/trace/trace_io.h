@@ -1,0 +1,53 @@
+// CSV export and replay of client traces.
+//
+// FedScale ships its device traces as data files (the artifact's
+// benchmark/dataset/data/device_info/); this module provides the analogous
+// facility: sample any of the synthetic processes onto a fixed time grid,
+// write the series as CSV, and replay a CSV as a trace. Replayed traces let
+// experiments pin the exact resource timeline across runs (or substitute
+// externally collected measurements) independent of the stochastic
+// generators.
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+namespace floatfl {
+
+struct SampledSeries {
+  double step_seconds = 0.0;
+  std::vector<double> values;
+
+  // Value at an arbitrary time via step-hold; clamps beyond the last sample.
+  double At(double time_s) const;
+  bool Empty() const { return values.empty(); }
+  double DurationSeconds() const {
+    return step_seconds * static_cast<double>(values.size());
+  }
+};
+
+// Writes "time_s,value" rows with a one-line header. Returns false on I/O
+// failure.
+bool WriteSeriesCsv(const std::string& path, const SampledSeries& series);
+
+// Parses a CSV written by WriteSeriesCsv (or any two-column time,value file
+// with a constant step and a header line). Returns false on parse failure.
+bool ReadSeriesCsv(const std::string& path, SampledSeries* series);
+
+// Replayable trace: wraps a SampledSeries behind the same monotonic-time
+// query contract the generated traces use.
+class ReplayTrace {
+ public:
+  explicit ReplayTrace(SampledSeries series) : series_(std::move(series)) {}
+
+  double ValueAt(double time_s) const { return series_.At(time_s); }
+  const SampledSeries& series() const { return series_; }
+
+ private:
+  SampledSeries series_;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_TRACE_TRACE_IO_H_

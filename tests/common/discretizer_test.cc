@@ -1,0 +1,98 @@
+#include "src/common/discretizer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace floatfl {
+namespace {
+
+TEST(DiscretizerTest, ExplicitBoundaries) {
+  const Discretizer d({1.0, 2.0, 3.0});
+  EXPECT_EQ(d.NumBins(), 4u);
+  EXPECT_EQ(d.BinOf(0.5), 0u);
+  EXPECT_EQ(d.BinOf(1.0), 1u);  // upper_bound: boundary value goes up
+  EXPECT_EQ(d.BinOf(1.5), 1u);
+  EXPECT_EQ(d.BinOf(2.5), 2u);
+  EXPECT_EQ(d.BinOf(99.0), 3u);
+}
+
+TEST(DiscretizerTest, UniformBins) {
+  const Discretizer d = Discretizer::Uniform(0.0, 1.0, 5);
+  EXPECT_EQ(d.NumBins(), 5u);
+  EXPECT_EQ(d.BinOf(0.0), 0u);
+  EXPECT_EQ(d.BinOf(0.1), 0u);
+  EXPECT_EQ(d.BinOf(0.3), 1u);
+  EXPECT_EQ(d.BinOf(0.5), 2u);
+  EXPECT_EQ(d.BinOf(0.9), 4u);
+  EXPECT_EQ(d.BinOf(1.5), 4u);
+}
+
+TEST(DiscretizerTest, SingleBin) {
+  const Discretizer d = Discretizer::Uniform(0.0, 1.0, 1);
+  EXPECT_EQ(d.NumBins(), 1u);
+  EXPECT_EQ(d.BinOf(-5.0), 0u);
+  EXPECT_EQ(d.BinOf(5.0), 0u);
+}
+
+TEST(DiscretizerTest, QuantileBinsBalanceMass) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) {
+    samples.push_back(rng.LogNormal(10.0, 1.0));
+  }
+  const Discretizer d = Discretizer::FromQuantiles(samples, 5);
+  EXPECT_EQ(d.NumBins(), 5u);
+  std::vector<int> counts(5, 0);
+  for (double s : samples) {
+    ++counts[d.BinOf(s)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / samples.size(), 0.2, 0.02);
+  }
+}
+
+TEST(DiscretizerTest, QuantileBinsHandleDuplicateValues) {
+  // 90 % of values identical: quantile boundaries would collide; the
+  // discretizer must keep them strictly increasing.
+  std::vector<double> samples(900, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(2.0 + i);
+  }
+  const Discretizer d = Discretizer::FromQuantiles(samples, 5);
+  EXPECT_EQ(d.NumBins(), 5u);
+  const auto& b = d.boundaries();
+  for (size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GT(b[i], b[i - 1]);
+  }
+}
+
+TEST(DiscretizerTest, EmptySamplesGiveSingleBin) {
+  const Discretizer d = Discretizer::FromQuantiles({}, 5);
+  EXPECT_EQ(d.NumBins(), 1u);
+}
+
+class DiscretizerBinSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DiscretizerBinSweep, EveryValueMapsToValidBin) {
+  const size_t bins = GetParam();
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back(rng.Normal(0.0, 2.0));
+  }
+  const Discretizer d = Discretizer::FromQuantiles(samples, bins);
+  EXPECT_EQ(d.NumBins(), bins);
+  for (double s : samples) {
+    EXPECT_LT(d.BinOf(s), bins);
+  }
+  EXPECT_LT(d.BinOf(-1e9), bins);
+  EXPECT_LT(d.BinOf(1e9), bins);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, DiscretizerBinSweep, ::testing::Values(1, 2, 3, 5, 9, 16));
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,232 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace floatfl {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, LogNormalMedianApproximate) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(rng.LogNormal(10.0, 0.5));
+    EXPECT_GT(samples.back(), 0.0);
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 10.0, 0.5);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(3.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexProportional) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.01);
+}
+
+TEST(RngTest, WeightedIndexAllZeroIsUniform) {
+  Rng rng(29);
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 9000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 9000.0, 1.0 / 3.0, 0.05);
+  }
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(31);
+  for (double alpha : {0.01, 0.1, 1.0, 10.0}) {
+    const std::vector<double> d = rng.Dirichlet(alpha, 10);
+    double sum = 0.0;
+    for (double v : d) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RngTest, DirichletSmallAlphaIsSkewed) {
+  Rng rng(37);
+  double max_sum_small = 0.0;
+  double max_sum_large = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const std::vector<double> small = rng.Dirichlet(0.05, 10);
+    const std::vector<double> large = rng.Dirichlet(10.0, 10);
+    max_sum_small += *std::max_element(small.begin(), small.end());
+    max_sum_large += *std::max_element(large.begin(), large.end());
+  }
+  // Small alpha concentrates mass on few categories.
+  EXPECT_GT(max_sum_small / trials, 0.7);
+  EXPECT_LT(max_sum_large / trials, 0.3);
+}
+
+TEST(RngTest, GammaPositiveAndMeanMatchesShape) {
+  Rng rng(41);
+  for (double shape : {0.3, 1.0, 4.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.Gamma(shape);
+      EXPECT_GT(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / n, shape, shape * 0.05 + 0.02);
+  }
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(43);
+  const std::vector<size_t> p = rng.Permutation(100);
+  ASSERT_EQ(p.size(), 100u);
+  std::set<size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(47);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  const std::vector<size_t> one = rng.Permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(51);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU64() == child.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// Property sweep: every distribution stays in its support across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, DistributionsStayInSupport) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(rng.NextDouble(), 0.0);
+    EXPECT_LT(rng.NextDouble(), 1.0);
+    EXPECT_GT(rng.Exponential(2.0), 0.0);
+    EXPECT_GT(rng.LogNormal(5.0, 1.0), 0.0);
+    EXPECT_GT(rng.Gamma(0.5), 0.0);
+    EXPECT_LT(rng.UniformInt(13), 13u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(uint64_t{0}, uint64_t{1}, uint64_t{42}, uint64_t{0xFFFFFFFFFFFFFFFF},
+                                           uint64_t{0xDEADBEEF}));
+
+}  // namespace
+}  // namespace floatfl

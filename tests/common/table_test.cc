@@ -1,0 +1,54 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace floatfl {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.Cell("a").Cell(1.5, 1).EndRow();
+  table.Cell("longer-name").Cell(22.25, 2).EndRow();
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+  // Header, separator, two rows.
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TablePrinterTest, IntegerCells) {
+  TablePrinter table({"n"});
+  table.Cell(static_cast<long long>(-42)).EndRow();
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("-42"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, AddRowVector) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"x", "y"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "src/core/float_controller.h"
+#include "src/fl/sync_engine.h"
+#include "src/selection/random_selector.h"
+
+namespace floatfl {
+namespace {
+
+TEST(CalibrationTest, FitsBinsAfterConfiguredSamples) {
+  StateEncoderConfig encoder;
+  encoder.include_human_feedback = true;
+  RlhfConfig rlhf;
+  rlhf.seed = 3;
+  rlhf.total_rounds = 100;
+  FloatController controller(encoder, rlhf, /*calibration_samples=*/20);
+  EXPECT_FALSE(controller.CalibrationDone());
+
+  GlobalObservation global;
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    ClientObservation obs;
+    obs.cpu_avail = rng.Uniform(0.4, 0.6);
+    obs.mem_avail = rng.Uniform(0.4, 0.6);
+    obs.net_avail = rng.Uniform(0.4, 0.6);
+    obs.deadline_diff = rng.Uniform(0.0, 0.1);
+    (void)controller.Decide(0, obs, global);
+  }
+  EXPECT_TRUE(controller.CalibrationDone());
+  // State count must be unchanged (same bin counts, new boundaries).
+  EXPECT_EQ(controller.agent().NumStates(), 625u);
+
+  // After fitting to the narrow [0.4, 0.6] band, values inside the band must
+  // spread across distinct states.
+  ClientObservation lo;
+  lo.cpu_avail = 0.42;
+  ClientObservation hi;
+  hi.cpu_avail = 0.58;
+  EXPECT_NE(controller.agent().encoder().Encode(lo, global),
+            controller.agent().encoder().Encode(hi, global));
+}
+
+TEST(CalibrationTest, ZeroSamplesKeepsTable1Bins) {
+  auto controller = FloatController::MakeDefault(5, 100);
+  EXPECT_TRUE(controller->CalibrationDone());  // calibration disabled
+}
+
+TEST(CalibrationTest, CalibratedControllerStillLearnsEndToEnd) {
+  ExperimentConfig config;
+  config.num_clients = 60;
+  config.clients_per_round = 10;
+  config.rounds = 80;
+  config.seed = 91;
+  config.interference = InterferenceScenario::kDynamic;
+
+  StateEncoderConfig encoder;
+  encoder.include_human_feedback = true;
+  RlhfConfig rlhf;
+  rlhf.seed = config.seed;
+  rlhf.total_rounds = config.rounds;
+  FloatController controller(encoder, rlhf, /*calibration_samples=*/100);
+
+  RandomSelector s1(config.seed);
+  SyncEngine engine(config, &s1, &controller);
+  const ExperimentResult calibrated = engine.Run();
+  EXPECT_TRUE(controller.CalibrationDone());
+
+  RandomSelector s2(config.seed);
+  SyncEngine vanilla(config, &s2, nullptr);
+  const ExperimentResult base = vanilla.Run();
+  EXPECT_GT(calibrated.total_completed, base.total_completed);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/core/float_controller.h"
+#include "src/core/heuristic_policy.h"
+
+namespace floatfl {
+namespace {
+
+TEST(FloatControllerTest, NamesReflectHumanFeedback) {
+  auto rlhf = FloatController::MakeDefault(1, 100);
+  auto rl = FloatController::MakeWithoutHumanFeedback(1, 100);
+  EXPECT_EQ(rlhf->Name(), "float-rlhf");
+  EXPECT_EQ(rl->Name(), "float-rl");
+  EXPECT_TRUE(rlhf->agent().encoder().config().include_human_feedback);
+  EXPECT_FALSE(rl->agent().encoder().config().include_human_feedback);
+  EXPECT_TRUE(rlhf->agent().config().cache_dropout_feedback);
+  EXPECT_FALSE(rl->agent().config().cache_dropout_feedback);
+}
+
+TEST(FloatControllerTest, RoundAdvancesAfterFullParticipantBatch) {
+  auto controller = FloatController::MakeDefault(2, 100);
+  GlobalObservation global;
+  global.participants = 4;
+  ClientObservation obs;
+  EXPECT_EQ(controller->CurrentRound(), 0u);
+  for (size_t i = 0; i < 4; ++i) {
+    const TechniqueKind kind = controller->Decide(i, obs, global);
+    controller->Report(i, obs, global, kind, true, 0.01);
+  }
+  EXPECT_EQ(controller->CurrentRound(), 1u);
+  for (size_t i = 0; i < 8; ++i) {
+    const TechniqueKind kind = controller->Decide(i, obs, global);
+    controller->Report(i, obs, global, kind, true, 0.01);
+  }
+  EXPECT_EQ(controller->CurrentRound(), 3u);
+}
+
+TEST(FloatControllerTest, DecideReturnsValidTechnique) {
+  auto controller = FloatController::MakeDefault(3, 100);
+  GlobalObservation global;
+  ClientObservation obs;
+  obs.cpu_avail = 0.15;
+  obs.net_avail = 0.15;
+  const TechniqueKind kind = controller->Decide(0, obs, global);
+  bool in_space = false;
+  for (TechniqueKind action : ActionTechniques()) {
+    in_space |= (action == kind);
+  }
+  EXPECT_TRUE(in_space);
+}
+
+TEST(HeuristicPolicyTest, ConstrainedClientsGetExtremeConfigs) {
+  HeuristicPolicy policy(42);
+  GlobalObservation global;
+  ClientObservation starved;
+  starved.cpu_avail = 0.10;
+  starved.net_avail = 0.10;
+  for (int i = 0; i < 100; ++i) {
+    const TechniqueKind kind = policy.Decide(0, starved, global);
+    EXPECT_TRUE(kind == TechniqueKind::kPrune75 || kind == TechniqueKind::kPartial75 ||
+                kind == TechniqueKind::kQuant8)
+        << ToString(kind);
+  }
+}
+
+TEST(HeuristicPolicyTest, ComfortableClientsGetMildConfigs) {
+  HeuristicPolicy policy(43);
+  GlobalObservation global;
+  ClientObservation comfy;
+  comfy.cpu_avail = 0.60;
+  comfy.net_avail = 0.60;
+  for (int i = 0; i < 100; ++i) {
+    const TechniqueKind kind = policy.Decide(0, comfy, global);
+    EXPECT_TRUE(kind == TechniqueKind::kPrune25 || kind == TechniqueKind::kPartial25 ||
+                kind == TechniqueKind::kQuant16)
+        << ToString(kind);
+  }
+}
+
+TEST(HeuristicPolicyTest, OnlyBothConstrainedTriggersExtreme) {
+  HeuristicPolicy policy(44);
+  GlobalObservation global;
+  // CPU starved but network fine -> rule (2) applies (mild band).
+  ClientObservation mixed;
+  mixed.cpu_avail = 0.10;
+  mixed.net_avail = 0.60;
+  for (int i = 0; i < 50; ++i) {
+    const TechniqueKind kind = policy.Decide(0, mixed, global);
+    EXPECT_TRUE(kind == TechniqueKind::kPrune25 || kind == TechniqueKind::kPartial25 ||
+                kind == TechniqueKind::kQuant16);
+  }
+}
+
+TEST(HeuristicPolicyTest, PicksAllThreeTechniquesWithinBand) {
+  HeuristicPolicy policy(45);
+  GlobalObservation global;
+  ClientObservation starved;
+  starved.cpu_avail = 0.05;
+  starved.net_avail = 0.05;
+  bool saw_prune = false;
+  bool saw_partial = false;
+  bool saw_quant = false;
+  for (int i = 0; i < 300; ++i) {
+    const TechniqueKind kind = policy.Decide(0, starved, global);
+    saw_prune |= (kind == TechniqueKind::kPrune75);
+    saw_partial |= (kind == TechniqueKind::kPartial75);
+    saw_quant |= (kind == TechniqueKind::kQuant8);
+  }
+  EXPECT_TRUE(saw_prune);
+  EXPECT_TRUE(saw_partial);
+  EXPECT_TRUE(saw_quant);
+}
+
+TEST(StaticPolicyTest, AlwaysReturnsConfiguredKind) {
+  StaticPolicy policy(TechniqueKind::kQuant8);
+  GlobalObservation global;
+  ClientObservation obs;
+  EXPECT_EQ(policy.Decide(0, obs, global), TechniqueKind::kQuant8);
+  EXPECT_EQ(policy.Name(), "static:quant8");
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,106 @@
+#include "src/core/q_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace floatfl {
+namespace {
+
+TEST(QTableTest, InitializesRandomlyWithinScale) {
+  Rng rng(1);
+  QTable table(10, 4, rng, 0.5);
+  for (size_t s = 0; s < 10; ++s) {
+    for (size_t a = 0; a < 4; ++a) {
+      EXPECT_GE(table.Q(s, a), 0.0);
+      EXPECT_LT(table.Q(s, a), 0.5);
+      EXPECT_EQ(table.Visits(s, a), 0u);
+    }
+  }
+}
+
+TEST(QTableTest, ZeroScaleGivesZeroTable) {
+  Rng rng(2);
+  QTable table(3, 3, rng, 0.0);
+  EXPECT_EQ(table.Q(1, 1), 0.0);
+}
+
+TEST(QTableTest, BestActionAndMaxQ) {
+  Rng rng(3);
+  QTable table(2, 3, rng, 0.0);
+  table.SetQ(0, 1, 0.7);
+  table.SetQ(0, 2, 0.3);
+  EXPECT_EQ(table.BestAction(0), 1u);
+  EXPECT_DOUBLE_EQ(table.MaxQ(0), 0.7);
+}
+
+TEST(QTableTest, LeastVisitedAction) {
+  Rng rng(4);
+  QTable table(1, 3, rng, 0.0);
+  table.AddVisit(0, 0);
+  table.AddVisit(0, 0);
+  table.AddVisit(0, 2);
+  EXPECT_EQ(table.LeastVisitedAction(0), 1u);
+}
+
+TEST(QTableTest, MemoryUnderPaperBudget) {
+  // The paper's operating point: 125 states x 8 actions must stay well under
+  // 0.2 MB (Figure 8).
+  Rng rng(5);
+  QTable table(125, 8, rng);
+  EXPECT_LT(table.MemoryBytes(), 200u * 1024u);
+}
+
+TEST(QTableTest, SaveLoadRoundTrip) {
+  Rng rng(6);
+  QTable table(5, 4, rng, 0.3);
+  table.SetQ(2, 3, 0.987654321);
+  table.AddVisit(2, 3);
+  const std::string path = ::testing::TempDir() + "/qtable_roundtrip.txt";
+  ASSERT_TRUE(table.Save(path));
+
+  QTable loaded(5, 4, rng, 0.0);
+  ASSERT_TRUE(loaded.Load(path));
+  for (size_t s = 0; s < 5; ++s) {
+    for (size_t a = 0; a < 4; ++a) {
+      EXPECT_DOUBLE_EQ(loaded.Q(s, a), table.Q(s, a));
+      EXPECT_EQ(loaded.Visits(s, a), table.Visits(s, a));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QTableTest, LoadRejectsShapeMismatch) {
+  Rng rng(7);
+  QTable table(4, 4, rng);
+  const std::string path = ::testing::TempDir() + "/qtable_shape.txt";
+  ASSERT_TRUE(table.Save(path));
+  QTable other(5, 4, rng);
+  EXPECT_FALSE(other.Load(path));
+  std::remove(path.c_str());
+}
+
+TEST(QTableTest, LoadRejectsMissingFile) {
+  Rng rng(8);
+  QTable table(2, 2, rng);
+  EXPECT_FALSE(table.Load("/nonexistent/q.txt"));
+}
+
+TEST(QTableTest, InitializeFromCopiesQButResetsVisits) {
+  Rng rng(9);
+  QTable source(3, 2, rng, 0.0);
+  source.SetQ(1, 1, 0.42);
+  source.AddVisit(1, 1);
+  QTable target(3, 2, rng, 0.9);
+  target.AddVisit(0, 0);
+  target.InitializeFrom(source);
+  EXPECT_DOUBLE_EQ(target.Q(1, 1), 0.42);
+  EXPECT_EQ(target.Visits(1, 1), 0u);
+  EXPECT_EQ(target.Visits(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,132 @@
+#include "src/core/state_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace floatfl {
+namespace {
+
+TEST(StateEncoderTest, PaperOperatingPointIs125States) {
+  StateEncoderConfig config;
+  config.include_human_feedback = false;
+  const StateEncoder encoder(config);
+  EXPECT_EQ(encoder.NumStates(), 125u);
+}
+
+TEST(StateEncoderTest, HumanFeedbackAddsAFiveBinDimension) {
+  StateEncoderConfig config;
+  config.include_human_feedback = true;
+  const StateEncoder encoder(config);
+  EXPECT_EQ(encoder.NumStates(), 625u);
+}
+
+TEST(StateEncoderTest, GlobalDimensionsMultiplyBy27) {
+  StateEncoderConfig config;
+  config.include_global = true;
+  const StateEncoder encoder(config);
+  EXPECT_EQ(encoder.NumStates(), 125u * 27u);
+}
+
+TEST(StateEncoderTest, Table1CpuBins) {
+  StateEncoderConfig config;
+  const StateEncoder encoder(config);
+  GlobalObservation global;
+  auto state_for_cpu = [&](double cpu) {
+    ClientObservation obs;
+    obs.cpu_avail = cpu;
+    obs.mem_avail = 0.0;
+    obs.net_avail = 0.0;
+    return encoder.Encode(obs, global);
+  };
+  // Table 1: None (0), Low (1-20), Moderate (21-40), High (41-60), VeryHigh.
+  EXPECT_EQ(state_for_cpu(0.0) / 25, 0u);
+  EXPECT_EQ(state_for_cpu(0.10) / 25, 1u);
+  EXPECT_EQ(state_for_cpu(0.30) / 25, 2u);
+  EXPECT_EQ(state_for_cpu(0.50) / 25, 3u);
+  EXPECT_EQ(state_for_cpu(0.70) / 25, 4u);
+  EXPECT_EQ(state_for_cpu(0.95) / 25, 4u);
+}
+
+TEST(StateEncoderTest, EncodeIsInjectiveOverBinCorners) {
+  StateEncoderConfig config;
+  config.include_human_feedback = true;
+  const StateEncoder encoder(config);
+  GlobalObservation global;
+  std::set<size_t> states;
+  const double levels[] = {0.0, 0.1, 0.3, 0.5, 0.7};
+  const double deadline_levels[] = {0.0, 0.05, 0.15, 0.25, 0.4};
+  for (double cpu : levels) {
+    for (double mem : levels) {
+      for (double net : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        for (double dd : deadline_levels) {
+          ClientObservation obs;
+          obs.cpu_avail = cpu;
+          obs.mem_avail = mem;
+          obs.net_avail = net;
+          obs.deadline_diff = dd;
+          const size_t state = encoder.Encode(obs, global);
+          EXPECT_LT(state, encoder.NumStates());
+          states.insert(state);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(states.size(), 625u);
+}
+
+TEST(StateEncoderTest, GlobalParametersAffectStateOnlyWhenEnabled) {
+  ClientObservation obs;
+  obs.cpu_avail = 0.5;
+  GlobalObservation small;
+  small.batch_size = 4;
+  small.epochs = 2;
+  small.participants = 5;
+  GlobalObservation large;
+  large.batch_size = 64;
+  large.epochs = 12;
+  large.participants = 100;
+
+  StateEncoderConfig no_global;
+  const StateEncoder plain(no_global);
+  EXPECT_EQ(plain.Encode(obs, small), plain.Encode(obs, large));
+
+  StateEncoderConfig with_global;
+  with_global.include_global = true;
+  const StateEncoder global_encoder(with_global);
+  EXPECT_NE(global_encoder.Encode(obs, small), global_encoder.Encode(obs, large));
+}
+
+TEST(StateEncoderTest, QuantileFitRebalancesBins) {
+  StateEncoderConfig config;
+  StateEncoder encoder(config);
+  // All observed CPU values concentrated in [0.4, 0.6]: after fitting,
+  // those values must spread across bins instead of collapsing into one.
+  std::vector<double> cpu_samples;
+  for (int i = 0; i < 1000; ++i) {
+    cpu_samples.push_back(0.4 + 0.2 * (i / 1000.0));
+  }
+  encoder.FitResourceBins(cpu_samples, {}, {}, {});
+  GlobalObservation global;
+  std::set<size_t> states;
+  for (double cpu : {0.41, 0.45, 0.50, 0.55, 0.59}) {
+    ClientObservation obs;
+    obs.cpu_avail = cpu;
+    states.insert(encoder.Encode(obs, global));
+  }
+  EXPECT_EQ(states.size(), 5u);
+}
+
+class EncoderBinSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EncoderBinSweep, NumStatesIsBinCountCubed) {
+  StateEncoderConfig config;
+  config.resource_bins = GetParam();
+  const StateEncoder encoder(config);
+  EXPECT_EQ(encoder.NumStates(), GetParam() * GetParam() * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, EncoderBinSweep, ::testing::Values(2, 3, 5, 7, 10));
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,78 @@
+#include "src/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace floatfl {
+namespace {
+
+TEST(DatasetSpecTest, AllSpecsLookUpByid) {
+  for (DatasetId id : {DatasetId::kFemnist, DatasetId::kCifar10, DatasetId::kOpenImage,
+                       DatasetId::kSpeech, DatasetId::kEmnist}) {
+    const DatasetSpec& spec = GetDatasetSpec(id);
+    EXPECT_EQ(spec.id, id);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GT(spec.num_classes, 0u);
+    EXPECT_GT(spec.max_accuracy, spec.initial_accuracy);
+    EXPECT_GT(spec.convergence_rate, 0.0);
+    EXPECT_GT(spec.sample_cost_scale, 0.0);
+  }
+}
+
+TEST(DatasetSpecTest, KnownClassCounts) {
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kFemnist).num_classes, 62u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kCifar10).num_classes, 10u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kOpenImage).num_classes, 596u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kSpeech).num_classes, 35u);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kEmnist).num_classes, 47u);
+}
+
+TEST(ClientShardTest, LabelDistributionNormalizes) {
+  ClientShard shard;
+  shard.class_counts = {1, 3, 0, 4};
+  shard.total = 8;
+  const std::vector<double> dist = shard.LabelDistribution();
+  EXPECT_DOUBLE_EQ(dist[0], 0.125);
+  EXPECT_DOUBLE_EQ(dist[1], 0.375);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  EXPECT_DOUBLE_EQ(dist[3], 0.5);
+}
+
+TEST(ClientShardTest, EmptyShardIsUniform) {
+  ClientShard shard;
+  shard.class_counts = {0, 0};
+  shard.total = 0;
+  const std::vector<double> dist = shard.LabelDistribution();
+  EXPECT_DOUBLE_EQ(dist[0], 0.5);
+  EXPECT_DOUBLE_EQ(dist[1], 0.5);
+}
+
+TEST(LabelDivergenceTest, IdenticalDistributionIsZero) {
+  ClientShard shard;
+  shard.class_counts = {5, 5};
+  shard.total = 10;
+  EXPECT_NEAR(LabelDivergence(shard, {0.5, 0.5}), 0.0, 1e-12);
+}
+
+TEST(LabelDivergenceTest, DisjointDistributionIsTwo) {
+  ClientShard shard;
+  shard.class_counts = {10, 0};
+  shard.total = 10;
+  EXPECT_NEAR(LabelDivergence(shard, {0.0, 1.0}), 2.0, 1e-12);
+}
+
+TEST(GlobalLabelDistributionTest, PoolsAllShards) {
+  ClientShard a;
+  a.class_counts = {4, 0};
+  a.total = 4;
+  ClientShard b;
+  b.class_counts = {0, 12};
+  b.total = 12;
+  const std::vector<double> global = GlobalLabelDistribution({a, b});
+  EXPECT_DOUBLE_EQ(global[0], 0.25);
+  EXPECT_DOUBLE_EQ(global[1], 0.75);
+}
+
+}  // namespace
+}  // namespace floatfl

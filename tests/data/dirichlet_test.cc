@@ -1,0 +1,96 @@
+#include "src/data/dirichlet.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace floatfl {
+namespace {
+
+PartitionConfig SmallConfig(double alpha) {
+  PartitionConfig config;
+  config.num_clients = 50;
+  config.num_classes = 10;
+  config.alpha = alpha;
+  config.samples_median = 100.0;
+  config.samples_sigma = 0.4;
+  config.min_samples = 8;
+  return config;
+}
+
+TEST(DirichletPartitionTest, ProducesRequestedClients) {
+  Rng rng(1);
+  const auto shards = PartitionDirichlet(SmallConfig(0.1), rng);
+  EXPECT_EQ(shards.size(), 50u);
+  for (const auto& shard : shards) {
+    EXPECT_EQ(shard.class_counts.size(), 10u);
+    size_t sum = 0;
+    for (size_t c : shard.class_counts) {
+      sum += c;
+    }
+    EXPECT_EQ(sum, shard.total);
+    EXPECT_GE(shard.total, 8u);
+  }
+}
+
+TEST(DirichletPartitionTest, SmallerAlphaMeansMoreDivergence) {
+  Rng rng_a(2);
+  Rng rng_b(2);
+  const auto skewed = PartitionDirichlet(SmallConfig(0.05), rng_a);
+  const auto balanced = PartitionDirichlet(SmallConfig(50.0), rng_b);
+
+  auto mean_divergence = [](const std::vector<ClientShard>& shards) {
+    const std::vector<double> global = GlobalLabelDistribution(shards);
+    double sum = 0.0;
+    for (const auto& shard : shards) {
+      sum += LabelDivergence(shard, global);
+    }
+    return sum / static_cast<double>(shards.size());
+  };
+
+  EXPECT_GT(mean_divergence(skewed), mean_divergence(balanced) + 0.5);
+}
+
+TEST(DirichletPartitionTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  const auto s1 = PartitionDirichlet(SmallConfig(0.1), a);
+  const auto s2 = PartitionDirichlet(SmallConfig(0.1), b);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].class_counts, s2[i].class_counts);
+  }
+}
+
+TEST(DirichletPartitionTest, PartitionDatasetUsesSpec) {
+  Rng rng(3);
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kCifar10);
+  const auto shards = PartitionDataset(spec, 20, 0.1, rng);
+  EXPECT_EQ(shards.size(), 20u);
+  EXPECT_EQ(shards[0].class_counts.size(), spec.num_classes);
+}
+
+class DirichletAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletAlphaSweep, ShardsAlwaysConsistent) {
+  Rng rng(11);
+  const auto shards = PartitionDirichlet(SmallConfig(GetParam()), rng);
+  const std::vector<double> global = GlobalLabelDistribution(shards);
+  double global_sum = 0.0;
+  for (double g : global) {
+    global_sum += g;
+  }
+  EXPECT_NEAR(global_sum, 1.0, 1e-9);
+  for (const auto& shard : shards) {
+    const double div = LabelDivergence(shard, global);
+    EXPECT_GE(div, 0.0);
+    EXPECT_LE(div, 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletAlphaSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.5, 1.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,80 @@
+#include "src/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace floatfl {
+namespace {
+
+TEST(SyntheticTaskTest, ShardMaterializationMatchesCounts) {
+  Rng rng(1);
+  SyntheticTaskData task(4, 6, 2.0, rng);
+  ClientShard shard;
+  shard.class_counts = {3, 0, 2, 5};
+  shard.total = 10;
+  Tensor inputs;
+  std::vector<int> labels;
+  task.MaterializeShard(shard, rng, &inputs, &labels);
+  ASSERT_EQ(inputs.rows(), 10u);
+  ASSERT_EQ(inputs.cols(), 6u);
+  ASSERT_EQ(labels.size(), 10u);
+  std::vector<int> counts(4, 0);
+  for (int label : labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 4);
+    ++counts[label];
+  }
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 5);
+}
+
+TEST(SyntheticTaskTest, TestSetIsBalanced) {
+  Rng rng(2);
+  SyntheticTaskData task(3, 4, 2.0, rng);
+  Tensor inputs;
+  std::vector<int> labels;
+  task.MakeTestSet(7, rng, &inputs, &labels);
+  EXPECT_EQ(inputs.rows(), 21u);
+  std::vector<int> counts(3, 0);
+  for (int label : labels) {
+    ++counts[label];
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 7);
+  }
+}
+
+TEST(SyntheticTaskTest, SamplesClusterAroundClassCenters) {
+  Rng rng(3);
+  SyntheticTaskData task(2, 16, /*separation=*/6.0, rng);
+  // With separation >> noise, same-class samples are much closer to each
+  // other than cross-class samples on average.
+  auto dist2 = [](const std::vector<float>& a, const std::vector<float>& b) {
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      d += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return d;
+  };
+  double same = 0.0;
+  double cross = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    same += dist2(task.Sample(0, rng), task.Sample(0, rng));
+    cross += dist2(task.Sample(0, rng), task.Sample(1, rng));
+  }
+  EXPECT_LT(same, cross);
+}
+
+TEST(SyntheticTaskTest, DimensionsRespected) {
+  Rng rng(4);
+  SyntheticTaskData task(5, 12, 1.0, rng);
+  EXPECT_EQ(task.num_classes(), 5u);
+  EXPECT_EQ(task.dim(), 12u);
+  EXPECT_EQ(task.Sample(4, rng).size(), 12u);
+}
+
+}  // namespace
+}  // namespace floatfl

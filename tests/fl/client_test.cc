@@ -1,0 +1,95 @@
+#include "src/fl/client.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fl/observation.h"
+
+namespace floatfl {
+namespace {
+
+TEST(ClientTest, BuildPopulationSizesAndIds) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kFemnist);
+  std::vector<Client> clients =
+      BuildPopulation(spec, 40, 0.1, InterferenceScenario::kDynamic, 7);
+  ASSERT_EQ(clients.size(), 40u);
+  for (size_t i = 0; i < clients.size(); ++i) {
+    EXPECT_EQ(clients[i].id(), i);
+    EXPECT_GT(clients[i].shard().total, 0u);
+    EXPECT_EQ(clients[i].shard().class_counts.size(), spec.num_classes);
+  }
+}
+
+TEST(ClientTest, PopulationDeterministicBySeed) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kCifar10);
+  std::vector<Client> a = BuildPopulation(spec, 20, 0.1, InterferenceScenario::kDynamic, 99);
+  std::vector<Client> b = BuildPopulation(spec, 20, 0.1, InterferenceScenario::kDynamic, 99);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].shard().class_counts, b[i].shard().class_counts);
+    EXPECT_DOUBLE_EQ(a[i].compute().BaseGflops(), b[i].compute().BaseGflops());
+    EXPECT_DOUBLE_EQ(a[i].network().NominalMbps(), b[i].network().NominalMbps());
+  }
+}
+
+TEST(ClientTest, MixesNetworkKinds) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kFemnist);
+  std::vector<Client> clients =
+      BuildPopulation(spec, 100, 0.1, InterferenceScenario::kNone, 3);
+  int four_g = 0;
+  for (auto& c : clients) {
+    if (c.network().kind() == NetworkKind::kFourG) {
+      ++four_g;
+    }
+  }
+  EXPECT_GT(four_g, 50);
+  EXPECT_LT(four_g, 90);
+}
+
+TEST(ClientTest, DeadlineDiffEwmaPersistsAndDecays) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kFemnist);
+  std::vector<Client> clients = BuildPopulation(spec, 1, 0.1, InterferenceScenario::kNone, 5);
+  Client& c = clients[0];
+  EXPECT_DOUBLE_EQ(c.last_deadline_diff, 0.0);
+  c.UpdateDeadlineDiff(1.0);
+  EXPECT_NEAR(c.last_deadline_diff, 0.3, 1e-12);
+  c.UpdateDeadlineDiff(0.0);  // one good round does not erase the profile
+  EXPECT_NEAR(c.last_deadline_diff, 0.21, 1e-12);
+}
+
+TEST(ObservationTest, ReferenceMediansPositive) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kFemnist);
+  std::vector<Client> clients =
+      BuildPopulation(spec, 30, 0.1, InterferenceScenario::kDynamic, 13);
+  const PopulationReference ref = ComputePopulationReference(clients);
+  EXPECT_GT(ref.gflops, 0.0);
+  EXPECT_GT(ref.mbps, 0.0);
+  EXPECT_GT(ref.memory_gb, 0.0);
+}
+
+TEST(ObservationTest, RawObservationIsInterferenceFraction) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kFemnist);
+  std::vector<Client> clients = BuildPopulation(spec, 5, 0.1, InterferenceScenario::kNone, 17);
+  const PopulationReference ref = ComputePopulationReference(clients);
+  const ClientObservation obs = ObserveClient(clients[0], 100.0, ref);
+  EXPECT_DOUBLE_EQ(obs.cpu_avail, 1.0);
+  EXPECT_DOUBLE_EQ(obs.mem_avail, 1.0);
+  EXPECT_DOUBLE_EQ(obs.net_avail, 1.0);
+}
+
+TEST(ObservationTest, NormalizedObservationBounded) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kFemnist);
+  std::vector<Client> clients =
+      BuildPopulation(spec, 30, 0.1, InterferenceScenario::kDynamic, 19);
+  const PopulationReference ref = ComputePopulationReference(clients);
+  for (auto& c : clients) {
+    const ClientObservation obs = ObserveClientNormalized(c, 50.0, ref);
+    EXPECT_GE(obs.cpu_avail, 0.0);
+    EXPECT_LE(obs.cpu_avail, 1.0);
+    EXPECT_GE(obs.net_avail, 0.0);
+    EXPECT_LE(obs.net_avail, 1.0);
+    EXPECT_GE(obs.mem_avail, 0.0);
+    EXPECT_LE(obs.mem_avail, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,110 @@
+#include "src/fl/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fl/client.h"
+#include "src/fl/experiment.h"
+
+namespace floatfl {
+namespace {
+
+RoundCostInputs BaseInputs() {
+  RoundCostInputs in;
+  in.model = &GetModelProfile(ModelId::kResNet34);
+  in.dataset = &GetDatasetSpec(DatasetId::kFemnist);
+  in.local_samples = 100;
+  in.epochs = 5;
+  in.batch_size = 20;
+  in.device_gflops = 20.0;
+  in.bandwidth_mbps = 20.0;
+  in.device_memory_gb = 8.0;
+  return in;
+}
+
+TEST(CostModelTest, TrainTimeScalesWithWorkAndSpeed) {
+  RoundCostInputs in = BaseInputs();
+  const RoundCosts base = ComputeRoundCosts(in);
+  EXPECT_GT(base.train_time_s, 0.0);
+
+  in.epochs = 10;
+  EXPECT_NEAR(ComputeRoundCosts(in).train_time_s, 2.0 * base.train_time_s, 1e-6);
+  in.epochs = 5;
+
+  in.local_samples = 200;
+  EXPECT_NEAR(ComputeRoundCosts(in).train_time_s, 2.0 * base.train_time_s, 1e-6);
+  in.local_samples = 100;
+
+  in.device_gflops = 40.0;
+  EXPECT_NEAR(ComputeRoundCosts(in).train_time_s, 0.5 * base.train_time_s, 1e-6);
+}
+
+TEST(CostModelTest, InterferenceSlowsEverything) {
+  RoundCostInputs in = BaseInputs();
+  const RoundCosts base = ComputeRoundCosts(in);
+  in.availability.cpu = 0.5;
+  in.availability.network = 0.25;
+  const RoundCosts interfered = ComputeRoundCosts(in);
+  EXPECT_NEAR(interfered.train_time_s, 2.0 * base.train_time_s, 1e-6);
+  EXPECT_NEAR(interfered.comm_time_s, 4.0 * base.comm_time_s, 1e-6);
+}
+
+TEST(CostModelTest, TechniquesApplyTheirMultipliers) {
+  RoundCostInputs in = BaseInputs();
+  const RoundCosts base = ComputeRoundCosts(in);
+  in.technique = TechniqueKind::kPrune50;
+  const RoundCosts pruned = ComputeRoundCosts(in);
+  const CostEffect& effect = EffectOf(TechniqueKind::kPrune50);
+  EXPECT_NEAR(pruned.train_time_s, effect.compute_mult * base.train_time_s, 1e-6);
+  EXPECT_LT(pruned.traffic_mb, base.traffic_mb);
+  EXPECT_NEAR(pruned.peak_memory_mb, effect.memory_mult * base.peak_memory_mb, 1e-6);
+}
+
+TEST(CostModelTest, TrafficIncludesFullDownloadPlusOptimizedUpload) {
+  RoundCostInputs in = BaseInputs();
+  in.technique = TechniqueKind::kQuant8;
+  const RoundCosts costs = ComputeRoundCosts(in);
+  const double weight_mb = GetModelProfile(ModelId::kResNet34).weight_mb;
+  EXPECT_NEAR(costs.traffic_mb, weight_mb * 1.25, 1e-9);
+}
+
+TEST(CostModelTest, OutOfMemoryDetection) {
+  RoundCostInputs in = BaseInputs();
+  in.device_memory_gb = 0.5;
+  EXPECT_TRUE(ComputeRoundCosts(in).out_of_memory);
+  in.device_memory_gb = 16.0;
+  EXPECT_FALSE(ComputeRoundCosts(in).out_of_memory);
+  // Scarce memory availability can push a capable device into OOM.
+  in.device_memory_gb = 4.0;
+  in.availability.memory = 0.1;
+  EXPECT_TRUE(ComputeRoundCosts(in).out_of_memory);
+}
+
+TEST(CostModelTest, MemoryReliefCanAvoidOom) {
+  RoundCostInputs in = BaseInputs();
+  in.device_memory_gb = 0.8;
+  ASSERT_TRUE(ComputeRoundCosts(in).out_of_memory);
+  in.technique = TechniqueKind::kPrune75;  // memory_mult 0.55
+  EXPECT_FALSE(ComputeRoundCosts(in).out_of_memory);
+}
+
+TEST(CostModelTest, TotalIsTrainPlusComm) {
+  const RoundCosts costs = ComputeRoundCosts(BaseInputs());
+  EXPECT_DOUBLE_EQ(costs.total_time_s, costs.train_time_s + costs.comm_time_s);
+}
+
+TEST(CostModelTest, AutoDeadlineIsPositiveAndScalesWithModel) {
+  ExperimentConfig config;
+  config.num_clients = 50;
+  config.dataset = DatasetId::kFemnist;
+  config.model = ModelId::kResNet34;
+  const std::vector<Client> clients = BuildPopulation(
+      GetDatasetSpec(config.dataset), config.num_clients, 0.1, config.interference, 11);
+  const double heavy = AutoDeadlineSeconds(config, clients);
+  EXPECT_GT(heavy, 0.0);
+  config.model = ModelId::kShuffleNetV2;
+  const double light = AutoDeadlineSeconds(config, clients);
+  EXPECT_LT(light, heavy);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,141 @@
+#include "src/fl/sync_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/float_controller.h"
+#include "src/selection/random_selector.h"
+
+namespace floatfl {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.num_clients = 40;
+  config.clients_per_round = 8;
+  config.rounds = 30;
+  config.dataset = DatasetId::kFemnist;
+  config.model = ModelId::kResNet34;
+  config.interference = InterferenceScenario::kDynamic;
+  config.seed = 123;
+  return config;
+}
+
+TEST(SyncEngineTest, AccountingIsConsistent) {
+  const ExperimentConfig config = SmallConfig();
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  const ExperimentResult result = engine.Run();
+  EXPECT_EQ(result.total_selected, result.total_completed + result.total_dropouts);
+  EXPECT_LE(result.total_selected, config.rounds * config.clients_per_round);
+  EXPECT_EQ(result.accuracy_history.size(), config.rounds);
+  EXPECT_EQ(result.dropout_breakdown.Total(), result.total_dropouts);
+  EXPECT_EQ(result.per_client_selected.size(), config.num_clients);
+  size_t selected_sum = 0;
+  for (size_t s : result.per_client_selected) {
+    selected_sum += s;
+  }
+  EXPECT_EQ(selected_sum, result.total_selected);
+}
+
+TEST(SyncEngineTest, AccuraciesWithinBounds) {
+  const ExperimentConfig config = SmallConfig();
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  const ExperimentResult result = engine.Run();
+  EXPECT_GE(result.accuracy_bottom10, 0.0);
+  EXPECT_LE(result.accuracy_bottom10, result.accuracy_avg + 1e-12);
+  EXPECT_LE(result.accuracy_avg, result.accuracy_top10 + 1e-12);
+  EXPECT_LE(result.accuracy_top10, 1.0);
+  // Accuracy history is non-decreasing (saturating convergence curve).
+  for (size_t i = 1; i < result.accuracy_history.size(); ++i) {
+    EXPECT_GE(result.accuracy_history[i], result.accuracy_history[i - 1] - 1e-12);
+  }
+}
+
+TEST(SyncEngineTest, NoDropoutModeCompletesEveryone) {
+  ExperimentConfig config = SmallConfig();
+  config.assume_no_dropouts = true;
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  const ExperimentResult result = engine.Run();
+  EXPECT_EQ(result.total_dropouts, 0u);
+  EXPECT_EQ(result.total_completed, result.total_selected);
+}
+
+TEST(SyncEngineTest, DeterministicForSeed) {
+  const ExperimentConfig config = SmallConfig();
+  RandomSelector s1(config.seed);
+  SyncEngine e1(config, &s1, nullptr);
+  const ExperimentResult r1 = e1.Run();
+  RandomSelector s2(config.seed);
+  SyncEngine e2(config, &s2, nullptr);
+  const ExperimentResult r2 = e2.Run();
+  EXPECT_EQ(r1.total_completed, r2.total_completed);
+  EXPECT_EQ(r1.total_dropouts, r2.total_dropouts);
+  EXPECT_DOUBLE_EQ(r1.accuracy_avg, r2.accuracy_avg);
+  EXPECT_DOUBLE_EQ(r1.wall_clock_hours, r2.wall_clock_hours);
+}
+
+TEST(SyncEngineTest, WallClockAdvances) {
+  const ExperimentConfig config = SmallConfig();
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  const ExperimentResult result = engine.Run();
+  EXPECT_GT(result.wall_clock_hours, 0.0);
+}
+
+TEST(SyncEngineTest, StaticAggressivePolicyReducesDeadlineDropouts) {
+  const ExperimentConfig config = SmallConfig();
+  RandomSelector s1(config.seed);
+  SyncEngine vanilla(config, &s1, nullptr);
+  const ExperimentResult base = vanilla.Run();
+
+  RandomSelector s2(config.seed);
+  StaticPolicy policy(TechniqueKind::kPrune75);
+  SyncEngine accelerated(config, &s2, &policy);
+  const ExperimentResult fast = accelerated.Run();
+
+  EXPECT_LT(fast.dropout_breakdown.missed_deadline, base.dropout_breakdown.missed_deadline);
+  EXPECT_GT(fast.total_completed, base.total_completed);
+}
+
+TEST(SyncEngineTest, SimulateClientChargesPartialCostsOnDeadlineMiss) {
+  ExperimentConfig config = SmallConfig();
+  config.deadline_s = 1.0;  // absurdly tight: everyone misses
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  Client& client = engine.clients()[0];
+  // Make sure the client is available so the miss is deadline-driven.
+  double t = 0.0;
+  while (!client.availability().IsAvailableAt(t)) {
+    t += 600.0;
+  }
+  const ClientRoundOutcome outcome = engine.SimulateClient(client, t, TechniqueKind::kNone);
+  if (outcome.reason == DropoutReason::kMissedDeadline) {
+    EXPECT_FALSE(outcome.completed);
+    EXPECT_GT(outcome.deadline_diff, 0.0);
+    EXPECT_LE(outcome.time_spent_s, 1.0 + 1e-9);
+  } else {
+    // Only OOM can preempt the deadline check for an available client.
+    EXPECT_EQ(outcome.reason, DropoutReason::kOutOfMemory);
+  }
+}
+
+TEST(SyncEngineTest, FloatPolicyImprovesParticipation) {
+  ExperimentConfig config = SmallConfig();
+  config.rounds = 60;
+  RandomSelector s1(config.seed);
+  SyncEngine vanilla(config, &s1, nullptr);
+  const ExperimentResult base = vanilla.Run();
+
+  RandomSelector s2(config.seed);
+  auto controller = FloatController::MakeDefault(config.seed, config.rounds);
+  SyncEngine with_float(config, &s2, controller.get());
+  const ExperimentResult improved = with_float.Run();
+
+  EXPECT_GT(improved.total_completed, base.total_completed);
+  EXPECT_GT(improved.accuracy_avg, base.accuracy_avg);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,90 @@
+#include "src/fl/vfl_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace floatfl {
+namespace {
+
+VflConfig FastConfig(uint64_t seed = 3) {
+  VflConfig config;
+  config.num_parties = 3;
+  config.features_per_party = 5;
+  config.embedding_dim = 6;
+  config.num_classes = 4;
+  config.train_samples = 240;
+  config.test_samples = 120;
+  config.class_separation = 2.5;
+  config.seed = seed;
+  return config;
+}
+
+TEST(VflEngineTest, SplitModelLearnsTheTask) {
+  VflEngine engine(FastConfig());
+  const double initial = engine.EvaluateAccuracy();
+  VflRoundStats stats;
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    stats = engine.TrainEpoch(TechniqueKind::kNone);
+  }
+  EXPECT_GT(stats.test_accuracy, initial);
+  EXPECT_GT(stats.test_accuracy, 0.8);
+}
+
+TEST(VflEngineTest, QuantizedExchangeShrinksTraffic) {
+  VflEngine fp32(FastConfig(5));
+  VflEngine q8(FastConfig(5));
+  const VflRoundStats dense = fp32.TrainEpoch(TechniqueKind::kNone);
+  const VflRoundStats quantized = q8.TrainEpoch(TechniqueKind::kQuant8);
+  EXPECT_LT(quantized.traffic_bytes, dense.traffic_bytes / 3.0);
+}
+
+TEST(VflEngineTest, QuantizedTrainingStillConverges) {
+  VflEngine engine(FastConfig(7));
+  VflRoundStats stats;
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    stats = engine.TrainEpoch(TechniqueKind::kQuant8);
+  }
+  EXPECT_GT(stats.test_accuracy, 0.7);
+}
+
+TEST(VflEngineTest, SixteenBitBetweenEightAndDense) {
+  VflEngine engine(FastConfig(9));
+  const VflRoundStats s16 = engine.TrainEpoch(TechniqueKind::kQuant16);
+  VflEngine dense_engine(FastConfig(9));
+  const VflRoundStats dense = dense_engine.TrainEpoch(TechniqueKind::kNone);
+  VflEngine q8_engine(FastConfig(9));
+  const VflRoundStats q8 = q8_engine.TrainEpoch(TechniqueKind::kQuant8);
+  EXPECT_LT(s16.traffic_bytes, dense.traffic_bytes);
+  EXPECT_GT(s16.traffic_bytes, q8.traffic_bytes);
+}
+
+TEST(VflEngineTest, NonCommTechniquesBehaveLikeNone) {
+  VflEngine a(FastConfig(11));
+  VflEngine b(FastConfig(11));
+  const VflRoundStats none = a.TrainEpoch(TechniqueKind::kNone);
+  const VflRoundStats prune = b.TrainEpoch(TechniqueKind::kPrune75);
+  EXPECT_DOUBLE_EQ(none.traffic_bytes, prune.traffic_bytes);
+  EXPECT_DOUBLE_EQ(none.test_accuracy, prune.test_accuracy);
+}
+
+TEST(VflEngineTest, LossDecreasesAcrossEpochs) {
+  VflEngine engine(FastConfig(13));
+  const VflRoundStats first = engine.TrainEpoch(TechniqueKind::kNone);
+  VflRoundStats last;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    last = engine.TrainEpoch(TechniqueKind::kNone);
+  }
+  EXPECT_LT(last.train_loss, first.train_loss);
+}
+
+TEST(VflEngineTest, DeterministicForSeed) {
+  VflEngine a(FastConfig(15));
+  VflEngine b(FastConfig(15));
+  const VflRoundStats sa = a.TrainEpoch(TechniqueKind::kQuant16);
+  const VflRoundStats sb = b.TrainEpoch(TechniqueKind::kQuant16);
+  EXPECT_DOUBLE_EQ(sa.test_accuracy, sb.test_accuracy);
+  EXPECT_DOUBLE_EQ(sa.train_loss, sb.train_loss);
+  EXPECT_DOUBLE_EQ(sa.traffic_bytes, sb.traffic_bytes);
+}
+
+}  // namespace
+}  // namespace floatfl

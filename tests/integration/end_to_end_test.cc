@@ -1,0 +1,177 @@
+// Cross-module integration tests: whole FL experiments exercising selector +
+// engine + traces + optimization policies + the surrogate model together,
+// checking the paper's headline qualitative claims at small scale.
+#include <gtest/gtest.h>
+
+#include "src/core/float_controller.h"
+#include "src/core/heuristic_policy.h"
+#include "src/fl/async_engine.h"
+#include "src/fl/sync_engine.h"
+#include "src/selection/oort_selector.h"
+#include "src/selection/random_selector.h"
+#include "src/selection/refl_selector.h"
+
+namespace floatfl {
+namespace {
+
+ExperimentConfig TestConfig(uint64_t seed = 77) {
+  ExperimentConfig config;
+  config.num_clients = 80;
+  config.clients_per_round = 15;
+  config.rounds = 80;
+  config.dataset = DatasetId::kFemnist;
+  config.model = ModelId::kResNet34;
+  config.alpha = 0.1;
+  config.interference = InterferenceScenario::kDynamic;
+  config.seed = seed;
+  config.async_concurrency = 40;
+  config.async_buffer = 15;
+  return config;
+}
+
+TEST(EndToEndTest, FloatReducesDropoutsAndImprovesAccuracy) {
+  const ExperimentConfig config = TestConfig();
+  RandomSelector s1(config.seed);
+  SyncEngine vanilla(config, &s1, nullptr);
+  const ExperimentResult base = vanilla.Run();
+
+  RandomSelector s2(config.seed);
+  auto controller = FloatController::MakeDefault(config.seed, config.rounds);
+  SyncEngine with_float(config, &s2, controller.get());
+  const ExperimentResult improved = with_float.Run();
+
+  EXPECT_LT(improved.total_dropouts, base.total_dropouts);
+  EXPECT_GT(improved.accuracy_avg, base.accuracy_avg);
+  EXPECT_LT(improved.wasted.compute_hours, base.wasted.compute_hours);
+  EXPECT_LT(improved.wasted.memory_tb, base.wasted.memory_tb);
+}
+
+TEST(EndToEndTest, FloatBeatsHeuristicTuning) {
+  const ExperimentConfig config = TestConfig(78);
+  RandomSelector s1(config.seed);
+  HeuristicPolicy heuristic(config.seed);
+  SyncEngine heuristic_engine(config, &s1, &heuristic);
+  const ExperimentResult heuristic_result = heuristic_engine.Run();
+
+  RandomSelector s2(config.seed);
+  auto controller = FloatController::MakeDefault(config.seed, config.rounds);
+  SyncEngine float_engine(config, &s2, controller.get());
+  const ExperimentResult float_result = float_engine.Run();
+
+  EXPECT_GT(float_result.accuracy_avg, heuristic_result.accuracy_avg);
+  EXPECT_LT(float_result.total_dropouts, heuristic_result.total_dropouts);
+}
+
+TEST(EndToEndTest, RlhfBeatsPlainRlUnderDynamicInterference) {
+  const ExperimentConfig config = TestConfig(79);
+  RandomSelector s1(config.seed);
+  auto rl = FloatController::MakeWithoutHumanFeedback(config.seed, config.rounds);
+  SyncEngine rl_engine(config, &s1, rl.get());
+  const ExperimentResult rl_result = rl_engine.Run();
+
+  RandomSelector s2(config.seed);
+  auto rlhf = FloatController::MakeDefault(config.seed, config.rounds);
+  SyncEngine rlhf_engine(config, &s2, rlhf.get());
+  const ExperimentResult rlhf_result = rlhf_engine.Run();
+
+  EXPECT_LT(rlhf_result.total_dropouts, rl_result.total_dropouts);
+}
+
+TEST(EndToEndTest, OortCompletesMoreThanRandomSelection) {
+  const ExperimentConfig config = TestConfig(80);
+  RandomSelector random_selector(config.seed);
+  SyncEngine random_engine(config, &random_selector, nullptr);
+  const ExperimentResult random_result = random_engine.Run();
+
+  OortSelector oort_selector(config.seed, config.num_clients);
+  SyncEngine oort_engine(config, &oort_selector, nullptr);
+  const ExperimentResult oort_result = oort_engine.Run();
+
+  // Oort's whole point: prefer clients likely to finish.
+  EXPECT_GT(oort_result.total_completed, random_result.total_completed);
+  // ...at the cost of selection bias against slow clients.
+  EXPECT_GE(oort_result.never_completed, random_result.never_completed);
+}
+
+TEST(EndToEndTest, DropoutsHurtAccuracyVersusNoDropoutCounterfactual) {
+  ExperimentConfig config = TestConfig(81);
+  RandomSelector s1(config.seed);
+  SyncEngine with_dropouts(config, &s1, nullptr);
+  const ExperimentResult d = with_dropouts.Run();
+
+  config.assume_no_dropouts = true;
+  RandomSelector s2(config.seed);
+  SyncEngine without(config, &s2, nullptr);
+  const ExperimentResult nd = without.Run();
+
+  EXPECT_GT(nd.accuracy_avg, d.accuracy_avg);
+  EXPECT_GT(nd.accuracy_bottom10, d.accuracy_bottom10);
+}
+
+TEST(EndToEndTest, PretrainedAgentTransfersAcrossWorkloads) {
+  // Pre-train on FEMNIST, fine-tune on CIFAR10: the transferred agent must
+  // earn at least as much early reward as a fresh one.
+  ExperimentConfig pretrain_config = TestConfig(82);
+  RandomSelector s1(pretrain_config.seed);
+  auto pretrained = FloatController::MakeDefault(pretrain_config.seed, pretrain_config.rounds);
+  SyncEngine pretrain_engine(pretrain_config, &s1, pretrained.get());
+  (void)pretrain_engine.Run();
+
+  ExperimentConfig finetune_config = TestConfig(83);
+  finetune_config.dataset = DatasetId::kCifar10;
+  finetune_config.rounds = 15;
+
+  RandomSelector s2(finetune_config.seed);
+  auto scratch = FloatController::MakeDefault(finetune_config.seed, finetune_config.rounds);
+  SyncEngine scratch_engine(finetune_config, &s2, scratch.get());
+  (void)scratch_engine.Run();
+
+  RandomSelector s3(finetune_config.seed);
+  auto finetuned = FloatController::MakeDefault(finetune_config.seed, finetune_config.rounds);
+  finetuned->agent().InitializeFrom(pretrained->agent());
+  SyncEngine finetune_engine(finetune_config, &s3, finetuned.get());
+  (void)finetune_engine.Run();
+
+  // Loose bound: transfer must not be harmful (paper: it converges faster).
+  EXPECT_GE(finetuned->agent().AverageRewardOver(1000),
+            scratch->agent().AverageRewardOver(1000) - 0.05);
+}
+
+TEST(EndToEndTest, FedBuffTradesResourcesForWallClock) {
+  const ExperimentConfig config = TestConfig(84);
+  AsyncEngine async_engine(config, nullptr);
+  const ExperimentResult async_result = async_engine.Run();
+
+  RandomSelector selector(config.seed);
+  SyncEngine sync_engine(config, &selector, nullptr);
+  const ExperimentResult sync_result = sync_engine.Run();
+
+  EXPECT_LT(async_result.wall_clock_hours, sync_result.wall_clock_hours);
+  const double async_total =
+      async_result.useful.compute_hours + async_result.wasted.compute_hours;
+  const double sync_total = sync_result.useful.compute_hours + sync_result.wasted.compute_hours;
+  EXPECT_GT(async_total, sync_total);
+}
+
+TEST(EndToEndTest, FullRunsAreReproducible) {
+  const ExperimentConfig config = TestConfig(85);
+  auto run_once = [&]() {
+    RandomSelector selector(config.seed);
+    auto controller = FloatController::MakeDefault(config.seed, config.rounds);
+    SyncEngine engine(config, &selector, controller.get());
+    return engine.Run();
+  };
+  const ExperimentResult a = run_once();
+  const ExperimentResult b = run_once();
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_EQ(a.total_dropouts, b.total_dropouts);
+  EXPECT_DOUBLE_EQ(a.accuracy_avg, b.accuracy_avg);
+  EXPECT_DOUBLE_EQ(a.wasted.compute_hours, b.wasted.compute_hours);
+  ASSERT_EQ(a.per_client_completed.size(), b.per_client_completed.size());
+  for (size_t i = 0; i < a.per_client_completed.size(); ++i) {
+    EXPECT_EQ(a.per_client_completed[i], b.per_client_completed[i]);
+  }
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/metrics/participation_tracker.h"
+#include "src/metrics/resource_accountant.h"
+
+namespace floatfl {
+namespace {
+
+TEST(ResourceAccountantTest, SplitsUsefulAndWasted) {
+  ResourceAccountant accountant;
+  accountant.Record(3600.0, 1800.0, 1024.0, /*completed=*/true);
+  accountant.Record(7200.0, 3600.0, 2048.0, /*completed=*/false);
+  EXPECT_DOUBLE_EQ(accountant.Useful().compute_hours, 1.0);
+  EXPECT_DOUBLE_EQ(accountant.Useful().comm_hours, 0.5);
+  EXPECT_NEAR(accountant.Useful().memory_tb, 1024.0 / (1024.0 * 1024.0), 1e-12);
+  EXPECT_DOUBLE_EQ(accountant.Wasted().compute_hours, 2.0);
+  EXPECT_DOUBLE_EQ(accountant.Wasted().comm_hours, 1.0);
+  EXPECT_EQ(accountant.RecordedRounds(), 2u);
+}
+
+TEST(ResourceAccountantTest, TotalIsSum) {
+  ResourceAccountant accountant;
+  accountant.Record(3600.0, 0.0, 0.0, true);
+  accountant.Record(3600.0, 0.0, 0.0, false);
+  EXPECT_DOUBLE_EQ(accountant.Total().compute_hours, 2.0);
+}
+
+TEST(ResourceTotalsTest, PlusEquals) {
+  ResourceTotals a{1.0, 2.0, 3.0};
+  ResourceTotals b{0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.compute_hours, 1.5);
+  EXPECT_DOUBLE_EQ(a.comm_hours, 2.5);
+  EXPECT_DOUBLE_EQ(a.memory_tb, 3.5);
+}
+
+TEST(ParticipationTrackerTest, CountsSelectionsAndCompletions) {
+  ParticipationTracker tracker(5);
+  tracker.Record(0, TechniqueKind::kNone, true);
+  tracker.Record(0, TechniqueKind::kNone, false);
+  tracker.Record(3, TechniqueKind::kPrune75, true);
+  EXPECT_EQ(tracker.SelectedCount(0), 2u);
+  EXPECT_EQ(tracker.CompletedCount(0), 1u);
+  EXPECT_EQ(tracker.SelectedCount(3), 1u);
+  EXPECT_EQ(tracker.TotalSelected(), 3u);
+  EXPECT_EQ(tracker.TotalCompleted(), 2u);
+  EXPECT_EQ(tracker.TotalDropouts(), 1u);
+}
+
+TEST(ParticipationTrackerTest, NeverCounts) {
+  ParticipationTracker tracker(4);
+  tracker.Record(1, TechniqueKind::kNone, true);
+  tracker.Record(2, TechniqueKind::kNone, false);
+  EXPECT_EQ(tracker.NeverSelected(), 2u);   // 0 and 3
+  EXPECT_EQ(tracker.NeverCompleted(), 3u);  // 0, 2, 3
+}
+
+TEST(ParticipationTrackerTest, PerTechniqueStats) {
+  ParticipationTracker tracker(2);
+  tracker.Record(0, TechniqueKind::kQuant8, true);
+  tracker.Record(0, TechniqueKind::kQuant8, true);
+  tracker.Record(1, TechniqueKind::kQuant8, false);
+  tracker.Record(1, TechniqueKind::kPrune50, true);
+  const auto& per = tracker.PerTechnique();
+  EXPECT_EQ(per.at(TechniqueKind::kQuant8).success, 2u);
+  EXPECT_EQ(per.at(TechniqueKind::kQuant8).failure, 1u);
+  EXPECT_EQ(per.at(TechniqueKind::kPrune50).success, 1u);
+  EXPECT_EQ(per.at(TechniqueKind::kPrune50).failure, 0u);
+  EXPECT_EQ(per.count(TechniqueKind::kPartial75), 0u);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,44 @@
+#include "src/models/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace floatfl {
+namespace {
+
+TEST(ModelZooTest, AllModelsLookUp) {
+  for (ModelId id : {ModelId::kResNet18, ModelId::kResNet34, ModelId::kResNet50,
+                     ModelId::kShuffleNetV2, ModelId::kSpeechCnn}) {
+    const ModelProfile& p = GetModelProfile(id);
+    EXPECT_EQ(p.id, id);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.param_count, 0u);
+    EXPECT_GT(p.train_gflops_per_sample, 0.0);
+    EXPECT_GT(p.weight_mb, 0.0);
+    EXPECT_GT(p.activation_mb_per_sample, 0.0);
+  }
+}
+
+TEST(ModelZooTest, WeightBytesConsistentWithParamCount) {
+  // fp32 weights: weight_mb ~ params * 4 / 2^20 (within 10 %).
+  for (ModelId id : {ModelId::kResNet18, ModelId::kResNet34, ModelId::kResNet50,
+                     ModelId::kShuffleNetV2}) {
+    const ModelProfile& p = GetModelProfile(id);
+    const double expected_mb = static_cast<double>(p.param_count) * 4.0 / (1024.0 * 1024.0);
+    EXPECT_NEAR(p.weight_mb, expected_mb, expected_mb * 0.10) << p.name;
+  }
+}
+
+TEST(ModelZooTest, RelativeOrderings) {
+  const ModelProfile& r18 = GetModelProfile(ModelId::kResNet18);
+  const ModelProfile& r34 = GetModelProfile(ModelId::kResNet34);
+  const ModelProfile& r50 = GetModelProfile(ModelId::kResNet50);
+  const ModelProfile& shuffle = GetModelProfile(ModelId::kShuffleNetV2);
+  EXPECT_LT(r18.param_count, r34.param_count);
+  EXPECT_LT(r34.param_count, r50.param_count);
+  EXPECT_LT(r18.train_gflops_per_sample, r34.train_gflops_per_sample);
+  EXPECT_LT(shuffle.train_gflops_per_sample, r18.train_gflops_per_sample);
+  EXPECT_LT(shuffle.weight_mb, r18.weight_mb);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,148 @@
+#include "src/models/surrogate_accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/dirichlet.h"
+
+namespace floatfl {
+namespace {
+
+std::vector<ClientShard> MakeShards(size_t n, double alpha, uint64_t seed) {
+  Rng rng(seed);
+  PartitionConfig config;
+  config.num_clients = n;
+  config.num_classes = 10;
+  config.alpha = alpha;
+  return PartitionDirichlet(config, rng);
+}
+
+SurrogateConfig MakeConfig() {
+  SurrogateConfig config;
+  config.max_accuracy = 0.8;
+  config.initial_accuracy = 0.1;
+  config.convergence_rate = 0.05;
+  config.participation_target = 10.0;
+  return config;
+}
+
+std::vector<ClientContribution> FullCohort(size_t from, size_t count, double quality = 1.0,
+                                           double staleness = 0.0) {
+  std::vector<ClientContribution> cohort;
+  for (size_t i = 0; i < count; ++i) {
+    cohort.push_back({from + i, quality, staleness});
+  }
+  return cohort;
+}
+
+TEST(SurrogateTest, StartsAtInitialAccuracy) {
+  const auto shards = MakeShards(20, 1.0, 1);
+  SurrogateAccuracyModel model(MakeConfig(), shards);
+  EXPECT_DOUBLE_EQ(model.GlobalAccuracy(), 0.1);
+  EXPECT_EQ(model.DataCoverage(), 0.0);
+}
+
+TEST(SurrogateTest, ImprovesWithSuccessfulRounds) {
+  const auto shards = MakeShards(20, 1.0, 2);
+  SurrogateAccuracyModel model(MakeConfig(), shards);
+  for (int round = 0; round < 100; ++round) {
+    model.RoundUpdate(FullCohort(0, 10));
+  }
+  EXPECT_GT(model.GlobalAccuracy(), 0.5);
+  EXPECT_LE(model.GlobalAccuracy(), 0.8);
+}
+
+TEST(SurrogateTest, EmptyRoundMakesNoProgress) {
+  const auto shards = MakeShards(20, 1.0, 3);
+  SurrogateAccuracyModel model(MakeConfig(), shards);
+  const double before = model.GlobalAccuracy();
+  model.RoundUpdate({});
+  EXPECT_DOUBLE_EQ(model.GlobalAccuracy(), before);
+}
+
+TEST(SurrogateTest, MoreParticipantsConvergeFaster) {
+  const auto shards = MakeShards(40, 1.0, 4);
+  SurrogateAccuracyModel few(MakeConfig(), shards);
+  SurrogateAccuracyModel many(MakeConfig(), shards);
+  for (int round = 0; round < 60; ++round) {
+    few.RoundUpdate(FullCohort(static_cast<size_t>(round) % 38, 2));
+    many.RoundUpdate(FullCohort(static_cast<size_t>(round) % 30, 10));
+  }
+  EXPECT_GT(many.GlobalAccuracy(), few.GlobalAccuracy());
+}
+
+TEST(SurrogateTest, StalenessSlowsProgress) {
+  const auto shards = MakeShards(20, 1.0, 5);
+  SurrogateAccuracyModel fresh(MakeConfig(), shards);
+  SurrogateAccuracyModel stale(MakeConfig(), shards);
+  for (int round = 0; round < 40; ++round) {
+    fresh.RoundUpdate(FullCohort(0, 10, 1.0, 0.0));
+    stale.RoundUpdate(FullCohort(0, 10, 1.0, 8.0));
+  }
+  EXPECT_GT(fresh.GlobalAccuracy(), stale.GlobalAccuracy());
+}
+
+TEST(SurrogateTest, LowQualityUpdatesCapAccuracy) {
+  const auto shards = MakeShards(20, 1.0, 6);
+  SurrogateAccuracyModel clean(MakeConfig(), shards);
+  SurrogateAccuracyModel noisy(MakeConfig(), shards);
+  for (int round = 0; round < 300; ++round) {
+    clean.RoundUpdate(FullCohort(0, 10, 1.0));
+    noisy.RoundUpdate(FullCohort(0, 10, 0.85));
+  }
+  EXPECT_GT(clean.GlobalAccuracy(), noisy.GlobalAccuracy() + 0.02);
+}
+
+TEST(SurrogateTest, NeglectedSkewedClientsHaveWorseAccuracy) {
+  // Heavily non-IID shards; only clients 0..9 ever contribute.
+  const auto shards = MakeShards(30, 0.05, 7);
+  SurrogateAccuracyModel model(MakeConfig(), shards);
+  for (int round = 0; round < 100; ++round) {
+    model.RoundUpdate(FullCohort(0, 10));
+  }
+  double contributors = 0.0;
+  double neglected = 0.0;
+  for (size_t i = 0; i < 10; ++i) {
+    contributors += model.ClientAccuracy(i);
+  }
+  for (size_t i = 10; i < 30; ++i) {
+    neglected += model.ClientAccuracy(i);
+  }
+  EXPECT_GT(contributors / 10.0, neglected / 20.0);
+}
+
+TEST(SurrogateTest, CoverageTracksContributingDataMass) {
+  const auto shards = MakeShards(10, 1.0, 8);
+  SurrogateAccuracyModel model(MakeConfig(), shards);
+  model.RoundUpdate(FullCohort(0, 5));
+  const double coverage = model.DataCoverage();
+  EXPECT_GT(coverage, 0.0);
+  EXPECT_LT(coverage, 1.0);
+  model.RoundUpdate(FullCohort(5, 5));
+  EXPECT_NEAR(model.DataCoverage(), 1.0, 1e-9);
+}
+
+TEST(SurrogateTest, AccuracyNeverExceedsMax) {
+  const auto shards = MakeShards(20, 10.0, 9);
+  SurrogateAccuracyModel model(MakeConfig(), shards);
+  for (int round = 0; round < 2000; ++round) {
+    model.RoundUpdate(FullCohort(0, 20));
+  }
+  EXPECT_LE(model.GlobalAccuracy(), 0.8 + 1e-9);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_GE(model.ClientAccuracy(i), 0.0);
+    EXPECT_LE(model.ClientAccuracy(i), 0.8 + 1e-9);
+  }
+}
+
+TEST(SurrogateTest, ConfigForDatasetCopiesCurveParameters) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kCifar10);
+  const SurrogateConfig config = SurrogateConfigFor(spec, 30.0);
+  EXPECT_DOUBLE_EQ(config.max_accuracy, spec.max_accuracy);
+  EXPECT_DOUBLE_EQ(config.initial_accuracy, spec.initial_accuracy);
+  EXPECT_DOUBLE_EQ(config.convergence_rate, spec.convergence_rate);
+  EXPECT_DOUBLE_EQ(config.participation_target, 30.0);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,139 @@
+#include "src/nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/synthetic.h"
+#include "src/nn/optimizer.h"
+
+namespace floatfl {
+namespace {
+
+TEST(MlpTest, ParamCountMatchesArchitecture) {
+  Rng rng(1);
+  Mlp net({4, 8, 3}, rng);
+  // (4*8 + 8) + (8*3 + 3) = 40 + 27 = 67
+  EXPECT_EQ(net.ParamCount(), 67u);
+  EXPECT_EQ(net.NumLayers(), 2u);
+}
+
+TEST(MlpTest, GetSetParametersRoundTrip) {
+  Rng rng(2);
+  Mlp a({5, 7, 2}, rng);
+  Mlp b({5, 7, 2}, rng);
+  b.SetParameters(a.GetParameters());
+  EXPECT_EQ(a.GetParameters(), b.GetParameters());
+  // Identical parameters -> identical outputs.
+  Tensor x(3, 5, 0.5f);
+  const Tensor ya = a.Forward(x);
+  const Tensor yb = b.Forward(x);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.flat()[i], yb.flat()[i]);
+  }
+}
+
+TEST(MlpTest, AggregateIsWeightedAverage) {
+  const std::vector<std::vector<float>> sets = {{1.0f, 2.0f}, {3.0f, 6.0f}};
+  const std::vector<float> avg = Mlp::Aggregate(sets, {1.0, 1.0});
+  EXPECT_FLOAT_EQ(avg[0], 2.0f);
+  EXPECT_FLOAT_EQ(avg[1], 4.0f);
+  const std::vector<float> weighted = Mlp::Aggregate(sets, {3.0, 1.0});
+  EXPECT_FLOAT_EQ(weighted[0], 1.5f);
+  EXPECT_FLOAT_EQ(weighted[1], 3.0f);
+}
+
+TEST(MlpTest, TrainingLearnsSeparableTask) {
+  Rng rng(3);
+  SyntheticTaskData task(3, 8, /*separation=*/3.0, rng);
+  Tensor train_x;
+  std::vector<int> train_y;
+  task.MakeTestSet(60, rng, &train_x, &train_y);
+  Tensor test_x;
+  std::vector<int> test_y;
+  task.MakeTestSet(30, rng, &test_x, &test_y);
+
+  Mlp net({8, 16, 3}, rng);
+  const double before = net.EvaluateAccuracy(test_x, test_y);
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.batch_size = 16;
+  config.epochs = 20;
+  TrainSgd(net, train_x, train_y, config, rng);
+  const double after = net.EvaluateAccuracy(test_x, test_y);
+  EXPECT_GT(after, 0.9);
+  EXPECT_GT(after, before);
+}
+
+TEST(MlpTest, PartialTrainingFreezesLeadingLayers) {
+  Rng rng(4);
+  Mlp net({4, 6, 6, 2}, rng);
+  const std::vector<float> before = net.GetParameters();
+  Tensor x(8, 4, 0.3f);
+  const std::vector<int> labels = {0, 1, 0, 1, 0, 1, 0, 1};
+  net.TrainBatch(x, labels, 0.1f, /*frozen_layers=*/2);
+  const std::vector<float> after = net.GetParameters();
+  // First layer (4*6+6 = 30 params) and second (6*6+6 = 42) unchanged.
+  for (size_t i = 0; i < 72; ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]) << "frozen param " << i << " moved";
+  }
+  // Final layer moved.
+  bool moved = false;
+  for (size_t i = 72; i < after.size(); ++i) {
+    if (before[i] != after[i]) {
+      moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(MlpTest, FedAvgOfIdenticalModelsIsIdentity) {
+  Rng rng(5);
+  Mlp net({3, 4, 2}, rng);
+  const std::vector<float> params = net.GetParameters();
+  const std::vector<float> agg = Mlp::Aggregate({params, params, params}, {1.0, 2.0, 3.0});
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_NEAR(agg[i], params[i], 1e-6);
+  }
+}
+
+TEST(SgdTest, CountsBatchesAndSamples) {
+  Rng rng(6);
+  Mlp net({2, 3, 2}, rng);
+  Tensor x(10, 2, 0.1f);
+  std::vector<int> y(10, 1);
+  SgdConfig config;
+  config.batch_size = 4;
+  config.epochs = 3;
+  const TrainResult result = TrainSgd(net, x, y, config, rng);
+  EXPECT_EQ(result.batches, 9u);   // ceil(10/4)=3 per epoch x 3
+  EXPECT_EQ(result.samples, 30u);
+}
+
+TEST(SgdTest, EmptyDatasetIsNoOp) {
+  Rng rng(7);
+  Mlp net({2, 2}, rng);
+  Tensor x(0, 2);
+  std::vector<int> y;
+  const TrainResult result = TrainSgd(net, x, y, SgdConfig{}, rng);
+  EXPECT_EQ(result.batches, 0u);
+  EXPECT_EQ(result.samples, 0u);
+}
+
+TEST(SgdTest, LossDecreasesOverEpochs) {
+  Rng rng(8);
+  SyntheticTaskData task(2, 6, 2.5, rng);
+  Tensor x;
+  std::vector<int> y;
+  task.MakeTestSet(50, rng, &x, &y);
+  Mlp net({6, 10, 2}, rng);
+  const double initial_loss = net.EvaluateLoss(x, y);
+  SgdConfig config;
+  config.learning_rate = 0.1f;
+  config.epochs = 10;
+  TrainSgd(net, x, y, config, rng);
+  EXPECT_LT(net.EvaluateLoss(x, y), initial_loss);
+}
+
+}  // namespace
+}  // namespace floatfl

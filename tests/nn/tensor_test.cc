@@ -1,0 +1,136 @@
+#include "src/nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace floatfl {
+namespace {
+
+TEST(TensorTest, ConstructionAndFill) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FLOAT_EQ(t.At(1, 2), 1.5f);
+}
+
+TEST(TensorTest, FromVector) {
+  const Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_FLOAT_EQ(t.At(0, 1), 2.0f);
+}
+
+TEST(TensorTest, MatMulKnownResult) {
+  Tensor a(2, 3);
+  // [[1,2,3],[4,5,6]]
+  float va = 1.0f;
+  for (auto& x : a.flat()) {
+    x = va++;
+  }
+  Tensor b(3, 2);
+  // [[7,8],[9,10],[11,12]]
+  float vb = 7.0f;
+  for (auto& x : b.flat()) {
+    x = vb++;
+  }
+  const Tensor c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(TensorTest, MatMulTransposedMatchesExplicit) {
+  Rng rng(3);
+  const Tensor a = Tensor::GlorotUniform(4, 5, rng);
+  const Tensor b = Tensor::GlorotUniform(3, 5, rng);
+  const Tensor direct = a.MatMulTransposed(b);  // 4x3
+  // Build b^T explicitly and compare with MatMul.
+  Tensor bt(5, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      bt.At(j, i) = b.At(i, j);
+    }
+  }
+  const Tensor expected = a.MatMul(bt);
+  ASSERT_TRUE(direct.SameShape(expected));
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.flat()[i], expected.flat()[i], 1e-5);
+  }
+}
+
+TEST(TensorTest, TransposedMatMulMatchesExplicit) {
+  Rng rng(5);
+  const Tensor a = Tensor::GlorotUniform(6, 4, rng);
+  const Tensor b = Tensor::GlorotUniform(6, 3, rng);
+  const Tensor direct = a.TransposedMatMul(b);  // 4x3
+  Tensor at(4, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      at.At(j, i) = a.At(i, j);
+    }
+  }
+  const Tensor expected = at.MatMul(b);
+  ASSERT_TRUE(direct.SameShape(expected));
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.flat()[i], expected.flat()[i], 1e-5);
+  }
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a(1, 3, 2.0f);
+  Tensor b(1, 3, 3.0f);
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 5.0f);
+  a.SubInPlace(b);
+  EXPECT_FLOAT_EQ(a.At(0, 1), 2.0f);
+  a.MulInPlace(b);
+  EXPECT_FLOAT_EQ(a.At(0, 2), 6.0f);
+  a.ScaleInPlace(0.5f);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 3.0f);
+}
+
+TEST(TensorTest, AddRowBroadcast) {
+  Tensor a(2, 3, 1.0f);
+  const Tensor row = Tensor::FromVector({10.0f, 20.0f, 30.0f});
+  a.AddRowBroadcast(row);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(a.At(1, 2), 31.0f);
+}
+
+TEST(TensorTest, ColSum) {
+  Tensor a(2, 2);
+  a.At(0, 0) = 1.0f;
+  a.At(0, 1) = 2.0f;
+  a.At(1, 0) = 3.0f;
+  a.At(1, 1) = 4.0f;
+  const Tensor sum = a.ColSum();
+  EXPECT_FLOAT_EQ(sum.At(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(sum.At(0, 1), 6.0f);
+}
+
+TEST(TensorTest, Norms) {
+  const Tensor t = Tensor::FromVector({3.0f, -4.0f});
+  EXPECT_NEAR(t.L2Norm(), 5.0, 1e-9);
+  EXPECT_NEAR(t.MaxAbs(), 4.0, 1e-9);
+}
+
+TEST(TensorTest, GlorotUniformWithinLimit) {
+  Rng rng(7);
+  const Tensor t = Tensor::GlorotUniform(10, 20, rng);
+  const double limit = std::sqrt(6.0 / 30.0);
+  for (float x : t.flat()) {
+    EXPECT_LE(std::fabs(x), limit + 1e-6);
+  }
+  // Not all zero.
+  EXPECT_GT(t.L2Norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,112 @@
+#include "src/opt/compress.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/opt/quantize.h"
+
+namespace floatfl {
+namespace {
+
+TEST(CompressTest, RoundTripEmpty) {
+  EXPECT_TRUE(RleDecompress(RleCompress({})).empty());
+}
+
+TEST(CompressTest, RoundTripExactOnRandomData) {
+  Rng rng(1);
+  std::vector<uint8_t> data(4096);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.UniformInt(256));
+  }
+  EXPECT_EQ(RleDecompress(RleCompress(data)), data);
+}
+
+TEST(CompressTest, RoundTripExactOnRuns) {
+  std::vector<uint8_t> data;
+  for (int run = 0; run < 20; ++run) {
+    data.insert(data.end(), 300, static_cast<uint8_t>(run));
+  }
+  EXPECT_EQ(RleDecompress(RleCompress(data)), data);
+}
+
+TEST(CompressTest, CompressesZeroRuns) {
+  std::vector<uint8_t> data(10000, 0);
+  EXPECT_LT(CompressionRatio(data), 0.02);
+}
+
+TEST(CompressTest, CompressesSlowlyVaryingSequences) {
+  // Delta transform turns monotone ramps into runs.
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back(static_cast<uint8_t>(i / 64));
+  }
+  EXPECT_LT(CompressionRatio(data), 0.1);
+}
+
+TEST(CompressTest, RandomDataExpandsBoundedly) {
+  Rng rng(3);
+  std::vector<uint8_t> data(4096);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.UniformInt(256));
+  }
+  // Worst case of byte-RLE is 2x.
+  EXPECT_LE(CompressionRatio(data), 2.0);
+}
+
+TEST(CompressTest, PrunedQuantizedUpdateCompressesWell) {
+  // The realistic pipeline: quantize a 75 %-pruned update and compress. The
+  // zero runs from pruning must yield a strong ratio — this is the lossless
+  // compression trade the paper describes.
+  Rng rng(5);
+  std::vector<float> weights(8192);
+  for (auto& w : weights) {
+    w = static_cast<float>(rng.Normal(0.0, 0.05));
+  }
+  // Prune: zero 75 % smallest.
+  std::vector<float> sorted_mags;
+  for (float w : weights) {
+    sorted_mags.push_back(std::abs(w));
+  }
+  std::sort(sorted_mags.begin(), sorted_mags.end());
+  const float threshold = sorted_mags[sorted_mags.size() * 3 / 4];
+  for (auto& w : weights) {
+    if (std::abs(w) < threshold) {
+      w = 0.0f;
+    }
+  }
+  const QuantizedBlob pruned_blob = Quantize(weights, 8);
+  // Compare against the unpruned version of the same update: the zero runs
+  // introduced by pruning must make the blob substantially more
+  // compressible.
+  Rng rng2(5);
+  std::vector<float> dense(8192);
+  for (auto& w : dense) {
+    w = static_cast<float>(rng2.Normal(0.0, 0.05));
+  }
+  const QuantizedBlob dense_blob = Quantize(dense, 8);
+  EXPECT_LT(CompressionRatio(pruned_blob.data), 0.7 * CompressionRatio(dense_blob.data));
+}
+
+TEST(CompressTest, EmptyRatioIsOne) { EXPECT_DOUBLE_EQ(CompressionRatio({}), 1.0); }
+
+class CompressRoundTripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressRoundTripSweep, AlwaysExact) {
+  Rng rng(GetParam());
+  std::vector<uint8_t> data(static_cast<size_t>(rng.UniformInt(2000)) + 1);
+  // Mix of runs and noise.
+  size_t i = 0;
+  while (i < data.size()) {
+    const uint8_t value = static_cast<uint8_t>(rng.UniformInt(256));
+    const size_t run = std::min<size_t>(rng.UniformInt(50) + 1, data.size() - i);
+    for (size_t j = 0; j < run; ++j) {
+      data[i++] = value;
+    }
+  }
+  EXPECT_EQ(RleDecompress(RleCompress(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressRoundTripSweep, ::testing::Range(uint64_t{0}, uint64_t{10}));
+
+}  // namespace
+}  // namespace floatfl

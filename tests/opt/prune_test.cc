@@ -1,0 +1,75 @@
+#include "src/opt/prune.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace floatfl {
+namespace {
+
+TEST(PruneTest, ZeroFractionIsNoOp) {
+  std::vector<float> w = {1.0f, -2.0f, 3.0f};
+  EXPECT_EQ(MagnitudePrune(w, 0.0), 0u);
+  EXPECT_EQ(w, (std::vector<float>{1.0f, -2.0f, 3.0f}));
+}
+
+TEST(PruneTest, RemovesSmallestMagnitudes) {
+  std::vector<float> w = {0.1f, -5.0f, 0.2f, 4.0f, -0.05f, 3.0f};
+  const size_t zeroed = MagnitudePrune(w, 0.5);
+  EXPECT_EQ(zeroed, 3u);
+  EXPECT_FLOAT_EQ(w[0], 0.0f);
+  EXPECT_FLOAT_EQ(w[1], -5.0f);
+  EXPECT_FLOAT_EQ(w[2], 0.0f);
+  EXPECT_FLOAT_EQ(w[3], 4.0f);
+  EXPECT_FLOAT_EQ(w[4], 0.0f);
+  EXPECT_FLOAT_EQ(w[5], 3.0f);
+}
+
+TEST(PruneTest, FullPruneZeroesEverything) {
+  std::vector<float> w = {1.0f, 2.0f, 3.0f};
+  MagnitudePrune(w, 1.0);
+  EXPECT_DOUBLE_EQ(Sparsity(w), 1.0);
+}
+
+TEST(PruneTest, SparsityMatchesFraction) {
+  Rng rng(3);
+  std::vector<float> w(1000);
+  for (auto& x : w) {
+    x = static_cast<float>(rng.Normal());
+  }
+  for (double frac : {0.25, 0.5, 0.75}) {
+    std::vector<float> copy = w;
+    MagnitudePrune(copy, frac);
+    EXPECT_NEAR(Sparsity(copy), frac, 0.01);
+  }
+}
+
+TEST(PruneTest, SparseEncodingShrinksWithPruning) {
+  Rng rng(5);
+  std::vector<float> w(1000);
+  for (auto& x : w) {
+    x = static_cast<float>(rng.Normal());
+  }
+  const size_t dense_bytes = SparseEncodingBytes(w);
+  MagnitudePrune(w, 0.75);
+  const size_t sparse_bytes = SparseEncodingBytes(w);
+  EXPECT_LT(sparse_bytes, dense_bytes / 3);
+}
+
+TEST(PruneTest, EmptyVector) {
+  std::vector<float> w;
+  EXPECT_EQ(MagnitudePrune(w, 0.5), 0u);
+  EXPECT_EQ(Sparsity(w), 0.0);
+}
+
+TEST(PruneTest, SurvivorsKeepValues) {
+  std::vector<float> w = {10.0f, 0.1f, -20.0f, 0.2f};
+  MagnitudePrune(w, 0.5);
+  EXPECT_FLOAT_EQ(w[0], 10.0f);
+  EXPECT_FLOAT_EQ(w[2], -20.0f);
+}
+
+}  // namespace
+}  // namespace floatfl

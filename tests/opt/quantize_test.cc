@@ -1,0 +1,94 @@
+#include "src/opt/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace floatfl {
+namespace {
+
+std::vector<float> RandomWeights(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> w(n);
+  for (auto& x : w) {
+    x = static_cast<float>(rng.Normal(0.0, 0.1));
+  }
+  return w;
+}
+
+TEST(QuantizeTest, RoundTripErrorBoundedByHalfScale) {
+  for (int bits : {8, 16}) {
+    std::vector<float> w = RandomWeights(1000, 3);
+    const QuantizedBlob blob = Quantize(w, bits);
+    const std::vector<float> restored = Dequantize(blob);
+    ASSERT_EQ(restored.size(), w.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+      EXPECT_LE(std::fabs(w[i] - restored[i]), blob.scale * 0.5 + 1e-7);
+    }
+  }
+}
+
+TEST(QuantizeTest, SixteenBitMoreAccurateThanEight) {
+  std::vector<float> w8 = RandomWeights(2000, 5);
+  std::vector<float> w16 = w8;
+  const double err8 = QuantizeDequantize(w8, 8);
+  const double err16 = QuantizeDequantize(w16, 16);
+  EXPECT_LT(err16, err8);
+  EXPECT_GT(err8, 0.0);
+}
+
+TEST(QuantizeTest, ByteSizesMatchBitWidth) {
+  const std::vector<float> w = RandomWeights(100, 7);
+  EXPECT_EQ(Quantize(w, 8).data.size(), 100u);
+  EXPECT_EQ(Quantize(w, 16).data.size(), 200u);
+  // The blob is ~4x / ~2x smaller than fp32.
+  EXPECT_LT(Quantize(w, 8).ByteSize(), 100 * 4 / 2);
+}
+
+TEST(QuantizeTest, ConstantVectorSurvives) {
+  std::vector<float> w(64, 1.25f);
+  const QuantizedBlob blob = Quantize(w, 8);
+  const std::vector<float> restored = Dequantize(blob);
+  for (float x : restored) {
+    EXPECT_NEAR(x, 1.25f, 1e-2);
+  }
+}
+
+TEST(QuantizeTest, EmptyVector) {
+  const QuantizedBlob blob = Quantize({}, 8);
+  EXPECT_EQ(blob.count, 0u);
+  EXPECT_TRUE(Dequantize(blob).empty());
+}
+
+TEST(QuantizeTest, PreservesExtremes) {
+  const std::vector<float> w = {-5.0f, 0.0f, 5.0f};
+  const std::vector<float> restored = Dequantize(Quantize(w, 16));
+  EXPECT_NEAR(restored[0], -5.0f, 1e-3);
+  EXPECT_NEAR(restored[2], 5.0f, 1e-3);
+}
+
+class QuantizeSweep : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(QuantizeSweep, RoundTripBounded) {
+  const auto [bits, seed] = GetParam();
+  std::vector<float> w = RandomWeights(512, seed);
+  const double max_abs = [&] {
+    double m = 0.0;
+    for (float x : w) {
+      m = std::max(m, std::fabs(static_cast<double>(x)));
+    }
+    return m;
+  }();
+  const double err = QuantizeDequantize(w, bits);
+  const double levels = bits == 8 ? 255.0 : 65535.0;
+  EXPECT_LE(err, 2.0 * max_abs / levels + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsAndSeeds, QuantizeSweep,
+                         ::testing::Combine(::testing::Values(8, 16),
+                                            ::testing::Values(uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{4})));
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/fl/client.h"
+#include "src/selection/oort_selector.h"
+#include "src/selection/random_selector.h"
+#include "src/selection/refl_selector.h"
+
+namespace floatfl {
+namespace {
+
+std::vector<Client> SmallPopulation(uint64_t seed = 7, size_t n = 50) {
+  return BuildPopulation(GetDatasetSpec(DatasetId::kFemnist), n, 0.1,
+                         InterferenceScenario::kDynamic, seed);
+}
+
+TEST(RandomSelectorTest, SelectsKDistinctAvailableClients) {
+  std::vector<Client> clients = SmallPopulation();
+  RandomSelector selector(1);
+  const std::vector<size_t> selected = selector.Select(0, 0.0, 10, clients);
+  EXPECT_LE(selected.size(), 10u);
+  std::set<size_t> unique(selected.begin(), selected.end());
+  EXPECT_EQ(unique.size(), selected.size());
+  for (size_t id : selected) {
+    EXPECT_TRUE(clients[id].availability().IsAvailableAt(0.0));
+  }
+}
+
+TEST(RandomSelectorTest, CoversPopulationOverTime) {
+  std::vector<Client> clients = SmallPopulation();
+  RandomSelector selector(2);
+  std::set<size_t> seen;
+  for (size_t round = 0; round < 100; ++round) {
+    for (size_t id : selector.Select(round, round * 600.0, 10, clients)) {
+      seen.insert(id);
+    }
+  }
+  // Random selection must reach essentially everyone (unbiased, Fig 2a).
+  EXPECT_GE(seen.size(), 48u);
+}
+
+TEST(OortSelectorTest, ExploresThenPrefersHighUtility) {
+  std::vector<Client> clients = SmallPopulation(11);
+  OortSelector selector(3, clients.size());
+  // Round 0: selections happen (exploration/backfill).
+  const std::vector<size_t> first = selector.Select(0, 0.0, 10, clients);
+  EXPECT_FALSE(first.empty());
+  // Feed outcomes: clients 0..4 fast, others slow.
+  for (size_t id : first) {
+    selector.OnOutcome(id, true, id < 5 ? 100.0 : 2000.0, 1000.0);
+  }
+  // Utilities of fast clients must now exceed slow ones among explored.
+  for (size_t fast : first) {
+    if (fast >= 5) {
+      continue;
+    }
+    for (size_t slow : first) {
+      if (slow < 5) {
+        continue;
+      }
+      EXPECT_GT(selector.UtilityOf(fast), selector.UtilityOf(slow));
+    }
+  }
+}
+
+TEST(OortSelectorTest, BlacklistsRepeatedFailures) {
+  std::vector<Client> clients = SmallPopulation(13);
+  OortSelector selector(5, clients.size());
+  (void)selector.Select(0, 0.0, 10, clients);
+  for (int i = 0; i < 6; ++i) {
+    selector.OnOutcome(7, false, 2000.0, 1000.0);
+  }
+  EXPECT_TRUE(selector.IsBlacklisted(7));
+  // A blacklisted client is never selected again.
+  for (size_t round = 1; round < 50; ++round) {
+    for (size_t id : selector.Select(round, round * 600.0, 10, clients)) {
+      EXPECT_NE(id, 7u);
+    }
+  }
+}
+
+TEST(OortSelectorTest, SuccessRestoresFailureCount) {
+  std::vector<Client> clients = SmallPopulation(17);
+  OortSelector selector(7, clients.size());
+  (void)selector.Select(0, 0.0, 5, clients);
+  for (int i = 0; i < 4; ++i) {
+    selector.OnOutcome(3, false, 2000.0, 1000.0);
+  }
+  EXPECT_FALSE(selector.IsBlacklisted(3));
+  selector.OnOutcome(3, true, 100.0, 1000.0);
+  for (int i = 0; i < 4; ++i) {
+    selector.OnOutcome(3, false, 2000.0, 1000.0);
+  }
+  EXPECT_FALSE(selector.IsBlacklisted(3));  // counter reset by the success
+}
+
+TEST(ReflSelectorTest, ExcludesChronicallySlowClients) {
+  std::vector<Client> clients = SmallPopulation(19);
+  ReflSelector selector(9, clients.size());
+  (void)selector.Select(0, 0.0, 10, clients);
+  // Client 4 keeps failing with durations past the deadline.
+  for (int i = 0; i < 6; ++i) {
+    selector.OnOutcome(4, false, 1500.0, 1000.0);
+  }
+  EXPECT_GT(selector.EstimatedDuration(4), 1000.0);
+  for (size_t round = 1; round < 30; ++round) {
+    for (size_t id : selector.Select(round, round * 600.0, 10, clients)) {
+      EXPECT_NE(id, 4u);
+    }
+  }
+}
+
+TEST(ReflSelectorTest, PrioritizesStaleClients) {
+  std::vector<Client> clients = SmallPopulation(23);
+  ReflSelector selector(11, clients.size());
+  // Run several rounds; count how many distinct clients get selected. The
+  // staleness priority must rotate through the (eligible) population.
+  std::set<size_t> seen;
+  for (size_t round = 0; round < 20; ++round) {
+    for (size_t id : selector.Select(round, round * 600.0, 10, clients)) {
+      seen.insert(id);
+      selector.OnOutcome(id, true, 300.0, 1000.0);
+    }
+  }
+  EXPECT_GE(seen.size(), 40u);
+}
+
+TEST(ReflSelectorTest, WindowPredictionTracksObservations) {
+  std::vector<Client> clients = SmallPopulation(29);
+  ReflSelector selector(13, clients.size());
+  (void)selector.Select(0, 0.0, 10, clients);
+  // Any available client must have a positive predicted window.
+  for (auto& client : clients) {
+    if (client.availability().IsAvailableAt(0.0)) {
+      EXPECT_GT(selector.PredictedWindow(client.id()), 0.0);
+    }
+  }
+}
+
+TEST(SelectorNamesTest, StableIdentifiers) {
+  std::vector<Client> clients = SmallPopulation(31);
+  RandomSelector r(1);
+  OortSelector o(2, clients.size());
+  ReflSelector f(3, clients.size());
+  EXPECT_EQ(r.Name(), "fedavg");
+  EXPECT_EQ(o.Name(), "oort");
+  EXPECT_EQ(f.Name(), "refl");
+}
+
+}  // namespace
+}  // namespace floatfl
+
+namespace floatfl {
+namespace {
+
+TEST(OortSelectorTest, PacerRelaxesWhenCompletionsAreScarce) {
+  std::vector<Client> clients = SmallPopulation(37);
+  OortSelector selector(15, clients.size());
+  const double initial = selector.PacerFraction();
+  for (int i = 0; i < 500; ++i) {
+    selector.OnOutcome(i % 10, /*completed=*/false, 2000.0, 1000.0);
+  }
+  EXPECT_GT(selector.PacerFraction(), initial);
+  // Abundant completions tighten it back down.
+  for (int i = 0; i < 2000; ++i) {
+    selector.OnOutcome(i % 10, /*completed=*/true, 100.0, 1000.0);
+  }
+  EXPECT_LT(selector.PacerFraction(), 0.9);
+}
+
+}  // namespace
+}  // namespace floatfl

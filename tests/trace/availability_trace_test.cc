@@ -1,0 +1,74 @@
+#include "src/trace/availability_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace floatfl {
+namespace {
+
+TEST(AvailabilityTraceTest, PeriodEndIsInTheFuture) {
+  AvailabilityTrace trace(1);
+  for (double t = 0.0; t < 86400.0; t += 600.0) {
+    EXPECT_GT(trace.PeriodEndAfter(t), t);
+  }
+}
+
+TEST(AvailabilityTraceTest, StateConstantWithinPeriod) {
+  AvailabilityTrace trace(2);
+  const bool state = trace.IsAvailableAt(1000.0);
+  const double end = trace.PeriodEndAfter(1000.0);
+  // Probe a point strictly inside the same period.
+  const double inside = 1000.0 + (end - 1000.0) * 0.5;
+  EXPECT_EQ(trace.IsAvailableAt(inside), state);
+}
+
+TEST(AvailabilityTraceTest, StateFlipsAtPeriodEnd) {
+  AvailabilityTrace trace(3);
+  const bool state = trace.IsAvailableAt(0.0);
+  const double end = trace.PeriodEndAfter(0.0);
+  EXPECT_EQ(trace.IsAvailableAt(end + 1.0), !state);
+}
+
+TEST(AvailabilityTraceTest, AvailableForChecksWholeWindow) {
+  AvailabilityTrace trace(4);
+  // Find an "on" period and check AvailableFor around its boundary.
+  double t = 0.0;
+  while (!trace.IsAvailableAt(t)) {
+    t = trace.PeriodEndAfter(t) + 1.0;
+  }
+  const double end = trace.PeriodEndAfter(t);
+  const double slack = end - t;
+  EXPECT_TRUE(trace.AvailableFor(t, slack * 0.5));
+  EXPECT_FALSE(trace.AvailableFor(t, slack + 10.0));
+}
+
+TEST(AvailabilityTraceTest, UnavailableMeansNotAvailableForAnything) {
+  AvailabilityTrace trace(5);
+  double t = 0.0;
+  while (trace.IsAvailableAt(t)) {
+    t = trace.PeriodEndAfter(t) + 1.0;
+  }
+  EXPECT_FALSE(trace.AvailableFor(t, 1.0));
+}
+
+TEST(AvailabilityTraceTest, LongRunOnFractionMatchesMeans) {
+  // mean_on 3000 / mean_off 1000 -> ~75 % availability.
+  AvailabilityTrace trace(6, 3000.0, 1000.0);
+  int on = 0;
+  int total = 0;
+  for (double t = 0.0; t < 30.0 * 86400.0; t += 120.0) {
+    on += trace.IsAvailableAt(t) ? 1 : 0;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(on) / total, 0.75, 0.08);
+}
+
+TEST(AvailabilityTraceTest, DeterministicForSeed) {
+  AvailabilityTrace a(9);
+  AvailabilityTrace b(9);
+  for (double t = 0.0; t < 86400.0; t += 300.0) {
+    EXPECT_EQ(a.IsAvailableAt(t), b.IsAvailableAt(t));
+  }
+}
+
+}  // namespace
+}  // namespace floatfl

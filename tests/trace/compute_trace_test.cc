@@ -1,0 +1,77 @@
+#include "src/trace/compute_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace floatfl {
+namespace {
+
+TEST(ComputeTraceTest, SampleDeviceCoversTiers) {
+  std::map<DeviceTier, int> counts;
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    ++counts[ComputeTrace::SampleDevice(seed).tier()];
+  }
+  EXPECT_GT(counts[DeviceTier::kFlagship], 0);
+  EXPECT_GT(counts[DeviceTier::kMid], 0);
+  EXPECT_GT(counts[DeviceTier::kBudget], 0);
+  EXPECT_GT(counts[DeviceTier::kIot], 0);
+  // Mid tier is the most common per the population mix.
+  EXPECT_GT(counts[DeviceTier::kMid], counts[DeviceTier::kIot]);
+}
+
+TEST(ComputeTraceTest, PopulationSpansWideSpeedRange) {
+  // The AI-Benchmark trace shows a >10x training-speed spread; the synthetic
+  // population must reproduce that.
+  std::vector<double> speeds;
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    speeds.push_back(ComputeTrace::SampleDevice(seed).BaseGflops());
+  }
+  EXPECT_GT(Percentile(speeds, 95.0) / Percentile(speeds, 5.0), 10.0);
+}
+
+TEST(ComputeTraceTest, ThroughputPositiveAndBounded) {
+  ComputeTrace trace(DeviceTier::kMid, 20.0, 3);
+  for (double t = 0.0; t < 36000.0; t += 30.0) {
+    const double g = trace.GflopsAt(t);
+    EXPECT_GT(g, 0.0);
+    EXPECT_GE(g, 0.05 * 20.0);  // throttling floor
+  }
+}
+
+TEST(ComputeTraceTest, DriftChangesThroughputOverTime) {
+  ComputeTrace trace(DeviceTier::kFlagship, 50.0, 5);
+  const double early = trace.GflopsAt(0.0);
+  bool changed = false;
+  for (double t = 60.0; t < 7200.0; t += 60.0) {
+    if (std::abs(trace.GflopsAt(t) - early) > 1.0) {
+      changed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(ComputeTraceTest, MemoryCapacityPositive) {
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    const ComputeTrace device = ComputeTrace::SampleDevice(seed);
+    EXPECT_GT(device.MemoryGb(), 0.2);
+    EXPECT_LT(device.MemoryGb(), 64.0);
+  }
+}
+
+TEST(ComputeTraceTest, DeterministicForSeed) {
+  ComputeTrace a = ComputeTrace::SampleDevice(77);
+  ComputeTrace b = ComputeTrace::SampleDevice(77);
+  EXPECT_EQ(a.tier(), b.tier());
+  EXPECT_DOUBLE_EQ(a.BaseGflops(), b.BaseGflops());
+  for (double t = 0.0; t < 3600.0; t += 30.0) {
+    EXPECT_DOUBLE_EQ(a.GflopsAt(t), b.GflopsAt(t));
+  }
+}
+
+}  // namespace
+}  // namespace floatfl

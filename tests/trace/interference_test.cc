@@ -1,0 +1,73 @@
+#include "src/trace/interference.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace floatfl {
+namespace {
+
+TEST(InterferenceTest, NoneLeavesEverythingAvailable) {
+  InterferenceModel model(InterferenceScenario::kNone, 1);
+  for (double t = 0.0; t < 7200.0; t += 60.0) {
+    const ResourceAvailability a = model.At(t);
+    EXPECT_DOUBLE_EQ(a.cpu, 1.0);
+    EXPECT_DOUBLE_EQ(a.memory, 1.0);
+    EXPECT_DOUBLE_EQ(a.network, 1.0);
+  }
+}
+
+TEST(InterferenceTest, StaticIsConstantOverTime) {
+  InterferenceModel model(InterferenceScenario::kStatic, 2);
+  const ResourceAvailability first = model.At(0.0);
+  EXPECT_LT(first.cpu, 1.0);
+  for (double t = 60.0; t < 7200.0; t += 60.0) {
+    const ResourceAvailability a = model.At(t);
+    EXPECT_DOUBLE_EQ(a.cpu, first.cpu);
+    EXPECT_DOUBLE_EQ(a.memory, first.memory);
+    EXPECT_DOUBLE_EQ(a.network, first.network);
+  }
+}
+
+TEST(InterferenceTest, DynamicFluctuatesWithinBounds) {
+  InterferenceModel model(InterferenceScenario::kDynamic, 3);
+  std::vector<double> cpu;
+  for (double t = 0.0; t < 36000.0; t += 15.0) {
+    const ResourceAvailability a = model.At(t);
+    EXPECT_GE(a.cpu, 0.02);
+    EXPECT_LE(a.cpu, 1.0);
+    EXPECT_GE(a.memory, 0.02);
+    EXPECT_LE(a.memory, 1.0);
+    EXPECT_GE(a.network, 0.02);
+    EXPECT_LE(a.network, 1.0);
+    cpu.push_back(a.cpu);
+  }
+  // Genuinely dynamic: meaningful spread over time.
+  EXPECT_GT(Percentile(cpu, 90.0) - Percentile(cpu, 10.0), 0.05);
+}
+
+TEST(InterferenceTest, ScenariosToString) {
+  EXPECT_EQ(ToString(InterferenceScenario::kNone), "none");
+  EXPECT_EQ(ToString(InterferenceScenario::kStatic), "static");
+  EXPECT_EQ(ToString(InterferenceScenario::kDynamic), "dynamic");
+}
+
+TEST(InterferenceTest, DifferentClientsDifferentStaticLevels) {
+  InterferenceModel a(InterferenceScenario::kStatic, 10);
+  InterferenceModel b(InterferenceScenario::kStatic, 11);
+  EXPECT_NE(a.At(0.0).cpu, b.At(0.0).cpu);
+}
+
+TEST(InterferenceTest, DeterministicForSeed) {
+  InterferenceModel a(InterferenceScenario::kDynamic, 21);
+  InterferenceModel b(InterferenceScenario::kDynamic, 21);
+  for (double t = 0.0; t < 3600.0; t += 15.0) {
+    EXPECT_DOUBLE_EQ(a.At(t).cpu, b.At(t).cpu);
+    EXPECT_DOUBLE_EQ(a.At(t).network, b.At(t).network);
+  }
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,88 @@
+#include "src/trace/network_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace floatfl {
+namespace {
+
+TEST(NetworkTraceTest, BandwidthAlwaysPositive) {
+  NetworkTrace trace(NetworkKind::kFourG, 1);
+  for (double t = 0.0; t < 36000.0; t += 10.0) {
+    EXPECT_GT(trace.BandwidthMbpsAt(t), 0.0);
+  }
+}
+
+TEST(NetworkTraceTest, DeterministicForSeed) {
+  NetworkTrace a(NetworkKind::kFiveG, 42);
+  NetworkTrace b(NetworkKind::kFiveG, 42);
+  for (double t = 0.0; t < 3600.0; t += 30.0) {
+    EXPECT_DOUBLE_EQ(a.BandwidthMbpsAt(t), b.BandwidthMbpsAt(t));
+  }
+}
+
+TEST(NetworkTraceTest, FiveGTypicallyFasterThanFourG) {
+  // Across a population of seeds, median 5G bandwidth must clearly exceed 4G.
+  std::vector<double> four_g;
+  std::vector<double> five_g;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    NetworkTrace f4(NetworkKind::kFourG, seed);
+    NetworkTrace f5(NetworkKind::kFiveG, seed + 1000);
+    for (double t = 0.0; t < 7200.0; t += 60.0) {
+      four_g.push_back(f4.BandwidthMbpsAt(t));
+      five_g.push_back(f5.BandwidthMbpsAt(t));
+    }
+  }
+  EXPECT_GT(Percentile(five_g, 50.0), 3.0 * Percentile(four_g, 50.0));
+}
+
+TEST(NetworkTraceTest, TemporallyCorrelated) {
+  // Consecutive samples must be far more similar than distant ones
+  // (the whole point of replacing the real traces with an AR process).
+  NetworkTrace trace(NetworkKind::kFourG, 7);
+  std::vector<double> series;
+  for (double t = 0.0; t < 72000.0; t += 10.0) {
+    series.push_back(trace.BandwidthMbpsAt(t));
+  }
+  double adjacent_diff = 0.0;
+  double distant_diff = 0.0;
+  const size_t lag = 300;
+  for (size_t i = 0; i + lag < series.size(); ++i) {
+    adjacent_diff += std::abs(series[i + 1] - series[i]);
+    distant_diff += std::abs(series[i + lag] - series[i]);
+  }
+  EXPECT_LT(adjacent_diff, distant_diff);
+}
+
+TEST(NetworkTraceTest, ExperiencesOutages) {
+  // Over a long horizon a 4G client should occasionally see near-zero rates.
+  NetworkTrace trace(NetworkKind::kFourG, 12);
+  double min_seen = 1e18;
+  for (double t = 0.0; t < 7.0 * 86400.0; t += 10.0) {
+    min_seen = std::min(min_seen, trace.BandwidthMbpsAt(t));
+  }
+  EXPECT_LT(min_seen, 0.5);
+}
+
+TEST(NetworkTraceTest, EarlierQueryReturnsCurrentValue) {
+  NetworkTrace trace(NetworkKind::kFourG, 9);
+  const double at_1000 = trace.BandwidthMbpsAt(1000.0);
+  EXPECT_DOUBLE_EQ(trace.BandwidthMbpsAt(500.0), at_1000);
+}
+
+TEST(NetworkTraceTest, NominalWithinSaneRange) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    NetworkTrace f4(NetworkKind::kFourG, seed);
+    EXPECT_GT(f4.NominalMbps(), 1.0);
+    EXPECT_LT(f4.NominalMbps(), 200.0);
+    NetworkTrace f5(NetworkKind::kFiveG, seed);
+    EXPECT_GT(f5.NominalMbps(), 10.0);
+    EXPECT_LT(f5.NominalMbps(), 2000.0);
+  }
+}
+
+}  // namespace
+}  // namespace floatfl
