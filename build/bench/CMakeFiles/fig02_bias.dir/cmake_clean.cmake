@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_bias.dir/fig02_bias.cpp.o"
+  "CMakeFiles/fig02_bias.dir/fig02_bias.cpp.o.d"
+  "fig02_bias"
+  "fig02_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dropout_impact.dir/fig03_dropout_impact.cpp.o"
+  "CMakeFiles/fig03_dropout_impact.dir/fig03_dropout_impact.cpp.o.d"
+  "fig03_dropout_impact"
+  "fig03_dropout_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dropout_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

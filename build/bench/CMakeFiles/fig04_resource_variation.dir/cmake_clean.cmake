@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_resource_variation.dir/fig04_resource_variation.cpp.o"
+  "CMakeFiles/fig04_resource_variation.dir/fig04_resource_variation.cpp.o.d"
+  "fig04_resource_variation"
+  "fig04_resource_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_resource_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

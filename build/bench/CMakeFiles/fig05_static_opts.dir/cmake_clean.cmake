@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_static_opts.dir/fig05_static_opts.cpp.o"
+  "CMakeFiles/fig05_static_opts.dir/fig05_static_opts.cpp.o.d"
+  "fig05_static_opts"
+  "fig05_static_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_static_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

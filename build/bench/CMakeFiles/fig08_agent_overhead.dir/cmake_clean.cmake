@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_agent_overhead.dir/fig08_agent_overhead.cpp.o"
+  "CMakeFiles/fig08_agent_overhead.dir/fig08_agent_overhead.cpp.o.d"
+  "fig08_agent_overhead"
+  "fig08_agent_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_agent_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

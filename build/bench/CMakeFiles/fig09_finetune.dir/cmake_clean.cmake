@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_finetune.dir/fig09_finetune.cpp.o"
+  "CMakeFiles/fig09_finetune.dir/fig09_finetune.cpp.o.d"
+  "fig09_finetune"
+  "fig09_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_qtable_scenarios.dir/fig10_qtable_scenarios.cpp.o"
+  "CMakeFiles/fig10_qtable_scenarios.dir/fig10_qtable_scenarios.cpp.o.d"
+  "fig10_qtable_scenarios"
+  "fig10_qtable_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_qtable_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_openimage.dir/fig13_openimage.cpp.o"
+  "CMakeFiles/fig13_openimage.dir/fig13_openimage.cpp.o.d"
+  "fig13_openimage"
+  "fig13_openimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_openimage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

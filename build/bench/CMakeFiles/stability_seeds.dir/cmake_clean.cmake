@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_seeds.dir/stability_seeds.cpp.o"
+  "CMakeFiles/stability_seeds.dir/stability_seeds.cpp.o.d"
+  "stability_seeds"
+  "stability_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

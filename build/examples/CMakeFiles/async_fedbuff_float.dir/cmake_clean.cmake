@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_fedbuff_float.dir/async_fedbuff_float.cpp.o"
+  "CMakeFiles/async_fedbuff_float.dir/async_fedbuff_float.cpp.o.d"
+  "async_fedbuff_float"
+  "async_fedbuff_float.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_fedbuff_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femnist_dynamic_interference.dir/femnist_dynamic_interference.cpp.o"
+  "CMakeFiles/femnist_dynamic_interference.dir/femnist_dynamic_interference.cpp.o.d"
+  "femnist_dynamic_interference"
+  "femnist_dynamic_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femnist_dynamic_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for femnist_dynamic_interference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for femnist_dynamic_interference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_training_fedavg.dir/real_training_fedavg.cpp.o"
+  "CMakeFiles/real_training_fedavg.dir/real_training_fedavg.cpp.o.d"
+  "real_training_fedavg"
+  "real_training_fedavg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_training_fedavg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

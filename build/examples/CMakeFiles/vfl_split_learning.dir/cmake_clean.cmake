@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfl_split_learning.dir/vfl_split_learning.cpp.o"
+  "CMakeFiles/vfl_split_learning.dir/vfl_split_learning.cpp.o.d"
+  "vfl_split_learning"
+  "vfl_split_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfl_split_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/discretizer.cc" "src/CMakeFiles/floatfl.dir/common/discretizer.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/common/discretizer.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/floatfl.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/floatfl.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/floatfl.dir/common/table.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/common/table.cc.o.d"
+  "/root/repo/src/core/float_controller.cc" "src/CMakeFiles/floatfl.dir/core/float_controller.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/core/float_controller.cc.o.d"
+  "/root/repo/src/core/heuristic_policy.cc" "src/CMakeFiles/floatfl.dir/core/heuristic_policy.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/core/heuristic_policy.cc.o.d"
+  "/root/repo/src/core/per_client_controller.cc" "src/CMakeFiles/floatfl.dir/core/per_client_controller.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/core/per_client_controller.cc.o.d"
+  "/root/repo/src/core/q_table.cc" "src/CMakeFiles/floatfl.dir/core/q_table.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/core/q_table.cc.o.d"
+  "/root/repo/src/core/rlhf_agent.cc" "src/CMakeFiles/floatfl.dir/core/rlhf_agent.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/core/rlhf_agent.cc.o.d"
+  "/root/repo/src/core/state_encoder.cc" "src/CMakeFiles/floatfl.dir/core/state_encoder.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/core/state_encoder.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/floatfl.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dirichlet.cc" "src/CMakeFiles/floatfl.dir/data/dirichlet.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/data/dirichlet.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/floatfl.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/fl/async_engine.cc" "src/CMakeFiles/floatfl.dir/fl/async_engine.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/fl/async_engine.cc.o.d"
+  "/root/repo/src/fl/client.cc" "src/CMakeFiles/floatfl.dir/fl/client.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/fl/client.cc.o.d"
+  "/root/repo/src/fl/cost_model.cc" "src/CMakeFiles/floatfl.dir/fl/cost_model.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/fl/cost_model.cc.o.d"
+  "/root/repo/src/fl/observation.cc" "src/CMakeFiles/floatfl.dir/fl/observation.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/fl/observation.cc.o.d"
+  "/root/repo/src/fl/real_engine.cc" "src/CMakeFiles/floatfl.dir/fl/real_engine.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/fl/real_engine.cc.o.d"
+  "/root/repo/src/fl/sync_engine.cc" "src/CMakeFiles/floatfl.dir/fl/sync_engine.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/fl/sync_engine.cc.o.d"
+  "/root/repo/src/fl/vfl_engine.cc" "src/CMakeFiles/floatfl.dir/fl/vfl_engine.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/fl/vfl_engine.cc.o.d"
+  "/root/repo/src/metrics/participation_tracker.cc" "src/CMakeFiles/floatfl.dir/metrics/participation_tracker.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/metrics/participation_tracker.cc.o.d"
+  "/root/repo/src/metrics/resource_accountant.cc" "src/CMakeFiles/floatfl.dir/metrics/resource_accountant.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/metrics/resource_accountant.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/CMakeFiles/floatfl.dir/models/model_zoo.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/models/model_zoo.cc.o.d"
+  "/root/repo/src/models/surrogate_accuracy.cc" "src/CMakeFiles/floatfl.dir/models/surrogate_accuracy.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/models/surrogate_accuracy.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/floatfl.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/floatfl.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/floatfl.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/floatfl.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/opt/compress.cc" "src/CMakeFiles/floatfl.dir/opt/compress.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/opt/compress.cc.o.d"
+  "/root/repo/src/opt/prune.cc" "src/CMakeFiles/floatfl.dir/opt/prune.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/opt/prune.cc.o.d"
+  "/root/repo/src/opt/quantize.cc" "src/CMakeFiles/floatfl.dir/opt/quantize.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/opt/quantize.cc.o.d"
+  "/root/repo/src/opt/technique.cc" "src/CMakeFiles/floatfl.dir/opt/technique.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/opt/technique.cc.o.d"
+  "/root/repo/src/selection/oort_selector.cc" "src/CMakeFiles/floatfl.dir/selection/oort_selector.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/selection/oort_selector.cc.o.d"
+  "/root/repo/src/selection/random_selector.cc" "src/CMakeFiles/floatfl.dir/selection/random_selector.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/selection/random_selector.cc.o.d"
+  "/root/repo/src/selection/refl_selector.cc" "src/CMakeFiles/floatfl.dir/selection/refl_selector.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/selection/refl_selector.cc.o.d"
+  "/root/repo/src/trace/availability_trace.cc" "src/CMakeFiles/floatfl.dir/trace/availability_trace.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/trace/availability_trace.cc.o.d"
+  "/root/repo/src/trace/compute_trace.cc" "src/CMakeFiles/floatfl.dir/trace/compute_trace.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/trace/compute_trace.cc.o.d"
+  "/root/repo/src/trace/interference.cc" "src/CMakeFiles/floatfl.dir/trace/interference.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/trace/interference.cc.o.d"
+  "/root/repo/src/trace/network_trace.cc" "src/CMakeFiles/floatfl.dir/trace/network_trace.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/trace/network_trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/floatfl.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/floatfl.dir/trace/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/calibration_test.cc" "tests/CMakeFiles/core_test.dir/core/calibration_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/calibration_test.cc.o.d"
+  "/root/repo/tests/core/controller_test.cc" "tests/CMakeFiles/core_test.dir/core/controller_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/controller_test.cc.o.d"
+  "/root/repo/tests/core/per_client_controller_test.cc" "tests/CMakeFiles/core_test.dir/core/per_client_controller_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/per_client_controller_test.cc.o.d"
+  "/root/repo/tests/core/q_table_test.cc" "tests/CMakeFiles/core_test.dir/core/q_table_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/q_table_test.cc.o.d"
+  "/root/repo/tests/core/rlhf_agent_test.cc" "tests/CMakeFiles/core_test.dir/core/rlhf_agent_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rlhf_agent_test.cc.o.d"
+  "/root/repo/tests/core/state_encoder_test.cc" "tests/CMakeFiles/core_test.dir/core/state_encoder_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/state_encoder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/floatfl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

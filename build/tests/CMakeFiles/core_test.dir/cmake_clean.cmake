@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/calibration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/calibration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/controller_test.cc.o"
+  "CMakeFiles/core_test.dir/core/controller_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/per_client_controller_test.cc.o"
+  "CMakeFiles/core_test.dir/core/per_client_controller_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/q_table_test.cc.o"
+  "CMakeFiles/core_test.dir/core/q_table_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rlhf_agent_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rlhf_agent_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/state_encoder_test.cc.o"
+  "CMakeFiles/core_test.dir/core/state_encoder_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

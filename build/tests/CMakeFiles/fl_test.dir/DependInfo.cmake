@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fl/async_engine_test.cc" "tests/CMakeFiles/fl_test.dir/fl/async_engine_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/async_engine_test.cc.o.d"
+  "/root/repo/tests/fl/client_test.cc" "tests/CMakeFiles/fl_test.dir/fl/client_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/client_test.cc.o.d"
+  "/root/repo/tests/fl/cost_model_test.cc" "tests/CMakeFiles/fl_test.dir/fl/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/cost_model_test.cc.o.d"
+  "/root/repo/tests/fl/real_engine_test.cc" "tests/CMakeFiles/fl_test.dir/fl/real_engine_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/real_engine_test.cc.o.d"
+  "/root/repo/tests/fl/sync_engine_test.cc" "tests/CMakeFiles/fl_test.dir/fl/sync_engine_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/sync_engine_test.cc.o.d"
+  "/root/repo/tests/fl/vfl_engine_test.cc" "tests/CMakeFiles/fl_test.dir/fl/vfl_engine_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/vfl_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/floatfl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

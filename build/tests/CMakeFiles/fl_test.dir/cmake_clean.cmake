@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_test.dir/fl/async_engine_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/async_engine_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/client_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/client_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/cost_model_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/cost_model_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/real_engine_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/real_engine_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/sync_engine_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/sync_engine_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/vfl_engine_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/vfl_engine_test.cc.o.d"
+  "fl_test"
+  "fl_test.pdb"
+  "fl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/compress_test.cc" "tests/CMakeFiles/opt_test.dir/opt/compress_test.cc.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt/compress_test.cc.o.d"
+  "/root/repo/tests/opt/prune_test.cc" "tests/CMakeFiles/opt_test.dir/opt/prune_test.cc.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt/prune_test.cc.o.d"
+  "/root/repo/tests/opt/quantize_test.cc" "tests/CMakeFiles/opt_test.dir/opt/quantize_test.cc.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt/quantize_test.cc.o.d"
+  "/root/repo/tests/opt/technique_test.cc" "tests/CMakeFiles/opt_test.dir/opt/technique_test.cc.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt/technique_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/floatfl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
