@@ -175,4 +175,14 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::ForkKeyed(uint64_t key) const {
+  // Hash the full parent state together with the key through a SplitMix64
+  // chain so distinct keys (and distinct parents) seed unrelated streams.
+  uint64_t acc = key ^ 0xD1B54A32D192ED03ULL;
+  for (uint64_t s : s_) {
+    acc = SplitMix64(acc) ^ s;
+  }
+  return Rng(SplitMix64(acc));
+}
+
 }  // namespace floatfl

@@ -62,7 +62,21 @@ class Rng {
   std::vector<size_t> Permutation(size_t n);
 
   // Forks an independent stream; deterministic given this stream's state.
+  // Advances this stream by one draw, so successive Fork() calls yield
+  // distinct children in a fixed order.
   Rng Fork();
+
+  // Forks an independent stream addressed by `key` WITHOUT advancing this
+  // stream: the same (parent state, key) pair always yields the same child,
+  // and distinct keys yield decorrelated children. The engines key
+  // per-client streams by StreamKey(round, client_id), which is what makes
+  // parallel client simulation independent of the order — and the thread —
+  // in which clients run.
+  Rng ForkKeyed(uint64_t key) const;
+
+  // Injective (a, b) -> key packing for ForkKeyed, for a, b < 2^32 (rounds
+  // and client ids in any realistic experiment).
+  static uint64_t StreamKey(uint64_t a, uint64_t b) { return (a << 32) ^ b; }
 
  private:
   uint64_t s_[4];

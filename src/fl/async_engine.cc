@@ -18,6 +18,10 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
       busy_(config.num_clients, false) {
   FLOATFL_CHECK(config.async_concurrency > 0);
   FLOATFL_CHECK(config.async_buffer > 0);
+  const size_t threads = ResolveThreadCount(config.num_threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads - 1);
+  }
   if (config_.deadline_s <= 0.0) {
     config_.deadline_s = AutoDeadlineSeconds(config_, clients_);
   }
@@ -36,7 +40,7 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
 }
 
 ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s,
-                                                    TechniqueKind technique) {
+                                                    TechniqueKind technique) const {
   ClientRoundOutcome outcome;
   outcome.client_id = client.id();
   outcome.technique = technique;
@@ -104,9 +108,12 @@ void AsyncEngine::LaunchClients() {
     }
   }
   // Uniformly random launch order (FedBuff does not rank clients).
+  // Phase 1 (sequential): pick the launch batch and run the policy, keeping
+  // the RNG and policy draw order fixed across thread counts.
   const std::vector<size_t> order = rng_.Permutation(candidates.size());
+  std::vector<InFlight> launches;
   for (size_t idx : order) {
-    if (in_flight_.size() >= config_.async_concurrency) {
+    if (in_flight_.size() + launches.size() >= config_.async_concurrency) {
       break;
     }
     const size_t id = candidates[idx];
@@ -114,20 +121,28 @@ void AsyncEngine::LaunchClients() {
     if (!config_.assume_no_dropouts && !client.availability().IsAvailableAt(now_s_)) {
       continue;
     }
-    const ClientObservation obs = ObserveClient(client, now_s_, reference_);
-    const TechniqueKind technique =
-        policy_ != nullptr ? policy_->Decide(id, obs, global) : TechniqueKind::kNone;
-
     InFlight flight;
     flight.client_id = id;
     flight.start_version = version_;
-    flight.technique = technique;
-    flight.observation = obs;
-    flight.outcome = SimulateAsyncClient(client, now_s_, technique);
-    flight.finish_time_s = now_s_ + std::max(1.0, flight.outcome.time_spent_s);
-    in_flight_.push_back(flight);
+    flight.observation = ObserveClient(client, now_s_, reference_);
+    flight.technique =
+        policy_ != nullptr ? policy_->Decide(id, flight.observation, global) : TechniqueKind::kNone;
+    launches.push_back(flight);
     busy_[id] = true;
     ++client.times_selected;
+  }
+
+  // Phase 2 (parallel): simulate the batch. Each task touches only its own
+  // client's trace state (launch ids are distinct by the busy_ guard).
+  ParallelFor(pool_.get(), launches.size(), [&](size_t i) {
+    InFlight& flight = launches[i];
+    flight.outcome = SimulateAsyncClient(clients_[flight.client_id], now_s_, flight.technique);
+    flight.finish_time_s = now_s_ + std::max(1.0, flight.outcome.time_spent_s);
+  });
+
+  // Phase 3 (sequential, launch order): commit to the in-flight set.
+  for (auto& flight : launches) {
+    in_flight_.push_back(flight);
   }
 }
 

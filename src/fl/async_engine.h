@@ -21,6 +21,7 @@
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
 #include "src/models/surrogate_accuracy.h"
+#include "src/sim/thread_pool.h"
 
 namespace floatfl {
 
@@ -45,12 +46,17 @@ class AsyncEngine {
   };
 
   void LaunchClients();
-  ClientRoundOutcome SimulateAsyncClient(Client& client, double now_s, TechniqueKind technique);
+  // Thread-safe for distinct clients: touches only `client` and config_.
+  ClientRoundOutcome SimulateAsyncClient(Client& client, double now_s,
+                                         TechniqueKind technique) const;
 
   static constexpr double kMaxStaleness = 10.0;
 
   ExperimentConfig config_;
   TuningPolicy* policy_;
+  // Work pool for the launch-batch simulation fan-out; null when
+  // num_threads resolves to 1 (fully sequential path).
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<Client> clients_;
   PopulationReference reference_;
   std::unique_ptr<SurrogateAccuracyModel> surrogate_;

@@ -37,6 +37,10 @@ struct ExperimentConfig {
   // FedBuff parameters (async engine only).
   size_t async_concurrency = 100;
   size_t async_buffer = 30;
+  // Worker threads for per-client simulation. 0 = hardware_concurrency();
+  // 1 = fully sequential (today's exact path). Results are bit-for-bit
+  // identical for every value — see DESIGN.md "Determinism & parallelism".
+  size_t num_threads = 0;
 };
 
 struct DropoutBreakdown {

@@ -11,10 +11,17 @@
 
 namespace floatfl {
 
-RealFlEngine::RealFlEngine(const RealFlConfig& config) : config_(config), rng_(config.seed) {
+RealFlEngine::RealFlEngine(const RealFlConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      client_stream_root_(config.seed ^ 0x7C159E3779B97F4AULL) {
   FLOATFL_CHECK(config.num_clients > 0);
   FLOATFL_CHECK(config.clients_per_round > 0);
   FLOATFL_CHECK(config.num_classes >= 2);
+  const size_t threads = ResolveThreadCount(config.num_threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads - 1);
+  }
 
   task_ = std::make_unique<SyntheticTaskData>(config.num_classes, config.input_dim,
                                               config.class_separation, rng_);
@@ -122,30 +129,43 @@ RealRoundStats RealFlEngine::RunRound(
   const std::vector<float> global_params = global_->GetParameters();
   const std::vector<size_t> order = rng_.Permutation(shards_.size());
   const size_t k = std::min(config_.clients_per_round, shards_.size());
+  const size_t round = rounds_run_++;
 
+  // Phase 1 (sequential): technique choices — the callback may be stateful.
+  std::vector<TechniqueKind> techniques(k);
+  std::vector<size_t> frozen_layers(k);
+  for (size_t i = 0; i < k; ++i) {
+    techniques[i] = choose_technique(order[i]);
+    frozen_layers[i] = FrozenLayersFor(techniques[i]);
+  }
+
+  // Phase 2 (parallel): local training and upload processing. Each client
+  // trains on its own (round, client_id)-keyed RNG stream, so the trained
+  // weights do not depend on which thread — or in which order — clients run.
+  std::vector<ProcessedUpdate> processed(k);
+  ParallelFor(pool_.get(), k, [&](size_t i) {
+    const size_t id = order[i];
+    Rng client_rng = client_stream_root_.ForkKeyed(Rng::StreamKey(round, id));
+    Mlp local(model_dims_, client_rng);
+    local.SetParameters(global_params);
+    SgdConfig sgd = config_.sgd;
+    sgd.frozen_layers = frozen_layers[i];
+    TrainSgd(local, client_inputs_[id], client_labels_[id], sgd, client_rng);
+    processed[i] = ProcessUpload(local.GetParameters(), techniques[i]);
+  });
+
+  // Phase 3 (sequential, selection order): fixed-order reduction into the
+  // FedAvg aggregate.
   std::vector<std::vector<float>> updates;
   std::vector<double> weights;
   RealRoundStats stats;
   double total_bytes = 0.0;
   double total_error = 0.0;
-
   for (size_t i = 0; i < k; ++i) {
-    const size_t id = order[i];
-    const TechniqueKind technique = choose_technique(id);
-
-    // Local training from the current global model.
-    Mlp local(model_dims_, rng_);
-    local.SetParameters(global_params);
-    SgdConfig sgd = config_.sgd;
-    sgd.frozen_layers = FrozenLayersFor(technique);
-    Rng local_rng = rng_.Fork();
-    TrainSgd(local, client_inputs_[id], client_labels_[id], sgd, local_rng);
-
-    ProcessedUpdate processed = ProcessUpload(local.GetParameters(), technique);
-    total_bytes += static_cast<double>(processed.upload_bytes);
-    total_error += processed.max_error;
-    updates.push_back(std::move(processed.params));
-    weights.push_back(static_cast<double>(shards_[id].total));
+    total_bytes += static_cast<double>(processed[i].upload_bytes);
+    total_error += processed[i].max_error;
+    updates.push_back(std::move(processed[i].params));
+    weights.push_back(static_cast<double>(shards_[order[i]].total));
   }
 
   if (!updates.empty()) {

@@ -23,6 +23,7 @@
 #include "src/nn/mlp.h"
 #include "src/nn/optimizer.h"
 #include "src/opt/technique.h"
+#include "src/sim/thread_pool.h"
 
 namespace floatfl {
 
@@ -37,6 +38,11 @@ struct RealFlConfig {
   SgdConfig sgd;
   size_t test_samples_per_class = 40;
   uint64_t seed = 1;
+  // Worker threads for per-client local training. 0 = hardware_concurrency();
+  // 1 = fully sequential. Results are bit-for-bit identical for every value:
+  // each client trains on its own (round, client_id)-keyed RNG stream and
+  // updates aggregate in selection order.
+  size_t num_threads = 0;
 };
 
 // Per-round measurements of the real pipeline.
@@ -86,6 +92,13 @@ class RealFlEngine {
 
   RealFlConfig config_;
   Rng rng_;
+  // Root of the per-(round, client) training streams; never advanced, only
+  // ForkKeyed — so the streams are independent of simulation order.
+  Rng client_stream_root_;
+  // Work pool for per-client local training; null when num_threads
+  // resolves to 1 (fully sequential path).
+  std::unique_ptr<ThreadPool> pool_;
+  size_t rounds_run_ = 0;
   std::unique_ptr<SyntheticTaskData> task_;
   std::vector<ClientShard> shards_;
   std::vector<Tensor> client_inputs_;

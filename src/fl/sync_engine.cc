@@ -20,6 +20,12 @@ SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, Tunin
       clients_(BuildPopulation(GetDatasetSpec(config.dataset), config.num_clients, config.alpha,
                                config.interference, config.seed)),
       tracker_(config.num_clients) {
+  const size_t threads = ResolveThreadCount(config.num_threads);
+  if (threads > 1) {
+    // The calling thread participates in every ParallelFor, so `threads`
+    // total threads do client work.
+    pool_ = std::make_unique<ThreadPool>(threads - 1);
+  }
   FLOATFL_CHECK(selector_ != nullptr);
   FLOATFL_CHECK(config.clients_per_round > 0);
   if (config_.deadline_s <= 0.0) {
@@ -120,19 +126,33 @@ void SyncEngine::RunRound(size_t round) {
   global.epochs = config_.epochs;
   global.participants = config_.clients_per_round;
 
-  std::vector<ClientRoundOutcome> outcomes;
+  // Phase 1 (sequential): observe each client and let the policy decide,
+  // preserving the policy's internal draw order across thread counts.
   std::vector<ClientObservation> observations;
-  outcomes.reserve(selected.size());
+  std::vector<TechniqueKind> techniques;
   observations.reserve(selected.size());
-
+  techniques.reserve(selected.size());
   for (size_t id : selected) {
     FLOATFL_CHECK(id < clients_.size());
     Client& client = clients_[id];
-    const ClientObservation obs = ObserveClient(client, now_s_, reference_);
-    const TechniqueKind technique =
-        policy_ != nullptr ? policy_->Decide(id, obs, global) : TechniqueKind::kNone;
+    observations.push_back(ObserveClient(client, now_s_, reference_));
+    techniques.push_back(policy_ != nullptr ? policy_->Decide(id, observations.back(), global)
+                                            : TechniqueKind::kNone);
+  }
 
-    ClientRoundOutcome outcome = SimulateClient(client, now_s_, technique);
+  // Phase 2 (parallel): simulate the selected clients. Each task touches
+  // only its own client's trace state (selectors sample without
+  // replacement), and outcomes land in an index-ordered buffer.
+  std::vector<ClientRoundOutcome> outcomes(selected.size());
+  ParallelFor(pool_.get(), selected.size(), [&](size_t i) {
+    outcomes[i] = SimulateClient(clients_[selected[i]], now_s_, techniques[i]);
+  });
+
+  // Phase 3 (sequential, selection order): bookkeeping, so the accountant's
+  // floating-point sums accumulate in a fixed order.
+  for (size_t i = 0; i < selected.size(); ++i) {
+    Client& client = clients_[selected[i]];
+    const ClientRoundOutcome& outcome = outcomes[i];
     ++client.times_selected;
     if (outcome.completed) {
       ++client.times_completed;
@@ -142,7 +162,7 @@ void SyncEngine::RunRound(size_t round) {
 
     accountant_.Record(outcome.costs.train_time_s, outcome.costs.comm_time_s,
                        outcome.costs.peak_memory_mb, outcome.completed);
-    tracker_.Record(id, technique, outcome.completed);
+    tracker_.Record(selected[i], techniques[i], outcome.completed);
     switch (outcome.reason) {
       case DropoutReason::kUnavailable:
         ++dropout_breakdown_.unavailable;
@@ -159,8 +179,6 @@ void SyncEngine::RunRound(size_t round) {
       case DropoutReason::kNone:
         break;
     }
-    outcomes.push_back(outcome);
-    observations.push_back(obs);
   }
 
   // Aggregate the successful updates into the convergence model.

@@ -14,6 +14,7 @@
 
 #include "src/common/rng.h"
 #include "src/fl/client.h"
+#include "src/sim/thread_pool.h"
 #include "src/fl/cost_model.h"
 #include "src/fl/experiment.h"
 #include "src/fl/observation.h"
@@ -64,6 +65,9 @@ class SyncEngine {
   ExperimentConfig config_;
   Selector* selector_;
   TuningPolicy* policy_;
+  // Work pool for the per-client simulation fan-out; null when
+  // num_threads resolves to 1 (fully sequential path).
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<Client> clients_;
   PopulationReference reference_;
   std::unique_ptr<SurrogateAccuracyModel> surrogate_;

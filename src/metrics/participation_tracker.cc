@@ -9,6 +9,7 @@ ParticipationTracker::ParticipationTracker(size_t num_clients)
 
 void ParticipationTracker::Record(size_t client_id, TechniqueKind technique, bool completed) {
   FLOATFL_CHECK(client_id < selected_.size());
+  std::lock_guard<std::mutex> lock(mu_);
   ++selected_[client_id];
   auto& stats = per_technique_[technique];
   if (completed) {

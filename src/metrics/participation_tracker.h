@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/opt/technique.h"
@@ -16,6 +17,10 @@ class ParticipationTracker {
  public:
   explicit ParticipationTracker(size_t num_clients);
 
+  // Safe to call from concurrent threads (internally serialized); all counts
+  // are order-insensitive, so concurrent recording stays deterministic. The
+  // read accessors below must not race with in-flight Record calls — the
+  // engines only read after the per-round fan-out has joined.
   void Record(size_t client_id, TechniqueKind technique, bool completed);
 
   size_t SelectedCount(size_t client_id) const;
@@ -38,6 +43,7 @@ class ParticipationTracker {
   const std::vector<size_t>& completed() const { return completed_; }
 
  private:
+  std::mutex mu_;  // serializes Record
   std::vector<size_t> selected_;
   std::vector<size_t> completed_;
   std::map<TechniqueKind, TechniqueStats> per_technique_;

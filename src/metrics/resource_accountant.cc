@@ -11,6 +11,7 @@ void ResourceAccountant::Record(double train_time_s, double comm_time_s, double 
   delta.compute_hours = train_time_s / 3600.0;
   delta.comm_hours = comm_time_s / 3600.0;
   delta.memory_tb = peak_memory_mb / (1024.0 * 1024.0);
+  std::lock_guard<std::mutex> lock(mu_);
   if (completed) {
     useful_ += delta;
   } else {

@@ -10,6 +10,7 @@
 #define SRC_METRICS_RESOURCE_ACCOUNTANT_H_
 
 #include <cstddef>
+#include <mutex>
 
 namespace floatfl {
 
@@ -29,6 +30,14 @@ struct ResourceTotals {
 class ResourceAccountant {
  public:
   // Records one client-round. Times in seconds; memory in MB.
+  //
+  // Safe to call from concurrent threads (internally serialized). Note that
+  // concurrent recording makes the floating-point accumulation order — and
+  // therefore the low bits of the totals — scheduling-dependent; for
+  // bit-for-bit reproducible totals, record in a fixed order (the engines
+  // collect per-client outcomes into an index-ordered buffer and record
+  // sequentially after the parallel fan-out joins). Reads must not race with
+  // in-flight Record calls.
   void Record(double train_time_s, double comm_time_s, double peak_memory_mb, bool completed);
 
   const ResourceTotals& Useful() const { return useful_; }
@@ -38,6 +47,7 @@ class ResourceAccountant {
   size_t RecordedRounds() const { return records_; }
 
  private:
+  std::mutex mu_;  // serializes Record
   ResourceTotals useful_;
   ResourceTotals wasted_;
   size_t records_ = 0;

@@ -1,0 +1,130 @@
+#include "src/sim/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FLOATFL_CHECK_MSG(!stop_, "Submit after ThreadPool shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->num_workers() == 0 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const size_t chunks = std::min(n, pool->num_workers() + 1);
+  const auto chunk_begin = [n, chunks](size_t c) { return c * n / chunks; };
+
+  // Chunks 1..chunks-1 go to the pool; the caller runs chunk 0 itself.
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t begin = chunk_begin(c);
+    const size_t end = chunk_begin(c + 1);
+    futures.push_back(pool->Submit([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    }));
+  }
+
+  std::exception_ptr caller_error;
+  try {
+    const size_t end = chunk_begin(1);
+    for (size_t i = 0; i < end; ++i) {
+      fn(i);
+    }
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  // Wait for every chunk, helping drain the queue instead of blocking so a
+  // nested ParallelFor issued from inside a task cannot deadlock the pool.
+  for (auto& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool->TryRunOneTask()) {
+        future.wait_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+  if (caller_error != nullptr) {
+    std::rethrow_exception(caller_error);
+  }
+  for (auto& future : futures) {
+    future.get();  // rethrows the lowest-indexed pool-chunk failure
+  }
+}
+
+}  // namespace floatfl

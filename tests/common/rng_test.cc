@@ -209,6 +209,121 @@ TEST(RngTest, ForkedStreamsAreIndependent) {
   EXPECT_LT(equal, 3);
 }
 
+// Pearson correlation of two double streams.
+double StreamCorrelation(Rng& a, Rng& b, int n) {
+  double sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.NextDouble();
+    const double y = b.NextDouble();
+    sa += x;
+    sb += y;
+    saa += x * x;
+    sbb += y * y;
+    sab += x * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double va = saa / n - (sa / n) * (sa / n);
+  const double vb = sbb / n - (sb / n) * (sb / n);
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(RngTest, ForkedStreamsAreStatisticallyUncorrelated) {
+  // Parent vs child, and sibling vs sibling: for n = 20000 i.i.d. uniforms
+  // the sample correlation is ~N(0, 1/sqrt(n)); |r| < 0.05 is a 7-sigma
+  // bound, so this only fails for genuinely correlated streams.
+  const int n = 20000;
+  for (uint64_t seed : {3ULL, 51ULL, 997ULL}) {
+    Rng parent(seed);
+    Rng child1 = parent.Fork();
+    Rng child2 = parent.Fork();
+    {
+      Rng p(seed);
+      Rng c = p.Fork();
+      EXPECT_LT(std::fabs(StreamCorrelation(p, c, n)), 0.05) << "parent/child, seed " << seed;
+    }
+    EXPECT_LT(std::fabs(StreamCorrelation(child1, child2, n)), 0.05)
+        << "siblings, seed " << seed;
+  }
+}
+
+TEST(RngTest, ForkFromSameParentStateIsOrderDeterministic) {
+  // Two parents in the same state must emit the same sequence of children,
+  // and each child stream must be reproducible draw for draw.
+  Rng a(1234);
+  Rng b(1234);
+  for (int fork = 0; fork < 10; ++fork) {
+    Rng ca = a.Fork();
+    Rng cb = b.Fork();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(ca.NextU64(), cb.NextU64()) << "fork " << fork << " draw " << i;
+    }
+  }
+  // And the parents remain in lockstep afterwards.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, ForkKeyedDoesNotAdvanceParent) {
+  Rng parent(7);
+  Rng untouched(7);
+  (void)parent.ForkKeyed(1);
+  (void)parent.ForkKeyed(2);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(parent.NextU64(), untouched.NextU64());
+  }
+}
+
+TEST(RngTest, ForkKeyedIsDeterministicPerKey) {
+  const Rng parent(99);
+  Rng a = parent.ForkKeyed(Rng::StreamKey(3, 17));
+  Rng b = parent.ForkKeyed(Rng::StreamKey(3, 17));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, ForkKeyedDistinctKeysGiveUncorrelatedStreams) {
+  const Rng parent(99);
+  const int n = 20000;
+  // Adjacent keys along both dimensions of the (round, client) grid.
+  const std::pair<uint64_t, uint64_t> key_pairs[] = {
+      {Rng::StreamKey(0, 0), Rng::StreamKey(0, 1)},
+      {Rng::StreamKey(0, 0), Rng::StreamKey(1, 0)},
+      {Rng::StreamKey(5, 7), Rng::StreamKey(5, 8)},
+      {Rng::StreamKey(5, 7), Rng::StreamKey(6, 7)},
+  };
+  for (const auto& [k1, k2] : key_pairs) {
+    Rng a = parent.ForkKeyed(k1);
+    Rng b = parent.ForkKeyed(k2);
+    EXPECT_LT(std::fabs(StreamCorrelation(a, b, n)), 0.05) << "keys " << k1 << ", " << k2;
+  }
+}
+
+TEST(RngTest, ForkKeyedDependsOnParentState) {
+  const Rng p1(1);
+  const Rng p2(2);
+  Rng a = p1.ForkKeyed(42);
+  Rng b = p2.ForkKeyed(42);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, StreamKeyIsInjectiveOnSmallGrid) {
+  std::set<uint64_t> keys;
+  for (uint64_t round = 0; round < 50; ++round) {
+    for (uint64_t client = 0; client < 50; ++client) {
+      keys.insert(Rng::StreamKey(round, client));
+    }
+  }
+  EXPECT_EQ(keys.size(), 2500u);
+}
+
 // Property sweep: every distribution stays in its support across seeds.
 class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
 

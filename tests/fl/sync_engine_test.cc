@@ -121,6 +121,61 @@ TEST(SyncEngineTest, SimulateClientChargesPartialCostsOnDeadlineMiss) {
   }
 }
 
+// Golden regression trace: a pinned-seed sequential run must reproduce this
+// per-round accuracy sequence exactly. The values were generated with
+// num_threads = 1 at the commit that introduced parallel client execution;
+// any future refactor that silently changes engine semantics — reordered
+// RNG draws, different reduction order, altered trace stepping — breaks
+// this test rather than silently shifting every result.
+TEST(SyncEngineTest, GoldenTraceWithPinnedSeed) {
+  ExperimentConfig config;
+  config.num_clients = 40;
+  config.clients_per_round = 8;
+  config.rounds = 20;
+  config.dataset = DatasetId::kFemnist;
+  config.model = ModelId::kResNet34;
+  config.interference = InterferenceScenario::kDynamic;
+  config.seed = 20240806;
+  config.num_threads = 1;
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  const ExperimentResult result = engine.Run();
+
+  const std::vector<double> golden = {
+      0.023726146131299336,
+      0.03155351570851421,
+      0.040390104969462257,
+      0.047148326615817117,
+      0.049436242113164622,
+      0.059319844509264065,
+      0.066732168413341078,
+      0.078308520940551102,
+      0.090231834027522315,
+      0.094810618976442745,
+      0.10395095660264007,
+      0.11406401020253172,
+      0.12275955576952484,
+      0.13459153684005365,
+      0.14382882146823975,
+      0.15451351854485654,
+      0.1607748677350517,
+      0.17167430040815551,
+      0.17938397909434103,
+      0.18364409026618866,
+  };
+  ASSERT_EQ(result.accuracy_history.size(), golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.accuracy_history[i], golden[i]) << "round " << i;
+  }
+  EXPECT_EQ(result.total_selected, 160u);
+  EXPECT_EQ(result.total_completed, 96u);
+  EXPECT_EQ(result.total_dropouts, 64u);
+  EXPECT_DOUBLE_EQ(result.useful.compute_hours, 14.486483863826093);
+  EXPECT_DOUBLE_EQ(result.useful.comm_hours, 4.4921630005470616);
+  EXPECT_DOUBLE_EQ(result.wasted.compute_hours, 17.489680487989876);
+  EXPECT_DOUBLE_EQ(result.wall_clock_hours, 7.60179653329633);
+}
+
 TEST(SyncEngineTest, FloatPolicyImprovesParticipation) {
   ExperimentConfig config = SmallConfig();
   config.rounds = 60;
