@@ -1,6 +1,7 @@
 #include "src/common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "src/common/check.h"
 
@@ -183,6 +184,24 @@ Rng Rng::ForkKeyed(uint64_t key) const {
     acc = SplitMix64(acc) ^ s;
   }
   return Rng(SplitMix64(acc));
+}
+
+std::array<uint64_t, 6> Rng::SaveRaw() const {
+  std::array<uint64_t, 6> raw;
+  for (size_t i = 0; i < 4; ++i) {
+    raw[i] = s_[i];
+  }
+  raw[4] = has_cached_normal_ ? 1 : 0;
+  std::memcpy(&raw[5], &cached_normal_, sizeof(raw[5]));
+  return raw;
+}
+
+void Rng::RestoreRaw(const std::array<uint64_t, 6>& raw) {
+  for (size_t i = 0; i < 4; ++i) {
+    s_[i] = raw[i];
+  }
+  has_cached_normal_ = raw[4] != 0;
+  std::memcpy(&cached_normal_, &raw[5], sizeof(cached_normal_));
 }
 
 }  // namespace floatfl

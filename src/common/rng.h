@@ -8,6 +8,7 @@
 #ifndef SRC_COMMON_RNG_H_
 #define SRC_COMMON_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -77,6 +78,11 @@ class Rng {
   // Injective (a, b) -> key packing for ForkKeyed, for a, b < 2^32 (rounds
   // and client ids in any realistic experiment).
   static uint64_t StreamKey(uint64_t a, uint64_t b) { return (a << 32) ^ b; }
+
+  // Raw engine state for checkpoint/resume: the four xoshiro words plus the
+  // Box–Muller cache. RestoreRaw reproduces the stream bit-for-bit.
+  std::array<uint64_t, 6> SaveRaw() const;
+  void RestoreRaw(const std::array<uint64_t, 6>& raw);
 
  private:
   uint64_t s_[4];

@@ -42,6 +42,9 @@ class FloatController final : public TuningPolicy {
               TechniqueKind technique, bool participated, double accuracy_improvement) override;
   std::string Name() const override;
 
+  void SaveState(CheckpointWriter& w) const override;
+  void LoadState(CheckpointReader& r) override;
+
   RlhfAgent& agent() { return agent_; }
   const RlhfAgent& agent() const { return agent_; }
   size_t CurrentRound() const { return round_; }

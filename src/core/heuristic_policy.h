@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_util.h"
 #include "src/fl/tuning_policy.h"
 
 namespace floatfl {
@@ -27,6 +28,9 @@ class HeuristicPolicy final : public TuningPolicy {
   void Report(size_t, const ClientObservation&, const GlobalObservation&, TechniqueKind, bool,
               double) override {}
   std::string Name() const override { return "heuristic"; }
+
+  void SaveState(CheckpointWriter& w) const override { SaveRng(w, rng_); }
+  void LoadState(CheckpointReader& r) override { LoadRng(r, rng_); }
 
  private:
   Rng rng_;

@@ -32,6 +32,9 @@ class PerClientController final : public TuningPolicy {
               TechniqueKind technique, bool participated, double accuracy_improvement) override;
   std::string Name() const override { return "float-per-client"; }
 
+  void SaveState(CheckpointWriter& w) const override;
+  void LoadState(CheckpointReader& r) override;
+
   RlhfAgent& agent(size_t client_id);
   size_t NumClients() const { return agents_.size(); }
 

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/failure/checkpoint_io.h"
+
 namespace floatfl {
 
 class Rng;
@@ -46,6 +48,11 @@ class QTable {
   // Text persistence. Returns false on I/O failure or shape mismatch.
   bool Save(const std::string& path) const;
   bool Load(const std::string& path);
+
+  // Binary checkpoint of the learned values and visit counts; the shape is
+  // rebuilt from config at construction, so only the payload is stored.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   size_t Index(size_t state, size_t action) const;

@@ -24,6 +24,7 @@
 #include "src/common/rng.h"
 #include "src/core/q_table.h"
 #include "src/core/state_encoder.h"
+#include "src/failure/checkpoint_io.h"
 #include "src/opt/technique.h"
 
 namespace floatfl {
@@ -106,6 +107,11 @@ class RlhfAgent {
     double avg_q = 0.0;
   };
   std::vector<ActionSummary> SummarizePerAction() const;
+
+  // Checkpoint/resume of the full learned state, including the exploration
+  // RNG, so a resumed agent continues the exact same decision sequence.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
   const QTable& table() const { return table_; }
   QTable& mutable_table() { return table_; }

@@ -97,4 +97,25 @@ void StateEncoder::FitResourceBins(const std::vector<double>& cpu_samples,
   RecomputeNumStates();
 }
 
+void StateEncoder::SaveState(CheckpointWriter& w) const {
+  w.F64Vec(cpu_bins_.boundaries());
+  w.F64Vec(mem_bins_.boundaries());
+  w.F64Vec(net_bins_.boundaries());
+  w.F64Vec(deadline_bins_.boundaries());
+  w.F64Vec(batch_bins_.boundaries());
+  w.F64Vec(epoch_bins_.boundaries());
+  w.F64Vec(participant_bins_.boundaries());
+}
+
+void StateEncoder::LoadState(CheckpointReader& r) {
+  cpu_bins_ = Discretizer(r.F64Vec());
+  mem_bins_ = Discretizer(r.F64Vec());
+  net_bins_ = Discretizer(r.F64Vec());
+  deadline_bins_ = Discretizer(r.F64Vec());
+  batch_bins_ = Discretizer(r.F64Vec());
+  epoch_bins_ = Discretizer(r.F64Vec());
+  participant_bins_ = Discretizer(r.F64Vec());
+  RecomputeNumStates();
+}
+
 }  // namespace floatfl

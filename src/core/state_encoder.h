@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/discretizer.h"
+#include "src/failure/checkpoint_io.h"
 #include "src/fl/tuning_policy.h"
 
 namespace floatfl {
@@ -41,6 +42,11 @@ class StateEncoder {
                        const std::vector<double>& deadline_samples);
 
   const StateEncoderConfig& config() const { return config_; }
+
+  // Checkpoint/resume of the bin boundaries (calibration via FitResourceBins
+  // mutates them, so the fixed construction-time defaults are not enough).
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   StateEncoderConfig config_;

@@ -1,0 +1,44 @@
+#include "src/failure/checkpoint_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace floatfl {
+
+bool CheckpointWriter::WriteFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    if (!out) {
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool CheckpointReader::FromFile(const std::string& path, CheckpointReader* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *out = CheckpointReader("");
+    out->ok_ = false;
+    return false;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    *out = CheckpointReader("");
+    out->ok_ = false;
+    return false;
+  }
+  *out = CheckpointReader(std::move(data));
+  return true;
+}
+
+}  // namespace floatfl

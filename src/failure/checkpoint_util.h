@@ -1,0 +1,28 @@
+// Shared helpers for serializing common component state into checkpoints.
+#ifndef SRC_FAILURE_CHECKPOINT_UTIL_H_
+#define SRC_FAILURE_CHECKPOINT_UTIL_H_
+
+#include <array>
+
+#include "src/common/rng.h"
+#include "src/failure/checkpoint_io.h"
+
+namespace floatfl {
+
+inline void SaveRng(CheckpointWriter& w, const Rng& rng) {
+  for (uint64_t v : rng.SaveRaw()) {
+    w.U64(v);
+  }
+}
+
+inline void LoadRng(CheckpointReader& r, Rng& rng) {
+  std::array<uint64_t, 6> raw;
+  for (auto& v : raw) {
+    v = r.U64();
+  }
+  rng.RestoreRaw(raw);
+}
+
+}  // namespace floatfl
+
+#endif  // SRC_FAILURE_CHECKPOINT_UTIL_H_

@@ -1,0 +1,126 @@
+#include "src/failure/checkpointer.h"
+
+#include "src/failure/checkpoint_io.h"
+#include "src/fl/async_engine.h"
+#include "src/fl/real_engine.h"
+#include "src/fl/sync_engine.h"
+
+namespace floatfl {
+namespace {
+
+// FNV-1a over a serialized field buffer: stable across runs and platforms
+// of the same endianness (the archive is raw little-endian on x86/ARM).
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void WriteFaultConfig(CheckpointWriter& w, const FaultConfig& f) {
+  w.F64(f.crash_prob);
+  w.F64(f.corrupt_prob);
+  w.F64(f.blackout_period_s);
+  w.F64(f.blackout_duration_s);
+  w.F64(f.flaky_fraction);
+  w.F64(f.flaky_enter_prob);
+  w.F64(f.flaky_exit_prob);
+  w.F64(f.flaky_crash_prob);
+  w.F64(f.overcommit);
+  w.Size(f.retry_cooldown_rounds);
+  w.F64(f.reject_norm_threshold);
+  w.F64(f.corrupt_scale);
+}
+
+template <typename Engine>
+bool SaveEngine(const std::string& path, const Engine& engine, Checkpointer::EngineTag tag) {
+  CheckpointWriter w;
+  w.U32(Checkpointer::kMagic);
+  w.U32(Checkpointer::kVersion);
+  w.U32(static_cast<uint32_t>(tag));
+  w.U64(FingerprintConfig(engine.config()));
+  engine.SaveState(w);
+  return w.WriteFile(path);
+}
+
+template <typename Engine>
+bool RestoreEngine(const std::string& path, Engine& engine, Checkpointer::EngineTag tag) {
+  CheckpointReader r("");
+  if (!CheckpointReader::FromFile(path, &r)) {
+    return false;
+  }
+  if (r.U32() != Checkpointer::kMagic || r.U32() != Checkpointer::kVersion ||
+      r.U32() != static_cast<uint32_t>(tag) || !r.ok()) {
+    return false;
+  }
+  if (r.U64() != FingerprintConfig(engine.config())) {
+    return false;
+  }
+  engine.LoadState(r);
+  return r.AtEnd();
+}
+
+}  // namespace
+
+uint64_t FingerprintConfig(const ExperimentConfig& config) {
+  CheckpointWriter w;
+  w.Size(config.num_clients);
+  w.Size(config.clients_per_round);
+  w.Size(config.rounds);
+  w.Size(config.epochs);
+  w.Size(config.batch_size);
+  w.F64(config.deadline_s);
+  w.U32(static_cast<uint32_t>(config.dataset));
+  w.U32(static_cast<uint32_t>(config.model));
+  w.F64(config.alpha);
+  w.U32(static_cast<uint32_t>(config.interference));
+  w.U64(config.seed);
+  w.Bool(config.assume_no_dropouts);
+  w.Size(config.async_concurrency);
+  w.Size(config.async_buffer);
+  WriteFaultConfig(w, config.faults);
+  return Fnv1a(w.buffer());
+}
+
+uint64_t FingerprintConfig(const RealFlConfig& config) {
+  CheckpointWriter w;
+  w.Size(config.num_clients);
+  w.Size(config.clients_per_round);
+  w.Size(config.num_classes);
+  w.Size(config.input_dim);
+  w.F64(config.class_separation);
+  w.F64(config.alpha);
+  w.SizeVec(config.hidden_dims);
+  w.F32(config.sgd.learning_rate);
+  w.Size(config.sgd.batch_size);
+  w.Size(config.sgd.epochs);
+  w.Size(config.sgd.frozen_layers);
+  w.Size(config.test_samples_per_class);
+  w.U64(config.seed);
+  WriteFaultConfig(w, config.faults);
+  return Fnv1a(w.buffer());
+}
+
+bool Checkpointer::Save(const std::string& path, const SyncEngine& engine) {
+  return SaveEngine(path, engine, EngineTag::kSync);
+}
+bool Checkpointer::Save(const std::string& path, const AsyncEngine& engine) {
+  return SaveEngine(path, engine, EngineTag::kAsync);
+}
+bool Checkpointer::Save(const std::string& path, const RealFlEngine& engine) {
+  return SaveEngine(path, engine, EngineTag::kReal);
+}
+
+bool Checkpointer::Restore(const std::string& path, SyncEngine& engine) {
+  return RestoreEngine(path, engine, EngineTag::kSync);
+}
+bool Checkpointer::Restore(const std::string& path, AsyncEngine& engine) {
+  return RestoreEngine(path, engine, EngineTag::kAsync);
+}
+bool Checkpointer::Restore(const std::string& path, RealFlEngine& engine) {
+  return RestoreEngine(path, engine, EngineTag::kReal);
+}
+
+}  // namespace floatfl

@@ -1,0 +1,52 @@
+// Versioned whole-engine checkpoints (DESIGN.md §8).
+//
+// A checkpoint file is a small header — magic, format version, engine tag,
+// and a fingerprint of the engine's configuration — followed by the engine's
+// own SaveState payload. Restore refuses (returns false) on a bad magic,
+// unknown version, wrong engine type, mismatched configuration fingerprint,
+// or a truncated/overlong payload, so a stale or foreign checkpoint can
+// never be silently loaded into a fresh engine. The resume contract is
+// bit-for-bit: run N rounds == run M, checkpoint, restore into a freshly
+// constructed engine, run N-M more.
+#ifndef SRC_FAILURE_CHECKPOINTER_H_
+#define SRC_FAILURE_CHECKPOINTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace floatfl {
+
+class SyncEngine;
+class AsyncEngine;
+class RealFlEngine;
+struct ExperimentConfig;
+struct RealFlConfig;
+
+// Stable fingerprints of the result-determining configuration fields
+// (num_threads is deliberately excluded: a checkpoint taken at one thread
+// count restores at any other — results are thread-count invariant).
+uint64_t FingerprintConfig(const ExperimentConfig& config);
+uint64_t FingerprintConfig(const RealFlConfig& config);
+
+class Checkpointer {
+ public:
+  static constexpr uint32_t kMagic = 0x464C434BU;  // "FLCK"
+  static constexpr uint32_t kVersion = 1;
+  enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3 };
+
+  // Atomic save (temp file + rename). Returns false on I/O failure.
+  static bool Save(const std::string& path, const SyncEngine& engine);
+  static bool Save(const std::string& path, const AsyncEngine& engine);
+  static bool Save(const std::string& path, const RealFlEngine& engine);
+
+  // Restores into an engine freshly constructed with the *same* config the
+  // checkpoint was taken under. Returns false (engine state unspecified,
+  // reconstruct before reuse) on header or payload mismatch.
+  static bool Restore(const std::string& path, SyncEngine& engine);
+  static bool Restore(const std::string& path, AsyncEngine& engine);
+  static bool Restore(const std::string& path, RealFlEngine& engine);
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_FAILURE_CHECKPOINTER_H_

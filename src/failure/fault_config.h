@@ -1,0 +1,70 @@
+// Configuration of the deterministic fault model and the server-side
+// failure defenses (DESIGN.md §8).
+//
+// The fault layer sits on top of the benign trace-driven dropout causes
+// (offline, OOM, deadline, departure): it injects mid-training crashes,
+// periodic network blackouts, Markov two-state "flaky client" episodes and
+// corrupted updates. Every draw is keyed by (seed, round, client_id), so
+// injection is bit-for-bit thread-count-invariant and resumable. A
+// default-constructed FaultConfig disables every fault and every defense —
+// the layer is a strict no-op then.
+#ifndef SRC_FAILURE_FAULT_CONFIG_H_
+#define SRC_FAILURE_FAULT_CONFIG_H_
+
+#include <cstddef>
+
+namespace floatfl {
+
+struct FaultConfig {
+  // --- Injected client faults -------------------------------------------
+  // Per client-round probability of a mid-training process crash. The crash
+  // strikes at a seeded uniform fraction of the client's round time; the
+  // spend up to that point is charged as waste.
+  double crash_prob = 0.0;
+  // Per client-round probability of a corrupted update: NaN / Inf /
+  // exploding-norm parameters in the real engine, quality-poisoned
+  // contributions in the surrogate engines. Corrupted updates complete and
+  // are charged full spend; server validation quarantines them.
+  double corrupt_prob = 0.0;
+  // Periodic network blackout: while blackout_period_s > 0, the window
+  // [k * period, k * period + blackout_duration_s) is unreachable for every
+  // client (selected clients drop as unavailable; the async engine launches
+  // nobody).
+  double blackout_period_s = 0.0;
+  double blackout_duration_s = 0.0;
+  // Markov two-state flaky clients: a seeded flaky_fraction of the
+  // population is eligible; eligible clients enter/leave the flaky state
+  // with the given per-round probabilities and suffer flaky_crash_prob
+  // *additional* crash probability while flaky.
+  double flaky_fraction = 0.0;
+  double flaky_enter_prob = 0.0;
+  double flaky_exit_prob = 0.0;
+  double flaky_crash_prob = 0.0;
+
+  // --- Server-side defenses ---------------------------------------------
+  // Synchronous over-selection: select ceil(K * overcommit) clients and
+  // close the round at the first K valid completions; the abandoned
+  // stragglers' spend is charged as waste (DropoutReason::kRejected).
+  // 1.0 = exact selection (today's behavior).
+  double overcommit = 1.0;
+  // Rounds a client that crashed or had an update quarantined is
+  // deprioritized by selectors before it may be retried. 0 disables.
+  size_t retry_cooldown_rounds = 0;
+  // Real-engine update validation: reject uploads whose parameter L2 norm
+  // exceeds this (exploding gradients) or that contain non-finite values.
+  double reject_norm_threshold = 1e4;
+  // Magnitude of the injected exploding-norm corruption in the real engine.
+  double corrupt_scale = 1e6;
+
+  // True when any fault can fire. Defenses (overcommit, validation) are
+  // governed separately so they also work against naturally bad updates.
+  bool InjectionEnabled() const {
+    return crash_prob > 0.0 || corrupt_prob > 0.0 ||
+           (blackout_period_s > 0.0 && blackout_duration_s > 0.0) ||
+           (flaky_fraction > 0.0 && flaky_crash_prob > 0.0);
+  }
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_FAILURE_FAULT_CONFIG_H_

@@ -1,0 +1,135 @@
+#include "src/failure/fault_injector.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace floatfl {
+namespace {
+
+// Domain-separation salts so the eligibility, Markov and per-round fault
+// streams never collide even for equal (round, client) keys.
+constexpr uint64_t kEligibilitySalt = 0x5EED0F17A7B3C9D1ULL;
+constexpr uint64_t kFlakySalt = 0x9D2C5680F1E3A7B5ULL;
+constexpr uint64_t kFaultSalt = 0xC3A5C85C97CB3127ULL;
+
+}  // namespace
+
+bool IsValidUpdateQuality(double quality) {
+  return std::isfinite(quality) && quality >= 0.0 && quality <= 1.0;
+}
+
+double PoisonedQuality(uint32_t corrupt_kind) {
+  switch (corrupt_kind % 3) {
+    case 0:
+      return std::nan("");
+    case 1:
+      return std::numeric_limits<double>::infinity();
+    default:
+      return 1e9;  // exploding magnitude, finite but far out of band
+  }
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, uint64_t seed, size_t num_clients)
+    : config_(config), seed_(seed), enabled_(config.InjectionEnabled()) {
+  FLOATFL_CHECK_MSG(config.crash_prob >= 0.0 && config.crash_prob <= 1.0,
+                    "crash_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.corrupt_prob >= 0.0 && config.corrupt_prob <= 1.0,
+                    "corrupt_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.flaky_fraction >= 0.0 && config.flaky_fraction <= 1.0,
+                    "flaky_fraction must be in [0, 1]");
+  if (!enabled_) {
+    return;
+  }
+  flaky_eligible_.assign(num_clients, 0);
+  flaky_.assign(num_clients, 0);
+  if (config_.flaky_fraction > 0.0) {
+    Rng root(seed_ ^ kEligibilitySalt);
+    for (size_t id = 0; id < num_clients; ++id) {
+      Rng stream = root.ForkKeyed(id);
+      flaky_eligible_[id] = stream.NextDouble() < config_.flaky_fraction ? 1 : 0;
+    }
+  }
+}
+
+void FaultInjector::BeginRound(size_t round) {
+  if (!enabled_ || config_.flaky_fraction <= 0.0) {
+    return;
+  }
+  // Advance each eligible client's two-state chain through every round up to
+  // and including `round`, one keyed draw per (round, client) — the same
+  // trajectory regardless of thread count or of checkpoint boundaries.
+  const Rng root(seed_ ^ kFlakySalt);
+  for (size_t r = rounds_advanced_; r <= round; ++r) {
+    for (size_t id = 0; id < flaky_.size(); ++id) {
+      if (!flaky_eligible_[id]) {
+        continue;
+      }
+      Rng stream = root.ForkKeyed(Rng::StreamKey(r, id));
+      const double u = stream.NextDouble();
+      if (flaky_[id]) {
+        if (u < config_.flaky_exit_prob) {
+          flaky_[id] = 0;
+        }
+      } else if (u < config_.flaky_enter_prob) {
+        flaky_[id] = 1;
+      }
+    }
+  }
+  rounds_advanced_ = round + 1;
+}
+
+bool FaultInjector::InBlackout(double now_s) const {
+  if (!enabled_ || config_.blackout_period_s <= 0.0 || config_.blackout_duration_s <= 0.0) {
+    return false;
+  }
+  const double phase = std::fmod(now_s, config_.blackout_period_s);
+  return phase < config_.blackout_duration_s;
+}
+
+FaultDecision FaultInjector::Decide(size_t round, size_t client_id, double now_s) const {
+  FaultDecision decision;
+  if (!enabled_) {
+    return decision;
+  }
+  decision.blackout = InBlackout(now_s);
+  const Rng root(seed_ ^ kFaultSalt);
+  Rng stream = root.ForkKeyed(Rng::StreamKey(round, client_id));
+  // Fixed draw order keeps every decision a pure function of (seed, round,
+  // client), independent of which faults actually fire.
+  const double crash_u = stream.NextDouble();
+  decision.crash_fraction = stream.Uniform(0.05, 0.95);
+  const double corrupt_u = stream.NextDouble();
+  decision.corrupt_kind = static_cast<uint32_t>(stream.UniformInt(3));
+  double crash_prob = config_.crash_prob;
+  if (IsFlaky(client_id)) {
+    crash_prob += config_.flaky_crash_prob;
+  }
+  decision.crash = crash_u < crash_prob;
+  decision.corrupt = !decision.crash && corrupt_u < config_.corrupt_prob;
+  return decision;
+}
+
+bool FaultInjector::IsFlakyEligible(size_t client_id) const {
+  return client_id < flaky_eligible_.size() && flaky_eligible_[client_id] != 0;
+}
+
+bool FaultInjector::IsFlaky(size_t client_id) const {
+  return client_id < flaky_.size() && flaky_[client_id] != 0;
+}
+
+void FaultInjector::SaveState(CheckpointWriter& w) const {
+  w.Size(rounds_advanced_);
+  w.U8Vec(flaky_eligible_);
+  w.U8Vec(flaky_);
+}
+
+bool FaultInjector::LoadState(CheckpointReader& r) {
+  rounds_advanced_ = r.Size();
+  flaky_eligible_ = r.U8Vec();
+  flaky_ = r.U8Vec();
+  return r.ok();
+}
+
+}  // namespace floatfl

@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/stats.h"
+#include "src/failure/checkpoint_util.h"
 #include "src/fl/cost_model.h"
 
 namespace floatfl {
@@ -16,8 +17,8 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
       tracker_(config.num_clients),
       rng_(config.seed ^ 0xA5F1C3D2E4B60789ULL),
       busy_(config.num_clients, false) {
-  FLOATFL_CHECK(config.async_concurrency > 0);
-  FLOATFL_CHECK(config.async_buffer > 0);
+  ValidateExperimentConfig(config_);
+  injector_ = FaultInjector(config_.faults, config_.seed, config_.num_clients);
   const size_t threads = ResolveThreadCount(config.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(threads - 1);
@@ -40,7 +41,8 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
 }
 
 ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s,
-                                                    TechniqueKind technique) const {
+                                                    TechniqueKind technique,
+                                                    const FaultDecision& fault) const {
   ClientRoundOutcome outcome;
   outcome.client_id = client.id();
   outcome.technique = technique;
@@ -63,8 +65,20 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s
   outcome.costs = ComputeRoundCosts(inputs);
 
   if (config_.assume_no_dropouts) {
+    // Injected faults still apply in the counterfactual (see SyncEngine).
+    if (fault.crash) {
+      outcome.reason = DropoutReason::kCrashed;
+      outcome.costs.train_time_s *= fault.crash_fraction;
+      outcome.costs.comm_time_s *= fault.crash_fraction;
+      outcome.time_spent_s = fault.crash_fraction * outcome.costs.total_time_s;
+      return outcome;
+    }
     outcome.completed = true;
     outcome.time_spent_s = outcome.costs.total_time_s;
+    if (fault.corrupt) {
+      outcome.corrupted = true;
+      outcome.corrupt_kind = fault.corrupt_kind;
+    }
     return outcome;
   }
   if (outcome.costs.out_of_memory) {
@@ -74,6 +88,18 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s
     outcome.costs.peak_memory_mb = 0.0;
     outcome.time_spent_s = outcome.costs.comm_time_s;
     return outcome;
+  }
+  if (fault.crash) {
+    // The process dies mid-round if the device is still around at that
+    // point; otherwise the departure below ends the round first, benignly.
+    const double crash_time = fault.crash_fraction * outcome.costs.total_time_s;
+    if (client.availability().AvailableFor(now_s, crash_time)) {
+      outcome.reason = DropoutReason::kCrashed;
+      outcome.costs.train_time_s *= fault.crash_fraction;
+      outcome.costs.comm_time_s *= fault.crash_fraction;
+      outcome.time_spent_s = crash_time;
+      return outcome;
+    }
   }
   // Async FL has no hard deadline, but a device that leaves mid-training
   // still loses its work.
@@ -91,27 +117,40 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s
   }
   outcome.completed = true;
   outcome.time_spent_s = outcome.costs.total_time_s;
+  if (fault.corrupt) {
+    outcome.corrupted = true;
+    outcome.corrupt_kind = fault.corrupt_kind;
+  }
   return outcome;
 }
 
 void AsyncEngine::LaunchClients() {
+  // A network blackout cuts the server off entirely: no launches until the
+  // window passes (in-flight clients keep training locally).
+  if (injector_.enabled() && injector_.InBlackout(now_s_)) {
+    return;
+  }
+
   GlobalObservation global;
   global.batch_size = config_.batch_size;
   global.epochs = config_.epochs;
   global.participants = config_.async_concurrency;
 
-  // Collect idle, currently-available clients.
+  // Collect idle, currently-available clients (minus failure cooldowns,
+  // keyed by the aggregation version — async FL's round analogue).
   std::vector<size_t> candidates;
   for (const auto& client : clients_) {
-    if (!busy_[client.id()]) {
+    if (!busy_[client.id()] && client.cooldown_until_round <= version_) {
       candidates.push_back(client.id());
     }
   }
   // Uniformly random launch order (FedBuff does not rank clients).
   // Phase 1 (sequential): pick the launch batch and run the policy, keeping
-  // the RNG and policy draw order fixed across thread counts.
+  // the RNG and policy draw order fixed across thread counts. Fault draws
+  // are keyed by the client's launch count, async FL's per-client round.
   const std::vector<size_t> order = rng_.Permutation(candidates.size());
   std::vector<InFlight> launches;
+  std::vector<FaultDecision> faults;
   for (size_t idx : order) {
     if (in_flight_.size() + launches.size() >= config_.async_concurrency) {
       break;
@@ -127,6 +166,9 @@ void AsyncEngine::LaunchClients() {
     flight.observation = ObserveClient(client, now_s_, reference_);
     flight.technique =
         policy_ != nullptr ? policy_->Decide(id, flight.observation, global) : TechniqueKind::kNone;
+    faults.push_back(injector_.enabled()
+                         ? injector_.Decide(client.times_selected, id, now_s_)
+                         : FaultDecision());
     launches.push_back(flight);
     busy_[id] = true;
     ++client.times_selected;
@@ -136,7 +178,8 @@ void AsyncEngine::LaunchClients() {
   // client's trace state (launch ids are distinct by the busy_ guard).
   ParallelFor(pool_.get(), launches.size(), [&](size_t i) {
     InFlight& flight = launches[i];
-    flight.outcome = SimulateAsyncClient(clients_[flight.client_id], now_s_, flight.technique);
+    flight.outcome =
+        SimulateAsyncClient(clients_[flight.client_id], now_s_, flight.technique, faults[i]);
     flight.finish_time_s = now_s_ + std::max(1.0, flight.outcome.time_spent_s);
   });
 
@@ -146,79 +189,98 @@ void AsyncEngine::LaunchClients() {
   }
 }
 
-ExperimentResult AsyncEngine::Run() {
+void AsyncEngine::StepOnce() {
+  injector_.BeginRound(version_);
+
   GlobalObservation global;
   global.batch_size = config_.batch_size;
   global.epochs = config_.epochs;
   global.participants = config_.async_concurrency;
 
-  while (version_ < config_.rounds) {
-    LaunchClients();
-    if (in_flight_.empty()) {
-      // Nobody available right now; let time pass.
-      now_s_ += 60.0;
-      continue;
-    }
-    // Pop the earliest finisher.
-    size_t next = 0;
-    for (size_t i = 1; i < in_flight_.size(); ++i) {
-      if (in_flight_[i].finish_time_s < in_flight_[next].finish_time_s) {
-        next = i;
-      }
-    }
-    InFlight flight = in_flight_[next];
-    in_flight_[next] = in_flight_.back();
-    in_flight_.pop_back();
-    busy_[flight.client_id] = false;
-    now_s_ = std::max(now_s_, flight.finish_time_s);
-
-    Client& client = clients_[flight.client_id];
-    const double staleness = static_cast<double>(version_ - flight.start_version);
-    bool accepted = false;
-    if (flight.outcome.completed && staleness <= kMaxStaleness) {
-      ClientContribution contribution;
-      contribution.client_id = flight.client_id;
-      contribution.quality = 1.0 - EffectOf(flight.technique).accuracy_impact;
-      contribution.staleness = staleness;
-      buffer_.push_back(contribution);
-      accepted = true;
-      ++client.times_completed;
-    } else {
-      switch (flight.outcome.reason) {
-        case DropoutReason::kOutOfMemory:
-          ++dropout_breakdown_.out_of_memory;
-          break;
-        case DropoutReason::kDeparted:
-          ++dropout_breakdown_.departed;
-          break;
-        default:
-          // Completed but too stale: the work is discarded.
-          ++dropout_breakdown_.missed_deadline;
-          break;
-      }
-    }
-    client.last_round_duration_s = flight.outcome.time_spent_s;
-    client.UpdateDeadlineDiff(flight.outcome.deadline_diff);
-    accountant_.Record(flight.outcome.costs.train_time_s, flight.outcome.costs.comm_time_s,
-                       flight.outcome.costs.peak_memory_mb, accepted);
-    tracker_.Record(flight.client_id, flight.technique, accepted);
-    if (policy_ != nullptr) {
-      const double client_accuracy_credit =
-          last_accuracy_delta_ * (1.0 - EffectOf(flight.technique).accuracy_impact);
-      policy_->Report(flight.client_id, flight.observation, global, flight.technique, accepted,
-                      client_accuracy_credit);
-    }
-
-    if (buffer_.size() >= config_.async_buffer) {
-      const double before = surrogate_->GlobalAccuracy();
-      surrogate_->RoundUpdate(buffer_);
-      last_accuracy_delta_ = surrogate_->GlobalAccuracy() - before;
-      buffer_.clear();
-      ++version_;
-      accuracy_history_.push_back(surrogate_->GlobalAccuracy());
+  LaunchClients();
+  if (in_flight_.empty()) {
+    // Nobody available right now; let time pass.
+    now_s_ += 60.0;
+    return;
+  }
+  // Pop the earliest finisher.
+  size_t next = 0;
+  for (size_t i = 1; i < in_flight_.size(); ++i) {
+    if (in_flight_[i].finish_time_s < in_flight_[next].finish_time_s) {
+      next = i;
     }
   }
+  InFlight flight = in_flight_[next];
+  in_flight_[next] = in_flight_.back();
+  in_flight_.pop_back();
+  busy_[flight.client_id] = false;
+  now_s_ = std::max(now_s_, flight.finish_time_s);
 
+  Client& client = clients_[flight.client_id];
+  const double staleness = static_cast<double>(version_ - flight.start_version);
+  bool accepted = false;
+  DropoutReason drop_reason = DropoutReason::kNone;
+  if (!flight.outcome.completed) {
+    drop_reason = flight.outcome.reason == DropoutReason::kNone ? DropoutReason::kMissedDeadline
+                                                                : flight.outcome.reason;
+  } else if (staleness > kMaxStaleness) {
+    // Completed but too stale: the work is discarded.
+    drop_reason = DropoutReason::kMissedDeadline;
+  } else if (flight.outcome.corrupted &&
+             !IsValidUpdateQuality(PoisonedQuality(flight.outcome.corrupt_kind))) {
+    // Server-side validation quarantines the poisoned update.
+    drop_reason = DropoutReason::kCorrupted;
+    ++rejected_updates_;
+  } else {
+    ClientContribution contribution;
+    contribution.client_id = flight.client_id;
+    contribution.quality = 1.0 - EffectOf(flight.technique).accuracy_impact;
+    contribution.staleness = staleness;
+    buffer_.push_back(contribution);
+    accepted = true;
+    ++client.times_completed;
+  }
+  if (!accepted) {
+    CountDropout(drop_reason, dropout_breakdown_);
+    if (config_.faults.retry_cooldown_rounds > 0 &&
+        (drop_reason == DropoutReason::kCrashed || drop_reason == DropoutReason::kCorrupted)) {
+      client.cooldown_until_round = version_ + 1 + config_.faults.retry_cooldown_rounds;
+    }
+  }
+  client.last_round_duration_s = flight.outcome.time_spent_s;
+  client.UpdateDeadlineDiff(flight.outcome.deadline_diff);
+  accountant_.Record(flight.outcome.costs.train_time_s, flight.outcome.costs.comm_time_s,
+                     flight.outcome.costs.peak_memory_mb, accepted);
+  tracker_.Record(flight.client_id, flight.technique, accepted);
+  if (policy_ != nullptr) {
+    const double client_accuracy_credit =
+        last_accuracy_delta_ * (1.0 - EffectOf(flight.technique).accuracy_impact);
+    policy_->Report(flight.client_id, flight.observation, global, flight.technique, accepted,
+                    client_accuracy_credit);
+  }
+
+  if (buffer_.size() >= config_.async_buffer) {
+    const double before = surrogate_->GlobalAccuracy();
+    surrogate_->RoundUpdate(buffer_);
+    last_accuracy_delta_ = surrogate_->GlobalAccuracy() - before;
+    buffer_.clear();
+    ++version_;
+    accuracy_history_.push_back(surrogate_->GlobalAccuracy());
+  }
+}
+
+void AsyncEngine::RunUntil(size_t target_version) {
+  while (version_ < target_version) {
+    StepOnce();
+  }
+}
+
+ExperimentResult AsyncEngine::Run() {
+  RunUntil(config_.rounds);
+  return Snapshot();
+}
+
+ExperimentResult AsyncEngine::Snapshot() const {
   ExperimentResult result;
   const std::vector<double> accuracies = surrogate_->AllClientAccuracies();
   result.accuracy_avg = Mean(accuracies);
@@ -231,6 +293,7 @@ ExperimentResult AsyncEngine::Run() {
   result.never_selected = tracker_.NeverSelected();
   result.never_completed = tracker_.NeverCompleted();
   result.dropout_breakdown = dropout_breakdown_;
+  result.rejected_updates = rejected_updates_;
   result.useful = accountant_.Useful();
   result.wasted = accountant_.Wasted();
   result.wall_clock_hours = now_s_ / 3600.0;
@@ -239,6 +302,155 @@ ExperimentResult AsyncEngine::Run() {
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
   return result;
+}
+
+namespace {
+
+void SaveOutcome(CheckpointWriter& w, const ClientRoundOutcome& o) {
+  w.Size(o.client_id);
+  w.U32(static_cast<uint32_t>(o.technique));
+  w.Bool(o.completed);
+  w.U32(static_cast<uint32_t>(o.reason));
+  w.F64(o.costs.train_time_s);
+  w.F64(o.costs.comm_time_s);
+  w.F64(o.costs.total_time_s);
+  w.F64(o.costs.traffic_mb);
+  w.F64(o.costs.peak_memory_mb);
+  w.Bool(o.costs.out_of_memory);
+  w.F64(o.time_spent_s);
+  w.F64(o.deadline_diff);
+  w.Bool(o.corrupted);
+  w.U32(o.corrupt_kind);
+}
+
+void LoadOutcome(CheckpointReader& r, ClientRoundOutcome& o) {
+  o.client_id = r.Size();
+  o.technique = static_cast<TechniqueKind>(r.U32());
+  o.completed = r.Bool();
+  o.reason = static_cast<DropoutReason>(r.U32());
+  o.costs.train_time_s = r.F64();
+  o.costs.comm_time_s = r.F64();
+  o.costs.total_time_s = r.F64();
+  o.costs.traffic_mb = r.F64();
+  o.costs.peak_memory_mb = r.F64();
+  o.costs.out_of_memory = r.Bool();
+  o.time_spent_s = r.F64();
+  o.deadline_diff = r.F64();
+  o.corrupted = r.Bool();
+  o.corrupt_kind = r.U32();
+}
+
+}  // namespace
+
+void AsyncEngine::SaveState(CheckpointWriter& w) const {
+  w.F64(now_s_);
+  w.Size(version_);
+  w.F64(last_accuracy_delta_);
+  w.Size(rejected_updates_);
+  w.Size(dropout_breakdown_.unavailable);
+  w.Size(dropout_breakdown_.out_of_memory);
+  w.Size(dropout_breakdown_.missed_deadline);
+  w.Size(dropout_breakdown_.departed);
+  w.Size(dropout_breakdown_.crashed);
+  w.Size(dropout_breakdown_.corrupted);
+  w.Size(dropout_breakdown_.rejected);
+  w.F64Vec(accuracy_history_);
+  SaveRng(w, rng_);
+  w.Size(clients_.size());
+  for (const auto& client : clients_) {
+    client.SaveState(w);
+  }
+  w.BoolVec(busy_);
+  w.Size(in_flight_.size());
+  for (const auto& flight : in_flight_) {
+    w.Size(flight.client_id);
+    w.F64(flight.finish_time_s);
+    w.Size(flight.start_version);
+    w.U32(static_cast<uint32_t>(flight.technique));
+    SaveOutcome(w, flight.outcome);
+    w.F64(flight.observation.cpu_avail);
+    w.F64(flight.observation.mem_avail);
+    w.F64(flight.observation.net_avail);
+    w.F64(flight.observation.deadline_diff);
+  }
+  w.Size(buffer_.size());
+  for (const auto& contribution : buffer_) {
+    w.Size(contribution.client_id);
+    w.F64(contribution.quality);
+    w.F64(contribution.staleness);
+  }
+  surrogate_->SaveState(w);
+  accountant_.SaveState(w);
+  tracker_.SaveState(w);
+  injector_.SaveState(w);
+  w.Bool(policy_ != nullptr);
+  if (policy_ != nullptr) {
+    policy_->SaveState(w);
+  }
+}
+
+void AsyncEngine::LoadState(CheckpointReader& r) {
+  now_s_ = r.F64();
+  version_ = r.Size();
+  last_accuracy_delta_ = r.F64();
+  rejected_updates_ = r.Size();
+  dropout_breakdown_.unavailable = r.Size();
+  dropout_breakdown_.out_of_memory = r.Size();
+  dropout_breakdown_.missed_deadline = r.Size();
+  dropout_breakdown_.departed = r.Size();
+  dropout_breakdown_.crashed = r.Size();
+  dropout_breakdown_.corrupted = r.Size();
+  dropout_breakdown_.rejected = r.Size();
+  accuracy_history_ = r.F64Vec();
+  LoadRng(r, rng_);
+  const size_t n = r.Size();
+  // A failed reader (truncated/corrupted archive) returns zeros; that is the
+  // caller's error to report, not a process-aborting invariant violation.
+  FLOATFL_CHECK_MSG(n == clients_.size() || !r.ok(), "checkpoint population size mismatch");
+  if (n != clients_.size()) {
+    return;
+  }
+  for (auto& client : clients_) {
+    client.LoadState(r);
+  }
+  busy_ = r.BoolVec();
+  in_flight_.clear();
+  const size_t flights = r.Size();
+  for (size_t i = 0; i < flights && r.ok(); ++i) {
+    InFlight flight;
+    flight.client_id = r.Size();
+    flight.finish_time_s = r.F64();
+    flight.start_version = r.Size();
+    flight.technique = static_cast<TechniqueKind>(r.U32());
+    LoadOutcome(r, flight.outcome);
+    flight.observation.cpu_avail = r.F64();
+    flight.observation.mem_avail = r.F64();
+    flight.observation.net_avail = r.F64();
+    flight.observation.deadline_diff = r.F64();
+    in_flight_.push_back(flight);
+  }
+  buffer_.clear();
+  const size_t buffered = r.Size();
+  for (size_t i = 0; i < buffered && r.ok(); ++i) {
+    ClientContribution contribution;
+    contribution.client_id = r.Size();
+    contribution.quality = r.F64();
+    contribution.staleness = r.F64();
+    buffer_.push_back(contribution);
+  }
+  surrogate_->LoadState(r);
+  accountant_.LoadState(r);
+  tracker_.LoadState(r);
+  injector_.LoadState(r);
+  const bool had_policy = r.Bool();
+  FLOATFL_CHECK_MSG(had_policy == (policy_ != nullptr) || !r.ok(),
+                    "checkpoint policy presence mismatch");
+  if (had_policy != (policy_ != nullptr)) {
+    return;
+  }
+  if (policy_ != nullptr) {
+    policy_->LoadState(r);
+  }
 }
 
 }  // namespace floatfl

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_io.h"
+#include "src/failure/fault_injector.h"
 #include "src/fl/client.h"
 #include "src/fl/experiment.h"
 #include "src/fl/observation.h"
@@ -33,7 +35,25 @@ class AsyncEngine {
   // Runs until `config.rounds` aggregations have happened.
   ExperimentResult Run();
 
+  // Runs until `target_version` aggregations have happened (no-op when
+  // already past). Exposed for checkpoint/resume tests.
+  void RunUntil(size_t target_version);
+
+  // Processes one scheduler step: launch available clients, then retire the
+  // earliest finisher (or just advance time when nobody is in flight).
+  void StepOnce();
+
+  ExperimentResult Snapshot() const;
+
   const SurrogateAccuracyModel& accuracy_model() const { return *surrogate_; }
+  // Resolved configuration (auto-calibrated deadline included).
+  const ExperimentConfig& config() const { return config_; }
+  size_t Version() const { return version_; }
+  size_t RejectedUpdates() const { return rejected_updates_; }
+
+  // Checkpoint/resume of all mutable engine state (DESIGN.md §8).
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   struct InFlight {
@@ -47,8 +67,8 @@ class AsyncEngine {
 
   void LaunchClients();
   // Thread-safe for distinct clients: touches only `client` and config_.
-  ClientRoundOutcome SimulateAsyncClient(Client& client, double now_s,
-                                         TechniqueKind technique) const;
+  ClientRoundOutcome SimulateAsyncClient(Client& client, double now_s, TechniqueKind technique,
+                                         const FaultDecision& fault) const;
 
   static constexpr double kMaxStaleness = 10.0;
 
@@ -62,7 +82,9 @@ class AsyncEngine {
   std::unique_ptr<SurrogateAccuracyModel> surrogate_;
   ResourceAccountant accountant_;
   ParticipationTracker tracker_;
+  FaultInjector injector_;
   DropoutBreakdown dropout_breakdown_;
+  size_t rejected_updates_ = 0;
   std::vector<double> accuracy_history_;
   Rng rng_;
   std::vector<InFlight> in_flight_;

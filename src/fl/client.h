@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/data/dataset.h"
+#include "src/failure/checkpoint_io.h"
 #include "src/trace/availability_trace.h"
 #include "src/trace/compute_trace.h"
 #include "src/trace/interference.h"
@@ -45,6 +46,14 @@ class Client {
   }
   // Most recent observed on-period length, for REFL-style window prediction.
   double observed_window_s = 0.0;
+  // First round this client may be selected again after a crash or a
+  // quarantined update (retry-with-cooldown, DESIGN.md §8). 0 = no cooldown.
+  // Selectors deprioritize clients with cooldown_until_round > round.
+  size_t cooldown_until_round = 0;
+
+  // Checkpoint/resume: participation history plus the four trace processes.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   size_t id_;

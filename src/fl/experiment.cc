@@ -1,0 +1,24 @@
+#include "src/fl/experiment.h"
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+void ValidateExperimentConfig(const ExperimentConfig& config) {
+  FLOATFL_CHECK_MSG(config.num_clients > 0, "num_clients must be positive");
+  // clients_per_round may exceed num_clients: selectors clamp to the
+  // population, matching the tolerant behavior the robustness suite pins.
+  FLOATFL_CHECK_MSG(config.clients_per_round > 0, "clients_per_round must be positive");
+  FLOATFL_CHECK_MSG(config.rounds > 0, "rounds must be positive");
+  FLOATFL_CHECK_MSG(config.epochs > 0, "epochs must be positive");
+  FLOATFL_CHECK_MSG(config.batch_size > 0, "batch_size must be positive");
+  FLOATFL_CHECK_MSG(config.async_concurrency > 0, "async_concurrency must be positive");
+  FLOATFL_CHECK_MSG(config.async_buffer > 0, "async_buffer must be positive");
+  FLOATFL_CHECK_MSG(config.async_buffer <= config.async_concurrency,
+                    "async_buffer cannot exceed async_concurrency");
+  FLOATFL_CHECK_MSG(config.faults.overcommit >= 1.0, "faults.overcommit must be >= 1.0");
+  FLOATFL_CHECK_MSG(config.faults.reject_norm_threshold > 0.0,
+                    "faults.reject_norm_threshold must be positive");
+}
+
+}  // namespace floatfl

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/data/dataset.h"
+#include "src/failure/fault_config.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
 #include "src/models/model_zoo.h"
@@ -41,6 +42,28 @@ struct ExperimentConfig {
   // 1 = fully sequential (today's exact path). Results are bit-for-bit
   // identical for every value — see DESIGN.md "Determinism & parallelism".
   size_t num_threads = 0;
+  // Fault injection and failure handling (DESIGN.md §8). The default
+  // (all-zero) FaultConfig is a strict no-op: no fault draws happen and the
+  // engines behave bit-for-bit as if the subsystem did not exist.
+  FaultConfig faults;
+};
+
+// Aborts the process with a descriptive message when `config` violates an
+// engine invariant. Called by every engine constructor so misconfigurations
+// fail at construction, not rounds later.
+void ValidateExperimentConfig(const ExperimentConfig& config);
+
+// Why a selected client's round produced no aggregated update. Shared by the
+// sync and async engines (and mapped onto by the real engine).
+enum class DropoutReason {
+  kNone,
+  kUnavailable,     // selected while offline (or during a network blackout)
+  kOutOfMemory,
+  kMissedDeadline,
+  kDeparted,        // availability ended mid-round
+  kCrashed,         // injected mid-training process crash
+  kCorrupted,       // update failed server-side validation (quarantined)
+  kRejected,        // valid but abandoned (over-selection closed the round)
 };
 
 struct DropoutBreakdown {
@@ -48,8 +71,14 @@ struct DropoutBreakdown {
   size_t out_of_memory = 0;
   size_t missed_deadline = 0;
   size_t departed = 0;      // availability ended mid-round
+  size_t crashed = 0;       // injected mid-training crashes
+  size_t corrupted = 0;     // updates quarantined by server-side validation
+  size_t rejected = 0;      // abandoned by over-selection round close
 
-  size_t Total() const { return unavailable + out_of_memory + missed_deadline + departed; }
+  size_t Total() const {
+    return unavailable + out_of_memory + missed_deadline + departed + crashed + corrupted +
+           rejected;
+  }
 };
 
 struct ExperimentResult {
@@ -65,6 +94,10 @@ struct ExperimentResult {
   size_t never_selected = 0;
   size_t never_completed = 0;
   DropoutBreakdown dropout_breakdown;
+  // Updates quarantined by server-side validation (subset of
+  // dropout_breakdown.corrupted bookkeeping; kept as its own counter so
+  // defenses are visible without decoding the breakdown).
+  size_t rejected_updates = 0;
 
   ResourceTotals useful;
   ResourceTotals wasted;

@@ -52,4 +52,32 @@ ClientObservation ObserveClientNormalized(Client& client, double now_s,
   return obs;
 }
 
+void CountDropout(DropoutReason reason, DropoutBreakdown& breakdown) {
+  switch (reason) {
+    case DropoutReason::kUnavailable:
+      ++breakdown.unavailable;
+      break;
+    case DropoutReason::kOutOfMemory:
+      ++breakdown.out_of_memory;
+      break;
+    case DropoutReason::kMissedDeadline:
+      ++breakdown.missed_deadline;
+      break;
+    case DropoutReason::kDeparted:
+      ++breakdown.departed;
+      break;
+    case DropoutReason::kCrashed:
+      ++breakdown.crashed;
+      break;
+    case DropoutReason::kCorrupted:
+      ++breakdown.corrupted;
+      break;
+    case DropoutReason::kRejected:
+      ++breakdown.rejected;
+      break;
+    case DropoutReason::kNone:
+      break;
+  }
+}
+
 }  // namespace floatfl

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/fl/client.h"
+#include "src/fl/experiment.h"
 #include "src/fl/tuning_policy.h"
 
 namespace floatfl {
@@ -38,6 +39,10 @@ ClientObservation ObserveClient(Client& client, double now_s, const PopulationRe
 // population median capability, clamped to [0, 1].
 ClientObservation ObserveClientNormalized(Client& client, double now_s,
                                           const PopulationReference& ref);
+
+// Tallies one dropout reason into the breakdown (kNone is a no-op). The one
+// place the reason -> counter mapping lives; every engine routes through it.
+void CountDropout(DropoutReason reason, DropoutBreakdown& breakdown);
 
 }  // namespace floatfl
 

@@ -2,17 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/check.h"
 #include "src/data/dirichlet.h"
+#include "src/failure/checkpoint_util.h"
 #include "src/opt/compress.h"
 #include "src/opt/prune.h"
 #include "src/opt/quantize.h"
 
 namespace floatfl {
+namespace {
+
+// Overwrites a trained parameter vector with the configured poison: NaNs,
+// Infs, or an exploded (scaled) norm.
+void PoisonParams(std::vector<float>& params, uint32_t kind, double scale) {
+  switch (kind) {
+    case 0:
+      std::fill(params.begin(), params.end(), std::numeric_limits<float>::quiet_NaN());
+      break;
+    case 1:
+      std::fill(params.begin(), params.end(), std::numeric_limits<float>::infinity());
+      break;
+    default:
+      for (float& p : params) {
+        p = static_cast<float>(p * scale);
+      }
+      break;
+  }
+}
+
+// Server-side validation: every value finite and the update's L2 norm under
+// the quarantine threshold.
+bool ValidRealUpdate(const std::vector<float>& params, double norm_threshold) {
+  double sq = 0.0;
+  for (float p : params) {
+    if (!std::isfinite(p)) {
+      return false;
+    }
+    sq += static_cast<double>(p) * static_cast<double>(p);
+  }
+  return std::sqrt(sq) <= norm_threshold;
+}
+
+}  // namespace
 
 RealFlEngine::RealFlEngine(const RealFlConfig& config)
     : config_(config),
+      injector_(config.faults, config.seed, config.num_clients),
       rng_(config.seed),
       client_stream_root_(config.seed ^ 0x7C159E3779B97F4AULL) {
   FLOATFL_CHECK(config.num_clients > 0);
@@ -130,20 +167,35 @@ RealRoundStats RealFlEngine::RunRound(
   const std::vector<size_t> order = rng_.Permutation(shards_.size());
   const size_t k = std::min(config_.clients_per_round, shards_.size());
   const size_t round = rounds_run_++;
+  injector_.BeginRound(round);
 
-  // Phase 1 (sequential): technique choices — the callback may be stateful.
+  // Phase 1 (sequential): technique choices — the callback may be stateful —
+  // and fault draws (each from its own (round, client)-keyed stream). The
+  // engine has no wall clock; the round index stands in for time, so
+  // blackout windows are in round units.
   std::vector<TechniqueKind> techniques(k);
   std::vector<size_t> frozen_layers(k);
+  std::vector<FaultDecision> faults(k);
   for (size_t i = 0; i < k; ++i) {
     techniques[i] = choose_technique(order[i]);
     frozen_layers[i] = FrozenLayersFor(techniques[i]);
+    if (injector_.enabled()) {
+      faults[i] = injector_.Decide(round, order[i], static_cast<double>(round));
+    }
   }
 
   // Phase 2 (parallel): local training and upload processing. Each client
   // trains on its own (round, client_id)-keyed RNG stream, so the trained
   // weights do not depend on which thread — or in which order — clients run.
+  // A crashed (or blacked-out) client never delivers; a corrupted one
+  // delivers a poisoned tensor.
   std::vector<ProcessedUpdate> processed(k);
+  std::vector<uint8_t> delivered(k, 1);
   ParallelFor(pool_.get(), k, [&](size_t i) {
+    if (faults[i].crash || faults[i].blackout) {
+      delivered[i] = 0;
+      return;
+    }
     const size_t id = order[i];
     Rng client_rng = client_stream_root_.ForkKeyed(Rng::StreamKey(round, id));
     Mlp local(model_dims_, client_rng);
@@ -152,16 +204,27 @@ RealRoundStats RealFlEngine::RunRound(
     sgd.frozen_layers = frozen_layers[i];
     TrainSgd(local, client_inputs_[id], client_labels_[id], sgd, client_rng);
     processed[i] = ProcessUpload(local.GetParameters(), techniques[i]);
+    if (faults[i].corrupt) {
+      PoisonParams(processed[i].params, faults[i].corrupt_kind, config_.faults.corrupt_scale);
+    }
   });
 
-  // Phase 3 (sequential, selection order): fixed-order reduction into the
-  // FedAvg aggregate.
+  // Phase 3 (sequential, selection order): server-side validation, then a
+  // fixed-order reduction into the FedAvg aggregate.
   std::vector<std::vector<float>> updates;
   std::vector<double> weights;
   RealRoundStats stats;
   double total_bytes = 0.0;
   double total_error = 0.0;
   for (size_t i = 0; i < k; ++i) {
+    if (!delivered[i]) {
+      ++stats.crashed;
+      continue;
+    }
+    if (!ValidRealUpdate(processed[i].params, config_.faults.reject_norm_threshold)) {
+      ++stats.rejected_updates;
+      continue;
+    }
     total_bytes += static_cast<double>(processed[i].upload_bytes);
     total_error += processed[i].max_error;
     updates.push_back(std::move(processed[i].params));
@@ -189,5 +252,26 @@ double RealFlEngine::EvaluateAccuracy() {
 }
 
 double RealFlEngine::EvaluateLoss() { return global_->EvaluateLoss(test_inputs_, test_labels_); }
+
+void RealFlEngine::SaveState(CheckpointWriter& w) const {
+  w.Size(rounds_run_);
+  SaveRng(w, rng_);
+  SaveRng(w, client_stream_root_);
+  w.F32Vec(global_->GetParameters());
+  injector_.SaveState(w);
+}
+
+void RealFlEngine::LoadState(CheckpointReader& r) {
+  rounds_run_ = r.Size();
+  LoadRng(r, rng_);
+  LoadRng(r, client_stream_root_);
+  const std::vector<float> params = r.F32Vec();
+  FLOATFL_CHECK_MSG(params.size() == global_->ParamCount() || !r.ok(),
+                    "checkpoint model parameter count mismatch");
+  if (r.ok()) {
+    global_->SetParameters(params);
+  }
+  injector_.LoadState(r);
+}
 
 }  // namespace floatfl

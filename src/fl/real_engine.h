@@ -20,6 +20,8 @@
 #include "src/common/rng.h"
 #include "src/data/dataset.h"
 #include "src/data/synthetic.h"
+#include "src/failure/checkpoint_io.h"
+#include "src/failure/fault_injector.h"
 #include "src/nn/mlp.h"
 #include "src/nn/optimizer.h"
 #include "src/opt/technique.h"
@@ -43,6 +45,11 @@ struct RealFlConfig {
   // each client trains on its own (round, client_id)-keyed RNG stream and
   // updates aggregate in selection order.
   size_t num_threads = 0;
+  // Fault injection (DESIGN.md §8). Crashes drop the client's update on the
+  // floor; corruption poisons the uploaded tensor (NaN / Inf / exploding
+  // norm), which the server-side validation quarantines. The real engine has
+  // no wall clock, so blackout windows are interpreted in round units.
+  FaultConfig faults;
 };
 
 // Per-round measurements of the real pipeline.
@@ -56,6 +63,10 @@ struct RealRoundStats {
   // Mean max-abs reconstruction error the optimization injected into the
   // aggregated updates (0 for exact techniques).
   double mean_update_error = 0.0;
+  // Injected-failure accounting: clients that crashed mid-round and updates
+  // quarantined by the server's finite/norm validation.
+  size_t crashed = 0;
+  size_t rejected_updates = 0;
 };
 
 class RealFlEngine {
@@ -75,8 +86,16 @@ class RealFlEngine {
 
   size_t NumClients() const { return shards_.size(); }
   const Mlp& global_model() const { return *global_; }
+  const RealFlConfig& config() const { return config_; }
   // Serialized fp32 upload size, for compression-ratio comparisons.
   size_t DenseUpdateBytes() const;
+  size_t RoundsRun() const { return rounds_run_; }
+
+  // Checkpoint/resume: the datasets and model topology are rebuilt
+  // deterministically from config; only the mutable training state (RNGs,
+  // round counter, global weights, flaky chains) is serialized.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   // Applies the technique to a trained parameter vector; returns the bytes
@@ -91,6 +110,7 @@ class RealFlEngine {
   size_t FrozenLayersFor(TechniqueKind technique) const;
 
   RealFlConfig config_;
+  FaultInjector injector_;
   Rng rng_;
   // Root of the per-(round, client) training streams; never advanced, only
   // ForkKeyed — so the streams are independent of simulation order.

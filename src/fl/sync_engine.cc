@@ -1,6 +1,7 @@
 #include "src/fl/sync_engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/check.h"
 #include "src/common/stats.h"
@@ -27,7 +28,8 @@ SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, Tunin
     pool_ = std::make_unique<ThreadPool>(threads - 1);
   }
   FLOATFL_CHECK(selector_ != nullptr);
-  FLOATFL_CHECK(config.clients_per_round > 0);
+  ValidateExperimentConfig(config_);
+  injector_ = FaultInjector(config_.faults, config_.seed, config_.num_clients);
   if (config_.deadline_s <= 0.0) {
     config_.deadline_s = AutoDeadlineSeconds(config_, clients_);
   }
@@ -45,6 +47,12 @@ SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, Tunin
 
 ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
                                               TechniqueKind technique) const {
+  return SimulateClient(client, now_s, technique, FaultDecision());
+}
+
+ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
+                                              TechniqueKind technique,
+                                              const FaultDecision& fault) const {
   ClientRoundOutcome outcome;
   outcome.client_id = client.id();
   outcome.technique = technique;
@@ -67,9 +75,34 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
   outcome.costs = ComputeRoundCosts(inputs);
 
   const double deadline = config_.deadline_s;
+  if (fault.blackout) {
+    // The server cannot reach the client during a network blackout: the task
+    // push never happens and nothing runs on the device.
+    outcome.reason = DropoutReason::kUnavailable;
+    outcome.costs.train_time_s = 0.0;
+    outcome.costs.comm_time_s = 0.0;
+    outcome.costs.peak_memory_mb = 0.0;
+    outcome.time_spent_s = 0.0;
+    return outcome;
+  }
   if (config_.assume_no_dropouts) {
+    // Injected faults still apply in the counterfactual: the Figure-3
+    // what-if removes *natural* dropouts, not deliberately injected ones
+    // (and fault-scenario tests rely on this to isolate the injector).
+    if (fault.crash) {
+      const double crash_time = fault.crash_fraction * outcome.costs.total_time_s;
+      outcome.reason = DropoutReason::kCrashed;
+      outcome.costs.train_time_s *= fault.crash_fraction;
+      outcome.costs.comm_time_s *= fault.crash_fraction;
+      outcome.time_spent_s = std::min(crash_time, deadline);
+      return outcome;
+    }
     outcome.completed = true;
     outcome.time_spent_s = std::min(outcome.costs.total_time_s, deadline);
+    if (fault.corrupt) {
+      outcome.corrupted = true;
+      outcome.corrupt_kind = fault.corrupt_kind;
+    }
     return outcome;
   }
 
@@ -90,6 +123,19 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
     outcome.costs.comm_time_s *= 0.5;
     outcome.time_spent_s = outcome.costs.comm_time_s;
     return outcome;
+  }
+  if (fault.crash) {
+    // The process dies at crash_fraction of the round — but only if the
+    // client would actually get that far (the deadline or an availability
+    // departure would otherwise end the round first, benignly).
+    const double crash_time = fault.crash_fraction * outcome.costs.total_time_s;
+    if (crash_time <= deadline && client.availability().AvailableFor(now_s, crash_time)) {
+      outcome.reason = DropoutReason::kCrashed;
+      outcome.costs.train_time_s *= fault.crash_fraction;
+      outcome.costs.comm_time_s *= fault.crash_fraction;
+      outcome.time_spent_s = crash_time;
+      return outcome;
+    }
   }
   if (outcome.costs.total_time_s > deadline) {
     // Straggler: works until the deadline, then the round closes without it.
@@ -114,12 +160,26 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
   }
   outcome.completed = true;
   outcome.time_spent_s = outcome.costs.total_time_s;
+  if (fault.corrupt) {
+    outcome.corrupted = true;
+    outcome.corrupt_kind = fault.corrupt_kind;
+  }
   return outcome;
 }
 
 void SyncEngine::RunRound(size_t round) {
-  const std::vector<size_t> selected =
-      selector_->Select(round, now_s_, config_.clients_per_round, clients_);
+  injector_.BeginRound(round);
+
+  // Over-selection: select ceil(K x overcommit) and close the round at the
+  // first K completions; the extras hedge against injected failures.
+  const size_t base_k = config_.clients_per_round;
+  size_t select_k = base_k;
+  if (injector_.enabled() && config_.faults.overcommit > 1.0) {
+    select_k = static_cast<size_t>(
+        std::ceil(static_cast<double>(base_k) * config_.faults.overcommit));
+    select_k = std::min(select_k, config_.num_clients);
+  }
+  const std::vector<size_t> selected = selector_->Select(round, now_s_, select_k, clients_);
 
   GlobalObservation global;
   global.batch_size = config_.batch_size;
@@ -127,17 +187,25 @@ void SyncEngine::RunRound(size_t round) {
   global.participants = config_.clients_per_round;
 
   // Phase 1 (sequential): observe each client and let the policy decide,
-  // preserving the policy's internal draw order across thread counts.
+  // preserving the policy's internal draw order across thread counts. Fault
+  // decisions are drawn here too — each from its own (round, client)-keyed
+  // stream, so their order is irrelevant, but batching them keeps phase 2
+  // free of injector calls.
   std::vector<ClientObservation> observations;
   std::vector<TechniqueKind> techniques;
+  std::vector<FaultDecision> faults(selected.size());
   observations.reserve(selected.size());
   techniques.reserve(selected.size());
-  for (size_t id : selected) {
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const size_t id = selected[i];
     FLOATFL_CHECK(id < clients_.size());
     Client& client = clients_[id];
     observations.push_back(ObserveClient(client, now_s_, reference_));
     techniques.push_back(policy_ != nullptr ? policy_->Decide(id, observations.back(), global)
                                             : TechniqueKind::kNone);
+    if (injector_.enabled()) {
+      faults[i] = injector_.Decide(round, id, now_s_);
+    }
   }
 
   // Phase 2 (parallel): simulate the selected clients. Each task touches
@@ -145,8 +213,43 @@ void SyncEngine::RunRound(size_t round) {
   // replacement), and outcomes land in an index-ordered buffer.
   std::vector<ClientRoundOutcome> outcomes(selected.size());
   ParallelFor(pool_.get(), selected.size(), [&](size_t i) {
-    outcomes[i] = SimulateClient(clients_[selected[i]], now_s_, techniques[i]);
+    outcomes[i] = SimulateClient(clients_[selected[i]], now_s_, techniques[i], faults[i]);
   });
+
+  // Server-side validation (quarantine): a corrupted update carries a
+  // non-finite or absurd quality and is rejected before aggregation. The
+  // client spent its full round; the spend becomes waste.
+  for (auto& outcome : outcomes) {
+    if (outcome.completed && outcome.corrupted &&
+        !IsValidUpdateQuality(PoisonedQuality(outcome.corrupt_kind))) {
+      outcome.completed = false;
+      outcome.reason = DropoutReason::kCorrupted;
+      ++rejected_updates_;
+    }
+  }
+
+  // Over-selection round close: accept the first `needed` valid completions
+  // (by finish time, selection order breaking ties); later ones are
+  // abandoned and their spend charged as waste.
+  const size_t needed = std::min(base_k, selected.size());
+  {
+    std::vector<size_t> completed_idx;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].completed) {
+        completed_idx.push_back(i);
+      }
+    }
+    if (completed_idx.size() > needed) {
+      std::stable_sort(completed_idx.begin(), completed_idx.end(), [&](size_t a, size_t b) {
+        return outcomes[a].time_spent_s < outcomes[b].time_spent_s;
+      });
+      for (size_t j = needed; j < completed_idx.size(); ++j) {
+        ClientRoundOutcome& abandoned = outcomes[completed_idx[j]];
+        abandoned.completed = false;
+        abandoned.reason = DropoutReason::kRejected;
+      }
+    }
+  }
 
   // Phase 3 (sequential, selection order): bookkeeping, so the accountant's
   // floating-point sums accumulate in a fixed order.
@@ -163,21 +266,13 @@ void SyncEngine::RunRound(size_t round) {
     accountant_.Record(outcome.costs.train_time_s, outcome.costs.comm_time_s,
                        outcome.costs.peak_memory_mb, outcome.completed);
     tracker_.Record(selected[i], techniques[i], outcome.completed);
-    switch (outcome.reason) {
-      case DropoutReason::kUnavailable:
-        ++dropout_breakdown_.unavailable;
-        break;
-      case DropoutReason::kOutOfMemory:
-        ++dropout_breakdown_.out_of_memory;
-        break;
-      case DropoutReason::kMissedDeadline:
-        ++dropout_breakdown_.missed_deadline;
-        break;
-      case DropoutReason::kDeparted:
-        ++dropout_breakdown_.departed;
-        break;
-      case DropoutReason::kNone:
-        break;
+    CountDropout(outcome.reason, dropout_breakdown_);
+    if (config_.faults.retry_cooldown_rounds > 0 &&
+        (outcome.reason == DropoutReason::kCrashed ||
+         outcome.reason == DropoutReason::kCorrupted)) {
+      // Retry-with-cooldown: a crashed or quarantined client sits out the
+      // next few rounds before the selectors consider it again.
+      client.cooldown_until_round = round + 1 + config_.faults.retry_cooldown_rounds;
     }
   }
 
@@ -185,7 +280,7 @@ void SyncEngine::RunRound(size_t round) {
   const double accuracy_before = surrogate_->GlobalAccuracy();
   std::vector<ClientContribution> contributions;
   double round_duration = 0.0;
-  bool any_dropout = false;
+  size_t accepted = 0;
   for (const auto& outcome : outcomes) {
     if (outcome.completed) {
       ClientContribution contribution;
@@ -193,8 +288,7 @@ void SyncEngine::RunRound(size_t round) {
       contribution.quality = 1.0 - EffectOf(outcome.technique).accuracy_impact;
       contributions.push_back(contribution);
       round_duration = std::max(round_duration, outcome.time_spent_s);
-    } else {
-      any_dropout = true;
+      ++accepted;
     }
   }
   surrogate_->RoundUpdate(contributions);
@@ -216,8 +310,11 @@ void SyncEngine::RunRound(size_t round) {
                          config_.deadline_s);
   }
 
-  // A synchronous server waits out the deadline if anyone is missing.
-  if (any_dropout) {
+  // A synchronous server waits out the deadline when it could not close the
+  // round with a full cohort. With over-selection, `needed` early
+  // completions close the round immediately — the mechanism that shortens
+  // mean round duration under injected failures.
+  if (accepted < needed) {
     round_duration = config_.deadline_s;
   }
   now_s_ += round_duration + kRoundOverheadS;
@@ -238,6 +335,7 @@ ExperimentResult SyncEngine::Snapshot() const {
   result.never_selected = tracker_.NeverSelected();
   result.never_completed = tracker_.NeverCompleted();
   result.dropout_breakdown = dropout_breakdown_;
+  result.rejected_updates = rejected_updates_;
   result.useful = accountant_.Useful();
   result.wasted = accountant_.Wasted();
   result.wall_clock_hours = now_s_ / 3600.0;
@@ -253,6 +351,71 @@ ExperimentResult SyncEngine::Run() {
     RunRound(round);
   }
   return Snapshot();
+}
+
+void SyncEngine::SaveState(CheckpointWriter& w) const {
+  w.F64(now_s_);
+  w.Size(rounds_run_);
+  w.Size(rejected_updates_);
+  w.Size(dropout_breakdown_.unavailable);
+  w.Size(dropout_breakdown_.out_of_memory);
+  w.Size(dropout_breakdown_.missed_deadline);
+  w.Size(dropout_breakdown_.departed);
+  w.Size(dropout_breakdown_.crashed);
+  w.Size(dropout_breakdown_.corrupted);
+  w.Size(dropout_breakdown_.rejected);
+  w.F64Vec(accuracy_history_);
+  w.Size(clients_.size());
+  for (const auto& client : clients_) {
+    client.SaveState(w);
+  }
+  surrogate_->SaveState(w);
+  accountant_.SaveState(w);
+  tracker_.SaveState(w);
+  injector_.SaveState(w);
+  selector_->SaveState(w);
+  w.Bool(policy_ != nullptr);
+  if (policy_ != nullptr) {
+    policy_->SaveState(w);
+  }
+}
+
+void SyncEngine::LoadState(CheckpointReader& r) {
+  now_s_ = r.F64();
+  rounds_run_ = r.Size();
+  rejected_updates_ = r.Size();
+  dropout_breakdown_.unavailable = r.Size();
+  dropout_breakdown_.out_of_memory = r.Size();
+  dropout_breakdown_.missed_deadline = r.Size();
+  dropout_breakdown_.departed = r.Size();
+  dropout_breakdown_.crashed = r.Size();
+  dropout_breakdown_.corrupted = r.Size();
+  dropout_breakdown_.rejected = r.Size();
+  accuracy_history_ = r.F64Vec();
+  const size_t n = r.Size();
+  // A failed reader (truncated/corrupted archive) returns zeros; that is the
+  // caller's error to report, not a process-aborting invariant violation.
+  FLOATFL_CHECK_MSG(n == clients_.size() || !r.ok(), "checkpoint population size mismatch");
+  if (n != clients_.size()) {
+    return;
+  }
+  for (auto& client : clients_) {
+    client.LoadState(r);
+  }
+  surrogate_->LoadState(r);
+  accountant_.LoadState(r);
+  tracker_.LoadState(r);
+  injector_.LoadState(r);
+  selector_->LoadState(r);
+  const bool had_policy = r.Bool();
+  FLOATFL_CHECK_MSG(had_policy == (policy_ != nullptr) || !r.ok(),
+                    "checkpoint policy presence mismatch");
+  if (had_policy != (policy_ != nullptr)) {
+    return;
+  }
+  if (policy_ != nullptr) {
+    policy_->LoadState(r);
+  }
 }
 
 }  // namespace floatfl

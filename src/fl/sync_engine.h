@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_io.h"
+#include "src/failure/fault_injector.h"
 #include "src/fl/client.h"
 #include "src/sim/thread_pool.h"
 #include "src/fl/cost_model.h"
@@ -26,8 +28,6 @@
 
 namespace floatfl {
 
-enum class DropoutReason { kNone, kUnavailable, kOutOfMemory, kMissedDeadline, kDeparted };
-
 struct ClientRoundOutcome {
   size_t client_id = 0;
   TechniqueKind technique = TechniqueKind::kNone;
@@ -37,6 +37,10 @@ struct ClientRoundOutcome {
   // Time actually spent before completing / giving up, seconds.
   double time_spent_s = 0.0;
   double deadline_diff = 0.0;  // overshoot fraction, 0 when met
+  // Injected corruption: the client "completed" but its update is poisoned;
+  // server-side validation decides its fate.
+  bool corrupted = false;
+  uint32_t corrupt_kind = 0;
 };
 
 class SyncEngine {
@@ -56,10 +60,26 @@ class SyncEngine {
   const SurrogateAccuracyModel& accuracy_model() const { return *surrogate_; }
   std::vector<Client>& clients() { return clients_; }
   double now() const { return now_s_; }
+  // Resolved configuration (auto-calibrated deadline included).
+  const ExperimentConfig& config() const { return config_; }
 
   // Simulates one client's round at time `now_s` without recording it
   // (used by tests and by the async engine's shared logic).
   ClientRoundOutcome SimulateClient(Client& client, double now_s, TechniqueKind technique) const;
+  // Fault-aware variant: `fault` layers injected failures over the natural
+  // dropout checks. A default FaultDecision reproduces the plain overload.
+  ClientRoundOutcome SimulateClient(Client& client, double now_s, TechniqueKind technique,
+                                    const FaultDecision& fault) const;
+
+  size_t RoundsRun() const { return rounds_run_; }
+  size_t RejectedUpdates() const { return rejected_updates_; }
+  const FaultInjector& injector() const { return injector_; }
+
+  // Checkpoint/resume of all mutable engine state (DESIGN.md §8). The
+  // population, surrogate tables and deadline are rebuilt from config at
+  // construction; Save/Load cover everything that advances during Run().
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   ExperimentConfig config_;
@@ -73,7 +93,9 @@ class SyncEngine {
   std::unique_ptr<SurrogateAccuracyModel> surrogate_;
   ResourceAccountant accountant_;
   ParticipationTracker tracker_;
+  FaultInjector injector_;
   DropoutBreakdown dropout_breakdown_;
+  size_t rejected_updates_ = 0;
   std::vector<double> accuracy_history_;
   double now_s_ = 0.0;
   size_t rounds_run_ = 0;

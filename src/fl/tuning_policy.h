@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <string>
 
+#include "src/failure/checkpoint_io.h"
 #include "src/opt/technique.h"
 
 namespace floatfl {
@@ -45,6 +46,12 @@ class TuningPolicy {
                       double accuracy_improvement) = 0;
 
   virtual std::string Name() const = 0;
+
+  // Checkpoint/resume of the policy's mutable state. Stateless policies keep
+  // the no-op defaults; learning policies serialize their learned state so a
+  // resumed run replays the exact decision sequence.
+  virtual void SaveState(CheckpointWriter& w) const { (void)w; }
+  virtual void LoadState(CheckpointReader& r) { (void)r; }
 };
 
 // Always applies one fixed technique — the "static optimizations" of

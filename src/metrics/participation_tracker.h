@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/failure/checkpoint_io.h"
 #include "src/opt/technique.h"
 
 namespace floatfl {
@@ -41,6 +42,10 @@ class ParticipationTracker {
 
   const std::vector<size_t>& selected() const { return selected_; }
   const std::vector<size_t>& completed() const { return completed_; }
+
+  // Checkpoint/resume. Not thread-safe; call with no in-flight Record.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   std::mutex mu_;  // serializes Record

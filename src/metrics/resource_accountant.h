@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <mutex>
 
+#include "src/failure/checkpoint_io.h"
+
 namespace floatfl {
 
 struct ResourceTotals {
@@ -45,6 +47,10 @@ class ResourceAccountant {
   ResourceTotals Total() const;
 
   size_t RecordedRounds() const { return records_; }
+
+  // Checkpoint/resume. Not thread-safe; call with no in-flight Record.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   std::mutex mu_;  // serializes Record

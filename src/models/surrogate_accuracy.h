@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/data/dataset.h"
+#include "src/failure/checkpoint_io.h"
 
 namespace floatfl {
 
@@ -69,6 +70,11 @@ class SurrogateAccuracyModel {
 
   size_t NumClients() const { return divergence_.size(); }
   size_t RoundsSimulated() const { return rounds_; }
+
+  // Checkpoint/resume of the mutable convergence state (the shard-derived
+  // divergence/share tables are rebuilt deterministically at construction).
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   SurrogateConfig config_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/failure/checkpoint_util.h"
 
 namespace floatfl {
 
@@ -16,12 +17,13 @@ OortSelector::OortSelector(uint64_t seed, size_t num_clients, Params params)
 
 std::vector<size_t> OortSelector::Select(size_t round, double now_s, size_t k,
                                          std::vector<Client>& clients) {
-  (void)round;
   FLOATFL_CHECK(clients.size() == utility_.size());
-  // Oort checks in clients that are currently available.
+  // Oort checks in clients that are currently available, minus blacklisted
+  // and failure-cooldown clients.
   std::vector<size_t> available;
   for (auto& client : clients) {
-    if (client.availability().IsAvailableAt(now_s) && !IsBlacklisted(client.id())) {
+    if (client.availability().IsAvailableAt(now_s) && !IsBlacklisted(client.id()) &&
+        client.cooldown_until_round <= round) {
       available.push_back(client.id());
     }
   }
@@ -117,6 +119,24 @@ void OortSelector::OnOutcome(size_t client_id, bool completed, double duration_s
     // Fast completions slowly restore utility toward the data-size level.
     utility_[client_id] *= 1.05;
   }
+}
+
+void OortSelector::SaveState(CheckpointWriter& w) const {
+  SaveRng(w, rng_);
+  w.F64Vec(utility_);
+  w.BoolVec(explored_);
+  w.SizeVec(failures_);
+  w.F64(pacer_fraction_);
+  w.F64(completion_ewma_);
+}
+
+void OortSelector::LoadState(CheckpointReader& r) {
+  LoadRng(r, rng_);
+  utility_ = r.F64Vec();
+  explored_ = r.BoolVec();
+  failures_ = r.SizeVec();
+  pacer_fraction_ = r.F64();
+  completion_ewma_ = r.F64();
 }
 
 }  // namespace floatfl

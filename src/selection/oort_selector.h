@@ -34,6 +34,9 @@ class OortSelector final : public Selector {
                  double deadline_s) override;
   std::string Name() const override { return "oort"; }
 
+  void SaveState(CheckpointWriter& w) const override;
+  void LoadState(CheckpointReader& r) override;
+
   double UtilityOf(size_t client_id) const { return utility_[client_id]; }
   bool IsBlacklisted(size_t client_id) const { return failures_[client_id] >= params_.blacklist_failures; }
   // Oort's pacer: the developer-preferred round duration as a fraction of

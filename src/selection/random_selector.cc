@@ -8,14 +8,15 @@ RandomSelector::RandomSelector(uint64_t seed) : rng_(seed) {}
 
 std::vector<size_t> RandomSelector::Select(size_t round, double now_s, size_t k,
                                            std::vector<Client>& clients) {
-  (void)round;
   // Uniformly random among currently checked-in (available) clients; the
   // server only contacts online devices, as in FedScale. No resource
-  // awareness beyond that.
+  // awareness beyond that. Clients in a failure cooldown window are skipped
+  // (no cooldowns active -> the candidate list, and hence the RNG draw
+  // sequence, is unchanged).
   std::vector<size_t> available;
   available.reserve(clients.size());
   for (auto& client : clients) {
-    if (client.availability().IsAvailableAt(now_s)) {
+    if (client.availability().IsAvailableAt(now_s) && client.cooldown_until_round <= round) {
       available.push_back(client.id());
     }
   }

@@ -5,6 +5,7 @@
 #define SRC_SELECTION_RANDOM_SELECTOR_H_
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_util.h"
 #include "src/selection/selector.h"
 
 namespace floatfl {
@@ -16,6 +17,9 @@ class RandomSelector final : public Selector {
   std::vector<size_t> Select(size_t round, double now_s, size_t k,
                              std::vector<Client>& clients) override;
   std::string Name() const override { return "fedavg"; }
+
+  void SaveState(CheckpointWriter& w) const override { SaveRng(w, rng_); }
+  void LoadState(CheckpointReader& r) override { LoadRng(r, rng_); }
 
  private:
   Rng rng_;

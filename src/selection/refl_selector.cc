@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/failure/checkpoint_util.h"
 
 namespace floatfl {
 namespace {
@@ -45,7 +46,8 @@ std::vector<size_t> ReflSelector::Select(size_t round, double now_s, size_t k,
     // rounds were slow are excluded — the bias the paper demonstrates.
     const bool fits_deadline =
         last_deadline_s_ <= 0.0 || estimated_duration_s_[id] <= 0.9 * last_deadline_s_;
-    if (fits_deadline && predicted_window_s_[id] >= estimated_duration_s_[id]) {
+    if (fits_deadline && predicted_window_s_[id] >= estimated_duration_s_[id] &&
+        client.cooldown_until_round <= round) {
       eligible.push_back(id);
     }
   }
@@ -84,6 +86,24 @@ void ReflSelector::OnOutcome(size_t client_id, bool completed, double duration_s
   estimated_duration_s_[client_id] =
       kEwma * estimated_duration_s_[client_id] + (1.0 - kEwma) * observed;
   last_deadline_s_ = deadline_s;
+}
+
+void ReflSelector::SaveState(CheckpointWriter& w) const {
+  SaveRng(w, rng_);
+  w.F64Vec(predicted_window_s_);
+  w.F64Vec(estimated_duration_s_);
+  w.SizeVec(last_participated_);
+  w.BoolVec(seen_);
+  w.F64(last_deadline_s_);
+}
+
+void ReflSelector::LoadState(CheckpointReader& r) {
+  LoadRng(r, rng_);
+  predicted_window_s_ = r.F64Vec();
+  estimated_duration_s_ = r.F64Vec();
+  last_participated_ = r.SizeVec();
+  seen_ = r.BoolVec();
+  last_deadline_s_ = r.F64();
 }
 
 }  // namespace floatfl

@@ -29,6 +29,9 @@ class ReflSelector final : public Selector {
                  double deadline_s) override;
   std::string Name() const override { return "refl"; }
 
+  void SaveState(CheckpointWriter& w) const override;
+  void LoadState(CheckpointReader& r) override;
+
   double PredictedWindow(size_t client_id) const { return predicted_window_s_[client_id]; }
   double EstimatedDuration(size_t client_id) const { return estimated_duration_s_[client_id]; }
 

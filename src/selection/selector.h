@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/failure/checkpoint_io.h"
 #include "src/fl/client.h"
 
 namespace floatfl {
@@ -33,6 +34,11 @@ class Selector {
   }
 
   virtual std::string Name() const = 0;
+
+  // Checkpoint/resume of the selector's mutable state (RNG, utilities,
+  // pacing...). Stateless selectors keep the no-op defaults.
+  virtual void SaveState(CheckpointWriter& w) const { (void)w; }
+  virtual void LoadState(CheckpointReader& r) { (void)r; }
 };
 
 }  // namespace floatfl

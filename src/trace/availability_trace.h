@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_io.h"
 
 namespace floatfl {
 
@@ -26,6 +27,11 @@ class AvailabilityTrace {
 
   // True iff the client stays available over the whole [start, start+dur).
   bool AvailableFor(double start_s, double duration_s);
+
+  // Checkpoint/resume: the materialized segments plus the RNG stream, so a
+  // restored trace continues the exact same renewal process.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   struct Segment {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/failure/checkpoint_util.h"
+
 namespace floatfl {
 namespace {
 
@@ -68,6 +70,20 @@ double ComputeTrace::GflopsAt(double time_s) {
     current_time_ += kStepSeconds;
   }
   return current_gflops_;
+}
+
+void ComputeTrace::SaveState(CheckpointWriter& w) const {
+  SaveRng(w, rng_);
+  w.F64(drift_);
+  w.F64(current_time_);
+  w.F64(current_gflops_);
+}
+
+void ComputeTrace::LoadState(CheckpointReader& r) {
+  LoadRng(r, rng_);
+  drift_ = r.F64();
+  current_time_ = r.F64();
+  current_gflops_ = r.F64();
 }
 
 }  // namespace floatfl

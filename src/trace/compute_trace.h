@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_io.h"
 
 namespace floatfl {
 
@@ -32,6 +33,11 @@ class ComputeTrace {
 
   // Device memory capacity in GB available to apps.
   double MemoryGb() const { return memory_gb_; }
+
+  // Checkpoint/resume of the mutable drift process (static device
+  // parameters are rebuilt deterministically from the experiment seed).
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   DeviceTier tier_;

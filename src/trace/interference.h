@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_io.h"
 
 namespace floatfl {
 
@@ -37,6 +38,10 @@ class InterferenceModel {
   ResourceAvailability At(double time_s);
 
   InterferenceScenario scenario() const { return scenario_; }
+
+  // Checkpoint/resume of the mutable AR(1) state.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   InterferenceScenario scenario_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/failure/checkpoint_util.h"
+
 namespace floatfl {
 
 NetworkTrace::NetworkTrace(NetworkKind kind, uint64_t seed) : kind_(kind), rng_(seed) {
@@ -72,6 +74,22 @@ double NetworkTrace::BandwidthMbpsAt(double time_s) {
     current_time_ += kStepSeconds;
   }
   return current_mbps_;
+}
+
+void NetworkTrace::SaveState(CheckpointWriter& w) const {
+  SaveRng(w, rng_);
+  w.U32(static_cast<uint32_t>(regime_));
+  w.F64(log_dev_);
+  w.F64(current_mbps_);
+  w.F64(current_time_);
+}
+
+void NetworkTrace::LoadState(CheckpointReader& r) {
+  LoadRng(r, rng_);
+  regime_ = static_cast<int>(r.U32());
+  log_dev_ = r.F64();
+  current_mbps_ = r.F64();
+  current_time_ = r.F64();
 }
 
 }  // namespace floatfl

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_io.h"
 
 namespace floatfl {
 
@@ -31,6 +32,10 @@ class NetworkTrace {
   double NominalMbps() const { return nominal_mbps_; }
 
   NetworkKind kind() const { return kind_; }
+
+  // Checkpoint/resume of the mutable regime/AR(1) process.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   void Step();

@@ -1,0 +1,222 @@
+#include "src/failure/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/failure/checkpoint_io.h"
+
+namespace floatfl {
+namespace {
+
+FaultConfig MixedFaults() {
+  FaultConfig f;
+  f.crash_prob = 0.2;
+  f.corrupt_prob = 0.1;
+  f.blackout_period_s = 100.0;
+  f.blackout_duration_s = 10.0;
+  f.flaky_fraction = 0.3;
+  f.flaky_enter_prob = 0.2;
+  f.flaky_exit_prob = 0.5;
+  f.flaky_crash_prob = 0.4;
+  return f;
+}
+
+bool SameDecision(const FaultDecision& a, const FaultDecision& b) {
+  return a.blackout == b.blackout && a.crash == b.crash &&
+         a.crash_fraction == b.crash_fraction && a.corrupt == b.corrupt &&
+         a.corrupt_kind == b.corrupt_kind;
+}
+
+TEST(FaultInjectorTest, DefaultConstructedNeverFires) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  injector.BeginRound(7);
+  const FaultDecision d = injector.Decide(3, 11, 123.0);
+  EXPECT_FALSE(d.blackout);
+  EXPECT_FALSE(d.crash);
+  EXPECT_FALSE(d.corrupt);
+  EXPECT_FALSE(injector.InBlackout(5.0));
+}
+
+TEST(FaultInjectorTest, AllZeroConfigIsDisabled) {
+  FaultInjector injector(FaultConfig{}, 42, 50);
+  EXPECT_FALSE(injector.enabled());
+  const FaultDecision d = injector.Decide(0, 0, 0.0);
+  EXPECT_FALSE(d.blackout || d.crash || d.corrupt);
+}
+
+// Defenses alone (overcommit, cooldown, validation thresholds) do not turn
+// injection on: no fault draws may perturb a defense-only experiment.
+TEST(FaultInjectorTest, DefensesAloneDoNotEnableInjection) {
+  FaultConfig f;
+  f.overcommit = 2.0;
+  f.retry_cooldown_rounds = 5;
+  f.reject_norm_threshold = 10.0;
+  FaultInjector injector(f, 42, 50);
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, DecideIsDeterministicAndOrderIndependent) {
+  FaultInjector a(MixedFaults(), 42, 50);
+  FaultInjector b(MixedFaults(), 42, 50);
+  a.BeginRound(0);
+  b.BeginRound(0);
+  // Same (round, client) coordinate, queried in opposite orders across two
+  // injectors, repeated — always the same decision.
+  std::vector<FaultDecision> forward;
+  for (size_t id = 0; id < 50; ++id) {
+    forward.push_back(a.Decide(0, id, 50.0));
+  }
+  for (size_t id = 50; id-- > 0;) {
+    EXPECT_TRUE(SameDecision(forward[id], b.Decide(0, id, 50.0)));
+    EXPECT_TRUE(SameDecision(forward[id], a.Decide(0, id, 50.0)));
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  FaultInjector a(MixedFaults(), 1, 200);
+  FaultInjector b(MixedFaults(), 2, 200);
+  a.BeginRound(0);
+  b.BeginRound(0);
+  size_t differing = 0;
+  for (size_t id = 0; id < 200; ++id) {
+    if (!SameDecision(a.Decide(0, id, 50.0), b.Decide(0, id, 50.0))) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultInjectorTest, CertainCrashAlwaysCrashesAndNeverCorrupts) {
+  FaultConfig f;
+  f.crash_prob = 1.0;
+  f.corrupt_prob = 1.0;  // crash wins: a dead client uploads nothing
+  FaultInjector injector(f, 7, 30);
+  injector.BeginRound(0);
+  for (size_t id = 0; id < 30; ++id) {
+    const FaultDecision d = injector.Decide(0, id, 0.0);
+    EXPECT_TRUE(d.crash);
+    EXPECT_FALSE(d.corrupt);
+    EXPECT_GE(d.crash_fraction, 0.05);
+    EXPECT_LT(d.crash_fraction, 0.95);
+  }
+}
+
+TEST(FaultInjectorTest, CertainCorruptionAlwaysCorrupts) {
+  FaultConfig f;
+  f.corrupt_prob = 1.0;
+  FaultInjector injector(f, 7, 30);
+  injector.BeginRound(0);
+  for (size_t id = 0; id < 30; ++id) {
+    const FaultDecision d = injector.Decide(0, id, 0.0);
+    EXPECT_FALSE(d.crash);
+    EXPECT_TRUE(d.corrupt);
+    EXPECT_LT(d.corrupt_kind, 3u);
+  }
+}
+
+TEST(FaultInjectorTest, CrashRateTracksProbability) {
+  FaultConfig f;
+  f.crash_prob = 0.25;
+  FaultInjector injector(f, 99, 100);
+  size_t crashes = 0;
+  const size_t rounds = 50;
+  for (size_t r = 0; r < rounds; ++r) {
+    injector.BeginRound(r);
+    for (size_t id = 0; id < 100; ++id) {
+      crashes += injector.Decide(r, id, 0.0).crash ? 1 : 0;
+    }
+  }
+  const double rate = static_cast<double>(crashes) / (rounds * 100);
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(FaultInjectorTest, BlackoutWindowsArePeriodic) {
+  FaultConfig f;
+  f.blackout_period_s = 100.0;
+  f.blackout_duration_s = 10.0;
+  FaultInjector injector(f, 3, 10);
+  EXPECT_TRUE(injector.InBlackout(0.0));
+  EXPECT_TRUE(injector.InBlackout(9.9));
+  EXPECT_FALSE(injector.InBlackout(10.0));
+  EXPECT_FALSE(injector.InBlackout(55.0));
+  EXPECT_TRUE(injector.InBlackout(205.0));
+  EXPECT_TRUE(injector.Decide(0, 0, 205.0).blackout);
+  EXPECT_FALSE(injector.Decide(0, 0, 50.0).blackout);
+}
+
+TEST(FaultInjectorTest, FlakyChainAdvancesIdenticallyAcrossResumeGaps) {
+  FaultConfig f = MixedFaults();
+  FaultInjector step_by_step(f, 42, 80);
+  FaultInjector jump(f, 42, 80);
+  for (size_t r = 0; r <= 12; ++r) {
+    step_by_step.BeginRound(r);
+  }
+  // A resumed injector sees BeginRound(12) directly; the chain must land in
+  // the same state as one advanced round by round.
+  jump.BeginRound(12);
+  for (size_t id = 0; id < 80; ++id) {
+    EXPECT_EQ(step_by_step.IsFlakyEligible(id), jump.IsFlakyEligible(id));
+    EXPECT_EQ(step_by_step.IsFlaky(id), jump.IsFlaky(id));
+  }
+}
+
+TEST(FaultInjectorTest, FlakyClientsCrashMore) {
+  FaultConfig f;
+  f.flaky_fraction = 0.5;
+  f.flaky_enter_prob = 1.0;  // eligible clients are flaky from round 0 on
+  f.flaky_exit_prob = 0.0;
+  f.flaky_crash_prob = 1.0;
+  FaultInjector injector(f, 5, 100);
+  injector.BeginRound(0);
+  size_t eligible = 0;
+  for (size_t id = 0; id < 100; ++id) {
+    if (injector.IsFlakyEligible(id)) {
+      ++eligible;
+      EXPECT_TRUE(injector.IsFlaky(id));
+      EXPECT_TRUE(injector.Decide(0, id, 0.0).crash);
+    } else {
+      EXPECT_FALSE(injector.Decide(0, id, 0.0).crash);
+    }
+  }
+  EXPECT_GT(eligible, 25u);
+  EXPECT_LT(eligible, 75u);
+}
+
+TEST(FaultInjectorTest, SaveLoadRoundTripsFlakyState) {
+  FaultConfig f = MixedFaults();
+  FaultInjector original(f, 42, 60);
+  for (size_t r = 0; r <= 9; ++r) {
+    original.BeginRound(r);
+  }
+  CheckpointWriter w;
+  original.SaveState(w);
+
+  FaultInjector restored(f, 42, 60);
+  CheckpointReader r(w.buffer());
+  ASSERT_TRUE(restored.LoadState(r));
+  EXPECT_TRUE(r.AtEnd());
+  // Same flaky state now, and the same trajectory going forward.
+  original.BeginRound(10);
+  restored.BeginRound(10);
+  for (size_t id = 0; id < 60; ++id) {
+    EXPECT_EQ(original.IsFlaky(id), restored.IsFlaky(id));
+    EXPECT_TRUE(SameDecision(original.Decide(10, id, 0.0), restored.Decide(10, id, 0.0)));
+  }
+}
+
+TEST(FaultInjectorTest, UpdateQualityValidation) {
+  EXPECT_TRUE(IsValidUpdateQuality(0.0));
+  EXPECT_TRUE(IsValidUpdateQuality(0.73));
+  EXPECT_TRUE(IsValidUpdateQuality(1.0));
+  EXPECT_FALSE(IsValidUpdateQuality(-0.1));
+  EXPECT_FALSE(IsValidUpdateQuality(1.5));
+  for (uint32_t kind = 0; kind < 3; ++kind) {
+    EXPECT_FALSE(IsValidUpdateQuality(PoisonedQuality(kind)));
+  }
+}
+
+}  // namespace
+}  // namespace floatfl

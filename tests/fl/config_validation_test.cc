@@ -1,0 +1,85 @@
+// Every engine constructor validates its ExperimentConfig up front; each
+// violated invariant must abort with a message naming the offending field.
+#include <gtest/gtest.h>
+
+#include "src/fl/experiment.h"
+
+namespace floatfl {
+namespace {
+
+ExperimentConfig Valid() {
+  ExperimentConfig config;
+  config.num_clients = 20;
+  config.clients_per_round = 5;
+  config.rounds = 10;
+  return config;
+}
+
+TEST(ConfigValidationTest, ValidConfigPasses) {
+  ValidateExperimentConfig(Valid());  // must not abort
+}
+
+TEST(ConfigValidationDeathTest, ZeroClients) {
+  ExperimentConfig config = Valid();
+  config.num_clients = 0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "num_clients must be positive");
+}
+
+TEST(ConfigValidationDeathTest, ZeroClientsPerRound) {
+  ExperimentConfig config = Valid();
+  config.clients_per_round = 0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "clients_per_round must be positive");
+}
+
+TEST(ConfigValidationDeathTest, ZeroRounds) {
+  ExperimentConfig config = Valid();
+  config.rounds = 0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "rounds must be positive");
+}
+
+TEST(ConfigValidationDeathTest, ZeroEpochs) {
+  ExperimentConfig config = Valid();
+  config.epochs = 0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "epochs must be positive");
+}
+
+TEST(ConfigValidationDeathTest, ZeroBatchSize) {
+  ExperimentConfig config = Valid();
+  config.batch_size = 0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "batch_size must be positive");
+}
+
+TEST(ConfigValidationDeathTest, ZeroAsyncConcurrency) {
+  ExperimentConfig config = Valid();
+  config.async_concurrency = 0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "async_concurrency must be positive");
+}
+
+TEST(ConfigValidationDeathTest, ZeroAsyncBuffer) {
+  ExperimentConfig config = Valid();
+  config.async_buffer = 0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "async_buffer must be positive");
+}
+
+TEST(ConfigValidationDeathTest, BufferLargerThanConcurrency) {
+  ExperimentConfig config = Valid();
+  config.async_concurrency = 4;
+  config.async_buffer = 5;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "async_buffer cannot exceed async_concurrency");
+}
+
+TEST(ConfigValidationDeathTest, UndercommitRejected) {
+  ExperimentConfig config = Valid();
+  config.faults.overcommit = 0.5;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "overcommit must be >= 1.0");
+}
+
+TEST(ConfigValidationDeathTest, NonPositiveRejectNormThreshold) {
+  ExperimentConfig config = Valid();
+  config.faults.reject_norm_threshold = 0.0;
+  EXPECT_DEATH(ValidateExperimentConfig(config),
+               "reject_norm_threshold must be positive");
+}
+
+}  // namespace
+}  // namespace floatfl
