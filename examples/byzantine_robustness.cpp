@@ -1,0 +1,74 @@
+// Byzantine-robust aggregation on the real-training engine.
+//
+// A fifth of the population colludes: each attacker reverses and amplifies
+// its honest update (sign-flip), crafted to stay finite and within realistic
+// norms so server-side validation cannot catch it — only the aggregation
+// rule can. This example trains the same federation three times — no attack,
+// attacked FedAvg, attacked Multi-Krum — and prints the accuracy
+// trajectories side by side, then shows the defense accounting.
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/fl/real_engine.h"
+
+using namespace floatfl;
+
+namespace {
+
+RealFlConfig BaseConfig() {
+  RealFlConfig config;
+  config.num_clients = 20;
+  config.clients_per_round = 8;
+  config.num_classes = 5;
+  config.input_dim = 16;
+  config.hidden_dims = {24};
+  config.test_samples_per_class = 40;
+  config.seed = 42;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  RealFlConfig clean = BaseConfig();
+
+  RealFlConfig attacked = clean;
+  attacked.faults.byzantine_mode = ByzantineMode::kSignFlip;
+  attacked.faults.byzantine_fraction = 0.2;
+  attacked.faults.byzantine_scale = 4.0;
+
+  RealFlConfig defended = attacked;
+  defended.aggregator.kind = AggregatorKind::kKrum;
+
+  RealFlEngine clean_engine(clean);
+  RealFlEngine attacked_engine(attacked);
+  RealFlEngine defended_engine(defended);
+
+  std::cout << "Real FedAvg training, 20 clients, 20% sign-flip colluders (scale 4).\n\n";
+  TablePrinter table({"round", "clean acc%", "attacked fedavg%", "attacked krum%"});
+  constexpr int kRounds = 25;
+  size_t byzantine_updates = 0;
+  for (int round = 1; round <= kRounds; ++round) {
+    const RealRoundStats c = clean_engine.RunRound(TechniqueKind::kNone);
+    const RealRoundStats a = attacked_engine.RunRound(TechniqueKind::kNone);
+    const RealRoundStats d = defended_engine.RunRound(TechniqueKind::kNone);
+    byzantine_updates += d.byzantine_selected;
+    if (round % 5 == 0 || round == 1) {
+      table.Cell(static_cast<long long>(round))
+          .Cell(100.0 * c.test_accuracy, 1)
+          .Cell(100.0 * a.test_accuracy, 1)
+          .Cell(100.0 * d.test_accuracy, 1)
+          .EndRow();
+    }
+  }
+  table.Print(std::cout);
+
+  const auto& tracker = defended_engine.aggregation_tracker();
+  std::cout << "\nDefense accounting (Krum arm): " << byzantine_updates
+            << " Byzantine updates submitted, " << tracker.TotalKrumRejections()
+            << " updates rejected by Multi-Krum across " << tracker.rounds() << " rounds.\n";
+  std::cout << "Attack-free runs are bit-identical to the historical engine: the\n"
+               "default AggregatorConfig (FedAvg) and ByzantineMode::kNone are\n"
+               "strict no-ops.\n";
+  return 0;
+}

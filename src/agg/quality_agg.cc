@@ -1,0 +1,144 @@
+#include "src/agg/quality_agg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace floatfl {
+namespace {
+
+double MedianQuality(const std::vector<ClientContribution>& contributions) {
+  std::vector<double> qualities;
+  qualities.reserve(contributions.size());
+  for (const auto& c : contributions) {
+    qualities.push_back(c.quality);
+  }
+  std::sort(qualities.begin(), qualities.end());
+  const size_t n = qualities.size();
+  return (n % 2 == 1) ? qualities[n / 2] : 0.5 * (qualities[n / 2 - 1] + qualities[n / 2]);
+}
+
+// Indices sorted by (quality, position): deterministic under equal
+// qualities.
+std::vector<size_t> OrderByQuality(const std::vector<ClientContribution>& contributions) {
+  std::vector<size_t> order(contributions.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return contributions[a].quality < contributions[b].quality;
+  });
+  return order;
+}
+
+// Keeps only the contributions at `kept` indices, preserving their original
+// relative (selection) order.
+void KeepIndices(std::vector<ClientContribution>& contributions, std::vector<size_t> kept) {
+  std::sort(kept.begin(), kept.end());
+  std::vector<ClientContribution> out;
+  out.reserve(kept.size());
+  for (size_t idx : kept) {
+    out.push_back(contributions[idx]);
+  }
+  contributions = std::move(out);
+}
+
+}  // namespace
+
+void ApplyQualityAggregation(const AggregatorConfig& config,
+                             std::vector<ClientContribution>& contributions,
+                             AggregatorStats* stats) {
+  if (stats != nullptr) {
+    *stats = AggregatorStats();
+  }
+  if (contributions.empty()) {
+    return;
+  }
+  switch (config.kind) {
+    case AggregatorKind::kMedian: {
+      const double median = MedianQuality(contributions);
+      for (auto& c : contributions) {
+        c.quality = median;
+      }
+      return;
+    }
+    case AggregatorKind::kTrimmedMean: {
+      // Winsorize rather than drop: each contribution enters the surrogate
+      // fold individually, so the quality-space analogue of trimming a tail
+      // is clamping it to the interior — the cohort keeps its size while the
+      // extremes lose their leverage (dropping would instead forfeit honest
+      // credit, which a bounded-below attack never pays for).
+      const size_t n = contributions.size();
+      size_t k = static_cast<size_t>(config.trim_fraction * static_cast<double>(n));
+      if (2 * k >= n) {
+        k = (n - 1) / 2;
+      }
+      if (k == 0) {
+        return;
+      }
+      const std::vector<size_t> order = OrderByQuality(contributions);
+      const double low = contributions[order[k]].quality;
+      const double high = contributions[order[n - k - 1]].quality;
+      for (size_t j = 0; j < k; ++j) {
+        contributions[order[j]].quality = low;
+        contributions[order[n - 1 - j]].quality = high;
+      }
+      if (stats != nullptr) {
+        stats->updates_trimmed = 2 * k;
+      }
+      return;
+    }
+    case AggregatorKind::kKrum: {
+      const size_t n = contributions.size();
+      if (n < 3) {
+        return;
+      }
+      size_t f = config.krum_assumed_byzantine;
+      const size_t f_max = (n - 3) / 2;
+      if (f == 0 || f > f_max) {
+        f = f_max;
+      }
+      const size_t neighbours = std::max<size_t>(1, n - f - 2);
+      size_t m = config.multi_krum_m;
+      if (m == 0) {
+        m = std::max<size_t>(1, n - f - 2);
+      }
+      m = std::min(m, n);
+      std::vector<std::pair<double, size_t>> scored(n);
+      std::vector<double> neighbour_dists(n - 1);
+      for (size_t a = 0; a < n; ++a) {
+        size_t count = 0;
+        for (size_t b = 0; b < n; ++b) {
+          if (b != a) {
+            const double d = contributions[a].quality - contributions[b].quality;
+            neighbour_dists[count++] = d * d;
+          }
+        }
+        std::sort(neighbour_dists.begin(), neighbour_dists.end());
+        double score = 0.0;
+        for (size_t j = 0; j < std::min(neighbours, count); ++j) {
+          score += neighbour_dists[j];
+        }
+        scored[a] = {score, a};
+      }
+      std::stable_sort(scored.begin(), scored.end(),
+                       [](const auto& x, const auto& y) { return x.first < y.first; });
+      std::vector<size_t> kept;
+      kept.reserve(m);
+      for (size_t j = 0; j < m; ++j) {
+        kept.push_back(scored[j].second);
+      }
+      KeepIndices(contributions, std::move(kept));
+      if (stats != nullptr) {
+        stats->krum_rejections = n - m;
+      }
+      return;
+    }
+    case AggregatorKind::kFedAvg:
+    case AggregatorKind::kNormClip:
+    default:
+      return;
+  }
+}
+
+}  // namespace floatfl

@@ -1,0 +1,39 @@
+// Quality-space analogues of the robust aggregation rules for the
+// trace-driven surrogate engines (DESIGN.md §9).
+//
+// The surrogate engines have no parameter vectors — each accepted update is
+// a scalar contribution quality in [0, 1] that the convergence model folds
+// in. Robust aggregation therefore acts on the quality list: the
+// coordinate-wise rules collapse to their 1-D forms (median, trimmed mean)
+// and Krum to 1-D distance-based selection, so paper-scale experiments can
+// express attack-vs-defense sweeps without real training. kFedAvg is a
+// strict pass-through (the historical mean-style fold); kNormClip has no
+// quality-space analogue (clipping is a parameter-space defense) and also
+// passes through.
+#ifndef SRC_AGG_QUALITY_AGG_H_
+#define SRC_AGG_QUALITY_AGG_H_
+
+#include <vector>
+
+#include "src/agg/aggregator.h"
+#include "src/agg/aggregator_config.h"
+#include "src/models/surrogate_accuracy.h"
+
+namespace floatfl {
+
+// Applies the configured rule to the accepted contributions, in place, in a
+// fixed order (stable tie-breaks by position). kMedian replaces every
+// quality with the cohort median; kTrimmedMean Winsorizes — it clamps the k
+// lowest/highest qualities to the interior instead of dropping them, since
+// each contribution enters the fold individually and removal would forfeit
+// honest credit; kKrum removes the rejected contributions from the list
+// (their clients keep their completion credit — the aggregator, not the
+// server validation, excluded them). `stats`, when non-null, receives the
+// exclusion counts.
+void ApplyQualityAggregation(const AggregatorConfig& config,
+                             std::vector<ClientContribution>& contributions,
+                             AggregatorStats* stats);
+
+}  // namespace floatfl
+
+#endif  // SRC_AGG_QUALITY_AGG_H_

@@ -4,6 +4,7 @@
 #include "src/fl/async_engine.h"
 #include "src/fl/real_engine.h"
 #include "src/fl/sync_engine.h"
+#include "src/fl/vfl_engine.h"
 
 namespace floatfl {
 namespace {
@@ -32,6 +33,17 @@ void WriteFaultConfig(CheckpointWriter& w, const FaultConfig& f) {
   w.Size(f.retry_cooldown_rounds);
   w.F64(f.reject_norm_threshold);
   w.F64(f.corrupt_scale);
+  w.U32(static_cast<uint32_t>(f.byzantine_mode));
+  w.F64(f.byzantine_fraction);
+  w.F64(f.byzantine_scale);
+}
+
+void WriteAggregatorConfig(CheckpointWriter& w, const AggregatorConfig& a) {
+  w.U32(static_cast<uint32_t>(a.kind));
+  w.F64(a.trim_fraction);
+  w.Size(a.krum_assumed_byzantine);
+  w.Size(a.multi_krum_m);
+  w.F64(a.clip_norm);
 }
 
 template <typename Engine>
@@ -81,6 +93,7 @@ uint64_t FingerprintConfig(const ExperimentConfig& config) {
   w.Size(config.async_concurrency);
   w.Size(config.async_buffer);
   WriteFaultConfig(w, config.faults);
+  WriteAggregatorConfig(w, config.aggregator);
   return Fnv1a(w.buffer());
 }
 
@@ -100,6 +113,23 @@ uint64_t FingerprintConfig(const RealFlConfig& config) {
   w.Size(config.test_samples_per_class);
   w.U64(config.seed);
   WriteFaultConfig(w, config.faults);
+  WriteAggregatorConfig(w, config.aggregator);
+  return Fnv1a(w.buffer());
+}
+
+uint64_t FingerprintConfig(const VflConfig& config) {
+  CheckpointWriter w;
+  w.Size(config.num_parties);
+  w.Size(config.features_per_party);
+  w.Size(config.embedding_dim);
+  w.Size(config.num_classes);
+  w.Size(config.train_samples);
+  w.Size(config.test_samples);
+  w.F64(config.class_separation);
+  w.F32(config.learning_rate);
+  w.Size(config.batch_size);
+  w.U64(config.seed);
+  WriteFaultConfig(w, config.faults);
   return Fnv1a(w.buffer());
 }
 
@@ -112,6 +142,9 @@ bool Checkpointer::Save(const std::string& path, const AsyncEngine& engine) {
 bool Checkpointer::Save(const std::string& path, const RealFlEngine& engine) {
   return SaveEngine(path, engine, EngineTag::kReal);
 }
+bool Checkpointer::Save(const std::string& path, const VflEngine& engine) {
+  return SaveEngine(path, engine, EngineTag::kVfl);
+}
 
 bool Checkpointer::Restore(const std::string& path, SyncEngine& engine) {
   return RestoreEngine(path, engine, EngineTag::kSync);
@@ -121,6 +154,9 @@ bool Checkpointer::Restore(const std::string& path, AsyncEngine& engine) {
 }
 bool Checkpointer::Restore(const std::string& path, RealFlEngine& engine) {
   return RestoreEngine(path, engine, EngineTag::kReal);
+}
+bool Checkpointer::Restore(const std::string& path, VflEngine& engine) {
+  return RestoreEngine(path, engine, EngineTag::kVfl);
 }
 
 }  // namespace floatfl

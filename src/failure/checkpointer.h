@@ -19,25 +19,32 @@ namespace floatfl {
 class SyncEngine;
 class AsyncEngine;
 class RealFlEngine;
+class VflEngine;
 struct ExperimentConfig;
 struct RealFlConfig;
+struct VflConfig;
 
 // Stable fingerprints of the result-determining configuration fields
 // (num_threads is deliberately excluded: a checkpoint taken at one thread
 // count restores at any other — results are thread-count invariant).
 uint64_t FingerprintConfig(const ExperimentConfig& config);
 uint64_t FingerprintConfig(const RealFlConfig& config);
+uint64_t FingerprintConfig(const VflConfig& config);
 
 class Checkpointer {
  public:
   static constexpr uint32_t kMagic = 0x464C434BU;  // "FLCK"
-  static constexpr uint32_t kVersion = 1;
-  enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3 };
+  // v2: Byzantine fault fields and the aggregator config joined the
+  // fingerprints; engine payloads grew aggregator/tracker state. v1
+  // checkpoints are refused (the version field mismatches).
+  static constexpr uint32_t kVersion = 2;
+  enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3, kVfl = 4 };
 
   // Atomic save (temp file + rename). Returns false on I/O failure.
   static bool Save(const std::string& path, const SyncEngine& engine);
   static bool Save(const std::string& path, const AsyncEngine& engine);
   static bool Save(const std::string& path, const RealFlEngine& engine);
+  static bool Save(const std::string& path, const VflEngine& engine);
 
   // Restores into an engine freshly constructed with the *same* config the
   // checkpoint was taken under. Returns false (engine state unspecified,
@@ -45,6 +52,7 @@ class Checkpointer {
   static bool Restore(const std::string& path, SyncEngine& engine);
   static bool Restore(const std::string& path, AsyncEngine& engine);
   static bool Restore(const std::string& path, RealFlEngine& engine);
+  static bool Restore(const std::string& path, VflEngine& engine);
 };
 
 }  // namespace floatfl

@@ -12,8 +12,26 @@
 #define SRC_FAILURE_FAULT_CONFIG_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace floatfl {
+
+// Adversarial (Byzantine) client behavior. Unlike the benign fault kinds
+// above, Byzantine clients complete the round and submit updates crafted to
+// *pass* server validation while dragging the aggregate away from the
+// optimum — the threat model the robust aggregators (src/agg) defend
+// against.
+enum class ByzantineMode : uint32_t {
+  kNone = 0,
+  // Submit g - scale * (p - g): the client's honest delta, reversed and
+  // amplified, pointing the aggregate away from descent.
+  kSignFlip = 1,
+  // Submit g + scale * (p - g): model replacement — the honest delta boosted
+  // so a single attacker dominates a plain mean.
+  kScaledReplacement = 2,
+  // Add N(0, scale) noise to every parameter of the honest update.
+  kGaussianNoise = 3,
+};
 
 struct FaultConfig {
   // --- Injected client faults -------------------------------------------
@@ -41,6 +59,19 @@ struct FaultConfig {
   double flaky_exit_prob = 0.0;
   double flaky_crash_prob = 0.0;
 
+  // --- Adversarial clients ----------------------------------------------
+  // Attack crafted by the seeded byzantine_fraction of the population.
+  // kNone disables the adversary entirely (strict no-op).
+  ByzantineMode byzantine_mode = ByzantineMode::kNone;
+  // Fraction of clients that are colluding attackers. Membership is drawn
+  // once from the experiment seed (like flaky_fraction) so the same clients
+  // attack in every round they participate in — the colluding-fraction
+  // model.
+  double byzantine_fraction = 0.0;
+  // Attack magnitude: the delta amplification for sign-flip / scaled
+  // replacement, the noise standard deviation for Gaussian noise.
+  double byzantine_scale = 3.0;
+
   // --- Server-side defenses ---------------------------------------------
   // Synchronous over-selection: select ceil(K * overcommit) clients and
   // close the round at the first K valid completions; the abandoned
@@ -62,6 +93,12 @@ struct FaultConfig {
     return crash_prob > 0.0 || corrupt_prob > 0.0 ||
            (blackout_period_s > 0.0 && blackout_duration_s > 0.0) ||
            (flaky_fraction > 0.0 && flaky_crash_prob > 0.0);
+  }
+
+  // True when the Byzantine adversary can act.
+  bool AttacksEnabled() const {
+    return byzantine_mode != ByzantineMode::kNone && byzantine_fraction > 0.0 &&
+           byzantine_scale > 0.0;
   }
 };
 

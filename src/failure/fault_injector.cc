@@ -1,5 +1,6 @@
 #include "src/failure/fault_injector.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -13,6 +14,8 @@ namespace {
 constexpr uint64_t kEligibilitySalt = 0x5EED0F17A7B3C9D1ULL;
 constexpr uint64_t kFlakySalt = 0x9D2C5680F1E3A7B5ULL;
 constexpr uint64_t kFaultSalt = 0xC3A5C85C97CB3127ULL;
+constexpr uint64_t kByzantineSalt = 0xB1A5EDC0117D3A70ULL;
+constexpr uint64_t kAttackSalt = 0xA77AC4B5D2E9F163ULL;
 
 }  // namespace
 
@@ -32,13 +35,17 @@ double PoisonedQuality(uint32_t corrupt_kind) {
 }
 
 FaultInjector::FaultInjector(const FaultConfig& config, uint64_t seed, size_t num_clients)
-    : config_(config), seed_(seed), enabled_(config.InjectionEnabled()) {
+    : config_(config),
+      seed_(seed),
+      enabled_(config.InjectionEnabled() || config.AttacksEnabled()) {
   FLOATFL_CHECK_MSG(config.crash_prob >= 0.0 && config.crash_prob <= 1.0,
                     "crash_prob must be in [0, 1]");
   FLOATFL_CHECK_MSG(config.corrupt_prob >= 0.0 && config.corrupt_prob <= 1.0,
                     "corrupt_prob must be in [0, 1]");
   FLOATFL_CHECK_MSG(config.flaky_fraction >= 0.0 && config.flaky_fraction <= 1.0,
                     "flaky_fraction must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.byzantine_fraction >= 0.0 && config.byzantine_fraction <= 1.0,
+                    "byzantine_fraction must be in [0, 1]");
   if (!enabled_) {
     return;
   }
@@ -49,6 +56,14 @@ FaultInjector::FaultInjector(const FaultConfig& config, uint64_t seed, size_t nu
     for (size_t id = 0; id < num_clients; ++id) {
       Rng stream = root.ForkKeyed(id);
       flaky_eligible_[id] = stream.NextDouble() < config_.flaky_fraction ? 1 : 0;
+    }
+  }
+  if (config_.AttacksEnabled()) {
+    byzantine_eligible_.assign(num_clients, 0);
+    const Rng root(seed_ ^ kByzantineSalt);
+    for (size_t id = 0; id < num_clients; ++id) {
+      Rng stream = root.ForkKeyed(id);
+      byzantine_eligible_[id] = stream.NextDouble() < config_.byzantine_fraction ? 1 : 0;
     }
   }
 }
@@ -108,6 +123,7 @@ FaultDecision FaultInjector::Decide(size_t round, size_t client_id, double now_s
   }
   decision.crash = crash_u < crash_prob;
   decision.corrupt = !decision.crash && corrupt_u < config_.corrupt_prob;
+  decision.byzantine = !decision.crash && !decision.corrupt && IsByzantine(client_id);
   return decision;
 }
 
@@ -119,16 +135,45 @@ bool FaultInjector::IsFlaky(size_t client_id) const {
   return client_id < flaky_.size() && flaky_[client_id] != 0;
 }
 
+bool FaultInjector::IsByzantine(size_t client_id) const {
+  return client_id < byzantine_eligible_.size() && byzantine_eligible_[client_id] != 0;
+}
+
+Rng FaultInjector::AttackRng(size_t round, size_t client_id) const {
+  const Rng root(seed_ ^ kAttackSalt);
+  return root.ForkKeyed(Rng::StreamKey(round, client_id));
+}
+
+double FaultInjector::AttackedQuality(double quality, size_t round, size_t client_id) const {
+  switch (config_.byzantine_mode) {
+    case ByzantineMode::kSignFlip:
+    case ByzantineMode::kScaledReplacement:
+      // A worthless contribution that still passes IsValidUpdateQuality —
+      // the quality-space shadow of an update crafted to evade validation.
+      return 0.0;
+    case ByzantineMode::kGaussianNoise: {
+      Rng rng = AttackRng(round, client_id);
+      const double noisy = quality + rng.Normal(0.0, 0.3 * config_.byzantine_scale);
+      return std::min(1.0, std::max(0.0, noisy));
+    }
+    case ByzantineMode::kNone:
+    default:
+      return quality;
+  }
+}
+
 void FaultInjector::SaveState(CheckpointWriter& w) const {
   w.Size(rounds_advanced_);
   w.U8Vec(flaky_eligible_);
   w.U8Vec(flaky_);
+  w.U8Vec(byzantine_eligible_);
 }
 
 bool FaultInjector::LoadState(CheckpointReader& r) {
   rounds_advanced_ = r.Size();
   flaky_eligible_ = r.U8Vec();
   flaky_ = r.U8Vec();
+  byzantine_eligible_ = r.U8Vec();
   return r.ok();
 }
 

@@ -33,6 +33,11 @@ struct FaultDecision {
   bool corrupt = false;
   // 0 = NaN values, 1 = Inf values, 2 = exploding norm.
   uint32_t corrupt_kind = 0;
+  // The client is a colluding Byzantine attacker this round: it completes,
+  // passes validation, and submits a crafted update (FaultConfig
+  // byzantine_*). Mutually exclusive with crash/corrupt — those faults
+  // pre-empt the attack.
+  bool byzantine = false;
 };
 
 // Server-side update validation (quarantine). A contribution quality is
@@ -67,6 +72,22 @@ class FaultInjector {
   bool IsFlakyEligible(size_t client_id) const;
   bool IsFlaky(size_t client_id) const;
 
+  // True when attacks are configured and `client_id` belongs to the seeded
+  // colluding fraction (drawn once at construction, like flaky
+  // eligibility). Colluders attack in every round they complete.
+  bool IsByzantine(size_t client_id) const;
+
+  // Independent per-(round, client) stream for attack randomness (Gaussian
+  // noise). Keyed like Decide()'s draws, so attacks are thread-count
+  // invariant and survive checkpoint/resume.
+  Rng AttackRng(size_t round, size_t client_id) const;
+
+  // Quality-space attack for the surrogate engines: sign-flip and scaled
+  // replacement submit a worthless-but-valid contribution (quality 0, inside
+  // the [0, 1] validation band), Gaussian noise perturbs the honest quality
+  // and clamps back into the band.
+  double AttackedQuality(double quality, size_t round, size_t client_id) const;
+
   void SaveState(CheckpointWriter& w) const;
   bool LoadState(CheckpointReader& r);
 
@@ -78,6 +99,7 @@ class FaultInjector {
   size_t rounds_advanced_ = 0;
   std::vector<uint8_t> flaky_eligible_;
   std::vector<uint8_t> flaky_;
+  std::vector<uint8_t> byzantine_eligible_;
 };
 
 }  // namespace floatfl

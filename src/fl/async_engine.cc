@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/agg/quality_agg.h"
 #include "src/common/check.h"
 #include "src/common/stats.h"
 #include "src/failure/checkpoint_util.h"
@@ -79,6 +80,7 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s
       outcome.corrupted = true;
       outcome.corrupt_kind = fault.corrupt_kind;
     }
+    outcome.byzantine = fault.byzantine;
     return outcome;
   }
   if (outcome.costs.out_of_memory) {
@@ -121,6 +123,7 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s
     outcome.corrupted = true;
     outcome.corrupt_kind = fault.corrupt_kind;
   }
+  outcome.byzantine = fault.byzantine;
   return outcome;
 }
 
@@ -235,6 +238,14 @@ void AsyncEngine::StepOnce() {
     ClientContribution contribution;
     contribution.client_id = flight.client_id;
     contribution.quality = 1.0 - EffectOf(flight.technique).accuracy_impact;
+    if (flight.outcome.byzantine) {
+      // The attack key uses the model version the attacker trained against —
+      // both it and the byzantine flag ride in the serialized flight, so the
+      // crafted quality is identical across thread counts and resumes.
+      contribution.quality =
+          injector_.AttackedQuality(contribution.quality, flight.start_version, flight.client_id);
+      ++pending_byzantine_;
+    }
     contribution.staleness = staleness;
     buffer_.push_back(contribution);
     accepted = true;
@@ -261,6 +272,10 @@ void AsyncEngine::StepOnce() {
 
   if (buffer_.size() >= config_.async_buffer) {
     const double before = surrogate_->GlobalAccuracy();
+    AggregatorStats agg_stats;
+    ApplyQualityAggregation(config_.aggregator, buffer_, &agg_stats);
+    agg_tracker_.Record(pending_byzantine_, agg_stats);
+    pending_byzantine_ = 0;
     surrogate_->RoundUpdate(buffer_);
     last_accuracy_delta_ = surrogate_->GlobalAccuracy() - before;
     buffer_.clear();
@@ -294,6 +309,9 @@ ExperimentResult AsyncEngine::Snapshot() const {
   result.never_completed = tracker_.NeverCompleted();
   result.dropout_breakdown = dropout_breakdown_;
   result.rejected_updates = rejected_updates_;
+  result.byzantine_selected = agg_tracker_.TotalByzantineSelected();
+  result.krum_rejections = agg_tracker_.TotalKrumRejections();
+  result.updates_trimmed = agg_tracker_.TotalTrimmed();
   result.useful = accountant_.Useful();
   result.wasted = accountant_.Wasted();
   result.wall_clock_hours = now_s_ / 3600.0;
@@ -321,6 +339,7 @@ void SaveOutcome(CheckpointWriter& w, const ClientRoundOutcome& o) {
   w.F64(o.deadline_diff);
   w.Bool(o.corrupted);
   w.U32(o.corrupt_kind);
+  w.Bool(o.byzantine);
 }
 
 void LoadOutcome(CheckpointReader& r, ClientRoundOutcome& o) {
@@ -338,6 +357,7 @@ void LoadOutcome(CheckpointReader& r, ClientRoundOutcome& o) {
   o.deadline_diff = r.F64();
   o.corrupted = r.Bool();
   o.corrupt_kind = r.U32();
+  o.byzantine = r.Bool();
 }
 
 }  // namespace
@@ -387,6 +407,8 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   if (policy_ != nullptr) {
     policy_->SaveState(w);
   }
+  w.Size(pending_byzantine_);
+  agg_tracker_.SaveState(w);
 }
 
 void AsyncEngine::LoadState(CheckpointReader& r) {
@@ -451,6 +473,8 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   if (policy_ != nullptr) {
     policy_->LoadState(r);
   }
+  pending_byzantine_ = r.Size();
+  agg_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -20,6 +20,7 @@
 #include "src/fl/observation.h"
 #include "src/fl/sync_engine.h"
 #include "src/fl/tuning_policy.h"
+#include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
 #include "src/models/surrogate_accuracy.h"
@@ -50,6 +51,7 @@ class AsyncEngine {
   const ExperimentConfig& config() const { return config_; }
   size_t Version() const { return version_; }
   size_t RejectedUpdates() const { return rejected_updates_; }
+  const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
 
   // Checkpoint/resume of all mutable engine state (DESIGN.md §8).
   void SaveState(CheckpointWriter& w) const;
@@ -83,8 +85,12 @@ class AsyncEngine {
   ResourceAccountant accountant_;
   ParticipationTracker tracker_;
   FaultInjector injector_;
+  AggregationTracker agg_tracker_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
+  // Byzantine completers retired since the last aggregation (folded into the
+  // tracker record at each buffer flush).
+  size_t pending_byzantine_ = 0;
   std::vector<double> accuracy_history_;
   Rng rng_;
   std::vector<InFlight> in_flight_;

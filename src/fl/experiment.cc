@@ -1,5 +1,6 @@
 #include "src/fl/experiment.h"
 
+#include "src/agg/aggregator.h"
 #include "src/common/check.h"
 
 namespace floatfl {
@@ -19,6 +20,12 @@ void ValidateExperimentConfig(const ExperimentConfig& config) {
   FLOATFL_CHECK_MSG(config.faults.overcommit >= 1.0, "faults.overcommit must be >= 1.0");
   FLOATFL_CHECK_MSG(config.faults.reject_norm_threshold > 0.0,
                     "faults.reject_norm_threshold must be positive");
+  FLOATFL_CHECK_MSG(
+      config.faults.byzantine_fraction >= 0.0 && config.faults.byzantine_fraction <= 1.0,
+      "faults.byzantine_fraction must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.faults.byzantine_scale >= 0.0,
+                    "faults.byzantine_scale must be non-negative");
+  ValidateAggregatorConfig(config.aggregator);
 }
 
 }  // namespace floatfl

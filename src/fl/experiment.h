@@ -8,6 +8,7 @@
 #include <map>
 #include <vector>
 
+#include "src/agg/aggregator_config.h"
 #include "src/data/dataset.h"
 #include "src/failure/fault_config.h"
 #include "src/metrics/participation_tracker.h"
@@ -46,6 +47,10 @@ struct ExperimentConfig {
   // (all-zero) FaultConfig is a strict no-op: no fault draws happen and the
   // engines behave bit-for-bit as if the subsystem did not exist.
   FaultConfig faults;
+  // Server-side aggregation rule (DESIGN.md §9). For the surrogate engines
+  // the robust rules act on contribution qualities (src/agg/quality_agg.h);
+  // the default kFedAvg is a strict pass-through.
+  AggregatorConfig aggregator;
 };
 
 // Aborts the process with a descriptive message when `config` violates an
@@ -98,6 +103,13 @@ struct ExperimentResult {
   // dropout_breakdown.corrupted bookkeeping; kept as its own counter so
   // defenses are visible without decoding the breakdown).
   size_t rejected_updates = 0;
+  // Attack-vs-defense totals (src/metrics/aggregation_tracker.h): selected
+  // Byzantine attackers and the contributions the robust aggregation rule
+  // excluded (trimmed tails, Krum rejections). All zero when no attack and
+  // the default aggregator are configured.
+  size_t byzantine_selected = 0;
+  size_t krum_rejections = 0;
+  size_t updates_trimmed = 0;
 
   ResourceTotals useful;
   ResourceTotals wasted;

@@ -32,6 +32,37 @@ void PoisonParams(std::vector<float>& params, uint32_t kind, double scale) {
   }
 }
 
+// Rewrites a completed (and already optimization-processed) update into the
+// configured Byzantine attack, relative to the round's starting global
+// parameters. Crafted to stay finite and within realistic norms, so it
+// passes server validation — defeating it is the aggregator's job.
+void ApplyByzantineAttack(std::vector<float>& params, const std::vector<float>& global,
+                          const FaultConfig& faults, Rng attack_rng) {
+  const double scale = faults.byzantine_scale;
+  switch (faults.byzantine_mode) {
+    case ByzantineMode::kSignFlip:
+      for (size_t i = 0; i < params.size(); ++i) {
+        const double delta = static_cast<double>(params[i]) - global[i];
+        params[i] = static_cast<float>(global[i] - scale * delta);
+      }
+      break;
+    case ByzantineMode::kScaledReplacement:
+      for (size_t i = 0; i < params.size(); ++i) {
+        const double delta = static_cast<double>(params[i]) - global[i];
+        params[i] = static_cast<float>(global[i] + scale * delta);
+      }
+      break;
+    case ByzantineMode::kGaussianNoise:
+      for (float& p : params) {
+        p = static_cast<float>(p + attack_rng.Normal(0.0, scale));
+      }
+      break;
+    case ByzantineMode::kNone:
+    default:
+      break;
+  }
+}
+
 // Server-side validation: every value finite and the update's L2 norm under
 // the quarantine threshold.
 bool ValidRealUpdate(const std::vector<float>& params, double norm_threshold) {
@@ -50,6 +81,7 @@ bool ValidRealUpdate(const std::vector<float>& params, double norm_threshold) {
 RealFlEngine::RealFlEngine(const RealFlConfig& config)
     : config_(config),
       injector_(config.faults, config.seed, config.num_clients),
+      aggregator_(MakeAggregator(config.aggregator)),
       rng_(config.seed),
       client_stream_root_(config.seed ^ 0x7C159E3779B97F4AULL) {
   FLOATFL_CHECK(config.num_clients > 0);
@@ -206,17 +238,23 @@ RealRoundStats RealFlEngine::RunRound(
     processed[i] = ProcessUpload(local.GetParameters(), techniques[i]);
     if (faults[i].corrupt) {
       PoisonParams(processed[i].params, faults[i].corrupt_kind, config_.faults.corrupt_scale);
+    } else if (faults[i].byzantine) {
+      ApplyByzantineAttack(processed[i].params, global_params, config_.faults,
+                           injector_.AttackRng(round, id));
     }
   });
 
   // Phase 3 (sequential, selection order): server-side validation, then a
-  // fixed-order reduction into the FedAvg aggregate.
+  // fixed-order reduction through the configured aggregator.
   std::vector<std::vector<float>> updates;
   std::vector<double> weights;
   RealRoundStats stats;
   double total_bytes = 0.0;
   double total_error = 0.0;
   for (size_t i = 0; i < k; ++i) {
+    if (faults[i].byzantine) {
+      ++stats.byzantine_selected;
+    }
     if (!delivered[i]) {
       ++stats.crashed;
       continue;
@@ -231,9 +269,14 @@ RealRoundStats RealFlEngine::RunRound(
     weights.push_back(static_cast<double>(shards_[order[i]].total));
   }
 
+  AggregatorStats agg_stats;
   if (!updates.empty()) {
-    global_->SetParameters(Mlp::Aggregate(updates, weights));
+    global_->SetParameters(aggregator_->Aggregate(updates, weights, global_params, &agg_stats));
   }
+  agg_tracker_.Record(stats.byzantine_selected, agg_stats);
+  stats.updates_clipped = agg_stats.updates_clipped;
+  stats.krum_rejections = agg_stats.krum_rejections;
+  stats.updates_trimmed = agg_stats.updates_trimmed;
 
   stats.participants = updates.size();
   stats.mean_upload_bytes = updates.empty() ? 0.0 : total_bytes / updates.size();
@@ -259,6 +302,8 @@ void RealFlEngine::SaveState(CheckpointWriter& w) const {
   SaveRng(w, client_stream_root_);
   w.F32Vec(global_->GetParameters());
   injector_.SaveState(w);
+  aggregator_->SaveState(w);
+  agg_tracker_.SaveState(w);
 }
 
 void RealFlEngine::LoadState(CheckpointReader& r) {
@@ -272,6 +317,8 @@ void RealFlEngine::LoadState(CheckpointReader& r) {
     global_->SetParameters(params);
   }
   injector_.LoadState(r);
+  aggregator_->LoadState(r);
+  agg_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -17,11 +17,14 @@
 #include <memory>
 #include <vector>
 
+#include "src/agg/aggregator.h"
+#include "src/agg/aggregator_config.h"
 #include "src/common/rng.h"
 #include "src/data/dataset.h"
 #include "src/data/synthetic.h"
 #include "src/failure/checkpoint_io.h"
 #include "src/failure/fault_injector.h"
+#include "src/metrics/aggregation_tracker.h"
 #include "src/nn/mlp.h"
 #include "src/nn/optimizer.h"
 #include "src/opt/technique.h"
@@ -50,6 +53,9 @@ struct RealFlConfig {
   // norm), which the server-side validation quarantines. The real engine has
   // no wall clock, so blackout windows are interpreted in round units.
   FaultConfig faults;
+  // Server-side aggregation rule (DESIGN.md §9). Default = plain weighted
+  // FedAvg, bit-identical to the historical behavior.
+  AggregatorConfig aggregator;
 };
 
 // Per-round measurements of the real pipeline.
@@ -67,6 +73,12 @@ struct RealRoundStats {
   // quarantined by the server's finite/norm validation.
   size_t crashed = 0;
   size_t rejected_updates = 0;
+  // Attack-vs-defense accounting: selected clients that submitted a crafted
+  // Byzantine update, and what the configured aggregator excluded/limited.
+  size_t byzantine_selected = 0;
+  size_t updates_clipped = 0;
+  size_t krum_rejections = 0;
+  size_t updates_trimmed = 0;
 };
 
 class RealFlEngine {
@@ -90,6 +102,7 @@ class RealFlEngine {
   // Serialized fp32 upload size, for compression-ratio comparisons.
   size_t DenseUpdateBytes() const;
   size_t RoundsRun() const { return rounds_run_; }
+  const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
 
   // Checkpoint/resume: the datasets and model topology are rebuilt
   // deterministically from config; only the mutable training state (RNGs,
@@ -111,6 +124,8 @@ class RealFlEngine {
 
   RealFlConfig config_;
   FaultInjector injector_;
+  std::unique_ptr<Aggregator> aggregator_;
+  AggregationTracker agg_tracker_;
   Rng rng_;
   // Root of the per-(round, client) training streams; never advanced, only
   // ForkKeyed — so the streams are independent of simulation order.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/agg/quality_agg.h"
 #include "src/common/check.h"
 #include "src/common/stats.h"
 
@@ -103,6 +104,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
       outcome.corrupted = true;
       outcome.corrupt_kind = fault.corrupt_kind;
     }
+    outcome.byzantine = fault.byzantine;
     return outcome;
   }
 
@@ -164,6 +166,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
     outcome.corrupted = true;
     outcome.corrupt_kind = fault.corrupt_kind;
   }
+  outcome.byzantine = fault.byzantine;
   return outcome;
 }
 
@@ -276,21 +279,35 @@ void SyncEngine::RunRound(size_t round) {
     }
   }
 
-  // Aggregate the successful updates into the convergence model.
+  // Aggregate the successful updates into the convergence model. A Byzantine
+  // completer submits an adversarially crafted (but validation-passing)
+  // quality; the configured aggregation rule then gets its say before the
+  // surrogate folds the contributions in.
   const double accuracy_before = surrogate_->GlobalAccuracy();
   std::vector<ClientContribution> contributions;
   double round_duration = 0.0;
   size_t accepted = 0;
+  size_t byzantine_selected = 0;
   for (const auto& outcome : outcomes) {
+    if (outcome.byzantine) {
+      ++byzantine_selected;
+    }
     if (outcome.completed) {
       ClientContribution contribution;
       contribution.client_id = outcome.client_id;
       contribution.quality = 1.0 - EffectOf(outcome.technique).accuracy_impact;
+      if (outcome.byzantine) {
+        contribution.quality =
+            injector_.AttackedQuality(contribution.quality, round, outcome.client_id);
+      }
       contributions.push_back(contribution);
       round_duration = std::max(round_duration, outcome.time_spent_s);
       ++accepted;
     }
   }
+  AggregatorStats agg_stats;
+  ApplyQualityAggregation(config_.aggregator, contributions, &agg_stats);
+  agg_tracker_.Record(byzantine_selected, agg_stats);
   surrogate_->RoundUpdate(contributions);
   const double accuracy_delta = surrogate_->GlobalAccuracy() - accuracy_before;
 
@@ -336,6 +353,9 @@ ExperimentResult SyncEngine::Snapshot() const {
   result.never_completed = tracker_.NeverCompleted();
   result.dropout_breakdown = dropout_breakdown_;
   result.rejected_updates = rejected_updates_;
+  result.byzantine_selected = agg_tracker_.TotalByzantineSelected();
+  result.krum_rejections = agg_tracker_.TotalKrumRejections();
+  result.updates_trimmed = agg_tracker_.TotalTrimmed();
   result.useful = accountant_.Useful();
   result.wasted = accountant_.Wasted();
   result.wall_clock_hours = now_s_ / 3600.0;
@@ -378,6 +398,7 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
   if (policy_ != nullptr) {
     policy_->SaveState(w);
   }
+  agg_tracker_.SaveState(w);
 }
 
 void SyncEngine::LoadState(CheckpointReader& r) {
@@ -416,6 +437,7 @@ void SyncEngine::LoadState(CheckpointReader& r) {
   if (policy_ != nullptr) {
     policy_->LoadState(r);
   }
+  agg_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -21,6 +21,7 @@
 #include "src/fl/experiment.h"
 #include "src/fl/observation.h"
 #include "src/fl/tuning_policy.h"
+#include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
 #include "src/models/surrogate_accuracy.h"
@@ -41,6 +42,10 @@ struct ClientRoundOutcome {
   // server-side validation decides its fate.
   bool corrupted = false;
   uint32_t corrupt_kind = 0;
+  // Byzantine attacker: the client completed and its update passes
+  // validation, but its contribution quality is adversarially crafted; only
+  // a robust aggregation rule can limit the damage.
+  bool byzantine = false;
 };
 
 class SyncEngine {
@@ -74,6 +79,7 @@ class SyncEngine {
   size_t RoundsRun() const { return rounds_run_; }
   size_t RejectedUpdates() const { return rejected_updates_; }
   const FaultInjector& injector() const { return injector_; }
+  const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
 
   // Checkpoint/resume of all mutable engine state (DESIGN.md §8). The
   // population, surrogate tables and deadline are rebuilt from config at
@@ -94,6 +100,7 @@ class SyncEngine {
   ResourceAccountant accountant_;
   ParticipationTracker tracker_;
   FaultInjector injector_;
+  AggregationTracker agg_tracker_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   std::vector<double> accuracy_history_;

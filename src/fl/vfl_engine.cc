@@ -1,9 +1,12 @@
 #include "src/fl/vfl_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "src/common/check.h"
 #include "src/data/synthetic.h"
+#include "src/failure/checkpoint_util.h"
 #include "src/opt/quantize.h"
 
 namespace floatfl {
@@ -25,9 +28,26 @@ std::vector<Tensor> SliceByParty(const Tensor& full, size_t parties, size_t per_
   return slices;
 }
 
+// A party is silent for the epoch: unreachable (blackout) or its process
+// died (crash). Its embedding slice stays zero and its encoder skips the
+// epoch.
+bool PartySilent(const FaultDecision& fault) { return fault.crash || fault.blackout; }
+
+bool AllFinite(const std::vector<float>& v) {
+  for (float x : v) {
+    if (!std::isfinite(x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-VflEngine::VflEngine(const VflConfig& config) : config_(config), rng_(config.seed) {
+VflEngine::VflEngine(const VflConfig& config)
+    : config_(config),
+      injector_(config.faults, config.seed, config.num_parties),
+      rng_(config.seed) {
   FLOATFL_CHECK(config.num_parties >= 2);
   FLOATFL_CHECK(config.features_per_party > 0);
 
@@ -52,11 +72,17 @@ VflEngine::VflEngine(const VflConfig& config) : config_(config), rng_(config.see
 }
 
 Tensor VflEngine::ForwardParties(const std::vector<Tensor>& inputs, size_t start, size_t count,
-                                 TechniqueKind technique, double* traffic_bytes) {
+                                 TechniqueKind technique, double* traffic_bytes,
+                                 const std::vector<FaultDecision>* faults) {
   const size_t embed = config_.embedding_dim;
   Tensor concat(count, bottoms_.size() * embed);
   const int bits = QuantizationBits(technique);
   for (size_t p = 0; p < bottoms_.size(); ++p) {
+    if (faults != nullptr && PartySilent((*faults)[p])) {
+      // Nothing arrives from a silent party: the server trains on a
+      // zero-filled slice and no traffic is charged.
+      continue;
+    }
     Tensor slice(count, inputs[p].cols());
     for (size_t r = 0; r < count; ++r) {
       for (size_t c = 0; c < inputs[p].cols(); ++c) {
@@ -73,6 +99,17 @@ Tensor VflEngine::ForwardParties(const std::vector<Tensor>& inputs, size_t start
     } else if (traffic_bytes != nullptr) {
       *traffic_bytes += static_cast<double>(embedding.size() * sizeof(float));
     }
+    if (faults != nullptr && (*faults)[p].corrupt) {
+      // The corrupted upload still ships (and was charged above), but what
+      // arrives is garbage.
+      std::fill(embedding.flat().begin(), embedding.flat().end(),
+                std::numeric_limits<float>::quiet_NaN());
+    }
+    if (faults != nullptr && !AllFinite(embedding.flat())) {
+      // Server-side validation: a non-finite embedding is quarantined — the
+      // slice stays zero, exactly as if the party were silent.
+      continue;
+    }
     for (size_t r = 0; r < count; ++r) {
       for (size_t c = 0; c < embed; ++c) {
         concat.At(r, p * embed + c) = embedding.At(r, c);
@@ -87,13 +124,43 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
   const size_t n = train_labels_.size();
   const size_t embed = config_.embedding_dim;
   const int bits = QuantizationBits(comm_technique);
+  const size_t epoch = epochs_run_++;
   double loss_sum = 0.0;
   size_t batches = 0;
 
+  // Per-(epoch, party) fault draws, epoch standing in for both the round and
+  // the wall clock (as in the real engine). A faulted party is out for the
+  // whole epoch: silent (crash/blackout) or quarantined (corruption).
+  std::vector<FaultDecision> faults;
+  std::vector<uint8_t> party_out;
+  size_t active_parties = bottoms_.size();
+  if (injector_.enabled()) {
+    injector_.BeginRound(epoch);
+    faults.resize(bottoms_.size());
+    party_out.assign(bottoms_.size(), 0);
+    for (size_t p = 0; p < bottoms_.size(); ++p) {
+      faults[p] = injector_.Decide(epoch, p, static_cast<double>(epoch));
+      if (faults[p].crash || faults[p].blackout) {
+        party_out[p] = 1;
+        --active_parties;
+        ++stats.parties_crashed;
+      } else if (faults[p].corrupt) {
+        party_out[p] = 1;
+        --active_parties;
+        ++stats.parties_quarantined;
+      }
+    }
+  }
+  const std::vector<FaultDecision>* fault_view = faults.empty() ? nullptr : &faults;
+  // The server only sends gradient slices to parties still in the epoch, so
+  // the downlink leg is charged pro-rata (1.0 when nobody is out).
+  const double downlink_fraction =
+      static_cast<double>(active_parties) / static_cast<double>(bottoms_.size());
+
   for (size_t start = 0; start < n; start += config_.batch_size) {
     const size_t count = std::min(config_.batch_size, n - start);
-    const Tensor concat =
-        ForwardParties(train_features_, start, count, comm_technique, &stats.traffic_bytes);
+    const Tensor concat = ForwardParties(train_features_, start, count, comm_technique,
+                                         &stats.traffic_bytes, fault_view);
     const Tensor logits = top_->Forward(concat);
     std::vector<int> batch_labels(train_labels_.begin() + static_cast<ptrdiff_t>(start),
                                   train_labels_.begin() + static_cast<ptrdiff_t>(start + count));
@@ -107,12 +174,18 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
     top_->Step(config_.learning_rate, /*frozen=*/false);
     if (bits < 32) {
       stats.traffic_bytes +=
-          static_cast<double>(Quantize(grad_concat.flat(), bits).ByteSize());
+          downlink_fraction * static_cast<double>(Quantize(grad_concat.flat(), bits).ByteSize());
       QuantizeDequantize(grad_concat.flat(), bits);
     } else {
-      stats.traffic_bytes += static_cast<double>(grad_concat.size() * sizeof(float));
+      stats.traffic_bytes +=
+          downlink_fraction * static_cast<double>(grad_concat.size() * sizeof(float));
     }
     for (size_t p = 0; p < bottoms_.size(); ++p) {
+      if (!party_out.empty() && party_out[p]) {
+        // The server sends no gradient to a silent or quarantined party; its
+        // encoder does not train this epoch.
+        continue;
+      }
       Tensor grad_p(count, embed);
       for (size_t r = 0; r < count; ++r) {
         for (size_t c = 0; c < embed; ++c) {
@@ -134,6 +207,55 @@ double VflEngine::EvaluateAccuracy() {
                                        TechniqueKind::kNone, nullptr);
   const Tensor logits = top_->Forward(concat);
   return SoftmaxXent::Accuracy(logits, test_labels_);
+}
+
+namespace {
+
+void SaveLayer(CheckpointWriter& w, const DenseLayer& layer) {
+  w.F32Vec(layer.weights().flat());
+  w.F32Vec(layer.bias().flat());
+}
+
+void LoadLayer(CheckpointReader& r, DenseLayer& layer) {
+  const std::vector<float> weights = r.F32Vec();
+  const std::vector<float> bias = r.F32Vec();
+  FLOATFL_CHECK_MSG((weights.size() == layer.weights().flat().size() &&
+                     bias.size() == layer.bias().flat().size()) ||
+                        !r.ok(),
+                    "checkpoint VFL layer shape mismatch");
+  if (r.ok()) {
+    layer.weights().flat() = weights;
+    layer.bias().flat() = bias;
+  }
+}
+
+}  // namespace
+
+void VflEngine::SaveState(CheckpointWriter& w) const {
+  w.Size(epochs_run_);
+  SaveRng(w, rng_);
+  w.Size(bottoms_.size());
+  for (const auto& bottom : bottoms_) {
+    SaveLayer(w, bottom);
+  }
+  SaveLayer(w, *top_);
+  injector_.SaveState(w);
+}
+
+void VflEngine::LoadState(CheckpointReader& r) {
+  epochs_run_ = r.Size();
+  LoadRng(r, rng_);
+  const size_t parties = r.Size();
+  FLOATFL_CHECK_MSG(parties == bottoms_.size() || !r.ok(),
+                    "checkpoint VFL party count mismatch");
+  if (parties != bottoms_.size()) {
+    return;
+  }
+  for (auto& bottom : bottoms_) {
+    LoadLayer(r, bottom);
+  }
+  LoadLayer(r, *top_);
+  injector_.LoadState(r);
 }
 
 }  // namespace floatfl

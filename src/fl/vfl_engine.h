@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/failure/checkpoint_io.h"
+#include "src/failure/fault_injector.h"
 #include "src/nn/layers.h"
 #include "src/opt/technique.h"
 
@@ -32,6 +34,12 @@ struct VflConfig {
   float learning_rate = 0.05f;
   size_t batch_size = 32;
   uint64_t seed = 1;
+  // Fault injection (DESIGN.md §8), interpreted per (epoch, party): a
+  // crashed or blacked-out party is silent for the epoch (its embedding
+  // slice is zero-filled and its encoder does not train); a corrupting party
+  // sends non-finite embeddings, which the server's validation quarantines
+  // for the epoch. The default config is a strict no-op.
+  FaultConfig faults;
 };
 
 struct VflRoundStats {
@@ -40,6 +48,10 @@ struct VflRoundStats {
   // Total embedding + gradient traffic this round, bytes (after the applied
   // communication optimization).
   double traffic_bytes = 0.0;
+  // Injected-failure accounting: parties silent this epoch (crash/blackout)
+  // and parties whose embeddings the server quarantined (corruption).
+  size_t parties_crashed = 0;
+  size_t parties_quarantined = 0;
 };
 
 class VflEngine {
@@ -53,16 +65,31 @@ class VflEngine {
 
   double EvaluateAccuracy();
   size_t NumParties() const { return bottoms_.size(); }
+  const VflConfig& config() const { return config_; }
+  size_t EpochsRun() const { return epochs_run_; }
+
+  // Checkpoint/resume: datasets and model topology rebuild from config; the
+  // mutable training state (epoch counter, RNG, every party encoder, the top
+  // classifier, the injector's chains) is serialized. The resume contract is
+  // the same bit-for-bit one the horizontal engines obey.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   // Forward all parties for rows [start, start+count) of `inputs`; returns
   // the concatenated (possibly quantize-dequantized) embedding batch and
-  // accumulates traffic.
+  // accumulates traffic. `faults`, when non-null, holds this epoch's
+  // per-party decisions: silent parties leave their slice zeroed, corrupting
+  // parties send poisoned embeddings the server zeroes after its finite
+  // check.
   Tensor ForwardParties(const std::vector<Tensor>& inputs, size_t start, size_t count,
-                        TechniqueKind technique, double* traffic_bytes);
+                        TechniqueKind technique, double* traffic_bytes,
+                        const std::vector<FaultDecision>* faults = nullptr);
 
   VflConfig config_;
+  FaultInjector injector_;
   Rng rng_;
+  size_t epochs_run_ = 0;
   std::vector<DenseLayer> bottoms_;       // one encoder per party
   std::unique_ptr<DenseLayer> top_;       // server classifier
   std::vector<Tensor> train_features_;    // per-party feature slices

@@ -1,0 +1,70 @@
+#include "src/metrics/aggregation_tracker.h"
+
+namespace floatfl {
+
+void AggregationTracker::Record(size_t byzantine_selected, const AggregatorStats& round_stats) {
+  AggregationRoundRecord record;
+  record.byzantine_selected = byzantine_selected;
+  record.updates_clipped = round_stats.updates_clipped;
+  record.krum_rejections = round_stats.krum_rejections;
+  record.updates_trimmed = round_stats.updates_trimmed;
+  history_.push_back(record);
+}
+
+size_t AggregationTracker::TotalByzantineSelected() const {
+  size_t total = 0;
+  for (const auto& r : history_) {
+    total += r.byzantine_selected;
+  }
+  return total;
+}
+
+size_t AggregationTracker::TotalClipped() const {
+  size_t total = 0;
+  for (const auto& r : history_) {
+    total += r.updates_clipped;
+  }
+  return total;
+}
+
+size_t AggregationTracker::TotalKrumRejections() const {
+  size_t total = 0;
+  for (const auto& r : history_) {
+    total += r.krum_rejections;
+  }
+  return total;
+}
+
+size_t AggregationTracker::TotalTrimmed() const {
+  size_t total = 0;
+  for (const auto& r : history_) {
+    total += r.updates_trimmed;
+  }
+  return total;
+}
+
+void AggregationTracker::SaveState(CheckpointWriter& w) const {
+  w.Size(history_.size());
+  for (const auto& r : history_) {
+    w.Size(r.byzantine_selected);
+    w.Size(r.updates_clipped);
+    w.Size(r.krum_rejections);
+    w.Size(r.updates_trimmed);
+  }
+}
+
+void AggregationTracker::LoadState(CheckpointReader& r) {
+  history_.clear();
+  const size_t n = r.Size();
+  history_.reserve(n);
+  for (size_t i = 0; i < n && r.ok(); ++i) {
+    AggregationRoundRecord record;
+    record.byzantine_selected = r.Size();
+    record.updates_clipped = r.Size();
+    record.krum_rejections = r.Size();
+    record.updates_trimmed = r.Size();
+    history_.push_back(record);
+  }
+}
+
+}  // namespace floatfl

@@ -1,5 +1,6 @@
 #include "src/nn/mlp.h"
 
+#include "src/agg/aggregator.h"
 #include "src/common/check.h"
 #include "src/common/rng.h"
 
@@ -84,24 +85,7 @@ void Mlp::SetParameters(const std::vector<float>& params) {
 
 std::vector<float> Mlp::Aggregate(const std::vector<std::vector<float>>& parameter_sets,
                                   const std::vector<double>& weights) {
-  FLOATFL_CHECK(!parameter_sets.empty());
-  FLOATFL_CHECK(parameter_sets.size() == weights.size());
-  double total = 0.0;
-  for (double w : weights) {
-    FLOATFL_CHECK(w >= 0.0);
-    total += w;
-  }
-  FLOATFL_CHECK(total > 0.0);
-  const size_t n = parameter_sets[0].size();
-  std::vector<float> out(n, 0.0f);
-  for (size_t s = 0; s < parameter_sets.size(); ++s) {
-    FLOATFL_CHECK(parameter_sets[s].size() == n);
-    const float w = static_cast<float>(weights[s] / total);
-    for (size_t i = 0; i < n; ++i) {
-      out[i] += w * parameter_sets[s][i];
-    }
-  }
-  return out;
+  return WeightedMeanAggregate(parameter_sets, weights);
 }
 
 }  // namespace floatfl

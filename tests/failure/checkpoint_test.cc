@@ -13,6 +13,7 @@
 #include "src/fl/async_engine.h"
 #include "src/fl/real_engine.h"
 #include "src/fl/sync_engine.h"
+#include "src/fl/vfl_engine.h"
 #include "src/selection/oort_selector.h"
 #include "src/selection/random_selector.h"
 
@@ -302,6 +303,60 @@ TEST(CheckpointResumeTest, RealEngineGoldenResume) {
   std::remove(path.c_str());
 }
 
+VflConfig SmallVflConfig() {
+  VflConfig config;
+  config.num_parties = 3;
+  config.features_per_party = 5;
+  config.embedding_dim = 6;
+  config.num_classes = 4;
+  config.train_samples = 120;
+  config.test_samples = 80;
+  config.seed = 31;
+  config.faults.crash_prob = 0.2;
+  config.faults.corrupt_prob = 0.2;
+  return config;
+}
+
+TEST(CheckpointResumeTest, VflEngineGoldenResume) {
+  const VflConfig config = SmallVflConfig();
+  const std::string path = TempPath("vfl_resume.ckpt");
+  const size_t total_epochs = 8;
+
+  VflEngine full(config);
+  VflRoundStats expected;
+  for (size_t e = 0; e < total_epochs; ++e) {
+    expected = full.TrainEpoch(TechniqueKind::kQuant8);
+  }
+
+  VflEngine half(config);
+  for (size_t e = 0; e < total_epochs / 2; ++e) {
+    half.TrainEpoch(TechniqueKind::kQuant8);
+  }
+  ASSERT_TRUE(Checkpointer::Save(path, half));
+
+  VflEngine resumed(config);
+  ASSERT_TRUE(Checkpointer::Restore(path, resumed));
+  EXPECT_EQ(resumed.EpochsRun(), total_epochs / 2);
+  VflRoundStats actual;
+  for (size_t e = total_epochs / 2; e < total_epochs; ++e) {
+    actual = resumed.TrainEpoch(TechniqueKind::kQuant8);
+  }
+
+  // Bit-for-bit: the final epoch's stats and the full serialized state
+  // (every encoder, the top model, the RNG, the injector chains).
+  EXPECT_EQ(expected.train_loss, actual.train_loss);
+  EXPECT_EQ(expected.test_accuracy, actual.test_accuracy);
+  EXPECT_EQ(expected.traffic_bytes, actual.traffic_bytes);
+  EXPECT_EQ(expected.parties_crashed, actual.parties_crashed);
+  EXPECT_EQ(expected.parties_quarantined, actual.parties_quarantined);
+  CheckpointWriter full_state;
+  full.SaveState(full_state);
+  CheckpointWriter resumed_state;
+  resumed.SaveState(resumed_state);
+  EXPECT_EQ(full_state.buffer(), resumed_state.buffer());
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Header validation: a wrong checkpoint must be refused, never half-loaded.
 
@@ -315,6 +370,11 @@ TEST(CheckpointerTest, RefusesWrongEngineType) {
 
   AsyncEngine async_engine(config, nullptr);
   EXPECT_FALSE(Checkpointer::Restore(path, async_engine));
+
+  // The VFL tag is distinct too: a horizontal-engine checkpoint can never
+  // load into a VFL engine.
+  VflEngine vfl(SmallVflConfig());
+  EXPECT_FALSE(Checkpointer::Restore(path, vfl));
   std::remove(path.c_str());
 }
 

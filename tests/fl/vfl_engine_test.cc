@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace floatfl {
 namespace {
 
@@ -84,6 +86,67 @@ TEST(VflEngineTest, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(sa.test_accuracy, sb.test_accuracy);
   EXPECT_DOUBLE_EQ(sa.train_loss, sb.train_loss);
   EXPECT_DOUBLE_EQ(sa.traffic_bytes, sb.traffic_bytes);
+}
+
+TEST(VflEngineTest, HarmlessFaultConfigIsTransparent) {
+  // A fault config that enables the injector but (almost) never fires must
+  // leave every statistic bit-identical to the default no-op path.
+  VflConfig faulty = FastConfig(17);
+  faulty.faults.crash_prob = 1e-12;
+  VflEngine plain(FastConfig(17));
+  VflEngine instrumented(faulty);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const VflRoundStats a = plain.TrainEpoch(TechniqueKind::kQuant8);
+    const VflRoundStats b = instrumented.TrainEpoch(TechniqueKind::kQuant8);
+    EXPECT_EQ(a.train_loss, b.train_loss);
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+    EXPECT_EQ(a.traffic_bytes, b.traffic_bytes);
+    EXPECT_EQ(b.parties_crashed, 0u);
+    EXPECT_EQ(b.parties_quarantined, 0u);
+  }
+}
+
+TEST(VflEngineTest, CrashedPartiesAreSilentAndFree) {
+  VflConfig config = FastConfig(19);
+  config.faults.crash_prob = 1.0;
+  VflEngine engine(config);
+  const VflRoundStats stats = engine.TrainEpoch(TechniqueKind::kNone);
+  EXPECT_EQ(stats.parties_crashed, config.num_parties);
+  EXPECT_EQ(stats.parties_quarantined, 0u);
+  // Silent parties send nothing: the uplink charges zero. The downlink
+  // gradient leg is also skipped for out parties, so total traffic is zero.
+  EXPECT_EQ(stats.traffic_bytes, 0.0);
+}
+
+TEST(VflEngineTest, CorruptPartiesAreQuarantinedButCharged) {
+  VflConfig config = FastConfig(21);
+  config.faults.corrupt_prob = 1.0;
+  VflEngine engine(config);
+  const VflRoundStats stats = engine.TrainEpoch(TechniqueKind::kQuant8);
+  EXPECT_EQ(stats.parties_quarantined, config.num_parties);
+  EXPECT_EQ(stats.parties_crashed, 0u);
+  // The poisoned embeddings still shipped before the server's finite check
+  // quarantined them, so uplink traffic is charged.
+  EXPECT_GT(stats.traffic_bytes, 0.0);
+  // The quarantine worked: nothing non-finite reached the top model.
+  EXPECT_TRUE(std::isfinite(stats.train_loss));
+  EXPECT_TRUE(std::isfinite(stats.test_accuracy));
+}
+
+TEST(VflEngineTest, FaultsAreDeterministicForSeed) {
+  VflConfig config = FastConfig(23);
+  config.faults.crash_prob = 0.3;
+  config.faults.corrupt_prob = 0.3;
+  VflEngine a(config);
+  VflEngine b(config);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const VflRoundStats sa = a.TrainEpoch(TechniqueKind::kQuant16);
+    const VflRoundStats sb = b.TrainEpoch(TechniqueKind::kQuant16);
+    EXPECT_EQ(sa.train_loss, sb.train_loss);
+    EXPECT_EQ(sa.test_accuracy, sb.test_accuracy);
+    EXPECT_EQ(sa.parties_crashed, sb.parties_crashed);
+    EXPECT_EQ(sa.parties_quarantined, sb.parties_quarantined);
+  }
 }
 
 }  // namespace

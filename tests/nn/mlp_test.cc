@@ -42,6 +42,26 @@ TEST(MlpTest, AggregateIsWeightedAverage) {
   EXPECT_FLOAT_EQ(weighted[1], 3.0f);
 }
 
+TEST(MlpTest, AggregateUnequalWeightsGolden) {
+  const std::vector<std::vector<float>> sets = {{2.0f, 4.0f}, {10.0f, 20.0f}};
+  const std::vector<float> out = Mlp::Aggregate(sets, {3.0, 1.0});
+  EXPECT_FLOAT_EQ(out[0], 4.0f);  // 0.75*2 + 0.25*10
+  EXPECT_FLOAT_EQ(out[1], 8.0f);  // 0.75*4 + 0.25*20
+}
+
+TEST(MlpTest, AggregateSingleClientIsIdentity) {
+  const std::vector<float> params = {0.5f, -1.25f, 3.0f};
+  EXPECT_EQ(Mlp::Aggregate({params}, {7.0}), params);
+}
+
+TEST(MlpTest, AggregateNormalizesByWeightSum) {
+  // Only the weight *ratios* matter: scaling every weight by a constant
+  // produces the bit-identical result.
+  const std::vector<std::vector<float>> sets = {{1.0f, 8.0f}, {5.0f, 0.0f}};
+  EXPECT_EQ(Mlp::Aggregate(sets, {3.0, 1.0}), Mlp::Aggregate(sets, {0.75, 0.25}));
+  EXPECT_EQ(Mlp::Aggregate(sets, {2.0, 2.0}), Mlp::Aggregate(sets, {1.0, 1.0}));
+}
+
 TEST(MlpTest, TrainingLearnsSeparableTask) {
   Rng rng(3);
   SyntheticTaskData task(3, 8, /*separation=*/3.0, rng);
