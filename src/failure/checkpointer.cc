@@ -36,6 +36,12 @@ void WriteFaultConfig(CheckpointWriter& w, const FaultConfig& f) {
   w.U32(static_cast<uint32_t>(f.byzantine_mode));
   w.F64(f.byzantine_fraction);
   w.F64(f.byzantine_scale);
+  w.Bool(f.transport);
+  w.F64(f.chunk_loss_prob);
+  w.F64(f.link_blackout_prob);
+  w.F64(f.transport_chunk_mb);
+  w.Size(f.max_transfer_retries);
+  w.Bool(f.resumable_uploads);
 }
 
 void WriteAggregatorConfig(CheckpointWriter& w, const AggregatorConfig& a) {
@@ -94,6 +100,10 @@ uint64_t FingerprintConfig(const ExperimentConfig& config) {
   w.Size(config.async_buffer);
   WriteFaultConfig(w, config.faults);
   WriteAggregatorConfig(w, config.aggregator);
+  w.Bool(config.adaptive_deadline.enabled);
+  w.F64(config.adaptive_deadline.min_factor);
+  w.F64(config.adaptive_deadline.max_factor);
+  w.F64(config.adaptive_deadline.headroom);
   return Fnv1a(w.buffer());
 }
 

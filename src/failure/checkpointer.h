@@ -35,9 +35,12 @@ class Checkpointer {
  public:
   static constexpr uint32_t kMagic = 0x464C434BU;  // "FLCK"
   // v2: Byzantine fault fields and the aggregator config joined the
-  // fingerprints; engine payloads grew aggregator/tracker state. v1
-  // checkpoints are refused (the version field mismatches).
-  static constexpr uint32_t kVersion = 2;
+  // fingerprints; engine payloads grew aggregator/tracker state. v3: the
+  // lossy-transport fault fields and the adaptive-deadline config joined the
+  // fingerprints; engine payloads grew transport/deadline-controller/tracker
+  // state and the selector net-factor EWMAs. Older checkpoints are refused
+  // (the version field mismatches).
+  static constexpr uint32_t kVersion = 3;
   enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3, kVfl = 4 };
 
   // Atomic save (temp file + rename). Returns false on I/O failure.

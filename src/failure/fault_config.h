@@ -59,6 +59,37 @@ struct FaultConfig {
   double flaky_exit_prob = 0.0;
   double flaky_crash_prob = 0.0;
 
+  // --- Lossy transport (src/net, DESIGN.md §10) -------------------------
+  // When the transport layer is active, every model download/upload becomes
+  // a chunked transfer integrated over the client's time-varying bandwidth,
+  // with per-chunk loss, mid-transfer link blackouts, and retransmission
+  // with exponential backoff. All draws are keyed by
+  // (seed, round, client, leg, attempt), so transfers are bit-for-bit
+  // thread-count invariant and resumable.
+  //
+  // Force the chunked transport path even with zero loss (useful to study
+  // the time-varying-bandwidth effect in isolation). Loss or blackout
+  // probabilities > 0 enable it implicitly.
+  bool transport = false;
+  // Per-chunk probability that a transmitted chunk is lost and must be
+  // retransmitted (its wire bytes are charged but not acknowledged).
+  double chunk_loss_prob = 0.0;
+  // Per-attempt probability that the link blacks out partway through the
+  // attempt: chunks past a seeded cut point never transmit and the sender
+  // backs off.
+  double link_blackout_prob = 0.0;
+  // Transfer chunk granularity, MB.
+  double transport_chunk_mb = 1.0;
+  // Retransmission attempts after the first (exponential backoff with
+  // deterministic jitter between attempts). Exhausting them fails the
+  // transfer: DropoutReason::kTransferTimedOut.
+  size_t max_transfer_retries = 4;
+  // Resumable uploads: a retried upload salvages already-acknowledged
+  // chunks and pays only the missing tail. Off = restart from scratch.
+  // Downloads are always resumable (range requests are free on the
+  // serving side).
+  bool resumable_uploads = true;
+
   // --- Adversarial clients ----------------------------------------------
   // Attack crafted by the seeded byzantine_fraction of the population.
   // kNone disables the adversary entirely (strict no-op).
@@ -93,6 +124,12 @@ struct FaultConfig {
     return crash_prob > 0.0 || corrupt_prob > 0.0 ||
            (blackout_period_s > 0.0 && blackout_duration_s > 0.0) ||
            (flaky_fraction > 0.0 && flaky_crash_prob > 0.0);
+  }
+
+  // True when engine communication must route through the chunked
+  // transport layer instead of the one-shot point-sample cost model.
+  bool TransportEnabled() const {
+    return transport || chunk_loss_prob > 0.0 || link_blackout_prob > 0.0;
   }
 
   // True when the Byzantine adversary can act.

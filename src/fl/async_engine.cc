@@ -1,6 +1,7 @@
 #include "src/fl/async_engine.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/agg/quality_agg.h"
 #include "src/common/check.h"
@@ -20,6 +21,7 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
       busy_(config.num_clients, false) {
   ValidateExperimentConfig(config_);
   injector_ = FaultInjector(config_.faults, config_.seed, config_.num_clients);
+  transport_ = Transport(config_.faults, config_.seed);
   const size_t threads = ResolveThreadCount(config.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(threads - 1);
@@ -41,8 +43,8 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
       shards);
 }
 
-ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s,
-                                                    TechniqueKind technique,
+ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t transfer_round,
+                                                    double now_s, TechniqueKind technique,
                                                     const FaultDecision& fault) const {
   ClientRoundOutcome outcome;
   outcome.client_id = client.id();
@@ -91,6 +93,95 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, double now_s
     outcome.time_spent_s = outcome.costs.comm_time_s;
     return outcome;
   }
+
+  if (transport_.enabled()) {
+    // Lossy-transport path (DESIGN.md §10). Async FL has no round deadline,
+    // so transfers only fail by exhausting their retry budget; a timed-out
+    // client simply surfaces late with nothing to aggregate.
+    const CostEffect& effect = EffectOf(technique);
+    const double kNoBudget = std::numeric_limits<double>::infinity();
+    TransferOptions download_opts;
+    download_opts.payload_mb = model.weight_mb;
+    download_opts.start_s = now_s;
+    download_opts.budget_s = kNoBudget;
+    download_opts.leg = TransferLeg::kDownload;
+    download_opts.resumable = true;
+    download_opts.availability = avail.network;
+    const TransferResult download =
+        transport_.Transfer(transfer_round, client.id(), client.network(), download_opts);
+    outcome.transfer_attempts = download.attempts;
+    outcome.retransmitted_mb = download.retransmitted_mb;
+    outcome.salvaged_mb = download.salvaged_mb;
+    outcome.transfer_backoff_s = download.backoff_s;
+    if (!download.delivered) {
+      outcome.reason = DropoutReason::kTransferTimedOut;
+      outcome.costs.train_time_s = 0.0;
+      outcome.costs.comm_time_s = download.wire_time_s;
+      outcome.costs.traffic_mb = download.wire_mb;
+      outcome.costs.peak_memory_mb = 0.0;
+      outcome.time_spent_s = download.elapsed_s;
+      return outcome;
+    }
+    const double train_time = outcome.costs.train_time_s;
+    TransferOptions upload_opts;
+    upload_opts.payload_mb = model.weight_mb * effect.comm_mult;
+    upload_opts.start_s = now_s + download.elapsed_s + train_time;
+    upload_opts.budget_s = kNoBudget;
+    upload_opts.leg = TransferLeg::kUpload;
+    upload_opts.resumable = config_.faults.resumable_uploads;
+    upload_opts.availability = avail.network;
+    const TransferResult upload =
+        transport_.Transfer(transfer_round, client.id(), client.network(), upload_opts);
+    outcome.transfer_attempts += upload.attempts;
+    outcome.retransmitted_mb += upload.retransmitted_mb;
+    outcome.salvaged_mb += upload.salvaged_mb;
+    outcome.transfer_backoff_s += upload.backoff_s;
+    const double total_time = download.elapsed_s + train_time + upload.elapsed_s;
+    outcome.costs.comm_time_s = download.wire_time_s + upload.wire_time_s;
+    outcome.costs.traffic_mb = download.wire_mb + upload.wire_mb;
+    outcome.costs.total_time_s = total_time;
+    if (fault.crash) {
+      const double crash_time = fault.crash_fraction * total_time;
+      if (client.availability().AvailableFor(now_s, crash_time)) {
+        outcome.reason = DropoutReason::kCrashed;
+        outcome.costs.train_time_s *= fault.crash_fraction;
+        outcome.costs.comm_time_s *= fault.crash_fraction;
+        outcome.time_spent_s = crash_time;
+        return outcome;
+      }
+    }
+    if (!upload.delivered) {
+      outcome.reason = DropoutReason::kTransferTimedOut;
+      outcome.time_spent_s = total_time;
+      return outcome;
+    }
+    if (!client.availability().AvailableFor(now_s, total_time)) {
+      outcome.reason = DropoutReason::kDeparted;
+      const double available =
+          std::max(0.0, client.availability().PeriodEndAfter(now_s) - now_s);
+      const double frac = std::min(1.0, available / std::max(1e-9, total_time));
+      outcome.costs.train_time_s *= frac;
+      outcome.costs.comm_time_s *= frac;
+      outcome.time_spent_s = available;
+      outcome.deadline_diff =
+          std::max(0.0, (total_time - available) / config_.deadline_s);
+      return outcome;
+    }
+    outcome.completed = true;
+    outcome.time_spent_s = total_time;
+    const double transfer_secs = outcome.costs.comm_time_s + outcome.transfer_backoff_s;
+    if (transfer_secs > 0.0) {
+      outcome.effective_mbps =
+          (download_opts.payload_mb + upload_opts.payload_mb) * 8.0 / transfer_secs;
+    }
+    if (fault.corrupt) {
+      outcome.corrupted = true;
+      outcome.corrupt_kind = fault.corrupt_kind;
+    }
+    outcome.byzantine = fault.byzantine;
+    return outcome;
+  }
+
   if (fault.crash) {
     // The process dies mid-round if the device is still around at that
     // point; otherwise the departure below ends the round first, benignly.
@@ -154,6 +245,9 @@ void AsyncEngine::LaunchClients() {
   const std::vector<size_t> order = rng_.Permutation(candidates.size());
   std::vector<InFlight> launches;
   std::vector<FaultDecision> faults;
+  // Per-launch transport key: the client's launch count before this launch
+  // (same key as the fault decision above).
+  std::vector<size_t> transfer_rounds;
   for (size_t idx : order) {
     if (in_flight_.size() + launches.size() >= config_.async_concurrency) {
       break;
@@ -172,6 +266,7 @@ void AsyncEngine::LaunchClients() {
     faults.push_back(injector_.enabled()
                          ? injector_.Decide(client.times_selected, id, now_s_)
                          : FaultDecision());
+    transfer_rounds.push_back(client.times_selected);
     launches.push_back(flight);
     busy_[id] = true;
     ++client.times_selected;
@@ -181,8 +276,8 @@ void AsyncEngine::LaunchClients() {
   // client's trace state (launch ids are distinct by the busy_ guard).
   ParallelFor(pool_.get(), launches.size(), [&](size_t i) {
     InFlight& flight = launches[i];
-    flight.outcome =
-        SimulateAsyncClient(clients_[flight.client_id], now_s_, flight.technique, faults[i]);
+    flight.outcome = SimulateAsyncClient(clients_[flight.client_id], transfer_rounds[i], now_s_,
+                                         flight.technique, faults[i]);
     flight.finish_time_s = now_s_ + std::max(1.0, flight.outcome.time_spent_s);
   });
 
@@ -263,6 +358,11 @@ void AsyncEngine::StepOnce() {
   accountant_.Record(flight.outcome.costs.train_time_s, flight.outcome.costs.comm_time_s,
                      flight.outcome.costs.peak_memory_mb, accepted);
   tracker_.Record(flight.client_id, flight.technique, accepted);
+  if (flight.outcome.transfer_attempts > 0) {
+    transport_tracker_.Record(flight.outcome.transfer_attempts, flight.outcome.retransmitted_mb,
+                              flight.outcome.salvaged_mb, flight.outcome.transfer_backoff_s,
+                              flight.outcome.reason == DropoutReason::kTransferTimedOut);
+  }
   if (policy_ != nullptr) {
     const double client_accuracy_credit =
         last_accuracy_delta_ * (1.0 - EffectOf(flight.technique).accuracy_impact);
@@ -312,6 +412,10 @@ ExperimentResult AsyncEngine::Snapshot() const {
   result.byzantine_selected = agg_tracker_.TotalByzantineSelected();
   result.krum_rejections = agg_tracker_.TotalKrumRejections();
   result.updates_trimmed = agg_tracker_.TotalTrimmed();
+  result.transfer_attempts = transport_tracker_.TotalAttempts();
+  result.retransmitted_mb = transport_tracker_.TotalRetransmittedMb();
+  result.salvaged_mb = transport_tracker_.TotalSalvagedMb();
+  result.transfer_backoff_s = transport_tracker_.TotalBackoffS();
   result.useful = accountant_.Useful();
   result.wasted = accountant_.Wasted();
   result.wall_clock_hours = now_s_ / 3600.0;
@@ -340,6 +444,11 @@ void SaveOutcome(CheckpointWriter& w, const ClientRoundOutcome& o) {
   w.Bool(o.corrupted);
   w.U32(o.corrupt_kind);
   w.Bool(o.byzantine);
+  w.Size(o.transfer_attempts);
+  w.F64(o.retransmitted_mb);
+  w.F64(o.salvaged_mb);
+  w.F64(o.transfer_backoff_s);
+  w.F64(o.effective_mbps);
 }
 
 void LoadOutcome(CheckpointReader& r, ClientRoundOutcome& o) {
@@ -358,6 +467,11 @@ void LoadOutcome(CheckpointReader& r, ClientRoundOutcome& o) {
   o.corrupted = r.Bool();
   o.corrupt_kind = r.U32();
   o.byzantine = r.Bool();
+  o.transfer_attempts = r.Size();
+  o.retransmitted_mb = r.F64();
+  o.salvaged_mb = r.F64();
+  o.transfer_backoff_s = r.F64();
+  o.effective_mbps = r.F64();
 }
 
 }  // namespace
@@ -374,6 +488,7 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   w.Size(dropout_breakdown_.crashed);
   w.Size(dropout_breakdown_.corrupted);
   w.Size(dropout_breakdown_.rejected);
+  w.Size(dropout_breakdown_.transfer_timed_out);
   w.F64Vec(accuracy_history_);
   SaveRng(w, rng_);
   w.Size(clients_.size());
@@ -409,6 +524,7 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   }
   w.Size(pending_byzantine_);
   agg_tracker_.SaveState(w);
+  transport_tracker_.SaveState(w);
 }
 
 void AsyncEngine::LoadState(CheckpointReader& r) {
@@ -423,6 +539,7 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   dropout_breakdown_.crashed = r.Size();
   dropout_breakdown_.corrupted = r.Size();
   dropout_breakdown_.rejected = r.Size();
+  dropout_breakdown_.transfer_timed_out = r.Size();
   accuracy_history_ = r.F64Vec();
   LoadRng(r, rng_);
   const size_t n = r.Size();
@@ -475,6 +592,7 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   }
   pending_byzantine_ = r.Size();
   agg_tracker_.LoadState(r);
+  transport_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

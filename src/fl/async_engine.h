@@ -23,7 +23,9 @@
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
+#include "src/metrics/transport_tracker.h"
 #include "src/models/surrogate_accuracy.h"
+#include "src/net/transport.h"
 #include "src/sim/thread_pool.h"
 
 namespace floatfl {
@@ -52,6 +54,7 @@ class AsyncEngine {
   size_t Version() const { return version_; }
   size_t RejectedUpdates() const { return rejected_updates_; }
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
+  const TransportTracker& transport_tracker() const { return transport_tracker_; }
 
   // Checkpoint/resume of all mutable engine state (DESIGN.md §8).
   void SaveState(CheckpointWriter& w) const;
@@ -69,7 +72,12 @@ class AsyncEngine {
 
   void LaunchClients();
   // Thread-safe for distinct clients: touches only `client` and config_.
-  ClientRoundOutcome SimulateAsyncClient(Client& client, double now_s, TechniqueKind technique,
+  // `transfer_round` keys the lossy transport's per-transfer random streams:
+  // the client's launch count (its `times_selected` before this launch),
+  // async FL's per-client round analogue — the same key the fault injector
+  // uses, so transfers stay invariant across thread counts and resumes.
+  ClientRoundOutcome SimulateAsyncClient(Client& client, size_t transfer_round, double now_s,
+                                         TechniqueKind technique,
                                          const FaultDecision& fault) const;
 
   static constexpr double kMaxStaleness = 10.0;
@@ -86,6 +94,9 @@ class AsyncEngine {
   ParticipationTracker tracker_;
   FaultInjector injector_;
   AggregationTracker agg_tracker_;
+  // Lossy transport and its accounting (DESIGN.md §10); disabled by default.
+  Transport transport_;
+  TransportTracker transport_tracker_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   // Byzantine completers retired since the last aggregation (folded into the

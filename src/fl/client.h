@@ -41,8 +41,20 @@ class Client {
   // round does not erase a chronic straggler's profile.
   double last_deadline_diff = 0.0;
 
+  // Smoothing weights for every per-client profile EWMA: the deadline
+  // difference here, and the AdaptiveDeadlineController's round-time and
+  // transfer-throughput estimates (src/net/adaptive_deadline.h), which must
+  // forget at the same rate so the controller's view of a client ages in
+  // step with the human-feedback signal. 0.7/0.3 keeps ~70 % of the history
+  // per observation: one rescued round does not erase a chronic straggler's
+  // profile, but ~5 observations turn the estimate over.
+  // Written as literals (not 1.0 - retain): 0.3 and 1.0 - 0.7 differ in the
+  // last ulp, and the goldens pin the literal arithmetic.
+  static constexpr double kProfileEwmaRetain = 0.7;
+  static constexpr double kProfileEwmaObserve = 0.3;
+
   void UpdateDeadlineDiff(double observed) {
-    last_deadline_diff = 0.7 * last_deadline_diff + 0.3 * observed;
+    last_deadline_diff = kProfileEwmaRetain * last_deadline_diff + kProfileEwmaObserve * observed;
   }
   // Most recent observed on-period length, for REFL-style window prediction.
   double observed_window_s = 0.0;

@@ -42,6 +42,16 @@ RoundCosts ComputeRoundCosts(const RoundCostInputs& in) {
   return out;
 }
 
+namespace {
+
+// Provisioning floor for deadline calibration: a client whose nominal link
+// is (near) zero Mbps would otherwise drive an infinite comm-time estimate
+// (and trip ComputeRoundCosts' positive-bandwidth contract). Matches the
+// outage-regime floor in NetworkTrace.
+constexpr double kMinProvisioningMbps = 0.01;
+
+}  // namespace
+
 double AutoDeadlineSeconds(const ExperimentConfig& config, const std::vector<Client>& clients) {
   FLOATFL_CHECK(!clients.empty());
   const ModelProfile& model = GetModelProfile(config.model);
@@ -57,7 +67,7 @@ double AutoDeadlineSeconds(const ExperimentConfig& config, const std::vector<Cli
     inputs.batch_size = config.batch_size;
     inputs.technique = TechniqueKind::kNone;
     inputs.device_gflops = client.compute().BaseGflops();
-    inputs.bandwidth_mbps = client.network().NominalMbps();
+    inputs.bandwidth_mbps = std::max(kMinProvisioningMbps, client.network().NominalMbps());
     inputs.device_memory_gb = client.compute().MemoryGb();
     inputs.availability = ResourceAvailability{};  // un-interfered
     estimates.push_back(ComputeRoundCosts(inputs).total_time_s);

@@ -25,6 +25,19 @@ void ValidateExperimentConfig(const ExperimentConfig& config) {
       "faults.byzantine_fraction must be in [0, 1]");
   FLOATFL_CHECK_MSG(config.faults.byzantine_scale >= 0.0,
                     "faults.byzantine_scale must be non-negative");
+  FLOATFL_CHECK_MSG(
+      config.faults.chunk_loss_prob >= 0.0 && config.faults.chunk_loss_prob < 1.0,
+      "faults.chunk_loss_prob must be in [0, 1)");
+  FLOATFL_CHECK_MSG(
+      config.faults.link_blackout_prob >= 0.0 && config.faults.link_blackout_prob < 1.0,
+      "faults.link_blackout_prob must be in [0, 1)");
+  FLOATFL_CHECK_MSG(config.faults.transport_chunk_mb > 0.0,
+                    "faults.transport_chunk_mb must be positive");
+  FLOATFL_CHECK_MSG(config.adaptive_deadline.min_factor > 0.0 &&
+                        config.adaptive_deadline.min_factor <= config.adaptive_deadline.max_factor,
+                    "adaptive_deadline factors must satisfy 0 < min_factor <= max_factor");
+  FLOATFL_CHECK_MSG(config.adaptive_deadline.headroom > 0.0,
+                    "adaptive_deadline.headroom must be positive");
   ValidateAggregatorConfig(config.aggregator);
 }
 

@@ -14,6 +14,7 @@
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
 #include "src/models/model_zoo.h"
+#include "src/net/adaptive_deadline.h"
 #include "src/opt/technique.h"
 #include "src/trace/interference.h"
 
@@ -51,6 +52,10 @@ struct ExperimentConfig {
   // the robust rules act on contribution qualities (src/agg/quality_agg.h);
   // the default kFedAvg is a strict pass-through.
   AggregatorConfig aggregator;
+  // Server-side adaptive sync deadline (DESIGN.md §10). Default off: the
+  // sync engine uses the static (auto-calibrated or explicit) deadline
+  // byte-identically.
+  AdaptiveDeadlineConfig adaptive_deadline;
 };
 
 // Aborts the process with a descriptive message when `config` violates an
@@ -69,6 +74,7 @@ enum class DropoutReason {
   kCrashed,         // injected mid-training process crash
   kCorrupted,       // update failed server-side validation (quarantined)
   kRejected,        // valid but abandoned (over-selection closed the round)
+  kTransferTimedOut,  // lossy transport exhausted retries / transfer budget
 };
 
 struct DropoutBreakdown {
@@ -79,10 +85,11 @@ struct DropoutBreakdown {
   size_t crashed = 0;       // injected mid-training crashes
   size_t corrupted = 0;     // updates quarantined by server-side validation
   size_t rejected = 0;      // abandoned by over-selection round close
+  size_t transfer_timed_out = 0;  // lossy transport exhausted retries/budget
 
   size_t Total() const {
     return unavailable + out_of_memory + missed_deadline + departed + crashed + corrupted +
-           rejected;
+           rejected + transfer_timed_out;
   }
 };
 
@@ -110,6 +117,12 @@ struct ExperimentResult {
   size_t byzantine_selected = 0;
   size_t krum_rejections = 0;
   size_t updates_trimmed = 0;
+  // Lossy-transport totals (src/metrics/transport_tracker.h). All zero when
+  // the transport is disabled.
+  size_t transfer_attempts = 0;
+  double retransmitted_mb = 0.0;
+  double salvaged_mb = 0.0;
+  double transfer_backoff_s = 0.0;
 
   ResourceTotals useful;
   ResourceTotals wasted;

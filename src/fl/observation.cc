@@ -75,6 +75,9 @@ void CountDropout(DropoutReason reason, DropoutBreakdown& breakdown) {
     case DropoutReason::kRejected:
       ++breakdown.rejected;
       break;
+    case DropoutReason::kTransferTimedOut:
+      ++breakdown.transfer_timed_out;
+      break;
     case DropoutReason::kNone:
       break;
   }

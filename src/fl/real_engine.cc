@@ -82,6 +82,7 @@ RealFlEngine::RealFlEngine(const RealFlConfig& config)
     : config_(config),
       injector_(config.faults, config.seed, config.num_clients),
       aggregator_(MakeAggregator(config.aggregator)),
+      transport_(config.faults, config.seed),
       rng_(config.seed),
       client_stream_root_(config.seed ^ 0x7C159E3779B97F4AULL) {
   FLOATFL_CHECK(config.num_clients > 0);
@@ -223,6 +224,7 @@ RealRoundStats RealFlEngine::RunRound(
   // delivers a poisoned tensor.
   std::vector<ProcessedUpdate> processed(k);
   std::vector<uint8_t> delivered(k, 1);
+  std::vector<TransferResult> transfers(k);
   ParallelFor(pool_.get(), k, [&](size_t i) {
     if (faults[i].crash || faults[i].blackout) {
       delivered[i] = 0;
@@ -242,6 +244,16 @@ RealRoundStats RealFlEngine::RunRound(
       ApplyByzantineAttack(processed[i].params, global_params, config_.faults,
                            injector_.AttackRng(round, id));
     }
+    if (transport_.enabled()) {
+      // Lossy upload delivery over the *actual* serialized size, so heavier
+      // uploads chunk into more loss draws. The engine has no wall clock;
+      // TryDeliver charges bytes and retries, not time. (round, id)-keyed,
+      // so thread order is irrelevant.
+      const double payload_mb =
+          static_cast<double>(processed[i].upload_bytes) / (1024.0 * 1024.0);
+      transfers[i] = transport_.TryDeliver(round, id, payload_mb, TransferLeg::kUpload,
+                                           config_.faults.resumable_uploads);
+    }
   });
 
   // Phase 3 (sequential, selection order): server-side validation, then a
@@ -258,6 +270,19 @@ RealRoundStats RealFlEngine::RunRound(
     if (!delivered[i]) {
       ++stats.crashed;
       continue;
+    }
+    if (transport_.enabled()) {
+      transport_tracker_.Record(transfers[i].attempts, transfers[i].retransmitted_mb,
+                                transfers[i].salvaged_mb, transfers[i].backoff_s,
+                                transfers[i].timed_out);
+      stats.retransmitted_mb += transfers[i].retransmitted_mb;
+      stats.salvaged_mb += transfers[i].salvaged_mb;
+      if (!transfers[i].delivered) {
+        // The trained update never survived the lossy link: nothing reaches
+        // validation or aggregation.
+        ++stats.transfer_timeouts;
+        continue;
+      }
     }
     if (!ValidRealUpdate(processed[i].params, config_.faults.reject_norm_threshold)) {
       ++stats.rejected_updates;
@@ -304,6 +329,7 @@ void RealFlEngine::SaveState(CheckpointWriter& w) const {
   injector_.SaveState(w);
   aggregator_->SaveState(w);
   agg_tracker_.SaveState(w);
+  transport_tracker_.SaveState(w);
 }
 
 void RealFlEngine::LoadState(CheckpointReader& r) {
@@ -319,6 +345,7 @@ void RealFlEngine::LoadState(CheckpointReader& r) {
   injector_.LoadState(r);
   aggregator_->LoadState(r);
   agg_tracker_.LoadState(r);
+  transport_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

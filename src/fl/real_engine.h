@@ -25,6 +25,8 @@
 #include "src/failure/checkpoint_io.h"
 #include "src/failure/fault_injector.h"
 #include "src/metrics/aggregation_tracker.h"
+#include "src/metrics/transport_tracker.h"
+#include "src/net/transport.h"
 #include "src/nn/mlp.h"
 #include "src/nn/optimizer.h"
 #include "src/opt/technique.h"
@@ -79,6 +81,13 @@ struct RealRoundStats {
   size_t updates_clipped = 0;
   size_t krum_rejections = 0;
   size_t updates_trimmed = 0;
+  // Lossy-transport accounting (DESIGN.md §10): uploads whose retries were
+  // exhausted (the trained update never reached the server) and the wasted /
+  // salvaged wire bytes behind the ones that did. All zero when the
+  // transport is disabled.
+  size_t transfer_timeouts = 0;
+  double retransmitted_mb = 0.0;
+  double salvaged_mb = 0.0;
 };
 
 class RealFlEngine {
@@ -103,6 +112,7 @@ class RealFlEngine {
   size_t DenseUpdateBytes() const;
   size_t RoundsRun() const { return rounds_run_; }
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
+  const TransportTracker& transport_tracker() const { return transport_tracker_; }
 
   // Checkpoint/resume: the datasets and model topology are rebuilt
   // deterministically from config; only the mutable training state (RNGs,
@@ -126,6 +136,10 @@ class RealFlEngine {
   FaultInjector injector_;
   std::unique_ptr<Aggregator> aggregator_;
   AggregationTracker agg_tracker_;
+  // Bandwidth-free lossy delivery for real uploads (Transport::TryDeliver);
+  // disabled by default.
+  Transport transport_;
+  TransportTracker transport_tracker_;
   Rng rng_;
   // Root of the per-(round, client) training streams; never advanced, only
   // ForkKeyed — so the streams are independent of simulation order.

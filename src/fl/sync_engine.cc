@@ -34,6 +34,10 @@ SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, Tunin
   if (config_.deadline_s <= 0.0) {
     config_.deadline_s = AutoDeadlineSeconds(config_, clients_);
   }
+  transport_ = Transport(config_.faults, config_.seed);
+  deadline_ctrl_ = AdaptiveDeadlineController(config_.adaptive_deadline, config_.num_clients,
+                                              config_.deadline_s);
+  round_deadline_s_ = config_.deadline_s;
   reference_ = ComputePopulationReference(clients_);
   std::vector<ClientShard> shards;
   shards.reserve(clients_.size());
@@ -48,10 +52,16 @@ SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, Tunin
 
 ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
                                               TechniqueKind technique) const {
-  return SimulateClient(client, now_s, technique, FaultDecision());
+  return SimulateClient(client, rounds_run_, now_s, technique, FaultDecision());
 }
 
 ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
+                                              TechniqueKind technique,
+                                              const FaultDecision& fault) const {
+  return SimulateClient(client, rounds_run_, now_s, technique, fault);
+}
+
+ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, double now_s,
                                               TechniqueKind technique,
                                               const FaultDecision& fault) const {
   ClientRoundOutcome outcome;
@@ -75,7 +85,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
   inputs.availability = avail;
   outcome.costs = ComputeRoundCosts(inputs);
 
-  const double deadline = config_.deadline_s;
+  const double deadline = round_deadline_s_;
   if (fault.blackout) {
     // The server cannot reach the client during a network blackout: the task
     // push never happens and nothing runs on the device.
@@ -126,6 +136,111 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
     outcome.time_spent_s = outcome.costs.comm_time_s;
     return outcome;
   }
+
+  if (transport_.enabled()) {
+    // Lossy-transport path (DESIGN.md §10): the cost model's point-sampled
+    // comm time is replaced by explicit chunked download/upload legs
+    // integrated over the client's bandwidth trace, with per-chunk loss,
+    // link blackouts, retransmission backoff and (for uploads, optionally)
+    // resumable retries. Train time and the memory check above still come
+    // from the cost model.
+    const CostEffect& effect = EffectOf(technique);
+    TransferOptions download_opts;
+    download_opts.payload_mb = model.weight_mb;
+    download_opts.start_s = now_s;
+    download_opts.budget_s = deadline;
+    download_opts.leg = TransferLeg::kDownload;
+    download_opts.resumable = true;  // the server always re-serves only missing chunks
+    download_opts.availability = avail.network;
+    const TransferResult download =
+        transport_.Transfer(round, client.id(), client.network(), download_opts);
+    outcome.transfer_attempts = download.attempts;
+    outcome.retransmitted_mb = download.retransmitted_mb;
+    outcome.salvaged_mb = download.salvaged_mb;
+    outcome.transfer_backoff_s = download.backoff_s;
+    if (!download.delivered) {
+      // Retries (or the round budget) exhausted before the model arrived:
+      // training never starts.
+      outcome.reason = DropoutReason::kTransferTimedOut;
+      outcome.costs.train_time_s = 0.0;
+      outcome.costs.comm_time_s = download.wire_time_s;
+      outcome.costs.traffic_mb = download.wire_mb;
+      outcome.costs.peak_memory_mb = 0.0;
+      outcome.time_spent_s = download.elapsed_s;
+      return outcome;
+    }
+    const double train_time = outcome.costs.train_time_s;
+    const double upload_budget = deadline - download.elapsed_s - train_time;
+    if (upload_budget <= 0.0) {
+      // Download + training alone overran the deadline: the upload never
+      // starts and the round closes without this client.
+      outcome.reason = DropoutReason::kMissedDeadline;
+      outcome.deadline_diff = (download.elapsed_s + train_time - deadline) / deadline;
+      outcome.costs.train_time_s = std::max(0.0, deadline - download.elapsed_s);
+      outcome.costs.comm_time_s = download.wire_time_s;
+      outcome.costs.traffic_mb = download.wire_mb;
+      outcome.time_spent_s = deadline;
+      return outcome;
+    }
+    TransferOptions upload_opts;
+    upload_opts.payload_mb = model.weight_mb * effect.comm_mult;
+    upload_opts.start_s = now_s + download.elapsed_s + train_time;
+    upload_opts.budget_s = upload_budget;
+    upload_opts.leg = TransferLeg::kUpload;
+    upload_opts.resumable = config_.faults.resumable_uploads;
+    upload_opts.availability = avail.network;
+    const TransferResult upload =
+        transport_.Transfer(round, client.id(), client.network(), upload_opts);
+    outcome.transfer_attempts += upload.attempts;
+    outcome.retransmitted_mb += upload.retransmitted_mb;
+    outcome.salvaged_mb += upload.salvaged_mb;
+    outcome.transfer_backoff_s += upload.backoff_s;
+    const double total_time = download.elapsed_s + train_time + upload.elapsed_s;
+    outcome.costs.comm_time_s = download.wire_time_s + upload.wire_time_s;
+    outcome.costs.traffic_mb = download.wire_mb + upload.wire_mb;
+    outcome.costs.total_time_s = total_time;
+    if (fault.crash) {
+      const double crash_time = fault.crash_fraction * total_time;
+      if (crash_time <= deadline && client.availability().AvailableFor(now_s, crash_time)) {
+        outcome.reason = DropoutReason::kCrashed;
+        outcome.costs.train_time_s *= fault.crash_fraction;
+        outcome.costs.comm_time_s *= fault.crash_fraction;
+        outcome.time_spent_s = crash_time;
+        return outcome;
+      }
+    }
+    if (!upload.delivered) {
+      outcome.reason = DropoutReason::kTransferTimedOut;
+      outcome.deadline_diff = std::max(0.0, (total_time - deadline) / deadline);
+      outcome.time_spent_s = total_time;
+      return outcome;
+    }
+    if (!client.availability().AvailableFor(now_s, total_time)) {
+      outcome.reason = DropoutReason::kDeparted;
+      const double available =
+          std::max(0.0, client.availability().PeriodEndAfter(now_s) - now_s);
+      const double frac = std::min(1.0, available / std::max(1e-9, total_time));
+      outcome.costs.train_time_s *= frac;
+      outcome.costs.comm_time_s *= frac;
+      outcome.time_spent_s = available;
+      outcome.deadline_diff = (total_time - available) / deadline;
+      return outcome;
+    }
+    outcome.completed = true;
+    outcome.time_spent_s = total_time;
+    const double transfer_secs = outcome.costs.comm_time_s + outcome.transfer_backoff_s;
+    if (transfer_secs > 0.0) {
+      outcome.effective_mbps =
+          (download_opts.payload_mb + upload_opts.payload_mb) * 8.0 / transfer_secs;
+    }
+    if (fault.corrupt) {
+      outcome.corrupted = true;
+      outcome.corrupt_kind = fault.corrupt_kind;
+    }
+    outcome.byzantine = fault.byzantine;
+    return outcome;
+  }
+
   if (fault.crash) {
     // The process dies at crash_fraction of the round — but only if the
     // client would actually get that far (the deadline or an availability
@@ -172,6 +287,11 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, double now_s,
 
 void SyncEngine::RunRound(size_t round) {
   injector_.BeginRound(round);
+  if (deadline_ctrl_.enabled()) {
+    // Re-plan the sync deadline from the population's observed round times
+    // (clamped to the configured bounds around the base deadline).
+    round_deadline_s_ = deadline_ctrl_.CurrentDeadline();
+  }
 
   // Over-selection: select ceil(K x overcommit) and close the round at the
   // first K completions; the extras hedge against injected failures.
@@ -216,7 +336,7 @@ void SyncEngine::RunRound(size_t round) {
   // replacement), and outcomes land in an index-ordered buffer.
   std::vector<ClientRoundOutcome> outcomes(selected.size());
   ParallelFor(pool_.get(), selected.size(), [&](size_t i) {
-    outcomes[i] = SimulateClient(clients_[selected[i]], now_s_, techniques[i], faults[i]);
+    outcomes[i] = SimulateClient(clients_[selected[i]], round, now_s_, techniques[i], faults[i]);
   });
 
   // Server-side validation (quarantine): a corrupted update carries a
@@ -269,6 +389,11 @@ void SyncEngine::RunRound(size_t round) {
     accountant_.Record(outcome.costs.train_time_s, outcome.costs.comm_time_s,
                        outcome.costs.peak_memory_mb, outcome.completed);
     tracker_.Record(selected[i], techniques[i], outcome.completed);
+    if (outcome.transfer_attempts > 0) {
+      transport_tracker_.Record(outcome.transfer_attempts, outcome.retransmitted_mb,
+                                outcome.salvaged_mb, outcome.transfer_backoff_s,
+                                outcome.reason == DropoutReason::kTransferTimedOut);
+    }
     CountDropout(outcome.reason, dropout_breakdown_);
     if (config_.faults.retry_cooldown_rounds > 0 &&
         (outcome.reason == DropoutReason::kCrashed ||
@@ -324,7 +449,16 @@ void SyncEngine::RunRound(size_t round) {
                       outcome.completed, client_accuracy_credit);
     }
     selector_->OnOutcome(outcome.client_id, outcome.completed, outcome.time_spent_s,
-                         config_.deadline_s);
+                         round_deadline_s_);
+    if (transport_.enabled()) {
+      // Effective (post-retransmission) link speed, so bandwidth-aware
+      // selectors rank clients by what their links actually deliver.
+      selector_->OnTransfer(outcome.client_id, outcome.effective_mbps,
+                            clients_[outcome.client_id].network().NominalMbps());
+    }
+    if (deadline_ctrl_.enabled() && outcome.time_spent_s > 0.0) {
+      deadline_ctrl_.Observe(outcome.client_id, outcome.time_spent_s, outcome.effective_mbps);
+    }
   }
 
   // A synchronous server waits out the deadline when it could not close the
@@ -332,7 +466,7 @@ void SyncEngine::RunRound(size_t round) {
   // completions close the round immediately — the mechanism that shortens
   // mean round duration under injected failures.
   if (accepted < needed) {
-    round_duration = config_.deadline_s;
+    round_duration = round_deadline_s_;
   }
   now_s_ += round_duration + kRoundOverheadS;
   accuracy_history_.push_back(surrogate_->GlobalAccuracy());
@@ -356,6 +490,10 @@ ExperimentResult SyncEngine::Snapshot() const {
   result.byzantine_selected = agg_tracker_.TotalByzantineSelected();
   result.krum_rejections = agg_tracker_.TotalKrumRejections();
   result.updates_trimmed = agg_tracker_.TotalTrimmed();
+  result.transfer_attempts = transport_tracker_.TotalAttempts();
+  result.retransmitted_mb = transport_tracker_.TotalRetransmittedMb();
+  result.salvaged_mb = transport_tracker_.TotalSalvagedMb();
+  result.transfer_backoff_s = transport_tracker_.TotalBackoffS();
   result.useful = accountant_.Useful();
   result.wasted = accountant_.Wasted();
   result.wall_clock_hours = now_s_ / 3600.0;
@@ -384,6 +522,7 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
   w.Size(dropout_breakdown_.crashed);
   w.Size(dropout_breakdown_.corrupted);
   w.Size(dropout_breakdown_.rejected);
+  w.Size(dropout_breakdown_.transfer_timed_out);
   w.F64Vec(accuracy_history_);
   w.Size(clients_.size());
   for (const auto& client : clients_) {
@@ -399,6 +538,9 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
     policy_->SaveState(w);
   }
   agg_tracker_.SaveState(w);
+  w.F64(round_deadline_s_);
+  transport_tracker_.SaveState(w);
+  deadline_ctrl_.SaveState(w);
 }
 
 void SyncEngine::LoadState(CheckpointReader& r) {
@@ -412,6 +554,7 @@ void SyncEngine::LoadState(CheckpointReader& r) {
   dropout_breakdown_.crashed = r.Size();
   dropout_breakdown_.corrupted = r.Size();
   dropout_breakdown_.rejected = r.Size();
+  dropout_breakdown_.transfer_timed_out = r.Size();
   accuracy_history_ = r.F64Vec();
   const size_t n = r.Size();
   // A failed reader (truncated/corrupted archive) returns zeros; that is the
@@ -438,6 +581,9 @@ void SyncEngine::LoadState(CheckpointReader& r) {
     policy_->LoadState(r);
   }
   agg_tracker_.LoadState(r);
+  round_deadline_s_ = r.F64();
+  transport_tracker_.LoadState(r);
+  deadline_ctrl_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -24,7 +24,10 @@
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
+#include "src/metrics/transport_tracker.h"
 #include "src/models/surrogate_accuracy.h"
+#include "src/net/adaptive_deadline.h"
+#include "src/net/transport.h"
 #include "src/selection/selector.h"
 
 namespace floatfl {
@@ -46,6 +49,15 @@ struct ClientRoundOutcome {
   // validation, but its contribution quality is adversarially crafted; only
   // a robust aggregation rule can limit the damage.
   bool byzantine = false;
+  // Lossy-transport accounting (DESIGN.md §10); all zero when the transport
+  // is disabled or no transfer was attempted (blackout / offline / OOM).
+  size_t transfer_attempts = 0;
+  double retransmitted_mb = 0.0;
+  double salvaged_mb = 0.0;
+  double transfer_backoff_s = 0.0;
+  // Effective link goodput this round: delivered payload megabits over total
+  // transfer seconds (wire + backoff). 0 when nothing was delivered.
+  double effective_mbps = 0.0;
 };
 
 class SyncEngine {
@@ -75,11 +87,21 @@ class SyncEngine {
   // dropout checks. A default FaultDecision reproduces the plain overload.
   ClientRoundOutcome SimulateClient(Client& client, double now_s, TechniqueKind technique,
                                     const FaultDecision& fault) const;
+  // Round-aware variant: `round` keys the lossy transport's per-transfer
+  // random streams (irrelevant — and bit-identical — when the transport is
+  // disabled). The overloads above forward with round = RoundsRun().
+  ClientRoundOutcome SimulateClient(Client& client, size_t round, double now_s,
+                                    TechniqueKind technique, const FaultDecision& fault) const;
 
   size_t RoundsRun() const { return rounds_run_; }
   size_t RejectedUpdates() const { return rejected_updates_; }
   const FaultInjector& injector() const { return injector_; }
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
+  const TransportTracker& transport_tracker() const { return transport_tracker_; }
+  const AdaptiveDeadlineController& deadline_controller() const { return deadline_ctrl_; }
+  // The deadline governing the current round: the static configured value,
+  // or the adaptive controller's latest proposal when it is enabled.
+  double CurrentRoundDeadline() const { return round_deadline_s_; }
 
   // Checkpoint/resume of all mutable engine state (DESIGN.md §8). The
   // population, surrogate tables and deadline are rebuilt from config at
@@ -101,11 +123,19 @@ class SyncEngine {
   ParticipationTracker tracker_;
   FaultInjector injector_;
   AggregationTracker agg_tracker_;
+  // Lossy transport and its accounting (DESIGN.md §10); disabled (and the
+  // engine byte-identical to the plain cost-model path) by default.
+  Transport transport_;
+  TransportTracker transport_tracker_;
+  AdaptiveDeadlineController deadline_ctrl_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   std::vector<double> accuracy_history_;
   double now_s_ = 0.0;
   size_t rounds_run_ = 0;
+  // Deadline in force this round; equals config_.deadline_s until the
+  // adaptive controller (if enabled) proposes otherwise.
+  double round_deadline_s_ = 0.0;
 };
 
 }  // namespace floatfl

@@ -47,6 +47,7 @@ bool AllFinite(const std::vector<float>& v) {
 VflEngine::VflEngine(const VflConfig& config)
     : config_(config),
       injector_(config.faults, config.seed, config.num_parties),
+      transport_(config.faults, config.seed),
       rng_(config.seed) {
   FLOATFL_CHECK(config.num_parties >= 2);
   FLOATFL_CHECK(config.features_per_party > 0);
@@ -151,6 +152,37 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
       }
     }
   }
+  if (transport_.enabled()) {
+    // Lossy delivery of each surviving party's epoch-worth of embedding
+    // uploads (fp32 estimate; the engine has no wall clock, so TryDeliver
+    // charges bytes and retries, not time). A party whose uplink exhausts
+    // its retries is silent for the epoch, exactly like a crash — modeled by
+    // synthesizing a blackout decision so the forward pass zero-fills it.
+    if (faults.empty()) {
+      faults.resize(bottoms_.size());
+      party_out.assign(bottoms_.size(), 0);
+    }
+    const double payload_mb = static_cast<double>(config_.train_samples) *
+                              static_cast<double>(config_.embedding_dim) * sizeof(float) /
+                              (1024.0 * 1024.0);
+    for (size_t p = 0; p < bottoms_.size(); ++p) {
+      if (party_out[p]) {
+        continue;  // already silent/quarantined; nothing ships
+      }
+      const TransferResult transfer = transport_.TryDeliver(
+          epoch, p, payload_mb, TransferLeg::kUpload, config_.faults.resumable_uploads);
+      transport_tracker_.Record(transfer.attempts, transfer.retransmitted_mb,
+                                transfer.salvaged_mb, transfer.backoff_s, transfer.timed_out);
+      stats.retransmitted_mb += transfer.retransmitted_mb;
+      stats.salvaged_mb += transfer.salvaged_mb;
+      if (!transfer.delivered) {
+        faults[p].blackout = true;
+        party_out[p] = 1;
+        --active_parties;
+        ++stats.parties_timed_out;
+      }
+    }
+  }
   const std::vector<FaultDecision>* fault_view = faults.empty() ? nullptr : &faults;
   // The server only sends gradient slices to parties still in the epoch, so
   // the downlink leg is charged pro-rata (1.0 when nobody is out).
@@ -240,6 +272,7 @@ void VflEngine::SaveState(CheckpointWriter& w) const {
   }
   SaveLayer(w, *top_);
   injector_.SaveState(w);
+  transport_tracker_.SaveState(w);
 }
 
 void VflEngine::LoadState(CheckpointReader& r) {
@@ -256,6 +289,7 @@ void VflEngine::LoadState(CheckpointReader& r) {
   }
   LoadLayer(r, *top_);
   injector_.LoadState(r);
+  transport_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -18,6 +18,8 @@
 #include "src/common/rng.h"
 #include "src/failure/checkpoint_io.h"
 #include "src/failure/fault_injector.h"
+#include "src/metrics/transport_tracker.h"
+#include "src/net/transport.h"
 #include "src/nn/layers.h"
 #include "src/opt/technique.h"
 
@@ -52,6 +54,13 @@ struct VflRoundStats {
   // and parties whose embeddings the server quarantined (corruption).
   size_t parties_crashed = 0;
   size_t parties_quarantined = 0;
+  // Lossy-transport accounting (DESIGN.md §10): parties whose embedding
+  // uplink exhausted its retries this epoch (silent, like a crash), plus the
+  // wasted / salvaged wire bytes of the uplinks that went through. All zero
+  // when the transport is disabled.
+  size_t parties_timed_out = 0;
+  double retransmitted_mb = 0.0;
+  double salvaged_mb = 0.0;
 };
 
 class VflEngine {
@@ -67,6 +76,7 @@ class VflEngine {
   size_t NumParties() const { return bottoms_.size(); }
   const VflConfig& config() const { return config_; }
   size_t EpochsRun() const { return epochs_run_; }
+  const TransportTracker& transport_tracker() const { return transport_tracker_; }
 
   // Checkpoint/resume: datasets and model topology rebuild from config; the
   // mutable training state (epoch counter, RNG, every party encoder, the top
@@ -88,6 +98,10 @@ class VflEngine {
 
   VflConfig config_;
   FaultInjector injector_;
+  // Bandwidth-free lossy delivery for the per-epoch embedding uplink
+  // (Transport::TryDeliver); disabled by default.
+  Transport transport_;
+  TransportTracker transport_tracker_;
   Rng rng_;
   size_t epochs_run_ = 0;
   std::vector<DenseLayer> bottoms_;       // one encoder per party

@@ -1,0 +1,35 @@
+#include "src/metrics/transport_tracker.h"
+
+namespace floatfl {
+
+void TransportTracker::Record(size_t attempts, double retransmitted_mb, double salvaged_mb,
+                              double backoff_s, bool timed_out) {
+  ++transfers_;
+  attempts_ += attempts;
+  if (timed_out) {
+    ++timeouts_;
+  }
+  retransmitted_mb_ += retransmitted_mb;
+  salvaged_mb_ += salvaged_mb;
+  backoff_s_ += backoff_s;
+}
+
+void TransportTracker::SaveState(CheckpointWriter& w) const {
+  w.Size(transfers_);
+  w.Size(attempts_);
+  w.Size(timeouts_);
+  w.F64(retransmitted_mb_);
+  w.F64(salvaged_mb_);
+  w.F64(backoff_s_);
+}
+
+void TransportTracker::LoadState(CheckpointReader& r) {
+  transfers_ = r.Size();
+  attempts_ = r.Size();
+  timeouts_ = r.Size();
+  retransmitted_mb_ = r.F64();
+  salvaged_mb_ = r.F64();
+  backoff_s_ = r.F64();
+}
+
+}  // namespace floatfl

@@ -1,0 +1,43 @@
+// Transport-layer accounting (DESIGN.md §10): how many transfers the lossy
+// transport attempted, how many attempts they took, how many wire bytes were
+// retransmissions, how many acknowledged bytes resumable retries salvaged,
+// and how much time was spent backing off between attempts.
+#ifndef SRC_METRICS_TRANSPORT_TRACKER_H_
+#define SRC_METRICS_TRANSPORT_TRACKER_H_
+
+#include <cstddef>
+
+#include "src/failure/checkpoint_io.h"
+
+namespace floatfl {
+
+class TransportTracker {
+ public:
+  // Records one finished transfer (download or upload leg). Call from
+  // sequential bookkeeping code only (not thread-safe; the engines record
+  // after the per-round fan-out has joined).
+  void Record(size_t attempts, double retransmitted_mb, double salvaged_mb, double backoff_s,
+              bool timed_out);
+
+  size_t TotalTransfers() const { return transfers_; }
+  size_t TotalAttempts() const { return attempts_; }
+  size_t TotalTimeouts() const { return timeouts_; }
+  double TotalRetransmittedMb() const { return retransmitted_mb_; }
+  double TotalSalvagedMb() const { return salvaged_mb_; }
+  double TotalBackoffS() const { return backoff_s_; }
+
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
+
+ private:
+  size_t transfers_ = 0;
+  size_t attempts_ = 0;
+  size_t timeouts_ = 0;
+  double retransmitted_mb_ = 0.0;
+  double salvaged_mb_ = 0.0;
+  double backoff_s_ = 0.0;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_METRICS_TRANSPORT_TRACKER_H_

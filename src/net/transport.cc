@@ -1,0 +1,212 @@
+#include "src/net/transport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace floatfl {
+namespace {
+
+// Size of chunk `c` out of `num_chunks` for a `payload_mb` transfer split at
+// `chunk_mb` granularity (every chunk full-size except the tail).
+double ChunkMb(size_t c, size_t num_chunks, double payload_mb, double chunk_mb) {
+  if (c + 1 < num_chunks) {
+    return chunk_mb;
+  }
+  return payload_mb - chunk_mb * static_cast<double>(num_chunks - 1);
+}
+
+}  // namespace
+
+Transport::Transport(const FaultConfig& faults, uint64_t seed)
+    : faults_(faults), root_(seed ^ kTransportSalt), enabled_(faults.TransportEnabled()) {}
+
+TransferResult Transport::Transfer(size_t round, size_t client_id, const NetworkTrace& trace,
+                                   const TransferOptions& opts) const {
+  FLOATFL_CHECK(opts.payload_mb >= 0.0 && opts.budget_s >= 0.0);
+  TransferResult out;
+  if (opts.payload_mb <= 0.0) {
+    out.delivered = true;
+    return out;
+  }
+
+  const double chunk_mb = std::max(1e-6, faults_.transport_chunk_mb);
+  const size_t num_chunks =
+      static_cast<size_t>(std::ceil(opts.payload_mb / chunk_mb));
+  // Integrate over a private copy: the shared trace's bandwidth path (and
+  // its monotonic-query contract) must not see this transfer's look-ahead.
+  NetworkTrace link = trace;
+  const Rng transfer_root = root_.ForkKeyed(Rng::StreamKey(round, client_id));
+
+  std::vector<uint8_t> acked(num_chunks, 0);
+  size_t acked_count = 0;
+  double acked_mb = 0.0;
+  double t = opts.start_s;
+  // Closed-form fast-path bookkeeping: on a lossless single attempt over an
+  // unchanging link the chunk sum telescopes to payload * 8 / rate — charge
+  // that exact value so a zero-config transfer reproduces the cost model's
+  // comm time bit-for-bit.
+  bool constant_bw = true;
+  bool any_lost = false;
+  double first_bw = -1.0;
+
+  const size_t max_attempts = faults_.max_transfer_retries + 1;
+  for (size_t attempt = 0; attempt < max_attempts && !out.timed_out; ++attempt) {
+    out.attempts = attempt + 1;
+    // (seed, round, client, leg, attempt)-keyed stream: every draw below is
+    // a pure function of those coordinates and the draw index.
+    Rng rng = transfer_root.ForkKeyed(
+        Rng::StreamKey(static_cast<uint64_t>(opts.leg), attempt));
+
+    if (attempt > 0) {
+      // Exponential backoff with deterministic jitter in [0.5, 1.5).
+      const double backoff =
+          std::min(kBackoffCapS, kBackoffBaseS * static_cast<double>(1ULL << (attempt - 1))) *
+          (0.5 + rng.NextDouble());
+      out.backoff_s += backoff;
+      out.elapsed_s += backoff;
+      t += backoff;
+      if (out.elapsed_s >= opts.budget_s) {
+        out.timed_out = true;
+        out.elapsed_s = opts.budget_s;
+        break;
+      }
+      if (opts.resumable) {
+        // Graceful degradation: the retry pays only the missing tail.
+        out.salvaged_mb += acked_mb;
+      } else {
+        std::fill(acked.begin(), acked.end(), static_cast<uint8_t>(0));
+        acked_count = 0;
+        acked_mb = 0.0;
+      }
+    }
+
+    // Mid-transfer link blackout: chunks past a seeded cut point never make
+    // it onto the wire this attempt.
+    const bool blackout = rng.Bernoulli(faults_.link_blackout_prob);
+    const double cut_frac = rng.NextDouble();
+    const size_t pending = num_chunks - acked_count;
+    const size_t send_limit =
+        blackout ? static_cast<size_t>(cut_frac * static_cast<double>(pending)) : pending;
+
+    size_t sent = 0;
+    for (size_t c = 0; c < num_chunks && sent < send_limit; ++c) {
+      if (acked[c]) {
+        continue;
+      }
+      const double mb = ChunkMb(c, num_chunks, opts.payload_mb, chunk_mb);
+      const double bw = link.BandwidthMbpsAt(t);
+      if (first_bw < 0.0) {
+        first_bw = bw;
+      } else if (bw != first_bw) {
+        constant_bw = false;
+      }
+      const double rate = bw * std::max(kMinAvailability, opts.availability);
+      const double dt = mb * 8.0 / rate;
+      t += dt;
+      out.elapsed_s += dt;
+      out.wire_time_s += dt;
+      out.wire_mb += mb;
+      ++sent;
+      if (out.elapsed_s >= opts.budget_s) {
+        // The budget expires mid-chunk: the unfinished tail never hits the
+        // wire. Clip the charge back to the horizon and give up.
+        const double overshoot = out.elapsed_s - opts.budget_s;
+        out.elapsed_s = opts.budget_s;
+        out.wire_time_s = std::max(0.0, out.wire_time_s - overshoot);
+        out.timed_out = true;
+        break;
+      }
+      if (rng.Bernoulli(faults_.chunk_loss_prob)) {
+        any_lost = true;
+      } else {
+        acked[c] = 1;
+        ++acked_count;
+        acked_mb += mb;
+      }
+    }
+    if (acked_count == num_chunks) {
+      out.delivered = true;
+      break;
+    }
+  }
+
+  if (!out.delivered) {
+    out.timed_out = true;
+  }
+  out.retransmitted_mb = out.wire_mb - acked_mb;
+
+  if (out.delivered && out.attempts == 1 && constant_bw && !any_lost) {
+    const double rate = first_bw * std::max(kMinAvailability, opts.availability);
+    out.wire_time_s = opts.payload_mb * 8.0 / rate;
+    out.elapsed_s = out.wire_time_s;
+    out.wire_mb = opts.payload_mb;
+    out.retransmitted_mb = 0.0;
+  }
+  return out;
+}
+
+TransferResult Transport::TryDeliver(size_t round, size_t client_id, double payload_mb,
+                                     TransferLeg leg, bool resumable) const {
+  FLOATFL_CHECK(payload_mb >= 0.0);
+  TransferResult out;
+  if (payload_mb <= 0.0) {
+    out.delivered = true;
+    return out;
+  }
+  const double chunk_mb = std::max(1e-6, faults_.transport_chunk_mb);
+  const size_t num_chunks = static_cast<size_t>(std::ceil(payload_mb / chunk_mb));
+  const Rng transfer_root = root_.ForkKeyed(Rng::StreamKey(round, client_id));
+
+  std::vector<uint8_t> acked(num_chunks, 0);
+  size_t acked_count = 0;
+  double acked_mb = 0.0;
+
+  const size_t max_attempts = faults_.max_transfer_retries + 1;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    out.attempts = attempt + 1;
+    Rng rng =
+        transfer_root.ForkKeyed(Rng::StreamKey(static_cast<uint64_t>(leg), attempt));
+    if (attempt > 0) {
+      if (resumable) {
+        out.salvaged_mb += acked_mb;
+      } else {
+        std::fill(acked.begin(), acked.end(), static_cast<uint8_t>(0));
+        acked_count = 0;
+        acked_mb = 0.0;
+      }
+    }
+    const bool blackout = rng.Bernoulli(faults_.link_blackout_prob);
+    const double cut_frac = rng.NextDouble();
+    const size_t pending = num_chunks - acked_count;
+    const size_t send_limit =
+        blackout ? static_cast<size_t>(cut_frac * static_cast<double>(pending)) : pending;
+    size_t sent = 0;
+    for (size_t c = 0; c < num_chunks && sent < send_limit; ++c) {
+      if (acked[c]) {
+        continue;
+      }
+      const double mb = ChunkMb(c, num_chunks, payload_mb, chunk_mb);
+      out.wire_mb += mb;
+      ++sent;
+      if (!rng.Bernoulli(faults_.chunk_loss_prob)) {
+        acked[c] = 1;
+        ++acked_count;
+        acked_mb += mb;
+      }
+    }
+    if (acked_count == num_chunks) {
+      out.delivered = true;
+      break;
+    }
+  }
+  if (!out.delivered) {
+    out.timed_out = true;
+  }
+  out.retransmitted_mb = out.wire_mb - acked_mb;
+  return out;
+}
+
+}  // namespace floatfl

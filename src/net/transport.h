@@ -1,0 +1,111 @@
+// Deterministic lossy transport layer (DESIGN.md §10).
+//
+// Replaces the cost model's one-shot "traffic / bandwidth-at-round-start"
+// communication charge with a chunked transfer integrated over the client's
+// time-varying NetworkTrace bandwidth. Each chunk can be lost
+// (chunk_loss_prob) and each attempt can hit a mid-transfer link blackout
+// (link_blackout_prob); lost chunks are retransmitted on the next attempt
+// after exponential backoff with deterministic jitter, up to
+// max_transfer_retries. Resumable transfers salvage already-acknowledged
+// chunks across attempts, so a retry pays only the missing tail.
+//
+// Determinism: all randomness comes from streams keyed by
+// (seed, round, client, leg, attempt) via Rng::ForkKeyed — never from an
+// advancing shared stream — so a transfer's outcome depends only on those
+// coordinates, not on thread count, scheduling, or other transfers.
+// Transfer() is const and advances a private *copy* of the caller's
+// NetworkTrace; the shared trace is never rewound or perturbed, preserving
+// both its monotonic-query contract and the legacy engines' bit-exact
+// bandwidth paths.
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/failure/fault_config.h"
+#include "src/trace/network_trace.h"
+
+namespace floatfl {
+
+// Which communication leg a transfer models; part of the RNG key so the
+// download and upload of one (round, client) draw independent streams.
+enum class TransferLeg : uint32_t { kDownload = 0, kUpload = 1 };
+
+struct TransferOptions {
+  double payload_mb = 0.0;  // bytes that must arrive for delivery
+  double start_s = 0.0;     // transfer start on the simulation clock
+  // Give-up horizon, seconds from start_s (the sync round deadline;
+  // infinity for async FL). Exceeding it mid-transfer fails the transfer.
+  double budget_s = 0.0;
+  TransferLeg leg = TransferLeg::kDownload;
+  // Salvage acknowledged chunks across retry attempts.
+  bool resumable = true;
+  // Interference multiplier on the link (ResourceAvailability::network).
+  double availability = 1.0;
+};
+
+struct TransferResult {
+  // Wall time from start to delivery or give-up: wire time + backoff.
+  double elapsed_s = 0.0;
+  // Radio-active transmission time (what resource accounting charges).
+  double wire_time_s = 0.0;
+  // Total bytes put on the wire, MB (payload + every retransmission).
+  double wire_mb = 0.0;
+  // Wire bytes that did not produce a first-time acknowledgment: lost
+  // chunks plus restart-from-scratch resends. wire_mb - unique acked MB.
+  double retransmitted_mb = 0.0;
+  // Acknowledged bytes a resumable retry did NOT have to resend,
+  // accumulated over every retry attempt.
+  double salvaged_mb = 0.0;
+  // Time spent waiting in exponential backoff between attempts.
+  double backoff_s = 0.0;
+  size_t attempts = 1;
+  bool delivered = false;
+  // Budget exhausted or retries exhausted before full delivery.
+  bool timed_out = false;
+};
+
+class Transport {
+ public:
+  // Disabled transport: engines fall back to the point-sample cost model.
+  Transport() = default;
+  Transport(const FaultConfig& faults, uint64_t seed);
+
+  bool enabled() const { return enabled_; }
+  const FaultConfig& faults() const { return faults_; }
+
+  // Simulates one chunked transfer for (round, client_id). Thread-safe and
+  // order-independent: const, keyed streams only, and the bandwidth path is
+  // integrated over a private copy of `trace` advanced from opts.start_s.
+  // With zero loss/blackout probabilities and a constant-bandwidth trace the
+  // result collapses to the closed form payload_mb * 8 / (bw * max(0.02,
+  // availability)) — exactly the cost model's comm time.
+  TransferResult Transfer(size_t round, size_t client_id, const NetworkTrace& trace,
+                          const TransferOptions& opts) const;
+
+  // Bandwidth-free delivery for engines without a wall clock (real
+  // training, VFL): same chunk-loss / blackout / retry semantics, but no
+  // timing — only attempts, wire bytes and the delivered/timed-out verdict.
+  TransferResult TryDeliver(size_t round, size_t client_id, double payload_mb, TransferLeg leg,
+                            bool resumable) const;
+
+ private:
+  // Salt decorrelating transport streams from the fault injector's and the
+  // engines', which key off the same (round, client) coordinates.
+  static constexpr uint64_t kTransportSalt = 0x5EE7B6D1A3C4F982ULL;
+  static constexpr double kBackoffBaseS = 1.0;
+  static constexpr double kBackoffCapS = 30.0;
+  // Interference floor shared with ComputeRoundCosts.
+  static constexpr double kMinAvailability = 0.02;
+
+  FaultConfig faults_;
+  // Root of the per-(round, client) transfer streams; never advanced.
+  Rng root_;
+  bool enabled_ = false;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_NET_TRANSPORT_H_

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/failure/checkpoint_util.h"
+#include "src/fl/client.h"
 
 namespace floatfl {
 
@@ -13,7 +14,8 @@ OortSelector::OortSelector(uint64_t seed, size_t num_clients, Params params)
       params_(params),
       utility_(num_clients, 0.0),
       explored_(num_clients, false),
-      failures_(num_clients, 0) {}
+      failures_(num_clients, 0),
+      net_factor_(num_clients, 1.0) {}
 
 std::vector<size_t> OortSelector::Select(size_t round, double now_s, size_t k,
                                          std::vector<Client>& clients) {
@@ -61,8 +63,12 @@ std::vector<size_t> OortSelector::Select(size_t round, double now_s, size_t k,
       ranked.push_back(id);
     }
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [this](size_t a, size_t b) { return utility_[a] > utility_[b]; });
+  // Rank by utility deflated to the bandwidth the client actually delivers
+  // (net_factor_ is exactly 1.0 without transfer feedback, so the product —
+  // and the sort order — is bit-identical to plain utility then).
+  std::sort(ranked.begin(), ranked.end(), [this](size_t a, size_t b) {
+    return utility_[a] * net_factor_[a] > utility_[b] * net_factor_[b];
+  });
   for (size_t id : ranked) {
     if (selected.size() >= k) {
       break;
@@ -121,11 +127,22 @@ void OortSelector::OnOutcome(size_t client_id, bool completed, double duration_s
   }
 }
 
+void OortSelector::OnTransfer(size_t client_id, double effective_mbps, double nominal_mbps) {
+  FLOATFL_CHECK(client_id < net_factor_.size());
+  if (effective_mbps <= 0.0 || nominal_mbps <= 0.0) {
+    return;
+  }
+  const double ratio = effective_mbps / nominal_mbps;
+  net_factor_[client_id] = Client::kProfileEwmaRetain * net_factor_[client_id] +
+                           Client::kProfileEwmaObserve * ratio;
+}
+
 void OortSelector::SaveState(CheckpointWriter& w) const {
   SaveRng(w, rng_);
   w.F64Vec(utility_);
   w.BoolVec(explored_);
   w.SizeVec(failures_);
+  w.F64Vec(net_factor_);
   w.F64(pacer_fraction_);
   w.F64(completion_ewma_);
 }
@@ -135,6 +152,7 @@ void OortSelector::LoadState(CheckpointReader& r) {
   utility_ = r.F64Vec();
   explored_ = r.BoolVec();
   failures_ = r.SizeVec();
+  net_factor_ = r.F64Vec();
   pacer_fraction_ = r.F64();
   completion_ewma_ = r.F64();
 }

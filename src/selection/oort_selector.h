@@ -32,6 +32,7 @@ class OortSelector final : public Selector {
                              std::vector<Client>& clients) override;
   void OnOutcome(size_t client_id, bool completed, double duration_s,
                  double deadline_s) override;
+  void OnTransfer(size_t client_id, double effective_mbps, double nominal_mbps) override;
   std::string Name() const override { return "oort"; }
 
   void SaveState(CheckpointWriter& w) const override;
@@ -43,6 +44,9 @@ class OortSelector final : public Selector {
   // the deadline, relaxed when too few clients complete and tightened when
   // completion is easy.
   double PacerFraction() const { return pacer_fraction_; }
+  // Smoothed effective/nominal bandwidth ratio (1.0 until transfer feedback
+  // arrives; stays exactly 1.0 when the transport is disabled).
+  double NetFactor(size_t client_id) const { return net_factor_[client_id]; }
 
  private:
   Rng rng_;
@@ -50,6 +54,10 @@ class OortSelector final : public Selector {
   std::vector<double> utility_;
   std::vector<bool> explored_;
   std::vector<size_t> failures_;
+  // EWMA of effective/nominal link throughput from OnTransfer; scales
+  // utility so Oort ranks by the bandwidth clients actually deliver under
+  // lossy transport, not the provisioned figure.
+  std::vector<double> net_factor_;
   double pacer_fraction_ = 0.5;
   double completion_ewma_ = 0.8;
 };

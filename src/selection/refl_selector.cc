@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/failure/checkpoint_util.h"
+#include "src/fl/client.h"
 
 namespace floatfl {
 namespace {
@@ -22,7 +23,8 @@ ReflSelector::ReflSelector(uint64_t seed, size_t num_clients)
       predicted_window_s_(num_clients, kDefaultWindowS),
       estimated_duration_s_(num_clients, kDefaultDurationS),
       last_participated_(num_clients, 0),
-      seen_(num_clients, false) {}
+      seen_(num_clients, false),
+      net_factor_(num_clients, 1.0) {}
 
 std::vector<size_t> ReflSelector::Select(size_t round, double now_s, size_t k,
                                          std::vector<Client>& clients) {
@@ -44,9 +46,15 @@ std::vector<size_t> ReflSelector::Select(size_t round, double now_s, size_t k,
     // Eligible only if REFL predicts the client both completes within the
     // round deadline and stays available that long. Clients whose past
     // rounds were slow are excluded — the bias the paper demonstrates.
+    // Under lossy transport the duration estimate is deflated by the
+    // effective/nominal bandwidth ratio: a client whose link delivers half
+    // its provisioned speed is judged as if twice as slow. net_factor_ is
+    // exactly 1.0 without transfer feedback, so x / 1.0 == x bit-for-bit.
+    const double effective_duration =
+        estimated_duration_s_[id] / std::max(0.05, net_factor_[id]);
     const bool fits_deadline =
-        last_deadline_s_ <= 0.0 || estimated_duration_s_[id] <= 0.9 * last_deadline_s_;
-    if (fits_deadline && predicted_window_s_[id] >= estimated_duration_s_[id] &&
+        last_deadline_s_ <= 0.0 || effective_duration <= 0.9 * last_deadline_s_;
+    if (fits_deadline && predicted_window_s_[id] >= effective_duration &&
         client.cooldown_until_round <= round) {
       eligible.push_back(id);
     }
@@ -88,12 +96,23 @@ void ReflSelector::OnOutcome(size_t client_id, bool completed, double duration_s
   last_deadline_s_ = deadline_s;
 }
 
+void ReflSelector::OnTransfer(size_t client_id, double effective_mbps, double nominal_mbps) {
+  FLOATFL_CHECK(client_id < net_factor_.size());
+  if (effective_mbps <= 0.0 || nominal_mbps <= 0.0) {
+    return;
+  }
+  const double ratio = effective_mbps / nominal_mbps;
+  net_factor_[client_id] = Client::kProfileEwmaRetain * net_factor_[client_id] +
+                           Client::kProfileEwmaObserve * ratio;
+}
+
 void ReflSelector::SaveState(CheckpointWriter& w) const {
   SaveRng(w, rng_);
   w.F64Vec(predicted_window_s_);
   w.F64Vec(estimated_duration_s_);
   w.SizeVec(last_participated_);
   w.BoolVec(seen_);
+  w.F64Vec(net_factor_);
   w.F64(last_deadline_s_);
 }
 
@@ -103,6 +122,7 @@ void ReflSelector::LoadState(CheckpointReader& r) {
   estimated_duration_s_ = r.F64Vec();
   last_participated_ = r.SizeVec();
   seen_ = r.BoolVec();
+  net_factor_ = r.F64Vec();
   last_deadline_s_ = r.F64();
 }
 

@@ -27,6 +27,7 @@ class ReflSelector final : public Selector {
                              std::vector<Client>& clients) override;
   void OnOutcome(size_t client_id, bool completed, double duration_s,
                  double deadline_s) override;
+  void OnTransfer(size_t client_id, double effective_mbps, double nominal_mbps) override;
   std::string Name() const override { return "refl"; }
 
   void SaveState(CheckpointWriter& w) const override;
@@ -34,6 +35,7 @@ class ReflSelector final : public Selector {
 
   double PredictedWindow(size_t client_id) const { return predicted_window_s_[client_id]; }
   double EstimatedDuration(size_t client_id) const { return estimated_duration_s_[client_id]; }
+  double NetFactor(size_t client_id) const { return net_factor_[client_id]; }
 
  private:
   Rng rng_;
@@ -41,6 +43,10 @@ class ReflSelector final : public Selector {
   std::vector<double> estimated_duration_s_;  // EWMA of observed round durations
   std::vector<size_t> last_participated_;     // round of last selection
   std::vector<bool> seen_;
+  // EWMA of effective/nominal link throughput from OnTransfer (1.0 without
+  // transfer feedback): deflates the deadline-fit check so clients whose
+  // links deliver less than provisioned are judged on effective speed.
+  std::vector<double> net_factor_;
   double last_deadline_s_ = 0.0;              // learned from outcome feedback
 };
 

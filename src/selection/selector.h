@@ -33,6 +33,18 @@ class Selector {
     (void)deadline_s;
   }
 
+  // Transfer feedback (lossy transport only, DESIGN.md §10): the client's
+  // *effective* throughput this round (wire bytes over wire time, after
+  // retransmissions) vs its nominal provisioned link speed. Lets selectors
+  // rank clients by the bandwidth they actually deliver. Engines only call
+  // this when the transport is enabled, so default-config runs are
+  // byte-identical with or without an implementation.
+  virtual void OnTransfer(size_t client_id, double effective_mbps, double nominal_mbps) {
+    (void)client_id;
+    (void)effective_mbps;
+    (void)nominal_mbps;
+  }
+
   virtual std::string Name() const = 0;
 
   // Checkpoint/resume of the selector's mutable state (RNG, utilities,

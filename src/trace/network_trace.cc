@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/check.h"
 #include "src/failure/checkpoint_util.h"
 
 namespace floatfl {
@@ -34,6 +35,11 @@ NetworkTrace::NetworkTrace(NetworkKind kind, uint64_t seed) : kind_(kind), rng_(
 }
 
 void NetworkTrace::Step() {
+  if (sigma_ == 0.0) {
+    // Degenerate Constant() trace: pinned forever (even below the 0.01 Mbps
+    // floor the stochastic process enforces — Constant(0) must stay 0).
+    return;
+  }
   // Regime transitions.
   const double u = rng_.NextDouble();
   if (regime_ == 0) {
@@ -60,7 +66,24 @@ void NetworkTrace::Step() {
   current_mbps_ = std::max(0.01, median * std::exp(log_dev_));
 }
 
+NetworkTrace NetworkTrace::Constant(double mbps) {
+  NetworkTrace trace(NetworkKind::kFourG, 0);
+  trace.nominal_mbps_ = mbps;
+  trace.sigma_ = 0.0;
+  trace.revert_ = 0.0;
+  trace.outage_prob_ = 0.0;
+  trace.degrade_prob_ = 0.0;
+  trace.recover_prob_ = 1.0;
+  trace.regime_ = 0;
+  trace.log_dev_ = 0.0;
+  trace.current_mbps_ = mbps;
+  return trace;
+}
+
 double NetworkTrace::BandwidthMbpsAt(double time_s) {
+  FLOATFL_CHECK_MSG(time_s >= last_query_s_,
+                    "NetworkTrace queried backwards in time (monotonic contract)");
+  last_query_s_ = time_s;
   // Fast-forward across very long gaps: the regime process is ergodic, so
   // after thousands of steps the exact path is irrelevant — burn a bounded
   // number of steps to land in a stationary state instead of iterating
@@ -82,6 +105,7 @@ void NetworkTrace::SaveState(CheckpointWriter& w) const {
   w.F64(log_dev_);
   w.F64(current_mbps_);
   w.F64(current_time_);
+  w.F64(last_query_s_);
 }
 
 void NetworkTrace::LoadState(CheckpointReader& r) {
@@ -90,6 +114,7 @@ void NetworkTrace::LoadState(CheckpointReader& r) {
   log_dev_ = r.F64();
   current_mbps_ = r.F64();
   current_time_ = r.F64();
+  last_query_s_ = r.F64();
 }
 
 }  // namespace floatfl

@@ -22,10 +22,18 @@ class NetworkTrace {
  public:
   NetworkTrace(NetworkKind kind, uint64_t seed);
 
+  // Degenerate trace pinned at `mbps` forever: no regime switches, no AR(1)
+  // noise. Used by the transport layer's closed-form equivalence tests and
+  // by deadline-calibration edge cases (mbps may be 0).
+  static NetworkTrace Constant(double mbps);
+
   // Bandwidth in Mbps at simulated time `time_s` (seconds). The process is
-  // evaluated in fixed steps; queries must be non-decreasing in time (the
-  // engines advance monotonically); an earlier query returns the current
-  // value.
+  // evaluated in fixed steps; queries MUST be non-decreasing in time — the
+  // engines advance monotonically, and the transport layer integrates over
+  // a private copy rather than rewinding the shared trace. A regressing
+  // query aborts (FLOATFL_CHECK): silently returning the current value
+  // would hide bugs where a straggler's look-ahead perturbs another
+  // client's bandwidth path.
   double BandwidthMbpsAt(double time_s);
 
   // Long-run median of the good regime (used for provisioning estimates).
@@ -52,6 +60,8 @@ class NetworkTrace {
   double log_dev_ = 0.0;   // deviation from regime median, log space
   double current_mbps_;
   double current_time_ = 0.0;
+  // Most recent query time: enforces the monotonic-query contract.
+  double last_query_s_ = 0.0;
   static constexpr double kStepSeconds = 10.0;
 };
 

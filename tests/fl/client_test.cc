@@ -44,6 +44,16 @@ TEST(ClientTest, MixesNetworkKinds) {
   EXPECT_LT(four_g, 90);
 }
 
+TEST(ClientTest, ProfileEwmaConstantsArePinned) {
+  // The 0.7/0.3 profile-EWMA weights are shared by UpdateDeadlineDiff, the
+  // AdaptiveDeadlineController, and the selector net-factor EWMAs, and the
+  // goldens pin their literal values bit-for-bit. In particular kObserve is
+  // the *literal* 0.3, not 1.0 - 0.7 (which differs in the last ulp).
+  EXPECT_EQ(Client::kProfileEwmaRetain, 0.7);
+  EXPECT_EQ(Client::kProfileEwmaObserve, 0.3);
+  EXPECT_NE(Client::kProfileEwmaObserve, 1.0 - Client::kProfileEwmaRetain);
+}
+
 TEST(ClientTest, DeadlineDiffEwmaPersistsAndDecays) {
   const DatasetSpec& spec = GetDatasetSpec(DatasetId::kFemnist);
   std::vector<Client> clients = BuildPopulation(spec, 1, 0.1, InterferenceScenario::kNone, 5);

@@ -81,5 +81,37 @@ TEST(ConfigValidationDeathTest, NonPositiveRejectNormThreshold) {
                "reject_norm_threshold must be positive");
 }
 
+TEST(ConfigValidationDeathTest, ChunkLossProbOutOfRange) {
+  ExperimentConfig config = Valid();
+  config.faults.chunk_loss_prob = 1.0;  // 1.0 would retransmit forever
+  EXPECT_DEATH(ValidateExperimentConfig(config), "chunk_loss_prob must be in");
+}
+
+TEST(ConfigValidationDeathTest, LinkBlackoutProbOutOfRange) {
+  ExperimentConfig config = Valid();
+  config.faults.link_blackout_prob = -0.1;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "link_blackout_prob must be in");
+}
+
+TEST(ConfigValidationDeathTest, NonPositiveTransportChunk) {
+  ExperimentConfig config = Valid();
+  config.faults.transport_chunk_mb = 0.0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "transport_chunk_mb must be positive");
+}
+
+TEST(ConfigValidationDeathTest, AdaptiveDeadlineFactorsInverted) {
+  ExperimentConfig config = Valid();
+  config.adaptive_deadline.min_factor = 2.0;
+  config.adaptive_deadline.max_factor = 1.0;
+  EXPECT_DEATH(ValidateExperimentConfig(config),
+               "0 < min_factor <= max_factor");
+}
+
+TEST(ConfigValidationDeathTest, NonPositiveAdaptiveHeadroom) {
+  ExperimentConfig config = Valid();
+  config.adaptive_deadline.headroom = 0.0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "headroom must be positive");
+}
+
 }  // namespace
 }  // namespace floatfl

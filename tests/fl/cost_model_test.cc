@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/fl/client.h"
 #include "src/fl/experiment.h"
 
@@ -90,6 +92,64 @@ TEST(CostModelTest, MemoryReliefCanAvoidOom) {
 TEST(CostModelTest, TotalIsTrainPlusComm) {
   const RoundCosts costs = ComputeRoundCosts(BaseInputs());
   EXPECT_DOUBLE_EQ(costs.total_time_s, costs.train_time_s + costs.comm_time_s);
+}
+
+// A client with fully pinned traces, for deadline-calibration edge cases.
+Client MakeUniformClient(size_t id, double mbps) {
+  ClientShard shard;
+  shard.class_counts = {50, 50};
+  shard.total = 100;
+  return Client(id, shard, ComputeTrace(DeviceTier::kMid, 20.0, /*seed=*/7),
+                NetworkTrace::Constant(mbps), AvailabilityTrace(7),
+                InterferenceModel(InterferenceScenario::kNone, 7));
+}
+
+// The un-interfered nominal round estimate AutoDeadlineSeconds computes per
+// client, with an explicit (already clamped) bandwidth.
+double NominalEstimate(const ExperimentConfig& config, const Client& client, double mbps) {
+  RoundCostInputs in;
+  in.model = &GetModelProfile(config.model);
+  in.dataset = &GetDatasetSpec(config.dataset);
+  in.local_samples = client.shard().total;
+  in.epochs = config.epochs;
+  in.batch_size = config.batch_size;
+  in.device_gflops = client.compute().BaseGflops();
+  in.bandwidth_mbps = mbps;
+  in.device_memory_gb = client.compute().MemoryGb();
+  return ComputeRoundCosts(in).total_time_s;
+}
+
+TEST(CostModelTest, AutoDeadlineSingleClientIsHeadroomTimesItsEstimate) {
+  ExperimentConfig config;
+  std::vector<Client> clients;
+  clients.push_back(MakeUniformClient(0, 20.0));
+  EXPECT_DOUBLE_EQ(AutoDeadlineSeconds(config, clients),
+                   2.5 * NominalEstimate(config, clients[0], 20.0));
+}
+
+TEST(CostModelTest, AutoDeadlineUniformPopulationMatchesSingleClient) {
+  // With an identical population the median is degenerate: any population
+  // size yields exactly the single-client deadline.
+  ExperimentConfig config;
+  std::vector<Client> one;
+  one.push_back(MakeUniformClient(0, 20.0));
+  std::vector<Client> many;
+  for (size_t i = 0; i < 31; ++i) {
+    many.push_back(MakeUniformClient(i, 20.0));
+  }
+  EXPECT_DOUBLE_EQ(AutoDeadlineSeconds(config, many), AutoDeadlineSeconds(config, one));
+}
+
+TEST(CostModelTest, AutoDeadlineZeroBandwidthClientIsClampedFinite) {
+  // A dead-link client (NominalMbps() == 0) must not divide the estimate by
+  // zero: provisioning clamps to kMinProvisioningMbps and the deadline stays
+  // finite (if absurdly large, as befits a 0.01 Mbps link).
+  ExperimentConfig config;
+  std::vector<Client> clients;
+  clients.push_back(MakeUniformClient(0, 0.0));
+  const double deadline = AutoDeadlineSeconds(config, clients);
+  EXPECT_TRUE(std::isfinite(deadline));
+  EXPECT_DOUBLE_EQ(deadline, 2.5 * NominalEstimate(config, clients[0], 0.01));
 }
 
 TEST(CostModelTest, AutoDeadlineIsPositiveAndScalesWithModel) {

@@ -1,0 +1,118 @@
+// Unit tests of the server-side adaptive sync deadline (DESIGN.md §10).
+#include "src/net/adaptive_deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/failure/checkpoint_io.h"
+#include "src/fl/client.h"
+
+namespace floatfl {
+namespace {
+
+AdaptiveDeadlineConfig Enabled() {
+  AdaptiveDeadlineConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(AdaptiveDeadlineTest, DisabledByDefault) {
+  EXPECT_FALSE(AdaptiveDeadlineController().enabled());
+  EXPECT_FALSE(AdaptiveDeadlineController(AdaptiveDeadlineConfig{}, 10, 100.0).enabled());
+  EXPECT_TRUE(AdaptiveDeadlineController(Enabled(), 10, 100.0).enabled());
+}
+
+TEST(AdaptiveDeadlineTest, BaseDeadlineUntilFirstObservation) {
+  AdaptiveDeadlineController ctrl(Enabled(), 10, 100.0);
+  EXPECT_EQ(ctrl.CurrentDeadline(), 100.0);
+  ctrl.Observe(3, 50.0, 12.0);
+  EXPECT_NE(ctrl.CurrentDeadline(), 100.0);
+}
+
+TEST(AdaptiveDeadlineTest, SingleClientHeadroomTimesEstimate) {
+  AdaptiveDeadlineController ctrl(Enabled(), 10, 100.0);
+  ctrl.Observe(0, 50.0, 10.0);
+  // headroom 2.5 x the (single-observation-seeded) estimate, inside bounds.
+  EXPECT_EQ(ctrl.CurrentDeadline(), 2.5 * 50.0);
+}
+
+TEST(AdaptiveDeadlineTest, EwmaUsesSharedProfileConstants) {
+  // The estimates must age at Client::kProfileEwmaRetain/Observe, seeded
+  // with the first observation rather than decayed from zero.
+  AdaptiveDeadlineController ctrl(Enabled(), 4, 100.0);
+  ctrl.Observe(1, 40.0, 8.0);
+  ctrl.Observe(1, 80.0, 16.0);
+  const double expected_time =
+      Client::kProfileEwmaRetain * 40.0 + Client::kProfileEwmaObserve * 80.0;
+  const double expected_tput =
+      Client::kProfileEwmaRetain * 8.0 + Client::kProfileEwmaObserve * 16.0;
+  EXPECT_EQ(ctrl.CurrentDeadline(), 2.5 * expected_time);
+  EXPECT_EQ(ctrl.ThroughputEstimate(1), expected_tput);
+}
+
+TEST(AdaptiveDeadlineTest, TightensOnFastPopulationButClampsAtMinFactor) {
+  AdaptiveDeadlineController ctrl(Enabled(), 8, 100.0);
+  for (size_t id = 0; id < 8; ++id) {
+    ctrl.Observe(id, 1.0, 50.0);  // everyone finishes in 1 s
+  }
+  // Proposal 2.5 s would undercut min_factor x base = 50 s.
+  EXPECT_EQ(ctrl.CurrentDeadline(), 0.5 * 100.0);
+}
+
+TEST(AdaptiveDeadlineTest, RelaxesOnSlowPopulationButClampsAtMaxFactor) {
+  AdaptiveDeadlineController ctrl(Enabled(), 8, 100.0);
+  for (size_t id = 0; id < 8; ++id) {
+    ctrl.Observe(id, 5000.0, 0.1);  // pathological stragglers
+  }
+  EXPECT_EQ(ctrl.CurrentDeadline(), 3.0 * 100.0);
+}
+
+TEST(AdaptiveDeadlineTest, MedianIgnoresUnseenClients) {
+  // Two fast clients observed out of 100: the median is over the observed
+  // two, not dragged to zero by the 98 silent entries.
+  AdaptiveDeadlineController ctrl(Enabled(), 100, 100.0);
+  ctrl.Observe(7, 60.0, 5.0);
+  ctrl.Observe(93, 60.0, 5.0);
+  EXPECT_EQ(ctrl.CurrentDeadline(), 2.5 * 60.0);
+}
+
+TEST(AdaptiveDeadlineTest, NonPositiveThroughputSkipsThroughputEwma) {
+  // Rounds with no transfer (throughput <= 0) must not decay the link
+  // estimate toward zero.
+  AdaptiveDeadlineController ctrl(Enabled(), 2, 100.0);
+  ctrl.Observe(0, 50.0, 20.0);
+  ctrl.Observe(0, 50.0, 0.0);
+  ctrl.Observe(0, 50.0, -1.0);
+  EXPECT_EQ(ctrl.ThroughputEstimate(0), 20.0);
+  EXPECT_EQ(ctrl.ThroughputEstimate(1), 0.0);  // never observed
+}
+
+TEST(AdaptiveDeadlineTest, StateRoundTripsByteIdentically) {
+  AdaptiveDeadlineController ctrl(Enabled(), 5, 80.0);
+  ctrl.Observe(0, 30.0, 12.0);
+  ctrl.Observe(2, 90.0, 4.0);
+  ctrl.Observe(2, 70.0, 6.0);
+
+  CheckpointWriter w;
+  ctrl.SaveState(w);
+  AdaptiveDeadlineController restored(Enabled(), 5, 80.0);
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(restored.CurrentDeadline(), ctrl.CurrentDeadline());
+  for (size_t id = 0; id < 5; ++id) {
+    EXPECT_EQ(restored.ThroughputEstimate(id), ctrl.ThroughputEstimate(id));
+  }
+  CheckpointWriter again;
+  restored.SaveState(again);
+  EXPECT_EQ(again.buffer(), w.buffer());
+}
+
+TEST(AdaptiveDeadlineDeathTest, EnabledNeedsPositiveBaseDeadline) {
+  EXPECT_DEATH(AdaptiveDeadlineController(Enabled(), 4, 0.0),
+               "positive base deadline");
+}
+
+}  // namespace
+}  // namespace floatfl

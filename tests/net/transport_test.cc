@@ -1,0 +1,285 @@
+// Unit tests of the deterministic lossy transport (DESIGN.md §10).
+//
+// The two load-bearing contracts: (1) with every knob zeroed a transfer over
+// a constant-bandwidth link reproduces the cost model's closed-form comm
+// time bit-for-bit; (2) every outcome is a pure function of
+// (seed, round, client, leg, attempt) — independent of call order, other
+// transfers, and thread count.
+#include "src/net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/fl/cost_model.h"
+#include "src/fl/experiment.h"
+
+namespace floatfl {
+namespace {
+
+FaultConfig TransportOnly() {
+  FaultConfig faults;
+  faults.transport = true;  // force-enable with all loss knobs zeroed
+  return faults;
+}
+
+FaultConfig LossyConfig(double chunk_loss, double blackout = 0.0) {
+  FaultConfig faults;
+  faults.chunk_loss_prob = chunk_loss;
+  faults.link_blackout_prob = blackout;
+  return faults;
+}
+
+TransferOptions Opts(double payload_mb, double budget_s, TransferLeg leg = TransferLeg::kUpload) {
+  TransferOptions opts;
+  opts.payload_mb = payload_mb;
+  opts.budget_s = budget_s;
+  opts.leg = leg;
+  return opts;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(TransportTest, DisabledByDefault) {
+  EXPECT_FALSE(Transport().enabled());
+  EXPECT_FALSE(Transport(FaultConfig{}, 1).enabled());
+  EXPECT_TRUE(Transport(TransportOnly(), 1).enabled());
+  EXPECT_TRUE(Transport(LossyConfig(0.05), 1).enabled());
+  EXPECT_TRUE(Transport(LossyConfig(0.0, 0.05), 1).enabled());
+}
+
+TEST(TransportTest, ZeroConfigMatchesCostModelExactly) {
+  // Acceptance: a zero-config Transfer over a constant-bandwidth trace must
+  // reproduce ComputeRoundCosts' comm time bit-for-bit (EXPECT_EQ on the
+  // doubles, not approximate), for the full round traffic in one transfer.
+  const Transport transport(TransportOnly(), 99);
+  const ModelProfile& model = GetModelProfile(ModelId::kResNet34);
+
+  RoundCostInputs in;
+  in.model = &model;
+  in.dataset = &GetDatasetSpec(DatasetId::kFemnist);
+  in.local_samples = 100;
+  in.epochs = 5;
+  in.batch_size = 20;
+  in.technique = TechniqueKind::kQuant8;
+  in.device_gflops = 20.0;
+  in.bandwidth_mbps = 17.3;
+  in.device_memory_gb = 8.0;
+  in.availability.network = 0.6;
+  const RoundCosts costs = ComputeRoundCosts(in);
+
+  NetworkTrace trace = NetworkTrace::Constant(17.3);
+  TransferOptions opts = Opts(costs.traffic_mb, kInf);
+  opts.availability = 0.6;
+  const TransferResult result = transport.Transfer(3, 7, trace, opts);
+
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(result.wire_time_s, costs.comm_time_s);
+  EXPECT_EQ(result.elapsed_s, costs.comm_time_s);
+  EXPECT_EQ(result.wire_mb, costs.traffic_mb);
+  EXPECT_EQ(result.retransmitted_mb, 0.0);
+  EXPECT_EQ(result.salvaged_mb, 0.0);
+  EXPECT_EQ(result.backoff_s, 0.0);
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(TransportTest, AvailabilityFloorMatchesCostModel) {
+  // Zero network availability clamps to the same 0.02 floor as the cost
+  // model instead of dividing by zero.
+  const Transport transport(TransportOnly(), 5);
+  NetworkTrace trace = NetworkTrace::Constant(10.0);
+  TransferOptions opts = Opts(4.0, kInf);
+  opts.availability = 0.0;
+  const TransferResult result = transport.Transfer(0, 0, trace, opts);
+  ASSERT_TRUE(result.delivered);
+  EXPECT_EQ(result.wire_time_s, 4.0 * 8.0 / (10.0 * 0.02));
+}
+
+TEST(TransportTest, EmptyPayloadDeliversInstantly) {
+  const Transport transport(LossyConfig(0.5), 1);
+  NetworkTrace trace = NetworkTrace::Constant(1.0);
+  const TransferResult result = transport.Transfer(0, 0, trace, Opts(0.0, kInf));
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.elapsed_s, 0.0);
+  EXPECT_EQ(result.wire_mb, 0.0);
+}
+
+TEST(TransportTest, TransferIsDeterministicAndOrderIndependent) {
+  // Same coordinates => identical result, no matter what other transfers the
+  // Transport has served in between (it is const and never advances state).
+  const Transport a(LossyConfig(0.2, 0.1), 42);
+  const Transport b(LossyConfig(0.2, 0.1), 42);
+  NetworkTrace trace_a = NetworkTrace::Constant(8.0);
+  const TransferResult first = a.Transfer(5, 11, trace_a, Opts(20.0, 400.0));
+  // Interleave unrelated transfers on `b` before the matching call.
+  for (size_t r = 0; r < 4; ++r) {
+    NetworkTrace scratch = NetworkTrace::Constant(8.0);
+    b.Transfer(r, r + 1, scratch, Opts(6.0, 100.0));
+  }
+  NetworkTrace trace_b = NetworkTrace::Constant(8.0);
+  const TransferResult second = b.Transfer(5, 11, trace_b, Opts(20.0, 400.0));
+  EXPECT_EQ(first.elapsed_s, second.elapsed_s);
+  EXPECT_EQ(first.wire_time_s, second.wire_time_s);
+  EXPECT_EQ(first.wire_mb, second.wire_mb);
+  EXPECT_EQ(first.retransmitted_mb, second.retransmitted_mb);
+  EXPECT_EQ(first.salvaged_mb, second.salvaged_mb);
+  EXPECT_EQ(first.backoff_s, second.backoff_s);
+  EXPECT_EQ(first.attempts, second.attempts);
+  EXPECT_EQ(first.delivered, second.delivered);
+}
+
+TEST(TransportTest, LegsDrawIndependentStreams) {
+  // The download and upload of one (round, client) must not share a stream:
+  // over many rounds their loss patterns diverge.
+  const Transport transport(LossyConfig(0.3), 7);
+  NetworkTrace trace = NetworkTrace::Constant(50.0);
+  bool differ = false;
+  for (size_t round = 0; round < 20 && !differ; ++round) {
+    const TransferResult down =
+        transport.Transfer(round, 1, trace, Opts(10.0, kInf, TransferLeg::kDownload));
+    const TransferResult up =
+        transport.Transfer(round, 1, trace, Opts(10.0, kInf, TransferLeg::kUpload));
+    differ = down.wire_mb != up.wire_mb || down.attempts != up.attempts;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(TransportTest, SharedTraceIsNeverPerturbed) {
+  // Transfer integrates over a private copy: the caller's trace must answer
+  // the same queries afterwards as an untouched twin.
+  const Transport transport(LossyConfig(0.2), 3);
+  NetworkTrace shared(NetworkKind::kFourG, 21);
+  NetworkTrace twin(NetworkKind::kFourG, 21);
+  TransferOptions opts = Opts(25.0, 500.0);
+  opts.start_s = 100.0;
+  transport.Transfer(0, 0, shared, opts);
+  for (double t = 100.0; t < 2000.0; t += 50.0) {
+    EXPECT_EQ(shared.BandwidthMbpsAt(t), twin.BandwidthMbpsAt(t));
+  }
+}
+
+TEST(TransportTest, LossCausesRetransmissionsButEventualDelivery) {
+  const Transport transport(LossyConfig(0.3), 13);
+  NetworkTrace trace = NetworkTrace::Constant(40.0);
+  size_t delivered = 0;
+  bool saw_retransmission = false;
+  for (size_t round = 0; round < 30; ++round) {
+    const TransferResult result = transport.Transfer(round, 2, trace, Opts(30.0, kInf));
+    if (result.delivered) {
+      ++delivered;
+    }
+    if (result.retransmitted_mb > 0.0) {
+      saw_retransmission = true;
+      EXPECT_GT(result.wire_mb, 30.0);
+      EXPECT_GT(result.attempts, 1u);
+      EXPECT_GT(result.backoff_s, 0.0);
+    }
+  }
+  // 30 % loss with 4 retries: essentially everything lands eventually.
+  EXPECT_GT(delivered, 25u);
+  EXPECT_TRUE(saw_retransmission);
+}
+
+TEST(TransportTest, ResumableSalvagesAckedChunks) {
+  // On the identical coordinates, the resumable transfer salvages its acked
+  // prefix while the restart-from-scratch one re-wires it: strictly fewer
+  // retransmitted MB, and the salvage accounting is exact
+  // (wire == payload + retransmitted - nothing, salvage tracked separately).
+  const Transport transport(LossyConfig(0.25, 0.2), 17);
+  NetworkTrace trace = NetworkTrace::Constant(25.0);
+  double resumable_retx = 0.0;
+  double restart_retx = 0.0;
+  double salvaged = 0.0;
+  for (size_t round = 0; round < 40; ++round) {
+    TransferOptions opts = Opts(20.0, kInf);
+    opts.resumable = true;
+    const TransferResult res = transport.Transfer(round, 9, trace, opts);
+    opts.resumable = false;
+    const TransferResult restart = transport.Transfer(round, 9, trace, opts);
+    resumable_retx += res.retransmitted_mb;
+    restart_retx += restart.retransmitted_mb;
+    salvaged += res.salvaged_mb;
+    EXPECT_EQ(restart.salvaged_mb, 0.0);
+  }
+  EXPECT_GT(salvaged, 0.0);
+  EXPECT_LT(resumable_retx, restart_retx);
+}
+
+TEST(TransportTest, BudgetExhaustionTimesOut) {
+  // A 100 MB payload over a 1 Mbps link needs 800 s of wire time; a 10 s
+  // budget must fail without charging more than the budget.
+  const Transport transport(TransportOnly(), 1);
+  NetworkTrace trace = NetworkTrace::Constant(1.0);
+  const TransferResult result = transport.Transfer(0, 0, trace, Opts(100.0, 10.0));
+  EXPECT_FALSE(result.delivered);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.elapsed_s, 10.0);
+  EXPECT_LE(result.wire_time_s, 10.0);
+  EXPECT_LT(result.wire_mb, 100.0);
+}
+
+TEST(TransportTest, RetryExhaustionTimesOut) {
+  // Certain blackout at the very start of every attempt: nothing ever lands
+  // and the transfer gives up after max_transfer_retries + 1 attempts.
+  FaultConfig faults = LossyConfig(0.0, 0.999999);
+  faults.max_transfer_retries = 2;
+  const Transport transport(faults, 23);
+  NetworkTrace trace = NetworkTrace::Constant(10.0);
+  size_t timed_out = 0;
+  for (size_t round = 0; round < 20; ++round) {
+    const TransferResult result = transport.Transfer(round, 0, trace, Opts(50.0, kInf));
+    if (result.timed_out) {
+      ++timed_out;
+      EXPECT_FALSE(result.delivered);
+      EXPECT_LE(result.attempts, 3u);
+    }
+  }
+  EXPECT_GT(timed_out, 15u);
+}
+
+TEST(TransportTest, TryDeliverZeroConfigAlwaysDelivers) {
+  const Transport transport(TransportOnly(), 31);
+  for (size_t round = 0; round < 10; ++round) {
+    const TransferResult result =
+        transport.TryDeliver(round, round + 3, 12.5, TransferLeg::kUpload, true);
+    EXPECT_TRUE(result.delivered);
+    EXPECT_EQ(result.attempts, 1u);
+    EXPECT_EQ(result.wire_mb, 12.5);
+    EXPECT_EQ(result.retransmitted_mb, 0.0);
+  }
+}
+
+TEST(TransportTest, TryDeliverIsDeterministic) {
+  const Transport a(LossyConfig(0.3, 0.1), 77);
+  const Transport b(LossyConfig(0.3, 0.1), 77);
+  for (size_t round = 0; round < 10; ++round) {
+    const TransferResult ra = a.TryDeliver(round, 4, 15.0, TransferLeg::kUpload, true);
+    const TransferResult rb = b.TryDeliver(round, 4, 15.0, TransferLeg::kUpload, true);
+    EXPECT_EQ(ra.wire_mb, rb.wire_mb);
+    EXPECT_EQ(ra.retransmitted_mb, rb.retransmitted_mb);
+    EXPECT_EQ(ra.salvaged_mb, rb.salvaged_mb);
+    EXPECT_EQ(ra.attempts, rb.attempts);
+    EXPECT_EQ(ra.delivered, rb.delivered);
+  }
+}
+
+TEST(TransportTest, BackoffGrowsExponentiallyUnderForcedRetries) {
+  // With certain chunk loss every attempt fails; the accumulated backoff
+  // must follow the capped exponential schedule with jitter in [0.5, 1.5):
+  // sum over attempts 1..4 of min(30, 2^(k-1)) * jitter, so total backoff
+  // lies in [0.5, 1.5) * (1 + 2 + 4 + 8) for 4 retries.
+  FaultConfig faults = LossyConfig(0.999999);
+  faults.max_transfer_retries = 4;
+  const Transport transport(faults, 3);
+  NetworkTrace trace = NetworkTrace::Constant(100.0);
+  const TransferResult result = transport.Transfer(0, 0, trace, Opts(2.0, kInf));
+  EXPECT_FALSE(result.delivered);
+  EXPECT_EQ(result.attempts, 5u);
+  EXPECT_GE(result.backoff_s, 0.5 * 15.0);
+  EXPECT_LT(result.backoff_s, 1.5 * 15.0);
+}
+
+}  // namespace
+}  // namespace floatfl

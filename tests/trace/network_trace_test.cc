@@ -67,10 +67,72 @@ TEST(NetworkTraceTest, ExperiencesOutages) {
   EXPECT_LT(min_seen, 0.5);
 }
 
-TEST(NetworkTraceTest, EarlierQueryReturnsCurrentValue) {
+TEST(NetworkTraceDeathTest, BackwardsQueryAborts) {
+  // The monotonic-query contract: a regressing query would silently alias
+  // one client's look-ahead into another's bandwidth path, so it aborts.
+  NetworkTrace trace(NetworkKind::kFourG, 9);
+  trace.BandwidthMbpsAt(1000.0);
+  EXPECT_DEATH(trace.BandwidthMbpsAt(500.0), "monotonic");
+}
+
+TEST(NetworkTraceTest, RepeatedQueryAtSameTimeAllowed) {
+  // Equal-time re-queries are fine (several transfers can start at the same
+  // simulated instant); only strictly backwards queries violate the contract.
   NetworkTrace trace(NetworkKind::kFourG, 9);
   const double at_1000 = trace.BandwidthMbpsAt(1000.0);
-  EXPECT_DOUBLE_EQ(trace.BandwidthMbpsAt(500.0), at_1000);
+  EXPECT_DOUBLE_EQ(trace.BandwidthMbpsAt(1000.0), at_1000);
+}
+
+TEST(NetworkTraceTest, ConstantTraceIsPinned) {
+  NetworkTrace trace = NetworkTrace::Constant(12.5);
+  EXPECT_DOUBLE_EQ(trace.NominalMbps(), 12.5);
+  for (double t = 0.0; t < 86400.0; t += 97.0) {
+    EXPECT_DOUBLE_EQ(trace.BandwidthMbpsAt(t), 12.5);
+  }
+}
+
+TEST(NetworkTraceTest, ConstantZeroTraceStaysZero) {
+  // Degenerate zero-bandwidth client for deadline-calibration edge cases.
+  NetworkTrace trace = NetworkTrace::Constant(0.0);
+  EXPECT_DOUBLE_EQ(trace.NominalMbps(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.BandwidthMbpsAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.BandwidthMbpsAt(3600.0), 0.0);
+}
+
+TEST(NetworkTraceTest, OutageRegimeEnteredAndRecovered) {
+  // The regime-switching process must actually visit the outage regime
+  // (near-zero bandwidth) and come back: over a week a 4G client sees both
+  // sub-0.5 Mbps samples and, afterwards, samples above half nominal again.
+  NetworkTrace trace(NetworkKind::kFourG, 12);
+  const double nominal = trace.NominalMbps();
+  bool saw_outage = false;
+  bool recovered_after_outage = false;
+  for (double t = 0.0; t < 7.0 * 86400.0; t += 10.0) {
+    const double bw = trace.BandwidthMbpsAt(t);
+    if (bw < 0.5) {
+      saw_outage = true;
+    } else if (saw_outage && bw > 0.5 * nominal) {
+      recovered_after_outage = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_outage);
+  EXPECT_TRUE(recovered_after_outage);
+}
+
+TEST(NetworkTraceTest, OutagesAreRareInFiveG) {
+  // Outages must be the exception, not the rule: the fraction of near-zero
+  // samples over a long 5G horizon stays small.
+  NetworkTrace trace(NetworkKind::kFiveG, 3);
+  size_t outage_samples = 0;
+  size_t total = 0;
+  for (double t = 0.0; t < 7.0 * 86400.0; t += 10.0) {
+    if (trace.BandwidthMbpsAt(t) < 1.0) {
+      ++outage_samples;
+    }
+    ++total;
+  }
+  EXPECT_LT(static_cast<double>(outage_samples), 0.10 * static_cast<double>(total));
 }
 
 TEST(NetworkTraceTest, NominalWithinSaneRange) {
