@@ -1,0 +1,81 @@
+// Self-healing training under a sleeper model-replacement attack.
+//
+// A fifth of the population behaves honestly for 20 rounds — long enough for
+// the run to look healthy and for the guard to bank last-known-good
+// snapshots — then switches to scaled model replacement against a plain
+// FedAvg server with no robust aggregation. The undefended run collapses
+// and stays collapsed. The identical run with the divergence watchdog
+// enabled (DESIGN.md §11) detects each collapse, rolls the model back to
+// the snapshot ring, and quarantines technique decisions while in safe
+// mode, so training keeps re-converging instead of diverging for good.
+#include <algorithm>
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/fl/sync_engine.h"
+#include "src/fl/tuning_policy.h"
+#include "src/selection/random_selector.h"
+
+using namespace floatfl;
+
+namespace {
+
+ExperimentConfig AttackedConfig() {
+  ExperimentConfig config;
+  config.num_clients = 40;
+  config.clients_per_round = 8;
+  config.rounds = 40;
+  config.seed = 321;
+  config.assume_no_dropouts = true;  // isolate the adversary from benign churn
+  config.faults.byzantine_mode = ByzantineMode::kScaledReplacement;
+  config.faults.byzantine_fraction = 0.2;
+  config.faults.byzantine_scale = 4.0;
+  config.faults.byzantine_start_round = 20;  // sleepers wake at round 20
+  return config;
+}
+
+ExperimentResult Run(const ExperimentConfig& config) {
+  RandomSelector selector(config.seed);
+  StaticPolicy policy(TechniqueKind::kQuant8);
+  SyncEngine engine(config, &selector, &policy);
+  return engine.Run();
+}
+
+}  // namespace
+
+int main() {
+  const ExperimentConfig unguarded_config = AttackedConfig();
+  ExperimentConfig guarded_config = unguarded_config;
+  guarded_config.guard.enabled = true;
+  guarded_config.guard.collapse_threshold = 0.02;
+  guarded_config.guard.snapshot_ring = 4;
+  guarded_config.guard.safe_mode_rounds = 4;
+
+  const ExperimentResult off = Run(unguarded_config);
+  const ExperimentResult on = Run(guarded_config);
+
+  std::cout << "Sleeper scaled-replacement attack (20% colluders, wake at round 20)\n"
+               "against plain FedAvg, with and without the training guard.\n\n";
+  TablePrinter table({"round", "unguarded acc%", "guarded acc%"});
+  for (size_t r = 0; r < off.accuracy_history.size(); r += 4) {
+    table.Cell(static_cast<long long>(r + 1))
+        .Cell(100.0 * off.accuracy_history[r], 1)
+        .Cell(100.0 * on.accuracy_history[r], 1)
+        .EndRow();
+  }
+  table.Print(std::cout);
+
+  const double off_peak =
+      *std::max_element(off.accuracy_history.begin(), off.accuracy_history.end());
+  std::cout << "\nUnguarded: peak " << 100.0 * off_peak << "%, final "
+            << 100.0 * off.global_accuracy << "% — the collapse is permanent.\n";
+  std::cout << "Guarded:   final " << 100.0 * on.global_accuracy << "% after "
+            << on.guard_snapshots << " snapshots, " << on.watchdog_triggers
+            << " watchdog triggers, " << on.rollbacks << " rollbacks, "
+            << on.quarantined_actions << " quarantined decisions across "
+            << on.safe_mode_rounds << " safe-mode rounds.\n";
+  std::cout << "With guard.enabled = false (the default) every engine byte-matches\n"
+               "its pre-guard behaviour; enabling it only changes what happens\n"
+               "after the watchdog declares a round unhealthy.\n";
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "src/core/q_table.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "src/common/check.h"
@@ -27,7 +28,14 @@ size_t QTable::Index(size_t state, size_t action) const {
 
 double QTable::Q(size_t state, size_t action) const { return q_[Index(state, action)]; }
 
-void QTable::SetQ(size_t state, size_t action, double value) { q_[Index(state, action)] = value; }
+void QTable::SetQ(size_t state, size_t action, double value) {
+  // A single NaN/Inf here would spread through MaxQ/BestAction into every
+  // future Bellman update; callers must reject bad rewards at their own
+  // boundary (RlhfAgent does), so a non-finite value reaching the table is a
+  // programming error, not data.
+  FLOATFL_CHECK_MSG(std::isfinite(value), "QTable::SetQ value must be finite");
+  q_[Index(state, action)] = value;
+}
 
 uint32_t QTable::Visits(size_t state, size_t action) const { return visits_[Index(state, action)]; }
 

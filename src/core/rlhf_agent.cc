@@ -73,10 +73,24 @@ size_t RlhfAgent::ChooseActionIndex(size_t state, size_t round) {
   return best;
 }
 
+ClientObservation RlhfAgent::SanitizeObservation(const ClientObservation& client) {
+  if (std::isfinite(client.cpu_avail) && std::isfinite(client.mem_avail) &&
+      std::isfinite(client.net_avail) && std::isfinite(client.deadline_diff)) {
+    return client;
+  }
+  ++rejected_observations_;
+  ClientObservation clean = client;
+  if (!std::isfinite(clean.cpu_avail)) clean.cpu_avail = 1.0;
+  if (!std::isfinite(clean.mem_avail)) clean.mem_avail = 1.0;
+  if (!std::isfinite(clean.net_avail)) clean.net_avail = 1.0;
+  if (!std::isfinite(clean.deadline_diff)) clean.deadline_diff = 0.0;
+  return clean;
+}
+
 TechniqueKind RlhfAgent::ChooseTechnique(const ClientObservation& client,
                                          const GlobalObservation& global, size_t round) {
   FLOATFL_CHECK(table_.num_actions() == ActionTechniques().size());
-  const size_t state = encoder_.Encode(client, global);
+  const size_t state = encoder_.Encode(SanitizeObservation(client), global);
   const size_t action = ChooseActionIndex(state, round);
   return ActionTechniques()[action];
 }
@@ -90,6 +104,18 @@ void RlhfAgent::FeedbackIndexed(size_t state, size_t action, bool participated,
                                 double accuracy_improvement, size_t round) {
   FLOATFL_CHECK(state < table_.num_states());
   FLOATFL_CHECK(action < table_.num_actions());
+  // Boundary validation: a NaN improvement would propagate through the
+  // accuracy score into the moving averages, the reward and SetQ — poisoning
+  // every value it touches permanently — and a +Inf would lock
+  // max_improvement_seen_ at infinity, zeroing all future accuracy scores.
+  // Reject and learn participation-only instead (the improvement becomes 0,
+  // which the clamp below treats as "no measurable gain").
+  constexpr double kMaxCredibleImprovement = 1e3;  // accuracies live in [0, 1]
+  if (!std::isfinite(accuracy_improvement) ||
+      std::fabs(accuracy_improvement) > kMaxCredibleImprovement) {
+    ++rejected_rewards_;
+    accuracy_improvement = 0.0;
+  }
   const size_t cell = state * table_.num_actions() + action;
 
   // Run-local tallies for the per-action Q-table views (Figure 10); these
@@ -173,7 +199,7 @@ void RlhfAgent::Feedback(const ClientObservation& client, const GlobalObservatio
   if (action < 0) {
     return;  // kNone / compression are outside the tunable action space
   }
-  const size_t state = encoder_.Encode(client, global);
+  const size_t state = encoder_.Encode(SanitizeObservation(client), global);
   FeedbackIndexed(state, static_cast<size_t>(action), participated, accuracy_improvement, round);
 }
 
@@ -273,6 +299,8 @@ void RlhfAgent::SaveState(CheckpointWriter& w) const {
   w.F64Vec(run_action_success_);
   w.F64Vec(run_action_accuracy_);
   w.F64Vec(reward_history_);
+  w.Size(rejected_rewards_);
+  w.Size(rejected_observations_);
 }
 
 void RlhfAgent::LoadState(CheckpointReader& r) {
@@ -291,6 +319,8 @@ void RlhfAgent::LoadState(CheckpointReader& r) {
   run_action_success_ = r.F64Vec();
   run_action_accuracy_ = r.F64Vec();
   reward_history_ = r.F64Vec();
+  rejected_rewards_ = r.Size();
+  rejected_observations_ = r.Size();
 }
 
 }  // namespace floatfl

@@ -90,6 +90,14 @@ class RlhfAgent {
   // the paper's "absolute reward" view of fine-tuning progress.
   double PositiveRewardFraction(size_t last_n) const;
 
+  // Boundary-validation counters: non-finite (or absurd-magnitude) rewards
+  // and non-finite observation fields are rejected/neutralized at the agent
+  // boundary instead of poisoning the Q-table (a single NaN
+  // accuracy_improvement would otherwise corrupt the moving averages, the
+  // reward normalizer and every Q-cell it touches, permanently).
+  size_t RejectedRewards() const { return rejected_rewards_; }
+  size_t RejectedObservations() const { return rejected_observations_; }
+
   // Transfers a pre-trained agent's learned state (Figure 9 / RQ3).
   void InitializeFrom(const RlhfAgent& pretrained);
 
@@ -121,6 +129,9 @@ class RlhfAgent {
 
  private:
   static int ActionIndexOf(TechniqueKind kind);
+  // Replaces non-finite observation fields with neutral defaults (counted in
+  // rejected_observations_) so a poisoned trace cannot derail state encoding.
+  ClientObservation SanitizeObservation(const ClientObservation& client);
 
   StateEncoder encoder_;
   RlhfConfig config_;
@@ -145,6 +156,8 @@ class RlhfAgent {
   std::vector<double> run_action_success_;
   std::vector<double> run_action_accuracy_;
   std::vector<double> reward_history_;
+  size_t rejected_rewards_ = 0;
+  size_t rejected_observations_ = 0;
 };
 
 }  // namespace floatfl

@@ -60,6 +60,12 @@ class CheckpointWriter {
     Size(v.size());
     for (bool x : v) Bool(x);
   }
+  // Length-prefixed byte string; carries nested archive blobs (the guard's
+  // snapshot ring stores whole serialized states as opaque payloads).
+  void Str(const std::string& s) {
+    Size(s.size());
+    buf_.append(s);
+  }
 
   const std::string& buffer() const { return buf_; }
 
@@ -123,6 +129,14 @@ class CheckpointReader {
     v.reserve(n);
     for (size_t i = 0; i < n && ok(); ++i) v.push_back(Bool());
     return v;
+  }
+  std::string Str() {
+    const size_t n = SaneCount();
+    std::string s;
+    if (!ok_ || n == 0) return s;
+    s.assign(buf_.data() + pos_, n);
+    pos_ += n;
+    return s;
   }
 
   // True while every read so far stayed in bounds.

@@ -42,6 +42,21 @@ void WriteFaultConfig(CheckpointWriter& w, const FaultConfig& f) {
   w.F64(f.transport_chunk_mb);
   w.Size(f.max_transfer_retries);
   w.Bool(f.resumable_uploads);
+  w.Size(f.byzantine_start_round);
+}
+
+void WriteGuardConfig(CheckpointWriter& w, const GuardConfig& g) {
+  w.Bool(g.enabled);
+  w.F64(g.collapse_threshold);
+  w.Size(g.patience);
+  w.F64(g.stall_epsilon);
+  w.Size(g.snapshot_ring);
+  w.Size(g.snapshot_every);
+  w.Size(g.safe_mode_rounds);
+  w.Size(g.quarantine_min_trials);
+  w.F64(g.quarantine_failure_rate);
+  w.Size(g.quarantine_cooldown_rounds);
+  w.Size(g.quarantine_max_strikes);
 }
 
 void WriteAggregatorConfig(CheckpointWriter& w, const AggregatorConfig& a) {
@@ -104,6 +119,7 @@ uint64_t FingerprintConfig(const ExperimentConfig& config) {
   w.F64(config.adaptive_deadline.min_factor);
   w.F64(config.adaptive_deadline.max_factor);
   w.F64(config.adaptive_deadline.headroom);
+  WriteGuardConfig(w, config.guard);
   return Fnv1a(w.buffer());
 }
 
@@ -124,6 +140,7 @@ uint64_t FingerprintConfig(const RealFlConfig& config) {
   w.U64(config.seed);
   WriteFaultConfig(w, config.faults);
   WriteAggregatorConfig(w, config.aggregator);
+  WriteGuardConfig(w, config.guard);
   return Fnv1a(w.buffer());
 }
 
@@ -140,6 +157,7 @@ uint64_t FingerprintConfig(const VflConfig& config) {
   w.Size(config.batch_size);
   w.U64(config.seed);
   WriteFaultConfig(w, config.faults);
+  WriteGuardConfig(w, config.guard);
   return Fnv1a(w.buffer());
 }
 

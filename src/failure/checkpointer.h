@@ -38,9 +38,12 @@ class Checkpointer {
   // fingerprints; engine payloads grew aggregator/tracker state. v3: the
   // lossy-transport fault fields and the adaptive-deadline config joined the
   // fingerprints; engine payloads grew transport/deadline-controller/tracker
-  // state and the selector net-factor EWMAs. Older checkpoints are refused
-  // (the version field mismatches).
-  static constexpr uint32_t kVersion = 3;
+  // state and the selector net-factor EWMAs. v4: the guard config and the
+  // byzantine_start_round fault field joined the fingerprints; engine
+  // payloads grew the self-healing guard state (watchdog, snapshot ring,
+  // quarantine, tracker) and, for the real engine, an attached-policy
+  // section. Older checkpoints are refused (the version field mismatches).
+  static constexpr uint32_t kVersion = 4;
   enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3, kVfl = 4 };
 
   // Atomic save (temp file + rename). Returns false on I/O failure.

@@ -102,6 +102,12 @@ struct FaultConfig {
   // Attack magnitude: the delta amplification for sign-flip / scaled
   // replacement, the noise standard deviation for Gaussian noise.
   double byzantine_scale = 3.0;
+  // First round (async: version) at which colluders actually attack; they
+  // behave honestly before it. Lets an experiment build a healthy
+  // trajectory (and a guard snapshot ring) before the attack lands —
+  // matching the "sleeper attacker" threat model. 0 = attack from the
+  // start (the exact pre-existing behavior).
+  size_t byzantine_start_round = 0;
 
   // --- Server-side defenses ---------------------------------------------
   // Synchronous over-selection: select ceil(K * overcommit) clients and

@@ -123,7 +123,8 @@ FaultDecision FaultInjector::Decide(size_t round, size_t client_id, double now_s
   }
   decision.crash = crash_u < crash_prob;
   decision.corrupt = !decision.crash && corrupt_u < config_.corrupt_prob;
-  decision.byzantine = !decision.crash && !decision.corrupt && IsByzantine(client_id);
+  decision.byzantine = !decision.crash && !decision.corrupt &&
+                       round >= config_.byzantine_start_round && IsByzantine(client_id);
   return decision;
 }
 
@@ -147,10 +148,16 @@ Rng FaultInjector::AttackRng(size_t round, size_t client_id) const {
 double FaultInjector::AttackedQuality(double quality, size_t round, size_t client_id) const {
   switch (config_.byzantine_mode) {
     case ByzantineMode::kSignFlip:
-    case ByzantineMode::kScaledReplacement:
       // A worthless contribution that still passes IsValidUpdateQuality —
       // the quality-space shadow of an update crafted to evade validation.
       return 0.0;
+    case ByzantineMode::kScaledReplacement:
+      // Model replacement's quality-space shadow: a *negative* quality whose
+      // magnitude is the amplification factor. The surrogate convergence
+      // model turns it into active accuracy damage
+      // (SurrogateAccuracyModel::RoundUpdate); robust quality aggregators see
+      // an extreme low outlier they can trim.
+      return -config_.byzantine_scale;
     case ByzantineMode::kGaussianNoise: {
       Rng rng = AttackRng(round, client_id);
       const double noisy = quality + rng.Normal(0.0, 0.3 * config_.byzantine_scale);

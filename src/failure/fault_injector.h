@@ -82,10 +82,12 @@ class FaultInjector {
   // invariant and survive checkpoint/resume.
   Rng AttackRng(size_t round, size_t client_id) const;
 
-  // Quality-space attack for the surrogate engines: sign-flip and scaled
-  // replacement submit a worthless-but-valid contribution (quality 0, inside
-  // the [0, 1] validation band), Gaussian noise perturbs the honest quality
-  // and clamps back into the band.
+  // Quality-space attack for the surrogate engines: sign-flip submits a
+  // worthless-but-valid contribution (quality 0, inside the [0, 1]
+  // validation band), scaled replacement submits a negative quality of
+  // magnitude byzantine_scale (active poisoning pressure the surrogate
+  // convergence model converts into accuracy damage), Gaussian noise
+  // perturbs the honest quality and clamps back into the band.
   double AttackedQuality(double quality, size_t round, size_t client_id) const;
 
   void SaveState(CheckpointWriter& w) const;

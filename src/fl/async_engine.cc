@@ -22,6 +22,7 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
   ValidateExperimentConfig(config_);
   injector_ = FaultInjector(config_.faults, config_.seed, config_.num_clients);
   transport_ = Transport(config_.faults, config_.seed);
+  guard_ = TrainingGuard(config_.guard);
   const size_t threads = ResolveThreadCount(config.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(threads - 1);
@@ -261,8 +262,11 @@ void AsyncEngine::LaunchClients() {
     flight.client_id = id;
     flight.start_version = version_;
     flight.observation = ObserveClient(client, now_s_, reference_);
-    flight.technique =
-        policy_ != nullptr ? policy_->Decide(id, flight.observation, global) : TechniqueKind::kNone;
+    // Decide always runs (fixed policy draw order); the guard may then mask
+    // the action to kNone under safe mode or quarantine.
+    flight.technique = guard_.Filter(
+        policy_ != nullptr ? policy_->Decide(id, flight.observation, global) : TechniqueKind::kNone,
+        version_);
     faults.push_back(injector_.enabled()
                          ? injector_.Decide(client.times_selected, id, now_s_)
                          : FaultDecision());
@@ -289,6 +293,7 @@ void AsyncEngine::LaunchClients() {
 
 void AsyncEngine::StepOnce() {
   injector_.BeginRound(version_);
+  guard_.BeginRound(version_);
 
   GlobalObservation global;
   global.batch_size = config_.batch_size;
@@ -357,15 +362,16 @@ void AsyncEngine::StepOnce() {
   client.UpdateDeadlineDiff(flight.outcome.deadline_diff);
   accountant_.Record(flight.outcome.costs.train_time_s, flight.outcome.costs.comm_time_s,
                      flight.outcome.costs.peak_memory_mb, accepted);
-  tracker_.Record(flight.client_id, flight.technique, accepted);
+  tracker_.Record(flight.client_id, flight.technique, accepted, drop_reason);
+  guard_.Observe(flight.technique, accepted, drop_reason, version_);
   if (flight.outcome.transfer_attempts > 0) {
     transport_tracker_.Record(flight.outcome.transfer_attempts, flight.outcome.retransmitted_mb,
                               flight.outcome.salvaged_mb, flight.outcome.transfer_backoff_s,
                               flight.outcome.reason == DropoutReason::kTransferTimedOut);
   }
   if (policy_ != nullptr) {
-    const double client_accuracy_credit =
-        last_accuracy_delta_ * (1.0 - EffectOf(flight.technique).accuracy_impact);
+    const double client_accuracy_credit = guard_.SanitizeReward(
+        last_accuracy_delta_ * (1.0 - EffectOf(flight.technique).accuracy_impact));
     policy_->Report(flight.client_id, flight.observation, global, flight.technique, accepted,
                     client_accuracy_credit);
   }
@@ -379,6 +385,35 @@ void AsyncEngine::StepOnce() {
     surrogate_->RoundUpdate(buffer_);
     last_accuracy_delta_ = surrogate_->GlobalAccuracy() - before;
     buffer_.clear();
+
+    // Self-healing hook (DESIGN.md §11): grade the aggregation that just
+    // happened; snapshot on improvement, roll the surrogate / reward state /
+    // policy back to the last known good version on divergence. Runs before
+    // the version bump so the restored accuracy is what the history records.
+    {
+      HealthSignal health;
+      health.metric = surrogate_->GlobalAccuracy();
+      health.loss = 1.0 - health.metric;
+      guard_.EndRound(
+          version_, health,
+          [this](CheckpointWriter& w) {
+            surrogate_->SaveState(w);
+            w.F64(last_accuracy_delta_);
+            w.Bool(policy_ != nullptr);
+            if (policy_ != nullptr) {
+              policy_->SaveState(w);
+            }
+          },
+          [this](CheckpointReader& r) {
+            surrogate_->LoadState(r);
+            last_accuracy_delta_ = r.F64();
+            const bool had_policy = r.Bool();
+            if (had_policy && policy_ != nullptr) {
+              policy_->LoadState(r);
+            }
+          });
+    }
+
     ++version_;
     accuracy_history_.push_back(surrogate_->GlobalAccuracy());
   }
@@ -420,6 +455,14 @@ ExperimentResult AsyncEngine::Snapshot() const {
   result.wasted = accountant_.Wasted();
   result.wall_clock_hours = now_s_ / 3600.0;
   result.per_technique = tracker_.PerTechnique();
+  result.per_technique_dropouts = tracker_.DropoutsByTechnique();
+  result.guard_snapshots = guard_.tracker().Snapshots();
+  result.watchdog_triggers = guard_.tracker().WatchdogTriggers();
+  result.rollbacks = guard_.tracker().Rollbacks();
+  result.quarantined_actions = guard_.tracker().MaskedActions();
+  result.quarantine_openings = guard_.tracker().QuarantineOpenings();
+  result.rejected_rewards = guard_.tracker().RejectedRewards();
+  result.safe_mode_rounds = guard_.tracker().SafeModeRounds();
   result.accuracy_history = accuracy_history_;
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
@@ -525,6 +568,7 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   w.Size(pending_byzantine_);
   agg_tracker_.SaveState(w);
   transport_tracker_.SaveState(w);
+  guard_.SaveState(w);
 }
 
 void AsyncEngine::LoadState(CheckpointReader& r) {
@@ -593,6 +637,7 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   pending_byzantine_ = r.Size();
   agg_tracker_.LoadState(r);
   transport_tracker_.LoadState(r);
+  guard_.LoadState(r);
 }
 
 }  // namespace floatfl

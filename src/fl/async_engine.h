@@ -20,6 +20,7 @@
 #include "src/fl/observation.h"
 #include "src/fl/sync_engine.h"
 #include "src/fl/tuning_policy.h"
+#include "src/guard/training_guard.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
@@ -55,6 +56,7 @@ class AsyncEngine {
   size_t RejectedUpdates() const { return rejected_updates_; }
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
+  const TrainingGuard& guard() const { return guard_; }
 
   // Checkpoint/resume of all mutable engine state (DESIGN.md §8).
   void SaveState(CheckpointWriter& w) const;
@@ -97,6 +99,9 @@ class AsyncEngine {
   // Lossy transport and its accounting (DESIGN.md §10); disabled by default.
   Transport transport_;
   TransportTracker transport_tracker_;
+  // Self-healing guard (DESIGN.md §11); rounds are keyed by the aggregation
+  // version (async FL's round analogue). A disabled guard is a strict no-op.
+  TrainingGuard guard_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   // Byzantine completers retired since the last aggregation (folded into the

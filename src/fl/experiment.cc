@@ -39,6 +39,7 @@ void ValidateExperimentConfig(const ExperimentConfig& config) {
   FLOATFL_CHECK_MSG(config.adaptive_deadline.headroom > 0.0,
                     "adaptive_deadline.headroom must be positive");
   ValidateAggregatorConfig(config.aggregator);
+  ValidateGuardConfig(config.guard);
 }
 
 }  // namespace floatfl

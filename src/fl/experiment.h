@@ -11,6 +11,7 @@
 #include "src/agg/aggregator_config.h"
 #include "src/data/dataset.h"
 #include "src/failure/fault_config.h"
+#include "src/guard/guard_config.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
 #include "src/models/model_zoo.h"
@@ -56,6 +57,10 @@ struct ExperimentConfig {
   // sync engine uses the static (auto-calibrated or explicit) deadline
   // byte-identically.
   AdaptiveDeadlineConfig adaptive_deadline;
+  // Self-healing guard: divergence watchdog + last-known-good rollback +
+  // action quarantine (DESIGN.md §11). Default off: strict no-op, every
+  // pre-guard golden byte-identical.
+  GuardConfig guard;
 };
 
 // Aborts the process with a descriptive message when `config` violates an
@@ -64,8 +69,10 @@ struct ExperimentConfig {
 void ValidateExperimentConfig(const ExperimentConfig& config);
 
 // Why a selected client's round produced no aggregated update. Shared by the
-// sync and async engines (and mapped onto by the real engine).
-enum class DropoutReason {
+// sync and async engines (and mapped onto by the real engine). The fixed
+// underlying type lets metric/guard headers forward-declare the enum without
+// pulling in this header.
+enum class DropoutReason : uint32_t {
   kNone,
   kUnavailable,     // selected while offline (or during a network blackout)
   kOutOfMemory,
@@ -123,12 +130,25 @@ struct ExperimentResult {
   double retransmitted_mb = 0.0;
   double salvaged_mb = 0.0;
   double transfer_backoff_s = 0.0;
+  // Self-healing totals (src/metrics/guard_tracker.h). All zero when the
+  // guard is disabled.
+  size_t guard_snapshots = 0;
+  size_t watchdog_triggers = 0;
+  size_t rollbacks = 0;
+  size_t quarantined_actions = 0;  // Decide() results masked to kNone
+  size_t quarantine_openings = 0;  // per-technique cooldown windows opened
+  size_t rejected_rewards = 0;
+  size_t safe_mode_rounds = 0;
 
   ResourceTotals useful;
   ResourceTotals wasted;
   double wall_clock_hours = 0.0;
 
   std::map<TechniqueKind, ParticipationTracker::TechniqueStats> per_technique;
+  // Per-technique failure attribution: dropout counts keyed by the technique
+  // the client was running, then by the raw DropoutReason value. Feeds the
+  // guard's quarantine heuristic and is useful standalone.
+  std::map<TechniqueKind, std::map<uint32_t, size_t>> per_technique_dropouts;
   std::vector<double> accuracy_history;       // global accuracy per round
   std::vector<size_t> per_client_selected;
   std::vector<size_t> per_client_completed;

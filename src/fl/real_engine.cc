@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/data/dirichlet.h"
 #include "src/failure/checkpoint_util.h"
+#include "src/fl/experiment.h"
 #include "src/opt/compress.h"
 #include "src/opt/prune.h"
 #include "src/opt/quantize.h"
@@ -88,6 +89,8 @@ RealFlEngine::RealFlEngine(const RealFlConfig& config)
   FLOATFL_CHECK(config.num_clients > 0);
   FLOATFL_CHECK(config.clients_per_round > 0);
   FLOATFL_CHECK(config.num_classes >= 2);
+  ValidateGuardConfig(config_.guard);
+  guard_ = TrainingGuard(config_.guard);
   const size_t threads = ResolveThreadCount(config.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(threads - 1);
@@ -196,21 +199,32 @@ RealFlEngine::ProcessedUpdate RealFlEngine::ProcessUpload(std::vector<float> par
 
 RealRoundStats RealFlEngine::RunRound(
     const std::function<TechniqueKind(size_t)>& choose_technique) {
+  return RunRoundImpl(choose_technique, nullptr);
+}
+
+RealRoundStats RealFlEngine::RunRoundImpl(
+    const std::function<TechniqueKind(size_t)>& choose_technique,
+    const std::function<void(size_t, TechniqueKind, bool, double)>& report) {
   const std::vector<float> global_params = global_->GetParameters();
   const std::vector<size_t> order = rng_.Permutation(shards_.size());
   const size_t k = std::min(config_.clients_per_round, shards_.size());
   const size_t round = rounds_run_++;
   injector_.BeginRound(round);
+  guard_.BeginRound(round);
+  // Round-start test accuracy, the baseline for the policy's accuracy
+  // credit. Only evaluated when someone consumes the credit.
+  const double accuracy_before = report ? EvaluateAccuracy() : 0.0;
 
   // Phase 1 (sequential): technique choices — the callback may be stateful —
   // and fault draws (each from its own (round, client)-keyed stream). The
   // engine has no wall clock; the round index stands in for time, so
-  // blackout windows are in round units.
+  // blackout windows are in round units. The guard gets a veto over every
+  // chosen technique (safe mode / quarantine masks it to kNone).
   std::vector<TechniqueKind> techniques(k);
   std::vector<size_t> frozen_layers(k);
   std::vector<FaultDecision> faults(k);
   for (size_t i = 0; i < k; ++i) {
-    techniques[i] = choose_technique(order[i]);
+    techniques[i] = guard_.Filter(choose_technique(order[i]), round);
     frozen_layers[i] = FrozenLayersFor(techniques[i]);
     if (injector_.enabled()) {
       faults[i] = injector_.Decide(round, order[i], static_cast<double>(round));
@@ -263,12 +277,15 @@ RealRoundStats RealFlEngine::RunRound(
   RealRoundStats stats;
   double total_bytes = 0.0;
   double total_error = 0.0;
+  std::vector<uint8_t> participated(k, 0);
+  std::vector<DropoutReason> reasons(k, DropoutReason::kNone);
   for (size_t i = 0; i < k; ++i) {
     if (faults[i].byzantine) {
       ++stats.byzantine_selected;
     }
     if (!delivered[i]) {
       ++stats.crashed;
+      reasons[i] = faults[i].blackout ? DropoutReason::kUnavailable : DropoutReason::kCrashed;
       continue;
     }
     if (transport_.enabled()) {
@@ -281,17 +298,24 @@ RealRoundStats RealFlEngine::RunRound(
         // The trained update never survived the lossy link: nothing reaches
         // validation or aggregation.
         ++stats.transfer_timeouts;
+        reasons[i] = DropoutReason::kTransferTimedOut;
         continue;
       }
     }
     if (!ValidRealUpdate(processed[i].params, config_.faults.reject_norm_threshold)) {
       ++stats.rejected_updates;
+      reasons[i] = DropoutReason::kCorrupted;
       continue;
     }
+    participated[i] = 1;
     total_bytes += static_cast<double>(processed[i].upload_bytes);
     total_error += processed[i].max_error;
     updates.push_back(std::move(processed[i].params));
     weights.push_back(static_cast<double>(shards_[order[i]].total));
+  }
+  // Failure attribution for the guard's quarantine (selection order).
+  for (size_t i = 0; i < k; ++i) {
+    guard_.Observe(techniques[i], participated[i] != 0, reasons[i], round);
   }
 
   AggregatorStats agg_stats;
@@ -308,11 +332,73 @@ RealRoundStats RealFlEngine::RunRound(
   stats.mean_update_error = updates.empty() ? 0.0 : total_error / updates.size();
   stats.test_accuracy = EvaluateAccuracy();
   stats.test_loss = EvaluateLoss();
+
+  // Policy feedback: every selected client reports, dropouts included, with
+  // the round's test-accuracy delta scaled by its technique's quality.
+  if (report) {
+    const double accuracy_delta = stats.test_accuracy - accuracy_before;
+    for (size_t i = 0; i < k; ++i) {
+      const double credit = guard_.SanitizeReward(
+          accuracy_delta * (1.0 - EffectOf(techniques[i]).accuracy_impact));
+      report(order[i], techniques[i], participated[i] != 0, credit);
+    }
+  }
+
+  // Self-healing hook (DESIGN.md §11): snapshot the global model (and the
+  // attached policy) when the test metrics are healthy; restore the last
+  // known good pair when they diverge. Runs after the policy feedback so the
+  // rollback also discards any Q-updates the bad round just taught.
+  {
+    HealthSignal health;
+    health.metric = stats.test_accuracy;
+    health.loss = stats.test_loss;
+    const bool rolled_back = guard_.EndRound(
+        round, health,
+        [this](CheckpointWriter& w) {
+          w.F32Vec(global_->GetParameters());
+          w.Bool(policy_ != nullptr);
+          if (policy_ != nullptr) {
+            policy_->SaveState(w);
+          }
+        },
+        [this](CheckpointReader& r) {
+          const std::vector<float> params = r.F32Vec();
+          FLOATFL_CHECK_MSG(params.size() == global_->ParamCount(),
+                            "guard snapshot model parameter count mismatch");
+          global_->SetParameters(params);
+          const bool had_policy = r.Bool();
+          if (had_policy && policy_ != nullptr) {
+            policy_->LoadState(r);
+          }
+        });
+    if (rolled_back) {
+      stats.rolled_back = true;
+      stats.test_accuracy = EvaluateAccuracy();
+      stats.test_loss = EvaluateLoss();
+    }
+  }
   return stats;
 }
 
 RealRoundStats RealFlEngine::RunRound(TechniqueKind technique) {
   return RunRound([technique](size_t) { return technique; });
+}
+
+RealRoundStats RealFlEngine::RunRoundWithPolicy() {
+  FLOATFL_CHECK_MSG(policy_ != nullptr, "RunRoundWithPolicy requires an attached policy");
+  GlobalObservation global;
+  global.batch_size = config_.sgd.batch_size;
+  global.epochs = config_.sgd.epochs;
+  global.participants = config_.clients_per_round;
+  // The real engine has no interference/availability traces; every client
+  // presents the neutral observation and the policy differentiates through
+  // the per-client feedback it accumulates.
+  const ClientObservation neutral;
+  return RunRoundImpl(
+      [&](size_t id) { return policy_->Decide(id, neutral, global); },
+      [&](size_t id, TechniqueKind technique, bool ok, double credit) {
+        policy_->Report(id, neutral, global, technique, ok, credit);
+      });
 }
 
 double RealFlEngine::EvaluateAccuracy() {
@@ -330,6 +416,11 @@ void RealFlEngine::SaveState(CheckpointWriter& w) const {
   aggregator_->SaveState(w);
   agg_tracker_.SaveState(w);
   transport_tracker_.SaveState(w);
+  w.Bool(policy_ != nullptr);
+  if (policy_ != nullptr) {
+    policy_->SaveState(w);
+  }
+  guard_.SaveState(w);
 }
 
 void RealFlEngine::LoadState(CheckpointReader& r) {
@@ -346,6 +437,16 @@ void RealFlEngine::LoadState(CheckpointReader& r) {
   aggregator_->LoadState(r);
   agg_tracker_.LoadState(r);
   transport_tracker_.LoadState(r);
+  const bool had_policy = r.Bool();
+  FLOATFL_CHECK_MSG(had_policy == (policy_ != nullptr) || !r.ok(),
+                    "checkpoint policy presence mismatch");
+  if (had_policy != (policy_ != nullptr)) {
+    return;
+  }
+  if (policy_ != nullptr) {
+    policy_->LoadState(r);
+  }
+  guard_.LoadState(r);
 }
 
 }  // namespace floatfl

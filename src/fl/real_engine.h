@@ -24,6 +24,9 @@
 #include "src/data/synthetic.h"
 #include "src/failure/checkpoint_io.h"
 #include "src/failure/fault_injector.h"
+#include "src/fl/tuning_policy.h"
+#include "src/guard/guard_config.h"
+#include "src/guard/training_guard.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/net/transport.h"
@@ -58,6 +61,8 @@ struct RealFlConfig {
   // Server-side aggregation rule (DESIGN.md §9). Default = plain weighted
   // FedAvg, bit-identical to the historical behavior.
   AggregatorConfig aggregator;
+  // Self-healing guard (DESIGN.md §11). Default disabled = strict no-op.
+  GuardConfig guard;
 };
 
 // Per-round measurements of the real pipeline.
@@ -88,6 +93,9 @@ struct RealRoundStats {
   size_t transfer_timeouts = 0;
   double retransmitted_mb = 0.0;
   double salvaged_mb = 0.0;
+  // True when the guard's watchdog fired and the round ended by restoring
+  // the last known good model (test metrics reflect the restored state).
+  bool rolled_back = false;
 };
 
 class RealFlEngine {
@@ -102,6 +110,16 @@ class RealFlEngine {
   // Convenience: same technique for every client.
   RealRoundStats RunRound(TechniqueKind technique);
 
+  // Attaches a tuning policy (not owned; may be null to detach). The policy
+  // decides each selected client's technique in RunRoundWithPolicy and
+  // receives per-client Report feedback — participated=false with the real
+  // dropout reason semantics (crash, blackout, lost transfer, quarantined
+  // update) and an accuracy credit derived from the round's test-accuracy
+  // delta. The real engine has no trace-driven observations, so clients are
+  // presented to the policy with a neutral ClientObservation.
+  void AttachPolicy(TuningPolicy* policy) { policy_ = policy; }
+  RealRoundStats RunRoundWithPolicy();
+
   double EvaluateAccuracy();
   double EvaluateLoss();
 
@@ -113,6 +131,7 @@ class RealFlEngine {
   size_t RoundsRun() const { return rounds_run_; }
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
+  const TrainingGuard& guard() const { return guard_; }
 
   // Checkpoint/resume: the datasets and model topology are rebuilt
   // deterministically from config; only the mutable training state (RNGs,
@@ -132,7 +151,14 @@ class RealFlEngine {
 
   size_t FrozenLayersFor(TechniqueKind technique) const;
 
+  // Shared round body. `report` (may be empty) receives per-client feedback
+  // after aggregation: (client_id, technique, participated, accuracy_credit).
+  RealRoundStats RunRoundImpl(
+      const std::function<TechniqueKind(size_t)>& choose_technique,
+      const std::function<void(size_t, TechniqueKind, bool, double)>& report);
+
   RealFlConfig config_;
+  TuningPolicy* policy_ = nullptr;
   FaultInjector injector_;
   std::unique_ptr<Aggregator> aggregator_;
   AggregationTracker agg_tracker_;
@@ -140,6 +166,8 @@ class RealFlEngine {
   // disabled by default.
   Transport transport_;
   TransportTracker transport_tracker_;
+  // Self-healing guard (DESIGN.md §11); disabled by default.
+  TrainingGuard guard_;
   Rng rng_;
   // Root of the per-(round, client) training streams; never advanced, only
   // ForkKeyed — so the streams are independent of simulation order.

@@ -31,6 +31,7 @@ SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, Tunin
   FLOATFL_CHECK(selector_ != nullptr);
   ValidateExperimentConfig(config_);
   injector_ = FaultInjector(config_.faults, config_.seed, config_.num_clients);
+  guard_ = TrainingGuard(config_.guard);
   if (config_.deadline_s <= 0.0) {
     config_.deadline_s = AutoDeadlineSeconds(config_, clients_);
   }
@@ -287,6 +288,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
 
 void SyncEngine::RunRound(size_t round) {
   injector_.BeginRound(round);
+  guard_.BeginRound(round);
   if (deadline_ctrl_.enabled()) {
     // Re-plan the sync deadline from the population's observed round times
     // (clamped to the configured bounds around the base deadline).
@@ -324,8 +326,13 @@ void SyncEngine::RunRound(size_t round) {
     FLOATFL_CHECK(id < clients_.size());
     Client& client = clients_[id];
     observations.push_back(ObserveClient(client, now_s_, reference_));
-    techniques.push_back(policy_ != nullptr ? policy_->Decide(id, observations.back(), global)
-                                            : TechniqueKind::kNone);
+    // The policy always gets its Decide call (preserving its internal draw
+    // order); the guard may then veto the chosen action (safe mode or
+    // quarantine) and substitute kNone.
+    techniques.push_back(
+        guard_.Filter(policy_ != nullptr ? policy_->Decide(id, observations.back(), global)
+                                         : TechniqueKind::kNone,
+                      round));
     if (injector_.enabled()) {
       faults[i] = injector_.Decide(round, id, now_s_);
     }
@@ -388,7 +395,8 @@ void SyncEngine::RunRound(size_t round) {
 
     accountant_.Record(outcome.costs.train_time_s, outcome.costs.comm_time_s,
                        outcome.costs.peak_memory_mb, outcome.completed);
-    tracker_.Record(selected[i], techniques[i], outcome.completed);
+    tracker_.Record(selected[i], techniques[i], outcome.completed, outcome.reason);
+    guard_.Observe(techniques[i], outcome.completed, outcome.reason, round);
     if (outcome.transfer_attempts > 0) {
       transport_tracker_.Record(outcome.transfer_attempts, outcome.retransmitted_mb,
                                 outcome.salvaged_mb, outcome.transfer_backoff_s,
@@ -443,8 +451,8 @@ void SyncEngine::RunRound(size_t round) {
       // The accuracy credit a client earns is the round's global improvement
       // scaled by the quality of its own (possibly optimized) update, so the
       // agent feels the accuracy cost of aggressive accelerations.
-      const double client_accuracy_credit =
-          accuracy_delta * (1.0 - EffectOf(outcome.technique).accuracy_impact);
+      const double client_accuracy_credit = guard_.SanitizeReward(
+          accuracy_delta * (1.0 - EffectOf(outcome.technique).accuracy_impact));
       policy_->Report(outcome.client_id, observations[i], global, outcome.technique,
                       outcome.completed, client_accuracy_credit);
     }
@@ -468,6 +476,34 @@ void SyncEngine::RunRound(size_t round) {
   if (accepted < needed) {
     round_duration = round_deadline_s_;
   }
+
+  // Self-healing hook (DESIGN.md §11): grade the round's end state, snapshot
+  // it when healthy, roll the surrogate and policy back to the last known
+  // good state when diverging. The rollback (if any) happens before the
+  // round's accuracy is recorded, so the history reflects the restored
+  // trajectory.
+  {
+    HealthSignal health;
+    health.metric = surrogate_->GlobalAccuracy();
+    health.loss = 1.0 - health.metric;
+    guard_.EndRound(
+        round, health,
+        [this](CheckpointWriter& w) {
+          surrogate_->SaveState(w);
+          w.Bool(policy_ != nullptr);
+          if (policy_ != nullptr) {
+            policy_->SaveState(w);
+          }
+        },
+        [this](CheckpointReader& r) {
+          surrogate_->LoadState(r);
+          const bool had_policy = r.Bool();
+          if (had_policy && policy_ != nullptr) {
+            policy_->LoadState(r);
+          }
+        });
+  }
+
   now_s_ += round_duration + kRoundOverheadS;
   accuracy_history_.push_back(surrogate_->GlobalAccuracy());
   ++rounds_run_;
@@ -498,6 +534,14 @@ ExperimentResult SyncEngine::Snapshot() const {
   result.wasted = accountant_.Wasted();
   result.wall_clock_hours = now_s_ / 3600.0;
   result.per_technique = tracker_.PerTechnique();
+  result.per_technique_dropouts = tracker_.DropoutsByTechnique();
+  result.guard_snapshots = guard_.tracker().Snapshots();
+  result.watchdog_triggers = guard_.tracker().WatchdogTriggers();
+  result.rollbacks = guard_.tracker().Rollbacks();
+  result.quarantined_actions = guard_.tracker().MaskedActions();
+  result.quarantine_openings = guard_.tracker().QuarantineOpenings();
+  result.rejected_rewards = guard_.tracker().RejectedRewards();
+  result.safe_mode_rounds = guard_.tracker().SafeModeRounds();
   result.accuracy_history = accuracy_history_;
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
@@ -541,6 +585,7 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
   w.F64(round_deadline_s_);
   transport_tracker_.SaveState(w);
   deadline_ctrl_.SaveState(w);
+  guard_.SaveState(w);
 }
 
 void SyncEngine::LoadState(CheckpointReader& r) {
@@ -584,6 +629,7 @@ void SyncEngine::LoadState(CheckpointReader& r) {
   round_deadline_s_ = r.F64();
   transport_tracker_.LoadState(r);
   deadline_ctrl_.LoadState(r);
+  guard_.LoadState(r);
 }
 
 }  // namespace floatfl

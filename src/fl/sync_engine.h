@@ -21,6 +21,7 @@
 #include "src/fl/experiment.h"
 #include "src/fl/observation.h"
 #include "src/fl/tuning_policy.h"
+#include "src/guard/training_guard.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
@@ -99,6 +100,7 @@ class SyncEngine {
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
   const AdaptiveDeadlineController& deadline_controller() const { return deadline_ctrl_; }
+  const TrainingGuard& guard() const { return guard_; }
   // The deadline governing the current round: the static configured value,
   // or the adaptive controller's latest proposal when it is enabled.
   double CurrentRoundDeadline() const { return round_deadline_s_; }
@@ -128,6 +130,8 @@ class SyncEngine {
   Transport transport_;
   TransportTracker transport_tracker_;
   AdaptiveDeadlineController deadline_ctrl_;
+  // Self-healing guard (DESIGN.md §11); a disabled guard is a strict no-op.
+  TrainingGuard guard_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   std::vector<double> accuracy_history_;

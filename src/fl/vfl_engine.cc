@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/data/synthetic.h"
 #include "src/failure/checkpoint_util.h"
+#include "src/fl/experiment.h"
 #include "src/opt/quantize.h"
 
 namespace floatfl {
@@ -42,6 +43,24 @@ bool AllFinite(const std::vector<float>& v) {
   return true;
 }
 
+void SaveLayer(CheckpointWriter& w, const DenseLayer& layer) {
+  w.F32Vec(layer.weights().flat());
+  w.F32Vec(layer.bias().flat());
+}
+
+void LoadLayer(CheckpointReader& r, DenseLayer& layer) {
+  const std::vector<float> weights = r.F32Vec();
+  const std::vector<float> bias = r.F32Vec();
+  FLOATFL_CHECK_MSG((weights.size() == layer.weights().flat().size() &&
+                     bias.size() == layer.bias().flat().size()) ||
+                        !r.ok(),
+                    "checkpoint VFL layer shape mismatch");
+  if (r.ok()) {
+    layer.weights().flat() = weights;
+    layer.bias().flat() = bias;
+  }
+}
+
 }  // namespace
 
 VflEngine::VflEngine(const VflConfig& config)
@@ -51,6 +70,8 @@ VflEngine::VflEngine(const VflConfig& config)
       rng_(config.seed) {
   FLOATFL_CHECK(config.num_parties >= 2);
   FLOATFL_CHECK(config.features_per_party > 0);
+  ValidateGuardConfig(config_.guard);
+  guard_ = TrainingGuard(config_.guard);
 
   const size_t total_features = config.num_parties * config.features_per_party;
   SyntheticTaskData task(config.num_classes, total_features, config.class_separation, rng_);
@@ -124,10 +145,16 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
   VflRoundStats stats;
   const size_t n = train_labels_.size();
   const size_t embed = config_.embedding_dim;
-  const int bits = QuantizationBits(comm_technique);
   const size_t epoch = epochs_run_++;
+  guard_.BeginRound(epoch);
+  // The guard may veto the requested communication optimization (safe mode
+  // or a quarantined technique) and run the epoch unoptimized.
+  comm_technique = guard_.Filter(comm_technique, epoch);
+  const int bits = QuantizationBits(comm_technique);
   double loss_sum = 0.0;
   size_t batches = 0;
+  // Per-party participation verdicts for the guard's failure attribution.
+  std::vector<DropoutReason> reasons(bottoms_.size(), DropoutReason::kNone);
 
   // Per-(epoch, party) fault draws, epoch standing in for both the round and
   // the wall clock (as in the real engine). A faulted party is out for the
@@ -145,10 +172,12 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
         party_out[p] = 1;
         --active_parties;
         ++stats.parties_crashed;
+        reasons[p] = faults[p].crash ? DropoutReason::kCrashed : DropoutReason::kUnavailable;
       } else if (faults[p].corrupt) {
         party_out[p] = 1;
         --active_parties;
         ++stats.parties_quarantined;
+        reasons[p] = DropoutReason::kCorrupted;
       }
     }
   }
@@ -180,6 +209,7 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
         party_out[p] = 1;
         --active_parties;
         ++stats.parties_timed_out;
+        reasons[p] = DropoutReason::kTransferTimedOut;
       }
     }
   }
@@ -231,6 +261,36 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
 
   stats.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
   stats.test_accuracy = EvaluateAccuracy();
+
+  // Failure attribution (party order) and the self-healing health check
+  // (DESIGN.md §11): snapshot the split model on improvement, restore the
+  // last known good bottoms + top when the epoch diverges.
+  for (size_t p = 0; p < bottoms_.size(); ++p) {
+    guard_.Observe(comm_technique, reasons[p] == DropoutReason::kNone, reasons[p], epoch);
+  }
+  {
+    HealthSignal health;
+    health.metric = stats.test_accuracy;
+    health.loss = stats.train_loss;
+    const bool rolled_back = guard_.EndRound(
+        epoch, health,
+        [this](CheckpointWriter& w) {
+          for (const auto& bottom : bottoms_) {
+            SaveLayer(w, bottom);
+          }
+          SaveLayer(w, *top_);
+        },
+        [this](CheckpointReader& r) {
+          for (auto& bottom : bottoms_) {
+            LoadLayer(r, bottom);
+          }
+          LoadLayer(r, *top_);
+        });
+    if (rolled_back) {
+      stats.rolled_back = true;
+      stats.test_accuracy = EvaluateAccuracy();
+    }
+  }
   return stats;
 }
 
@@ -240,28 +300,6 @@ double VflEngine::EvaluateAccuracy() {
   const Tensor logits = top_->Forward(concat);
   return SoftmaxXent::Accuracy(logits, test_labels_);
 }
-
-namespace {
-
-void SaveLayer(CheckpointWriter& w, const DenseLayer& layer) {
-  w.F32Vec(layer.weights().flat());
-  w.F32Vec(layer.bias().flat());
-}
-
-void LoadLayer(CheckpointReader& r, DenseLayer& layer) {
-  const std::vector<float> weights = r.F32Vec();
-  const std::vector<float> bias = r.F32Vec();
-  FLOATFL_CHECK_MSG((weights.size() == layer.weights().flat().size() &&
-                     bias.size() == layer.bias().flat().size()) ||
-                        !r.ok(),
-                    "checkpoint VFL layer shape mismatch");
-  if (r.ok()) {
-    layer.weights().flat() = weights;
-    layer.bias().flat() = bias;
-  }
-}
-
-}  // namespace
 
 void VflEngine::SaveState(CheckpointWriter& w) const {
   w.Size(epochs_run_);
@@ -273,6 +311,7 @@ void VflEngine::SaveState(CheckpointWriter& w) const {
   SaveLayer(w, *top_);
   injector_.SaveState(w);
   transport_tracker_.SaveState(w);
+  guard_.SaveState(w);
 }
 
 void VflEngine::LoadState(CheckpointReader& r) {
@@ -290,6 +329,7 @@ void VflEngine::LoadState(CheckpointReader& r) {
   LoadLayer(r, *top_);
   injector_.LoadState(r);
   transport_tracker_.LoadState(r);
+  guard_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -18,6 +18,8 @@
 #include "src/common/rng.h"
 #include "src/failure/checkpoint_io.h"
 #include "src/failure/fault_injector.h"
+#include "src/guard/guard_config.h"
+#include "src/guard/training_guard.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/net/transport.h"
 #include "src/nn/layers.h"
@@ -42,6 +44,8 @@ struct VflConfig {
   // sends non-finite embeddings, which the server's validation quarantines
   // for the epoch. The default config is a strict no-op.
   FaultConfig faults;
+  // Self-healing guard (DESIGN.md §11). Default disabled = strict no-op.
+  GuardConfig guard;
 };
 
 struct VflRoundStats {
@@ -61,6 +65,9 @@ struct VflRoundStats {
   size_t parties_timed_out = 0;
   double retransmitted_mb = 0.0;
   double salvaged_mb = 0.0;
+  // True when the guard's watchdog fired and the epoch ended by restoring
+  // the last known good split model (test_accuracy reflects the restore).
+  bool rolled_back = false;
 };
 
 class VflEngine {
@@ -77,6 +84,7 @@ class VflEngine {
   const VflConfig& config() const { return config_; }
   size_t EpochsRun() const { return epochs_run_; }
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
+  const TrainingGuard& guard() const { return guard_; }
 
   // Checkpoint/resume: datasets and model topology rebuild from config; the
   // mutable training state (epoch counter, RNG, every party encoder, the top
@@ -102,6 +110,8 @@ class VflEngine {
   // (Transport::TryDeliver); disabled by default.
   Transport transport_;
   TransportTracker transport_tracker_;
+  // Self-healing guard (DESIGN.md §11); disabled by default.
+  TrainingGuard guard_;
   Rng rng_;
   size_t epochs_run_ = 0;
   std::vector<DenseLayer> bottoms_;       // one encoder per party

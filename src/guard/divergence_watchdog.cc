@@ -1,0 +1,55 @@
+#include "src/guard/divergence_watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/failure/checkpoint_io.h"
+
+namespace floatfl {
+
+WatchdogVerdict DivergenceWatchdog::Check(const HealthSignal& health) {
+  if (!std::isfinite(health.metric) || !std::isfinite(health.loss)) {
+    return WatchdogVerdict::kNonFinite;
+  }
+  if (has_best_ && config_.collapse_threshold > 0.0 &&
+      health.metric < best_ - config_.collapse_threshold) {
+    return WatchdogVerdict::kCollapse;
+  }
+  // Healthy so far: fold the round into the baseline before the stall check
+  // so `patience` counts rounds since the last real improvement.
+  const bool improved = !has_best_ || health.metric > best_ + config_.stall_epsilon;
+  if (!has_best_ || health.metric > best_) {
+    best_ = health.metric;
+    has_best_ = true;
+  }
+  if (improved) {
+    stall_rounds_ = 0;
+  } else {
+    ++stall_rounds_;
+  }
+  if (config_.patience > 0 && stall_rounds_ >= config_.patience) {
+    stall_rounds_ = 0;  // one trigger per stalled window, not one per round
+    return WatchdogVerdict::kStall;
+  }
+  return WatchdogVerdict::kHealthy;
+}
+
+void DivergenceWatchdog::ResetAfterRollback(double restored_metric) {
+  best_ = restored_metric;
+  has_best_ = true;
+  stall_rounds_ = 0;
+}
+
+void DivergenceWatchdog::SaveState(CheckpointWriter& w) const {
+  w.Bool(has_best_);
+  w.F64(best_);
+  w.Size(stall_rounds_);
+}
+
+void DivergenceWatchdog::LoadState(CheckpointReader& r) {
+  has_best_ = r.Bool();
+  best_ = r.F64();
+  stall_rounds_ = r.Size();
+}
+
+}  // namespace floatfl

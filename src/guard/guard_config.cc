@@ -1,0 +1,23 @@
+#include "src/guard/guard_config.h"
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+void ValidateGuardConfig(const GuardConfig& config) {
+  FLOATFL_CHECK_MSG(config.collapse_threshold >= 0.0, "guard.collapse_threshold must be >= 0");
+  FLOATFL_CHECK_MSG(config.stall_epsilon >= 0.0, "guard.stall_epsilon must be >= 0");
+  FLOATFL_CHECK_MSG(config.snapshot_ring >= 1, "guard.snapshot_ring must be >= 1");
+  FLOATFL_CHECK_MSG(config.snapshot_every >= 1, "guard.snapshot_every must be >= 1");
+  FLOATFL_CHECK_MSG(config.quarantine_failure_rate > 0.0 && config.quarantine_failure_rate <= 1.0,
+                    "guard.quarantine_failure_rate must be in (0, 1]");
+  FLOATFL_CHECK_MSG(config.quarantine_cooldown_rounds >= 1,
+                    "guard.quarantine_cooldown_rounds must be >= 1");
+  FLOATFL_CHECK_MSG(config.quarantine_max_strikes >= 1,
+                    "guard.quarantine_max_strikes must be >= 1");
+  // The left shift in the cooldown schedule must not overflow.
+  FLOATFL_CHECK_MSG(config.quarantine_max_strikes <= 32,
+                    "guard.quarantine_max_strikes must be <= 32");
+}
+
+}  // namespace floatfl

@@ -1,0 +1,31 @@
+#include "src/metrics/guard_tracker.h"
+
+#include "src/failure/checkpoint_io.h"
+
+namespace floatfl {
+
+void GuardTracker::SaveState(CheckpointWriter& w) const {
+  w.Size(snapshots_);
+  w.Size(nonfinite_triggers_);
+  w.Size(collapse_triggers_);
+  w.Size(stall_triggers_);
+  w.Size(rollbacks_);
+  w.Size(masked_actions_);
+  w.Size(quarantine_openings_);
+  w.Size(rejected_rewards_);
+  w.Size(safe_mode_rounds_);
+}
+
+void GuardTracker::LoadState(CheckpointReader& r) {
+  snapshots_ = r.Size();
+  nonfinite_triggers_ = r.Size();
+  collapse_triggers_ = r.Size();
+  stall_triggers_ = r.Size();
+  rollbacks_ = r.Size();
+  masked_actions_ = r.Size();
+  quarantine_openings_ = r.Size();
+  rejected_rewards_ = r.Size();
+  safe_mode_rounds_ = r.Size();
+}
+
+}  // namespace floatfl

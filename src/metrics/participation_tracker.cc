@@ -8,6 +8,11 @@ ParticipationTracker::ParticipationTracker(size_t num_clients)
     : selected_(num_clients, 0), completed_(num_clients, 0) {}
 
 void ParticipationTracker::Record(size_t client_id, TechniqueKind technique, bool completed) {
+  Record(client_id, technique, completed, static_cast<DropoutReason>(0));
+}
+
+void ParticipationTracker::Record(size_t client_id, TechniqueKind technique, bool completed,
+                                  DropoutReason reason) {
   FLOATFL_CHECK(client_id < selected_.size());
   std::lock_guard<std::mutex> lock(mu_);
   ++selected_[client_id];
@@ -17,7 +22,21 @@ void ParticipationTracker::Record(size_t client_id, TechniqueKind technique, boo
     ++stats.success;
   } else {
     ++stats.failure;
+    // Reason 0 == DropoutReason::kNone: the caller did not attribute the
+    // failure, so record nothing rather than a bogus bucket.
+    if (static_cast<uint32_t>(reason) != 0) {
+      ++dropouts_by_technique_[technique][static_cast<uint32_t>(reason)];
+    }
   }
+}
+
+size_t ParticipationTracker::DropoutCount(TechniqueKind technique, DropoutReason reason) const {
+  const auto it = dropouts_by_technique_.find(technique);
+  if (it == dropouts_by_technique_.end()) {
+    return 0;
+  }
+  const auto jt = it->second.find(static_cast<uint32_t>(reason));
+  return jt == it->second.end() ? 0 : jt->second;
 }
 
 size_t ParticipationTracker::SelectedCount(size_t client_id) const {
@@ -75,6 +94,15 @@ void ParticipationTracker::SaveState(CheckpointWriter& w) const {
     w.Size(stats.success);
     w.Size(stats.failure);
   }
+  w.Size(dropouts_by_technique_.size());
+  for (const auto& [kind, reasons] : dropouts_by_technique_) {
+    w.U32(static_cast<uint32_t>(kind));
+    w.Size(reasons.size());
+    for (const auto& [reason, count] : reasons) {
+      w.U32(reason);
+      w.Size(count);
+    }
+  }
 }
 
 void ParticipationTracker::LoadState(CheckpointReader& r) {
@@ -88,6 +116,17 @@ void ParticipationTracker::LoadState(CheckpointReader& r) {
     stats.success = r.Size();
     stats.failure = r.Size();
     per_technique_[kind] = stats;
+  }
+  dropouts_by_technique_.clear();
+  const size_t kinds = r.Size();
+  for (size_t i = 0; i < kinds && r.ok(); ++i) {
+    const TechniqueKind kind = static_cast<TechniqueKind>(r.U32());
+    ReasonCounts& reasons = dropouts_by_technique_[kind];
+    const size_t entries = r.Size();
+    for (size_t j = 0; j < entries && r.ok(); ++j) {
+      const uint32_t reason = r.U32();
+      reasons[reason] = r.Size();
+    }
   }
 }
 

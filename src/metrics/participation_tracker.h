@@ -5,6 +5,7 @@
 #define SRC_METRICS_PARTICIPATION_TRACKER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -13,6 +14,10 @@
 #include "src/opt/technique.h"
 
 namespace floatfl {
+
+// Defined in src/fl/experiment.h; forward-declared (fixed underlying type)
+// to keep the metrics layer below the engine layer.
+enum class DropoutReason : uint32_t;
 
 class ParticipationTracker {
  public:
@@ -23,6 +28,11 @@ class ParticipationTracker {
   // read accessors below must not race with in-flight Record calls — the
   // engines only read after the per-round fan-out has joined.
   void Record(size_t client_id, TechniqueKind technique, bool completed);
+  // Attributing overload: a failed round additionally counts under
+  // (technique, reason), feeding the guard's quarantine heuristic
+  // (DESIGN.md §11) and the per_technique_dropouts result field. The 3-arg
+  // overload records no attribution (reason unknown).
+  void Record(size_t client_id, TechniqueKind technique, bool completed, DropoutReason reason);
 
   size_t SelectedCount(size_t client_id) const;
   size_t CompletedCount(size_t client_id) const;
@@ -40,6 +50,14 @@ class ParticipationTracker {
   };
   const std::map<TechniqueKind, TechniqueStats>& PerTechnique() const { return per_technique_; }
 
+  // Dropout counts keyed by technique, then by raw DropoutReason value
+  // (uint32_t so the incomplete enum never needs completing here).
+  using ReasonCounts = std::map<uint32_t, size_t>;
+  const std::map<TechniqueKind, ReasonCounts>& DropoutsByTechnique() const {
+    return dropouts_by_technique_;
+  }
+  size_t DropoutCount(TechniqueKind technique, DropoutReason reason) const;
+
   const std::vector<size_t>& selected() const { return selected_; }
   const std::vector<size_t>& completed() const { return completed_; }
 
@@ -52,6 +70,7 @@ class ParticipationTracker {
   std::vector<size_t> selected_;
   std::vector<size_t> completed_;
   std::map<TechniqueKind, TechniqueStats> per_technique_;
+  std::map<TechniqueKind, ReasonCounts> dropouts_by_technique_;
 };
 
 }  // namespace floatfl

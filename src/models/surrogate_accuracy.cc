@@ -6,6 +6,15 @@
 #include "src/common/check.h"
 
 namespace floatfl {
+namespace {
+
+// Caps for the adversarial-damage path in RoundUpdate: per-update damage is
+// bounded (one absurd negative quality cannot zero a run) and the decay per
+// round is a fixed fraction of the accuracy gained so far.
+constexpr double kMaxDamagePerUpdate = 8.0;
+constexpr double kPoisonDecay = 0.25;
+
+}  // namespace
 
 SurrogateConfig SurrogateConfigFor(const DatasetSpec& spec, double participation_target) {
   SurrogateConfig config;
@@ -44,6 +53,12 @@ void SurrogateAccuracyModel::RoundUpdate(const std::vector<ClientContribution>& 
     c *= 0.995;
   }
   double effective_updates = 0.0;
+  // Adversarial pressure: contributions with *negative* quality — the
+  // quality-space shadow of a model-replacement attack
+  // (FaultInjector::AttackedQuality) — actively drag the global accuracy
+  // back toward its initial value instead of merely contributing nothing.
+  // Per-update damage is capped so one absurd magnitude cannot zero the run.
+  double damage = 0.0;
   std::vector<double> cohort_dist(global_dist_.size(), 0.0);
   double cohort_mass = 0.0;
   for (const auto& contribution : successful) {
@@ -51,6 +66,9 @@ void SurrogateAccuracyModel::RoundUpdate(const std::vector<ClientContribution>& 
     const double discount =
         1.0 / (1.0 + config_.staleness_discount * std::max(0.0, contribution.staleness));
     const double quality = std::clamp(contribution.quality, 0.0, 1.0);
+    if (contribution.quality < 0.0) {
+      damage += std::min(-contribution.quality, kMaxDamagePerUpdate) * discount;
+    }
     effective_updates += quality * discount;
     const size_t id = contribution.client_id;
     contrib_ewma_[id] = std::min(1.0, contrib_ewma_[id] + 0.15 * quality * discount);
@@ -60,45 +78,59 @@ void SurrogateAccuracyModel::RoundUpdate(const std::vector<ClientContribution>& 
     }
     cohort_mass += static_cast<double>(shards_[id].total);
   }
-  if (effective_updates <= 0.0) {
+  if (effective_updates <= 0.0 && damage <= 0.0) {
     // A wholly failed round contributes nothing (the paper: progress made by
     // dropped clients is lost).
     return;
   }
-  // Participation factor: sub-linear in the number of effective updates,
-  // saturating slightly above the target (diminishing returns of more
-  // parallel clients per round).
-  const double participation =
-      std::min(1.25, effective_updates / config_.participation_target);
-  // Cohort bias: L1 divergence of this round's aggregated data from the
-  // global distribution, normalized to [0, 1].
-  double round_divergence = 0.0;
-  if (cohort_mass > 0.0) {
-    for (size_t k = 0; k < cohort_dist.size(); ++k) {
-      round_divergence += std::fabs(cohort_dist[k] / cohort_mass - global_dist_[k]);
+  if (effective_updates > 0.0) {
+    // Participation factor: sub-linear in the number of effective updates,
+    // saturating slightly above the target (diminishing returns of more
+    // parallel clients per round).
+    const double participation =
+        std::min(1.25, effective_updates / config_.participation_target);
+    // Cohort bias: L1 divergence of this round's aggregated data from the
+    // global distribution, normalized to [0, 1].
+    double round_divergence = 0.0;
+    if (cohort_mass > 0.0) {
+      for (size_t k = 0; k < cohort_dist.size(); ++k) {
+        round_divergence += std::fabs(cohort_dist[k] / cohort_mass - global_dist_[k]);
+      }
+      round_divergence *= 0.5;
     }
-    round_divergence *= 0.5;
+    const double rate = config_.convergence_rate * std::pow(participation, 0.6) *
+                        (1.0 - 0.5 * round_divergence);
+    // Smoothed update quality: persistent aggressive optimization (8-bit
+    // quantization, 75 % pruning/partial training on every update) caps the
+    // accuracy the federation can reach, not just its speed.
+    const double round_quality = effective_updates > 0.0
+                                     ? effective_updates / static_cast<double>(successful.size())
+                                     : 1.0;
+    quality_ewma_ += 0.1 * (round_quality - quality_ewma_);
+    const double quality_factor = std::clamp(1.0 - 1.2 * (1.0 - quality_ewma_), 0.5, 1.0);
+    // Achievable ceiling grows with cumulative data coverage: a model that has
+    // never seen 40% of the data mass cannot reach full accuracy.
+    const double coverage = DataCoverage();
+    const double ceiling = config_.initial_accuracy +
+                           (config_.max_accuracy - config_.initial_accuracy) *
+                               (0.35 + 0.65 * coverage) * quality_factor;
+    if (global_accuracy_ < ceiling) {
+      global_accuracy_ += rate * (ceiling - global_accuracy_);
+    }
+    global_accuracy_ =
+        std::clamp(global_accuracy_, config_.initial_accuracy, config_.max_accuracy);
   }
-  const double rate = config_.convergence_rate * std::pow(participation, 0.6) *
-                      (1.0 - 0.5 * round_divergence);
-  // Smoothed update quality: persistent aggressive optimization (8-bit
-  // quantization, 75 % pruning/partial training on every update) caps the
-  // accuracy the federation can reach, not just its speed.
-  const double round_quality = effective_updates > 0.0
-                                   ? effective_updates / static_cast<double>(successful.size())
-                                   : 1.0;
-  quality_ewma_ += 0.1 * (round_quality - quality_ewma_);
-  const double quality_factor = std::clamp(1.0 - 1.2 * (1.0 - quality_ewma_), 0.5, 1.0);
-  // Achievable ceiling grows with cumulative data coverage: a model that has
-  // never seen 40% of the data mass cannot reach full accuracy.
-  const double coverage = DataCoverage();
-  const double ceiling = config_.initial_accuracy +
-                         (config_.max_accuracy - config_.initial_accuracy) *
-                             (0.35 + 0.65 * coverage) * quality_factor;
-  if (global_accuracy_ < ceiling) {
-    global_accuracy_ += rate * (ceiling - global_accuracy_);
+  if (damage > 0.0) {
+    // Aggregated poisoning decays accuracy toward the initial value, scaled
+    // by how much of a target-sized cohort the attackers amount to. With 20%
+    // scaled-replacement attackers at scale 3 this erases ~15% of the gap
+    // above initial accuracy per round — fast enough that an unguarded run
+    // visibly collapses and a divergence watchdog has something to catch.
+    const double pressure = std::min(1.0, damage / config_.participation_target);
+    global_accuracy_ -= kPoisonDecay * pressure * (global_accuracy_ - config_.initial_accuracy);
+    global_accuracy_ =
+        std::clamp(global_accuracy_, config_.initial_accuracy, config_.max_accuracy);
   }
-  global_accuracy_ = std::clamp(global_accuracy_, config_.initial_accuracy, config_.max_accuracy);
 }
 
 double SurrogateAccuracyModel::ClientAccuracy(size_t client_id) const {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "src/common/rng.h"
@@ -87,6 +88,17 @@ TEST(QTableTest, LoadRejectsMissingFile) {
   Rng rng(8);
   QTable table(2, 2, rng);
   EXPECT_FALSE(table.Load("/nonexistent/q.txt"));
+}
+
+TEST(QTableTest, SetQRejectsNonFiniteValues) {
+  // The table is the last line of defense: a NaN written here would survive
+  // checkpoints and poison every future max/blend over the cell.
+  Rng rng(10);
+  QTable table(2, 2, rng, 0.0);
+  EXPECT_DEATH(table.SetQ(0, 0, std::numeric_limits<double>::quiet_NaN()),
+               "QTable::SetQ value must be finite");
+  EXPECT_DEATH(table.SetQ(0, 0, std::numeric_limits<double>::infinity()),
+               "QTable::SetQ value must be finite");
 }
 
 TEST(QTableTest, InitializeFromCopiesQButResetsVisits) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/common/rng.h"
 
 namespace floatfl {
@@ -161,6 +164,77 @@ TEST(RlhfAgentTest, PaperOperatingPointMemoryUnderBudget) {
   encoder.include_human_feedback = false;
   RlhfAgent agent(encoder, FastConfig(21), /*num_actions=*/8);
   EXPECT_LT(agent.MemoryBytes(), 200u * 1024u);  // < 0.2 MB (Figure 8)
+}
+
+TEST(RlhfAgentTest, NonFiniteRewardIsRejectedInsteadOfPoisoningTheTable) {
+  // Pre-fix semantics this test pins against regressing: a single NaN
+  // accuracy_improvement flowed into the accuracy moving average and SetQ,
+  // turning the cell (and every future blend with it) into NaN permanently;
+  // a +Inf locked max_improvement_seen_ at infinity, zeroing every future
+  // normalized accuracy score. Both must now be rejected at the boundary.
+  RlhfAgent agent(SmallEncoder(), FastConfig(25));
+  agent.FeedbackIndexed(4, 1, true, 0.02, 1);
+  const double q_healthy = agent.table().Q(4, 1);
+  ASSERT_TRUE(std::isfinite(q_healthy));
+
+  agent.FeedbackIndexed(4, 1, true, std::numeric_limits<double>::quiet_NaN(), 2);
+  agent.FeedbackIndexed(4, 1, true, std::numeric_limits<double>::infinity(), 3);
+  EXPECT_EQ(agent.RejectedRewards(), 2u);
+  EXPECT_TRUE(std::isfinite(agent.table().Q(4, 1)));
+
+  // The normalizer survived the +Inf: a later honest improvement still
+  // produces a positive, finite learning signal instead of a zeroed score.
+  agent.FeedbackIndexed(4, 1, true, 0.02, 4);
+  EXPECT_TRUE(std::isfinite(agent.table().Q(4, 1)));
+  EXPECT_GT(agent.table().Q(4, 1), 0.0);
+  EXPECT_GT(agent.RewardHistory().back(), 0.0);
+}
+
+TEST(RlhfAgentTest, AbsurdMagnitudeRewardIsRejected) {
+  // Accuracies live in [0, 1]; a 1e9 "improvement" is a bug upstream, not a
+  // signal, and must not become the normalization baseline.
+  RlhfAgent agent(SmallEncoder(), FastConfig(27));
+  agent.FeedbackIndexed(0, 0, true, 1e9, 1);
+  EXPECT_EQ(agent.RejectedRewards(), 1u);
+  agent.FeedbackIndexed(0, 0, true, 0.01, 2);
+  EXPECT_GT(agent.RewardHistory().back(), 0.0);
+}
+
+TEST(RlhfAgentTest, NonFiniteObservationFieldsAreSanitizedAndCounted) {
+  RlhfAgent agent(SmallEncoder(), FastConfig(29));
+  ClientObservation poisoned;
+  poisoned.cpu_avail = std::numeric_limits<double>::quiet_NaN();
+  poisoned.net_avail = std::numeric_limits<double>::infinity();
+  GlobalObservation global;
+  // Neither call may crash the encoder or poison the table.
+  const TechniqueKind kind = agent.ChooseTechnique(poisoned, global, 0);
+  bool found = false;
+  for (TechniqueKind action : ActionTechniques()) {
+    found = found || action == kind;
+  }
+  EXPECT_TRUE(found);
+  agent.Feedback(poisoned, global, kind, true, 0.01, 0);
+  EXPECT_EQ(agent.RejectedObservations(), 2u);
+  for (size_t s = 0; s < agent.NumStates(); ++s) {
+    for (size_t a = 0; a < agent.NumActions(); ++a) {
+      EXPECT_TRUE(std::isfinite(agent.table().Q(s, a)));
+    }
+  }
+}
+
+TEST(RlhfAgentTest, RejectionCountersSurviveCheckpoint) {
+  RlhfAgent agent(SmallEncoder(), FastConfig(33));
+  agent.FeedbackIndexed(0, 0, true, std::numeric_limits<double>::quiet_NaN(), 1);
+  ClientObservation poisoned;
+  poisoned.mem_avail = std::numeric_limits<double>::quiet_NaN();
+  agent.Feedback(poisoned, GlobalObservation{}, TechniqueKind::kNone, true, 0.0, 1);
+  CheckpointWriter w;
+  agent.SaveState(w);
+  RlhfAgent loaded(SmallEncoder(), FastConfig(34));
+  CheckpointReader r(w.buffer());
+  loaded.LoadState(r);
+  EXPECT_EQ(loaded.RejectedRewards(), agent.RejectedRewards());
+  EXPECT_EQ(loaded.RejectedObservations(), agent.RejectedObservations());
 }
 
 TEST(RlhfAgentTest, SummarizePerActionTalliesRunOutcomes) {

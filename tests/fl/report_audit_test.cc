@@ -1,0 +1,220 @@
+// Audit of the TuningPolicy::Report feedback contract (ISSUE 5 satellite):
+// every selected client produces exactly one Report per round, with
+// participated=false for *every* dropout reason — including the failure
+// modes added since PR 2 (kCrashed, kCorrupted, kRejected,
+// kTransferTimedOut) — and an always-finite accuracy credit. Without this,
+// the agent would learn only from survivors and never feel defense-rejected
+// rounds. The sequences are also pinned to be deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "src/fl/async_engine.h"
+#include "src/fl/real_engine.h"
+#include "src/fl/sync_engine.h"
+#include "src/fl/tuning_policy.h"
+#include "src/selection/random_selector.h"
+
+namespace floatfl {
+namespace {
+
+struct ReportEvent {
+  size_t client_id = 0;
+  TechniqueKind technique = TechniqueKind::kNone;
+  bool participated = false;
+
+  bool operator==(const ReportEvent& other) const {
+    return std::tie(client_id, technique, participated) ==
+           std::tie(other.client_id, other.technique, other.participated);
+  }
+};
+
+// Decides a fixed technique and records every Report verbatim.
+class RecordingPolicy final : public TuningPolicy {
+ public:
+  explicit RecordingPolicy(TechniqueKind kind) : kind_(kind) {}
+
+  TechniqueKind Decide(size_t, const ClientObservation&, const GlobalObservation&) override {
+    ++decides_;
+    return kind_;
+  }
+
+  void Report(size_t client_id, const ClientObservation&, const GlobalObservation&,
+              TechniqueKind technique, bool participated, double credit) override {
+    EXPECT_TRUE(std::isfinite(credit)) << "non-finite credit for client " << client_id;
+    events_.push_back({client_id, technique, participated});
+  }
+
+  std::string Name() const override { return "recording"; }
+
+  size_t Decides() const { return decides_; }
+  const std::vector<ReportEvent>& events() const { return events_; }
+  size_t FailedCount() const {
+    size_t n = 0;
+    for (const ReportEvent& e : events_) {
+      n += e.participated ? 0 : 1;
+    }
+    return n;
+  }
+
+ private:
+  TechniqueKind kind_;
+  size_t decides_ = 0;
+  std::vector<ReportEvent> events_;
+};
+
+// Every post-PR2 failure mode active at once: crashes, corruption with
+// server-side validation, over-selection rejects, lossy-transport timeouts.
+ExperimentConfig AllFailureModes() {
+  ExperimentConfig config;
+  config.num_clients = 40;
+  config.clients_per_round = 8;
+  config.rounds = 40;
+  config.seed = 606;
+  config.model = ModelId::kShuffleNetV2;
+  // Rates balanced so each audited reason fires AND surviving completions
+  // regularly exceed the needed cohort (over-selection kRejected needs
+  // surplus finishers, so the other faults can't be too aggressive).
+  config.faults.crash_prob = 0.1;
+  config.faults.corrupt_prob = 0.1;
+  config.faults.overcommit = 2.0;
+  config.faults.chunk_loss_prob = 0.05;
+  config.faults.link_blackout_prob = 0.02;
+  config.faults.max_transfer_retries = 2;
+  config.async_concurrency = 20;
+  config.async_buffer = 6;
+  return config;
+}
+
+TEST(ReportAuditTest, SyncEngineReportsEverySelectedClientWithItsOutcome) {
+  const ExperimentConfig config = AllFailureModes();
+  RandomSelector selector(config.seed);
+  RecordingPolicy policy(TechniqueKind::kQuant8);
+  SyncEngine engine(config, &selector, &policy);
+  const ExperimentResult result = engine.Run();
+
+  // Premise: every audited dropout reason actually occurred.
+  EXPECT_GT(result.dropout_breakdown.crashed, 0u);
+  EXPECT_GT(result.dropout_breakdown.corrupted, 0u);
+  EXPECT_GT(result.dropout_breakdown.rejected, 0u);
+  EXPECT_GT(result.dropout_breakdown.transfer_timed_out, 0u);
+
+  // Exactly one Report per selected client; failures report participated =
+  // false, so the dropout total is visible to the agent round by round.
+  EXPECT_EQ(policy.events().size(), result.total_selected);
+  EXPECT_EQ(policy.FailedCount(), result.total_dropouts);
+  EXPECT_EQ(policy.events().size() - policy.FailedCount(), result.total_completed);
+}
+
+TEST(ReportAuditTest, SyncEngineReportSequenceIsDeterministic) {
+  const ExperimentConfig config = AllFailureModes();
+  std::vector<ReportEvent> reference;
+  for (int run = 0; run < 2; ++run) {
+    RandomSelector selector(config.seed);
+    RecordingPolicy policy(TechniqueKind::kPrune50);
+    SyncEngine engine(config, &selector, &policy);
+    engine.Run();
+    if (reference.empty()) {
+      reference = policy.events();
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(policy.events(), reference);
+    }
+  }
+}
+
+TEST(ReportAuditTest, AsyncEngineReportsEveryFinishedFlightWithItsOutcome) {
+  ExperimentConfig config = AllFailureModes();
+  // Async FL has no round deadline: a transfer only times out by exhausting
+  // its retry budget, so the link must be lossier than the sync config's.
+  config.faults.chunk_loss_prob = 0.3;
+  config.faults.max_transfer_retries = 1;
+  RecordingPolicy policy(TechniqueKind::kQuant8);
+  AsyncEngine engine(config, &policy);
+  const ExperimentResult result = engine.Run();
+
+  EXPECT_GT(result.dropout_breakdown.crashed, 0u);
+  EXPECT_GT(result.dropout_breakdown.transfer_timed_out, 0u);
+  EXPECT_EQ(policy.events().size(), result.total_selected);
+  EXPECT_EQ(policy.FailedCount(), result.total_dropouts);
+  EXPECT_EQ(policy.events().size() - policy.FailedCount(), result.total_completed);
+}
+
+TEST(ReportAuditTest, RealEngineReportsDefenseRejectedClientsAsFailed) {
+  RealFlConfig config;
+  config.num_clients = 10;
+  config.clients_per_round = 5;
+  config.num_classes = 3;
+  config.input_dim = 8;
+  config.hidden_dims = {12};
+  config.test_samples_per_class = 10;
+  config.seed = 23;
+  config.num_threads = 1;
+  config.faults.crash_prob = 0.2;
+  config.faults.corrupt_prob = 0.2;
+  config.faults.chunk_loss_prob = 0.2;
+  config.faults.link_blackout_prob = 0.1;
+  config.faults.transport_chunk_mb = 0.01;
+  config.faults.max_transfer_retries = 1;
+
+  RecordingPolicy policy(TechniqueKind::kQuant8);
+  RealFlEngine engine(config);
+  engine.AttachPolicy(&policy);
+
+  const size_t rounds = 12;
+  size_t crashed = 0;
+  size_t rejected = 0;
+  size_t timed_out = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    const RealRoundStats stats = engine.RunRoundWithPolicy();
+    crashed += stats.crashed;
+    rejected += stats.rejected_updates;
+    timed_out += stats.transfer_timeouts;
+  }
+
+  // Premise: crashes, quarantined updates and lost transfers all happened.
+  EXPECT_GT(crashed, 0u);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(timed_out, 0u);
+
+  // One Decide and one Report per selected client per round; every failure
+  // mode — crash, server-side quarantine, exhausted transfer — reports
+  // participated = false.
+  EXPECT_EQ(policy.Decides(), rounds * config.clients_per_round);
+  EXPECT_EQ(policy.events().size(), rounds * config.clients_per_round);
+  EXPECT_EQ(policy.FailedCount(), crashed + rejected + timed_out);
+}
+
+TEST(ReportAuditTest, RealEngineReportSequenceIsDeterministic) {
+  RealFlConfig config;
+  config.num_clients = 8;
+  config.clients_per_round = 4;
+  config.num_classes = 3;
+  config.input_dim = 8;
+  config.hidden_dims = {12};
+  config.test_samples_per_class = 10;
+  config.seed = 31;
+  config.num_threads = 1;
+  config.faults.crash_prob = 0.25;
+
+  std::vector<ReportEvent> reference;
+  for (int run = 0; run < 2; ++run) {
+    RecordingPolicy policy(TechniqueKind::kPrune25);
+    RealFlEngine engine(config);
+    engine.AttachPolicy(&policy);
+    for (size_t r = 0; r < 6; ++r) {
+      engine.RunRoundWithPolicy();
+    }
+    if (reference.empty()) {
+      reference = policy.events();
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(policy.events(), reference);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace floatfl

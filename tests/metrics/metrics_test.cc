@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/fl/experiment.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
 
@@ -67,6 +68,46 @@ TEST(ParticipationTrackerTest, PerTechniqueStats) {
   EXPECT_EQ(per.at(TechniqueKind::kPrune50).success, 1u);
   EXPECT_EQ(per.at(TechniqueKind::kPrune50).failure, 0u);
   EXPECT_EQ(per.count(TechniqueKind::kPartial75), 0u);
+}
+
+TEST(ParticipationTrackerTest, AttributesDropoutsByTechniqueAndReason) {
+  ParticipationTracker tracker(6);
+  tracker.Record(0, TechniqueKind::kQuant8, false, DropoutReason::kCrashed);
+  tracker.Record(1, TechniqueKind::kQuant8, false, DropoutReason::kCrashed);
+  tracker.Record(2, TechniqueKind::kQuant8, false, DropoutReason::kTransferTimedOut);
+  tracker.Record(3, TechniqueKind::kQuant8, true, DropoutReason::kNone);
+  tracker.Record(4, TechniqueKind::kPrune50, false, DropoutReason::kCorrupted);
+  // The 3-arg overload records no attribution (reason unknown).
+  tracker.Record(5, TechniqueKind::kPrune50, false);
+
+  EXPECT_EQ(tracker.DropoutCount(TechniqueKind::kQuant8, DropoutReason::kCrashed), 2u);
+  EXPECT_EQ(tracker.DropoutCount(TechniqueKind::kQuant8, DropoutReason::kTransferTimedOut), 1u);
+  EXPECT_EQ(tracker.DropoutCount(TechniqueKind::kPrune50, DropoutReason::kCorrupted), 1u);
+  EXPECT_EQ(tracker.DropoutCount(TechniqueKind::kPrune50, DropoutReason::kCrashed), 0u);
+  // Completions never attribute, so kQuant8 has exactly two reasons on file.
+  const auto& by_technique = tracker.DropoutsByTechnique();
+  ASSERT_EQ(by_technique.count(TechniqueKind::kQuant8), 1u);
+  EXPECT_EQ(by_technique.at(TechniqueKind::kQuant8).size(), 2u);
+}
+
+TEST(ParticipationTrackerTest, AttributionRoundTripsThroughCheckpoint) {
+  ParticipationTracker tracker(3);
+  tracker.Record(0, TechniqueKind::kQuant8, false, DropoutReason::kOutOfMemory);
+  tracker.Record(1, TechniqueKind::kPartial75, false, DropoutReason::kRejected);
+  tracker.Record(2, TechniqueKind::kPartial75, true, DropoutReason::kNone);
+
+  CheckpointWriter w;
+  tracker.SaveState(w);
+  ParticipationTracker loaded(3);
+  CheckpointReader r(w.buffer());
+  loaded.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(loaded.DropoutsByTechnique(), tracker.DropoutsByTechnique());
+  EXPECT_EQ(loaded.DropoutCount(TechniqueKind::kQuant8, DropoutReason::kOutOfMemory), 1u);
+  EXPECT_EQ(loaded.TotalCompleted(), 1u);
+  CheckpointWriter again;
+  loaded.SaveState(again);
+  EXPECT_EQ(again.buffer(), w.buffer());
 }
 
 }  // namespace
