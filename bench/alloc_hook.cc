@@ -1,0 +1,71 @@
+// Opt-in counting allocator for the perf harness.
+//
+// Linking this translation unit replaces the global operator new/delete
+// with thin wrappers that bump floatfl_bench::g_perf_alloc_count on every
+// allocation. Only the perf binaries link it (see bench/CMakeLists.txt);
+// everything else keeps the stock allocator and reads the counter as zero.
+// Counting is allocation *events*, not bytes — the harness compares pooled
+// vs fresh-allocation round loops, where the event count is the signal.
+#include <cstdlib>
+#include <new>
+
+#include "bench/perf_util.h"
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  floatfl_bench::g_perf_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) {
+    size = 1;
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::align_val_t align) {
+  floatfl_bench::g_perf_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  size = (size + a - 1) / a * a;
+  if (size == 0) {
+    size = a;
+  }
+  void* p = std::aligned_alloc(a, size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  floatfl_bench::g_perf_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  floatfl_bench::g_perf_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

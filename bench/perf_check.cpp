@@ -1,0 +1,100 @@
+// Tolerance-checked comparison of two BENCH_*.json trajectory files
+// (DESIGN.md §12). CI runs the harness at smoke scale and diffs the fresh
+// file against the committed baseline:
+//
+//   perf_check <baseline.json> <fresh.json> [--wall-tol FRACTION]
+//
+// Deterministic fields (work_units, sim_seconds, bytes_moved_mb and the
+// derived det_rounds_per_sec) must match the baseline exactly — a change
+// there means the measured computation itself changed, not the machine.
+// wall_seconds may regress by at most the tolerance (default 15%); getting
+// faster never fails. Samples present in the baseline but missing from the
+// fresh file (or vice versa) fail the check: the trajectory's coverage is
+// part of the contract. Exit 0 = within tolerance, 1 = regression, 2 = bad
+// invocation or unreadable/unparseable input.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/perf_util.h"
+
+namespace floatfl_bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::string baseline_path, fresh_path;
+  double wall_tol = 0.15;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wall-tol") == 0 && i + 1 < argc) {
+      wall_tol = std::atof(argv[++i]);
+      if (wall_tol < 0.0) {
+        std::cerr << "perf_check: --wall-tol must be non-negative\n";
+        return 2;
+      }
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) {
+    std::cerr << "usage: perf_check <baseline.json> <fresh.json> [--wall-tol FRACTION]\n";
+    return 2;
+  }
+  baseline_path = positional[0];
+  fresh_path = positional[1];
+
+  std::vector<PerfSample> baseline, fresh;
+  std::string error;
+  if (!ReadJsonFile(baseline_path, &baseline, &error)) {
+    std::cerr << "perf_check: " << baseline_path << ": " << error << "\n";
+    return 2;
+  }
+  if (!ReadJsonFile(fresh_path, &fresh, &error)) {
+    std::cerr << "perf_check: " << fresh_path << ": " << error << "\n";
+    return 2;
+  }
+
+  std::map<std::string, PerfSample> fresh_by_key;
+  for (const PerfSample& s : fresh) {
+    fresh_by_key[s.Key()] = s;
+  }
+
+  bool ok = true;
+  for (const PerfSample& base : baseline) {
+    const auto it = fresh_by_key.find(base.Key());
+    if (it == fresh_by_key.end()) {
+      std::cerr << "FAIL " << base.Key() << ": missing from " << fresh_path << "\n";
+      ok = false;
+      continue;
+    }
+    const PerfDiff diff = ComparePerfSamples(base, it->second, wall_tol);
+    if (!diff.ok) {
+      std::cerr << "FAIL " << diff.key << ": " << diff.detail << "\n";
+      ok = false;
+    } else {
+      std::cout << "ok   " << diff.key << " (wall " << base.wall_seconds << "s -> "
+                << it->second.wall_seconds << "s)\n";
+    }
+    fresh_by_key.erase(it);
+  }
+  for (const auto& [key, sample] : fresh_by_key) {
+    (void)sample;
+    std::cerr << "FAIL " << key << ": present in " << fresh_path << " but not in baseline\n";
+    ok = false;
+  }
+
+  if (!ok) {
+    std::cerr << "perf_check: " << fresh_path << " regressed against " << baseline_path << "\n";
+    return 1;
+  }
+  std::cout << "perf_check: " << baseline.size() << " samples within tolerance\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace floatfl_bench
+
+int main(int argc, char** argv) { return floatfl_bench::Main(argc, argv); }

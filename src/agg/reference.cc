@@ -1,0 +1,208 @@
+#include "src/agg/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+std::vector<float> ReferenceWeightedMean(const std::vector<std::vector<float>>& parameter_sets,
+                                         const std::vector<double>& weights) {
+  FLOATFL_CHECK(!parameter_sets.empty());
+  FLOATFL_CHECK(parameter_sets.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    FLOATFL_CHECK(w >= 0.0);
+    total += w;
+  }
+  FLOATFL_CHECK(total > 0.0);
+  const size_t n = parameter_sets[0].size();
+  std::vector<float> out(n, 0.0f);
+  for (size_t s = 0; s < parameter_sets.size(); ++s) {
+    FLOATFL_CHECK(parameter_sets[s].size() == n);
+    const float w = static_cast<float>(weights[s] / total);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] += w * parameter_sets[s][i];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<float> ReferenceMedian(const std::vector<std::vector<float>>& updates) {
+  const size_t dim = updates[0].size();
+  const size_t n = updates.size();
+  std::vector<float> out(dim, 0.0f);
+  std::vector<float> column(n);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t s = 0; s < n; ++s) {
+      FLOATFL_CHECK(updates[s].size() == dim);
+      column[s] = updates[s][i];
+    }
+    std::sort(column.begin(), column.end());
+    out[i] = (n % 2 == 1) ? column[n / 2] : 0.5f * (column[n / 2 - 1] + column[n / 2]);
+  }
+  return out;
+}
+
+std::vector<float> ReferenceTrimmedMean(const AggregatorConfig& config,
+                                        const std::vector<std::vector<float>>& updates,
+                                        AggregatorStats& stats) {
+  const size_t dim = updates[0].size();
+  const size_t n = updates.size();
+  size_t k = static_cast<size_t>(config.trim_fraction * static_cast<double>(n));
+  if (2 * k >= n) {
+    k = (n - 1) / 2;
+  }
+  stats.updates_trimmed = 2 * k;
+  std::vector<float> out(dim, 0.0f);
+  std::vector<float> column(n);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t s = 0; s < n; ++s) {
+      FLOATFL_CHECK(updates[s].size() == dim);
+      column[s] = updates[s][i];
+    }
+    std::sort(column.begin(), column.end());
+    double sum = 0.0;
+    for (size_t s = k; s < n - k; ++s) {
+      sum += static_cast<double>(column[s]);
+    }
+    out[i] = static_cast<float>(sum / static_cast<double>(n - 2 * k));
+  }
+  return out;
+}
+
+std::vector<float> ReferenceKrum(const AggregatorConfig& config,
+                                 const std::vector<std::vector<float>>& updates,
+                                 const std::vector<double>& weights, AggregatorStats& stats) {
+  const size_t n = updates.size();
+  if (n < 3) {
+    return ReferenceWeightedMean(updates, weights);
+  }
+  size_t f = config.krum_assumed_byzantine;
+  const size_t f_max = (n - 3) / 2;
+  if (f == 0 || f > f_max) {
+    f = f_max;
+  }
+  const size_t neighbours = std::max<size_t>(1, n - f - 2);
+  size_t m = config.multi_krum_m;
+  if (m == 0) {
+    m = std::max<size_t>(1, n - f - 2);
+  }
+  m = std::min(m, n);
+
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      FLOATFL_CHECK(updates[b].size() == updates[a].size());
+      double sq = 0.0;
+      for (size_t i = 0; i < updates[a].size(); ++i) {
+        const double d = static_cast<double>(updates[a][i]) - updates[b][i];
+        sq += d * d;
+      }
+      dist[a][b] = sq;
+      dist[b][a] = sq;
+    }
+  }
+  std::vector<std::pair<double, size_t>> scored(n);
+  std::vector<double> neighbour_dists(n - 1);
+  for (size_t a = 0; a < n; ++a) {
+    size_t count = 0;
+    for (size_t b = 0; b < n; ++b) {
+      if (b != a) {
+        neighbour_dists[count++] = dist[a][b];
+      }
+    }
+    std::sort(neighbour_dists.begin(), neighbour_dists.end());
+    double score = 0.0;
+    for (size_t j = 0; j < std::min(neighbours, count); ++j) {
+      score += neighbour_dists[j];
+    }
+    scored[a] = {score, a};
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  std::vector<size_t> kept;
+  kept.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    kept.push_back(scored[j].second);
+  }
+  std::sort(kept.begin(), kept.end());
+  std::vector<std::vector<float>> selected;
+  std::vector<double> selected_weights;
+  selected.reserve(m);
+  selected_weights.reserve(m);
+  for (size_t idx : kept) {
+    selected.push_back(updates[idx]);
+    selected_weights.push_back(weights[idx]);
+  }
+  stats.krum_rejections = n - m;
+  return ReferenceWeightedMean(selected, selected_weights);
+}
+
+std::vector<float> ReferenceNormClip(const AggregatorConfig& config,
+                                     const std::vector<std::vector<float>>& updates,
+                                     const std::vector<double>& weights,
+                                     const std::vector<float>& global, AggregatorStats& stats) {
+  const size_t dim = updates[0].size();
+  FLOATFL_CHECK(global.size() == dim);
+  std::vector<std::vector<float>> clipped = updates;
+  for (auto& update : clipped) {
+    FLOATFL_CHECK(update.size() == dim);
+    double sq = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = static_cast<double>(update[i]) - global[i];
+      sq += d * d;
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > config.clip_norm) {
+      const double scale = config.clip_norm / norm;
+      for (size_t i = 0; i < dim; ++i) {
+        const double d = static_cast<double>(update[i]) - global[i];
+        update[i] = static_cast<float>(global[i] + scale * d);
+      }
+      ++stats.updates_clipped;
+    }
+  }
+  return ReferenceWeightedMean(clipped, weights);
+}
+
+}  // namespace
+
+std::vector<float> ReferenceAggregate(const AggregatorConfig& config,
+                                      const std::vector<std::vector<float>>& updates,
+                                      const std::vector<double>& weights,
+                                      const std::vector<float>& global, AggregatorStats* stats) {
+  FLOATFL_CHECK(!updates.empty());
+  FLOATFL_CHECK(updates.size() == weights.size());
+  AggregatorStats local;
+  std::vector<float> out;
+  switch (config.kind) {
+    case AggregatorKind::kMedian:
+      out = ReferenceMedian(updates);
+      break;
+    case AggregatorKind::kTrimmedMean:
+      out = ReferenceTrimmedMean(config, updates, local);
+      break;
+    case AggregatorKind::kKrum:
+      out = ReferenceKrum(config, updates, weights, local);
+      break;
+    case AggregatorKind::kNormClip:
+      out = ReferenceNormClip(config, updates, weights, global, local);
+      break;
+    case AggregatorKind::kFedAvg:
+    default:
+      out = ReferenceWeightedMean(updates, weights);
+      break;
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return out;
+}
+
+}  // namespace floatfl

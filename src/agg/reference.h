@@ -1,0 +1,38 @@
+// Frozen textbook implementations of the five aggregation rules.
+//
+// These are the original (pre-optimization) loops from src/agg/aggregator.cc,
+// kept verbatim as the serial golden: the production aggregators may be
+// restructured for speed (cache blocking, selection instead of full sorts,
+// fused clipping) but must stay bit-for-bit identical to these references.
+// The `perf`-labelled regression tests (tests/perf/blocked_agg_test.cc)
+// enforce that equivalence on every rule; DESIGN.md §12 documents the
+// contract.
+//
+// Do not optimize this file. Its value is being the slow, obviously-correct
+// spelling of each rule.
+#ifndef SRC_AGG_REFERENCE_H_
+#define SRC_AGG_REFERENCE_H_
+
+#include <vector>
+
+#include "src/agg/aggregator.h"
+#include "src/agg/aggregator_config.h"
+
+namespace floatfl {
+
+// The original straight-line weighted mean: for each update s in order,
+// out[i] += w_s * update_s[i] over the full coordinate range.
+std::vector<float> ReferenceWeightedMean(const std::vector<std::vector<float>>& parameter_sets,
+                                         const std::vector<double>& weights);
+
+// Applies the rule selected by `config.kind` with the original full-sort /
+// full-copy implementations. Semantics (including `stats` counts) match
+// Aggregator::Aggregate exactly, minus the cumulative totals bookkeeping.
+std::vector<float> ReferenceAggregate(const AggregatorConfig& config,
+                                      const std::vector<std::vector<float>>& updates,
+                                      const std::vector<double>& weights,
+                                      const std::vector<float>& global, AggregatorStats* stats);
+
+}  // namespace floatfl
+
+#endif  // SRC_AGG_REFERENCE_H_

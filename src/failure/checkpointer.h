@@ -42,8 +42,10 @@ class Checkpointer {
   // byzantine_start_round fault field joined the fingerprints; engine
   // payloads grew the self-healing guard state (watchdog, snapshot ring,
   // quarantine, tracker) and, for the real engine, an attached-policy
-  // section. Older checkpoints are refused (the version field mismatches).
-  static constexpr uint32_t kVersion = 4;
+  // section. v5: TransportTracker serializes its cumulative wire_mb
+  // (bytes-moved accounting for the perf harness, DESIGN.md §12). Older
+  // checkpoints are refused (the version field mismatches).
+  static constexpr uint32_t kVersion = 5;
   enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3, kVfl = 4 };
 
   // Atomic save (temp file + rename). Returns false on I/O failure.

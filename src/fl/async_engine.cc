@@ -233,7 +233,8 @@ void AsyncEngine::LaunchClients() {
 
   // Collect idle, currently-available clients (minus failure cooldowns,
   // keyed by the aggregation version — async FL's round analogue).
-  std::vector<size_t> candidates;
+  std::vector<size_t>& candidates = scratch_.candidates;
+  candidates.clear();
   for (const auto& client : clients_) {
     if (!busy_[client.id()] && client.cooldown_until_round <= version_) {
       candidates.push_back(client.id());
@@ -244,11 +245,14 @@ void AsyncEngine::LaunchClients() {
   // the RNG and policy draw order fixed across thread counts. Fault draws
   // are keyed by the client's launch count, async FL's per-client round.
   const std::vector<size_t> order = rng_.Permutation(candidates.size());
-  std::vector<InFlight> launches;
-  std::vector<FaultDecision> faults;
+  std::vector<InFlight>& launches = scratch_.launches;
+  std::vector<FaultDecision>& faults = scratch_.faults;
   // Per-launch transport key: the client's launch count before this launch
   // (same key as the fault decision above).
-  std::vector<size_t> transfer_rounds;
+  std::vector<size_t>& transfer_rounds = scratch_.transfer_rounds;
+  launches.clear();
+  faults.clear();
+  transfer_rounds.clear();
   for (size_t idx : order) {
     if (in_flight_.size() + launches.size() >= config_.async_concurrency) {
       break;
@@ -288,6 +292,9 @@ void AsyncEngine::LaunchClients() {
   // Phase 3 (sequential, launch order): commit to the in-flight set.
   for (auto& flight : launches) {
     in_flight_.push_back(flight);
+  }
+  if (!config_.pool_round_scratch) {
+    scratch_.Release();
   }
 }
 
@@ -365,8 +372,9 @@ void AsyncEngine::StepOnce() {
   tracker_.Record(flight.client_id, flight.technique, accepted, drop_reason);
   guard_.Observe(flight.technique, accepted, drop_reason, version_);
   if (flight.outcome.transfer_attempts > 0) {
-    transport_tracker_.Record(flight.outcome.transfer_attempts, flight.outcome.retransmitted_mb,
-                              flight.outcome.salvaged_mb, flight.outcome.transfer_backoff_s,
+    transport_tracker_.Record(flight.outcome.transfer_attempts, flight.outcome.costs.traffic_mb,
+                              flight.outcome.retransmitted_mb, flight.outcome.salvaged_mb,
+                              flight.outcome.transfer_backoff_s,
                               flight.outcome.reason == DropoutReason::kTransferTimedOut);
   }
   if (policy_ != nullptr) {
@@ -448,6 +456,7 @@ ExperimentResult AsyncEngine::Snapshot() const {
   result.krum_rejections = agg_tracker_.TotalKrumRejections();
   result.updates_trimmed = agg_tracker_.TotalTrimmed();
   result.transfer_attempts = transport_tracker_.TotalAttempts();
+  result.wire_mb = transport_tracker_.TotalWireMb();
   result.retransmitted_mb = transport_tracker_.TotalRetransmittedMb();
   result.salvaged_mb = transport_tracker_.TotalSalvagedMb();
   result.transfer_backoff_s = transport_tracker_.TotalBackoffS();

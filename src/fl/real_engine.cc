@@ -220,9 +220,12 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   // engine has no wall clock; the round index stands in for time, so
   // blackout windows are in round units. The guard gets a veto over every
   // chosen technique (safe mode / quarantine masks it to kNone).
-  std::vector<TechniqueKind> techniques(k);
-  std::vector<size_t> frozen_layers(k);
-  std::vector<FaultDecision> faults(k);
+  std::vector<TechniqueKind>& techniques = scratch_.techniques;
+  std::vector<size_t>& frozen_layers = scratch_.frozen_layers;
+  std::vector<FaultDecision>& faults = scratch_.faults;
+  techniques.assign(k, TechniqueKind::kNone);
+  frozen_layers.assign(k, 0);
+  faults.assign(k, FaultDecision());
   for (size_t i = 0; i < k; ++i) {
     techniques[i] = guard_.Filter(choose_technique(order[i]), round);
     frozen_layers[i] = FrozenLayersFor(techniques[i]);
@@ -236,9 +239,12 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   // weights do not depend on which thread — or in which order — clients run.
   // A crashed (or blacked-out) client never delivers; a corrupted one
   // delivers a poisoned tensor.
-  std::vector<ProcessedUpdate> processed(k);
-  std::vector<uint8_t> delivered(k, 1);
-  std::vector<TransferResult> transfers(k);
+  std::vector<ProcessedUpdate>& processed = scratch_.processed;
+  std::vector<uint8_t>& delivered = scratch_.delivered;
+  std::vector<TransferResult>& transfers = scratch_.transfers;
+  processed.assign(k, ProcessedUpdate());
+  delivered.assign(k, 1);
+  transfers.assign(k, TransferResult());
   ParallelFor(pool_.get(), k, [&](size_t i) {
     if (faults[i].crash || faults[i].blackout) {
       delivered[i] = 0;
@@ -272,13 +278,17 @@ RealRoundStats RealFlEngine::RunRoundImpl(
 
   // Phase 3 (sequential, selection order): server-side validation, then a
   // fixed-order reduction through the configured aggregator.
-  std::vector<std::vector<float>> updates;
-  std::vector<double> weights;
+  std::vector<std::vector<float>>& updates = scratch_.updates;
+  std::vector<double>& weights = scratch_.weights;
+  updates.clear();
+  weights.clear();
   RealRoundStats stats;
   double total_bytes = 0.0;
   double total_error = 0.0;
-  std::vector<uint8_t> participated(k, 0);
-  std::vector<DropoutReason> reasons(k, DropoutReason::kNone);
+  std::vector<uint8_t>& participated = scratch_.participated;
+  std::vector<DropoutReason>& reasons = scratch_.reasons;
+  participated.assign(k, 0);
+  reasons.assign(k, DropoutReason::kNone);
   for (size_t i = 0; i < k; ++i) {
     if (faults[i].byzantine) {
       ++stats.byzantine_selected;
@@ -289,9 +299,9 @@ RealRoundStats RealFlEngine::RunRoundImpl(
       continue;
     }
     if (transport_.enabled()) {
-      transport_tracker_.Record(transfers[i].attempts, transfers[i].retransmitted_mb,
-                                transfers[i].salvaged_mb, transfers[i].backoff_s,
-                                transfers[i].timed_out);
+      transport_tracker_.Record(transfers[i].attempts, transfers[i].wire_mb,
+                                transfers[i].retransmitted_mb, transfers[i].salvaged_mb,
+                                transfers[i].backoff_s, transfers[i].timed_out);
       stats.retransmitted_mb += transfers[i].retransmitted_mb;
       stats.salvaged_mb += transfers[i].salvaged_mb;
       if (!transfers[i].delivered) {
@@ -376,6 +386,9 @@ RealRoundStats RealFlEngine::RunRoundImpl(
       stats.test_accuracy = EvaluateAccuracy();
       stats.test_loss = EvaluateLoss();
     }
+  }
+  if (!config_.pool_round_scratch) {
+    scratch_.Release();
   }
   return stats;
 }

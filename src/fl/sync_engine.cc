@@ -316,9 +316,12 @@ void SyncEngine::RunRound(size_t round) {
   // decisions are drawn here too — each from its own (round, client)-keyed
   // stream, so their order is irrelevant, but batching them keeps phase 2
   // free of injector calls.
-  std::vector<ClientObservation> observations;
-  std::vector<TechniqueKind> techniques;
-  std::vector<FaultDecision> faults(selected.size());
+  std::vector<ClientObservation>& observations = scratch_.observations;
+  std::vector<TechniqueKind>& techniques = scratch_.techniques;
+  std::vector<FaultDecision>& faults = scratch_.faults;
+  observations.clear();
+  techniques.clear();
+  faults.assign(selected.size(), FaultDecision());
   observations.reserve(selected.size());
   techniques.reserve(selected.size());
   for (size_t i = 0; i < selected.size(); ++i) {
@@ -341,7 +344,8 @@ void SyncEngine::RunRound(size_t round) {
   // Phase 2 (parallel): simulate the selected clients. Each task touches
   // only its own client's trace state (selectors sample without
   // replacement), and outcomes land in an index-ordered buffer.
-  std::vector<ClientRoundOutcome> outcomes(selected.size());
+  std::vector<ClientRoundOutcome>& outcomes = scratch_.outcomes;
+  outcomes.assign(selected.size(), ClientRoundOutcome());
   ParallelFor(pool_.get(), selected.size(), [&](size_t i) {
     outcomes[i] = SimulateClient(clients_[selected[i]], round, now_s_, techniques[i], faults[i]);
   });
@@ -363,7 +367,8 @@ void SyncEngine::RunRound(size_t round) {
   // abandoned and their spend charged as waste.
   const size_t needed = std::min(base_k, selected.size());
   {
-    std::vector<size_t> completed_idx;
+    std::vector<size_t>& completed_idx = scratch_.completed_idx;
+    completed_idx.clear();
     for (size_t i = 0; i < outcomes.size(); ++i) {
       if (outcomes[i].completed) {
         completed_idx.push_back(i);
@@ -398,8 +403,9 @@ void SyncEngine::RunRound(size_t round) {
     tracker_.Record(selected[i], techniques[i], outcome.completed, outcome.reason);
     guard_.Observe(techniques[i], outcome.completed, outcome.reason, round);
     if (outcome.transfer_attempts > 0) {
-      transport_tracker_.Record(outcome.transfer_attempts, outcome.retransmitted_mb,
-                                outcome.salvaged_mb, outcome.transfer_backoff_s,
+      transport_tracker_.Record(outcome.transfer_attempts, outcome.costs.traffic_mb,
+                                outcome.retransmitted_mb, outcome.salvaged_mb,
+                                outcome.transfer_backoff_s,
                                 outcome.reason == DropoutReason::kTransferTimedOut);
     }
     CountDropout(outcome.reason, dropout_breakdown_);
@@ -417,7 +423,8 @@ void SyncEngine::RunRound(size_t round) {
   // quality; the configured aggregation rule then gets its say before the
   // surrogate folds the contributions in.
   const double accuracy_before = surrogate_->GlobalAccuracy();
-  std::vector<ClientContribution> contributions;
+  std::vector<ClientContribution>& contributions = scratch_.contributions;
+  contributions.clear();
   double round_duration = 0.0;
   size_t accepted = 0;
   size_t byzantine_selected = 0;
@@ -507,6 +514,9 @@ void SyncEngine::RunRound(size_t round) {
   now_s_ += round_duration + kRoundOverheadS;
   accuracy_history_.push_back(surrogate_->GlobalAccuracy());
   ++rounds_run_;
+  if (!config_.pool_round_scratch) {
+    scratch_.Release();
+  }
 }
 
 ExperimentResult SyncEngine::Snapshot() const {
@@ -527,6 +537,7 @@ ExperimentResult SyncEngine::Snapshot() const {
   result.krum_rejections = agg_tracker_.TotalKrumRejections();
   result.updates_trimmed = agg_tracker_.TotalTrimmed();
   result.transfer_attempts = transport_tracker_.TotalAttempts();
+  result.wire_mb = transport_tracker_.TotalWireMb();
   result.retransmitted_mb = transport_tracker_.TotalRetransmittedMb();
   result.salvaged_mb = transport_tracker_.TotalSalvagedMb();
   result.transfer_backoff_s = transport_tracker_.TotalBackoffS();

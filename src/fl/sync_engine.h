@@ -140,6 +140,30 @@ class SyncEngine {
   // Deadline in force this round; equals config_.deadline_s until the
   // adaptive controller (if enabled) proposes otherwise.
   double round_deadline_s_ = 0.0;
+  // Pooled per-round scratch buffers (DESIGN.md §12): cleared at the top of
+  // every RunRound and reused across rounds when config_.pool_round_scratch
+  // (the default), so steady-state rounds allocate only when a round's
+  // cohort outgrows every earlier one. Contents never outlive one round, so
+  // pooling cannot change results; released each round when the toggle is
+  // off so bench/perf_harness can measure the before/after.
+  struct RoundScratch {
+    std::vector<ClientObservation> observations;
+    std::vector<TechniqueKind> techniques;
+    std::vector<FaultDecision> faults;
+    std::vector<ClientRoundOutcome> outcomes;
+    std::vector<size_t> completed_idx;
+    std::vector<ClientContribution> contributions;
+
+    void Release() {
+      observations = decltype(observations)();
+      techniques = decltype(techniques)();
+      faults = decltype(faults)();
+      outcomes = decltype(outcomes)();
+      completed_idx = decltype(completed_idx)();
+      contributions = decltype(contributions)();
+    }
+  };
+  RoundScratch scratch_;
 };
 
 }  // namespace floatfl

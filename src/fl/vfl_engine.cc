@@ -154,17 +154,20 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
   double loss_sum = 0.0;
   size_t batches = 0;
   // Per-party participation verdicts for the guard's failure attribution.
-  std::vector<DropoutReason> reasons(bottoms_.size(), DropoutReason::kNone);
+  std::vector<DropoutReason>& reasons = scratch_.reasons;
+  reasons.assign(bottoms_.size(), DropoutReason::kNone);
 
   // Per-(epoch, party) fault draws, epoch standing in for both the round and
   // the wall clock (as in the real engine). A faulted party is out for the
   // whole epoch: silent (crash/blackout) or quarantined (corruption).
-  std::vector<FaultDecision> faults;
-  std::vector<uint8_t> party_out;
+  std::vector<FaultDecision>& faults = scratch_.faults;
+  std::vector<uint8_t>& party_out = scratch_.party_out;
+  faults.clear();
+  party_out.clear();
   size_t active_parties = bottoms_.size();
   if (injector_.enabled()) {
     injector_.BeginRound(epoch);
-    faults.resize(bottoms_.size());
+    faults.assign(bottoms_.size(), FaultDecision());
     party_out.assign(bottoms_.size(), 0);
     for (size_t p = 0; p < bottoms_.size(); ++p) {
       faults[p] = injector_.Decide(epoch, p, static_cast<double>(epoch));
@@ -188,7 +191,7 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
     // its retries is silent for the epoch, exactly like a crash — modeled by
     // synthesizing a blackout decision so the forward pass zero-fills it.
     if (faults.empty()) {
-      faults.resize(bottoms_.size());
+      faults.assign(bottoms_.size(), FaultDecision());
       party_out.assign(bottoms_.size(), 0);
     }
     const double payload_mb = static_cast<double>(config_.train_samples) *
@@ -200,7 +203,7 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
       }
       const TransferResult transfer = transport_.TryDeliver(
           epoch, p, payload_mb, TransferLeg::kUpload, config_.faults.resumable_uploads);
-      transport_tracker_.Record(transfer.attempts, transfer.retransmitted_mb,
+      transport_tracker_.Record(transfer.attempts, transfer.wire_mb, transfer.retransmitted_mb,
                                 transfer.salvaged_mb, transfer.backoff_s, transfer.timed_out);
       stats.retransmitted_mb += transfer.retransmitted_mb;
       stats.salvaged_mb += transfer.salvaged_mb;
@@ -224,8 +227,9 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
     const Tensor concat = ForwardParties(train_features_, start, count, comm_technique,
                                          &stats.traffic_bytes, fault_view);
     const Tensor logits = top_->Forward(concat);
-    std::vector<int> batch_labels(train_labels_.begin() + static_cast<ptrdiff_t>(start),
-                                  train_labels_.begin() + static_cast<ptrdiff_t>(start + count));
+    std::vector<int>& batch_labels = scratch_.batch_labels;
+    batch_labels.assign(train_labels_.begin() + static_cast<ptrdiff_t>(start),
+                        train_labels_.begin() + static_cast<ptrdiff_t>(start + count));
     Tensor probs;
     loss_sum += SoftmaxXent::Loss(logits, batch_labels, &probs);
     ++batches;
@@ -248,7 +252,12 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
         // encoder does not train this epoch.
         continue;
       }
-      Tensor grad_p(count, embed);
+      // Reused across parties and batches; every (r, c) element is written
+      // below before use, so the reshape-on-demand reuse is bit-invisible.
+      Tensor& grad_p = scratch_.grad_p;
+      if (grad_p.rows() != count || grad_p.cols() != embed) {
+        grad_p = Tensor(count, embed);
+      }
       for (size_t r = 0; r < count; ++r) {
         for (size_t c = 0; c < embed; ++c) {
           grad_p.At(r, c) = grad_concat.At(r, p * embed + c);
@@ -290,6 +299,9 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
       stats.rolled_back = true;
       stats.test_accuracy = EvaluateAccuracy();
     }
+  }
+  if (!config_.pool_round_scratch) {
+    scratch_.Release();
   }
   return stats;
 }

@@ -2,13 +2,14 @@
 
 namespace floatfl {
 
-void TransportTracker::Record(size_t attempts, double retransmitted_mb, double salvaged_mb,
-                              double backoff_s, bool timed_out) {
+void TransportTracker::Record(size_t attempts, double wire_mb, double retransmitted_mb,
+                              double salvaged_mb, double backoff_s, bool timed_out) {
   ++transfers_;
   attempts_ += attempts;
   if (timed_out) {
     ++timeouts_;
   }
+  wire_mb_ += wire_mb;
   retransmitted_mb_ += retransmitted_mb;
   salvaged_mb_ += salvaged_mb;
   backoff_s_ += backoff_s;
@@ -18,6 +19,7 @@ void TransportTracker::SaveState(CheckpointWriter& w) const {
   w.Size(transfers_);
   w.Size(attempts_);
   w.Size(timeouts_);
+  w.F64(wire_mb_);
   w.F64(retransmitted_mb_);
   w.F64(salvaged_mb_);
   w.F64(backoff_s_);
@@ -27,6 +29,7 @@ void TransportTracker::LoadState(CheckpointReader& r) {
   transfers_ = r.Size();
   attempts_ = r.Size();
   timeouts_ = r.Size();
+  wire_mb_ = r.F64();
   retransmitted_mb_ = r.F64();
   salvaged_mb_ = r.F64();
   backoff_s_ = r.F64();

@@ -13,15 +13,18 @@ namespace floatfl {
 
 class TransportTracker {
  public:
-  // Records one finished transfer (download or upload leg). Call from
-  // sequential bookkeeping code only (not thread-safe; the engines record
-  // after the per-round fan-out has joined).
-  void Record(size_t attempts, double retransmitted_mb, double salvaged_mb, double backoff_s,
-              bool timed_out);
+  // Records one finished transfer (download or upload leg). `wire_mb` is the
+  // total bytes the transfer put on the wire (payload + retransmissions) —
+  // the bytes-moved denominator the perf harness reports (DESIGN.md §12).
+  // Call from sequential bookkeeping code only (not thread-safe; the engines
+  // record after the per-round fan-out has joined).
+  void Record(size_t attempts, double wire_mb, double retransmitted_mb, double salvaged_mb,
+              double backoff_s, bool timed_out);
 
   size_t TotalTransfers() const { return transfers_; }
   size_t TotalAttempts() const { return attempts_; }
   size_t TotalTimeouts() const { return timeouts_; }
+  double TotalWireMb() const { return wire_mb_; }
   double TotalRetransmittedMb() const { return retransmitted_mb_; }
   double TotalSalvagedMb() const { return salvaged_mb_; }
   double TotalBackoffS() const { return backoff_s_; }
@@ -33,6 +36,7 @@ class TransportTracker {
   size_t transfers_ = 0;
   size_t attempts_ = 0;
   size_t timeouts_ = 0;
+  double wire_mb_ = 0.0;
   double retransmitted_mb_ = 0.0;
   double salvaged_mb_ = 0.0;
   double backoff_s_ = 0.0;

@@ -1,0 +1,14 @@
+#include "src/trace/trace_memo.h"
+
+namespace floatfl {
+namespace {
+
+bool g_trace_query_memo = true;
+
+}  // namespace
+
+void SetTraceQueryMemo(bool enabled) { g_trace_query_memo = enabled; }
+
+bool TraceQueryMemoEnabled() { return g_trace_query_memo; }
+
+}  // namespace floatfl

@@ -1,0 +1,31 @@
+// Global toggle for same-timestamp trace-query memoization (DESIGN.md §12).
+//
+// The engines query each client's network / compute / interference traces
+// more than once per round at the *same* simulated timestamp (ObserveClient
+// samples them for the policy, then SimulateClient samples them again for
+// the cost model). At an already-reached timestamp the traces' catch-up
+// loops are no-ops by construction, so a repeated query returns the cached
+// last value and consumes no RNG draws — returning it directly is provably
+// bit-identical. The memo is the fast path for that case.
+//
+// The toggle exists for the perf harness (bench/perf_harness runs every
+// trace scenario with the memo off and on to keep the before/after entry in
+// BENCH_trace.json honest) and for the bit-exactness regression tests
+// (tests/perf/trace_memo_test.cc). Default: enabled. The memo fields are
+// deliberately not checkpointed — the first post-resume query takes the full
+// path and produces the same value, keeping checkpoint bytes identical to
+// the pre-memo layout.
+#ifndef SRC_TRACE_TRACE_MEMO_H_
+#define SRC_TRACE_TRACE_MEMO_H_
+
+namespace floatfl {
+
+// Enables/disables the same-timestamp memo on all traces process-wide.
+// Not thread-safe against concurrent trace queries; flip it between runs
+// (the bench and tests do), not mid-round.
+void SetTraceQueryMemo(bool enabled);
+bool TraceQueryMemoEnabled();
+
+}  // namespace floatfl
+
+#endif  // SRC_TRACE_TRACE_MEMO_H_

@@ -1,0 +1,198 @@
+// Self-tests for the perf-harness plumbing (bench/perf_util.h): JSON
+// round-trip fidelity, parse-failure reporting, peak-RSS monotonicity, the
+// deterministic (simulated-clock) throughput denominator, and the
+// baseline-comparison tolerance logic CI relies on.
+#include <vector>
+
+#include "bench/perf_util.h"
+#include "gtest/gtest.h"
+
+namespace floatfl_bench {
+namespace {
+
+PerfSample MakeSample() {
+  PerfSample s;
+  s.area = "round_loop";
+  s.case_name = "sync";
+  s.scale = "small";
+  s.variant = "pooled";
+  s.wall_seconds = 1.25;
+  s.work_units = 20.0;
+  s.sim_seconds = 4321.0625;  // exactly representable
+  s.peak_rss_mb = 87.5;
+  s.bytes_moved_mb = 123.456789012345678;
+  s.allocations = 987654.0;
+  s.speedup = 0.0;
+  s.FinalizeRates();
+  return s;
+}
+
+TEST(PerfJsonTest, RoundTripIsExact) {
+  std::vector<PerfSample> samples = {MakeSample()};
+  samples.push_back(MakeSample());
+  samples[1].case_name = "async";
+  samples[1].variant = "fresh_alloc";
+  samples[1].wall_seconds = 0.3333333333333333;
+  samples[1].FinalizeRates();
+
+  std::vector<PerfSample> parsed;
+  std::string error;
+  ASSERT_TRUE(FromJson(ToJson(samples), &parsed, &error)) << error;
+  ASSERT_EQ(samples.size(), parsed.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].area, parsed[i].area);
+    EXPECT_EQ(samples[i].case_name, parsed[i].case_name);
+    EXPECT_EQ(samples[i].scale, parsed[i].scale);
+    EXPECT_EQ(samples[i].variant, parsed[i].variant);
+    // %.17g serialization must round-trip doubles bit-exactly.
+    EXPECT_EQ(samples[i].wall_seconds, parsed[i].wall_seconds);
+    EXPECT_EQ(samples[i].work_units, parsed[i].work_units);
+    EXPECT_EQ(samples[i].sim_seconds, parsed[i].sim_seconds);
+    EXPECT_EQ(samples[i].det_rounds_per_sec, parsed[i].det_rounds_per_sec);
+    EXPECT_EQ(samples[i].wall_rounds_per_sec, parsed[i].wall_rounds_per_sec);
+    EXPECT_EQ(samples[i].peak_rss_mb, parsed[i].peak_rss_mb);
+    EXPECT_EQ(samples[i].bytes_moved_mb, parsed[i].bytes_moved_mb);
+    EXPECT_EQ(samples[i].allocations, parsed[i].allocations);
+    EXPECT_EQ(samples[i].speedup, parsed[i].speedup);
+  }
+}
+
+TEST(PerfJsonTest, EmptyArrayRoundTrips) {
+  std::vector<PerfSample> parsed;
+  std::string error;
+  ASSERT_TRUE(FromJson("[]", &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ("[\n]\n", ToJson({}));
+}
+
+TEST(PerfJsonTest, MalformedInputFailsWithReason) {
+  std::vector<PerfSample> parsed;
+  std::string error;
+  EXPECT_FALSE(FromJson("", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(FromJson("{\"not\": \"an array\"}", &parsed, &error));
+  EXPECT_FALSE(FromJson("[{\"area\" \"missing colon\"}]", &parsed, &error));
+  EXPECT_FALSE(FromJson("[{\"wall_seconds\": notanumber}]", &parsed, &error));
+  EXPECT_FALSE(FromJson("[{\"area\": \"x\"}", &parsed, &error));  // unterminated
+}
+
+TEST(PerfJsonTest, EscapedStringsSurvive) {
+  std::vector<PerfSample> samples = {MakeSample()};
+  samples[0].case_name = "quote\"and\\slash";
+  std::vector<PerfSample> parsed;
+  std::string error;
+  ASSERT_TRUE(FromJson(ToJson(samples), &parsed, &error)) << error;
+  ASSERT_EQ(1u, parsed.size());
+  EXPECT_EQ(samples[0].case_name, parsed[0].case_name);
+}
+
+TEST(PeakRssTest, IsPositiveAndMonotonic) {
+  const double before = PeakRssMb();
+  if (before == 0.0) {
+    GTEST_SKIP() << "/proc/self/status not available on this host";
+  }
+  // Touch a chunk of fresh memory; the high-water mark can only grow.
+  std::vector<char> block(32 * 1024 * 1024, 1);
+  volatile char sink = block[block.size() - 1];
+  (void)sink;
+  const double after = PeakRssMb();
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, 0.0);
+}
+
+// The deterministic throughput denominator is the SIMULATED clock: two runs
+// with very different wall times but the same simulated trajectory must
+// report the identical det_rounds_per_sec.
+TEST(PerfSampleTest, DeterministicRateUsesSimClockNotWallClock) {
+  PerfSample fast = MakeSample();
+  PerfSample slow = MakeSample();
+  slow.wall_seconds = fast.wall_seconds * 50.0;  // same work, much slower machine
+  fast.FinalizeRates();
+  slow.FinalizeRates();
+  EXPECT_EQ(fast.det_rounds_per_sec, slow.det_rounds_per_sec);
+  EXPECT_NE(fast.wall_rounds_per_sec, slow.wall_rounds_per_sec);
+  EXPECT_EQ(fast.work_units / fast.sim_seconds, fast.det_rounds_per_sec);
+
+  PerfSample no_clock = MakeSample();
+  no_clock.sim_seconds = 0.0;  // areas without a simulated clock report 0
+  no_clock.FinalizeRates();
+  EXPECT_EQ(0.0, no_clock.det_rounds_per_sec);
+}
+
+TEST(ComparePerfSamplesTest, IdenticalSamplesPass) {
+  const PerfSample s = MakeSample();
+  const PerfDiff diff = ComparePerfSamples(s, s);
+  EXPECT_TRUE(diff.ok) << diff.detail;
+}
+
+TEST(ComparePerfSamplesTest, DeterministicFieldsAreStrict) {
+  const PerfSample base = MakeSample();
+  for (double PerfSample::* field :
+       {&PerfSample::work_units, &PerfSample::sim_seconds, &PerfSample::bytes_moved_mb}) {
+    PerfSample fresh = base;
+    fresh.*field += 1e-9;  // any drift at all fails
+    const PerfDiff diff = ComparePerfSamples(base, fresh);
+    EXPECT_FALSE(diff.ok);
+    EXPECT_FALSE(diff.detail.empty());
+  }
+}
+
+TEST(ComparePerfSamplesTest, WallTimeToleranceIsOneSided) {
+  const PerfSample base = MakeSample();
+
+  PerfSample within = base;
+  within.wall_seconds = base.wall_seconds * 1.10;  // +10% < 15% tolerance
+  EXPECT_TRUE(ComparePerfSamples(base, within).ok);
+
+  PerfSample regressed = base;
+  regressed.wall_seconds = base.wall_seconds * 1.30;  // +30% > tolerance
+  EXPECT_FALSE(ComparePerfSamples(base, regressed).ok);
+
+  PerfSample faster = base;
+  faster.wall_seconds = base.wall_seconds * 0.25;  // getting faster never fails
+  EXPECT_TRUE(ComparePerfSamples(base, faster).ok);
+}
+
+TEST(ComparePerfSamplesTest, TinyWallTimesAreNoise) {
+  PerfSample base = MakeSample();
+  base.wall_seconds = 0.001;
+  base.FinalizeRates();
+  PerfSample fresh = base;
+  fresh.wall_seconds = 0.004;  // 4x, but both under the 0.05s floor
+  EXPECT_TRUE(ComparePerfSamples(base, fresh).ok);
+}
+
+TEST(ComparePerfSamplesTest, ParallelAreaSkipsWallCheck) {
+  PerfSample base = MakeSample();
+  base.area = "parallel";
+  base.wall_seconds = 10.0;
+  PerfSample fresh = base;
+  fresh.wall_seconds = 30.0;  // machine-dependent; never a failure
+  EXPECT_TRUE(ComparePerfSamples(base, fresh).ok);
+}
+
+TEST(ComparePerfSamplesTest, RssAndAllocationsAreInformational) {
+  const PerfSample base = MakeSample();
+  PerfSample fresh = base;
+  fresh.peak_rss_mb = base.peak_rss_mb * 10.0;
+  fresh.allocations = base.allocations * 10.0;
+  EXPECT_TRUE(ComparePerfSamples(base, fresh).ok);
+}
+
+TEST(PerfJsonFileTest, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/perf_harness_test_bench.json";
+  const std::vector<PerfSample> samples = {MakeSample()};
+  ASSERT_TRUE(WriteJsonFile(path, samples));
+  std::vector<PerfSample> parsed;
+  std::string error;
+  ASSERT_TRUE(ReadJsonFile(path, &parsed, &error)) << error;
+  ASSERT_EQ(1u, parsed.size());
+  EXPECT_EQ(samples[0].Key(), parsed[0].Key());
+  EXPECT_EQ(samples[0].wall_seconds, parsed[0].wall_seconds);
+
+  EXPECT_FALSE(ReadJsonFile(path + ".does-not-exist", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace floatfl_bench

@@ -1,0 +1,159 @@
+// Bit-exactness regression tests for pooled per-round scratch buffers
+// (DESIGN.md §12): with pool_round_scratch on (the default) or off, every
+// engine must produce byte-identical results AND byte-identical serialized
+// state — the toggle only changes when capacity is released, never what is
+// computed.
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/failure/checkpoint_io.h"
+#include "src/fl/async_engine.h"
+#include "src/fl/real_engine.h"
+#include "src/fl/sync_engine.h"
+#include "src/fl/vfl_engine.h"
+#include "src/selection/random_selector.h"
+
+namespace floatfl {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.num_clients = 40;
+  config.clients_per_round = 10;
+  config.rounds = 8;
+  config.num_threads = 1;
+  config.seed = 42;
+  // Transport on (zero loss, deterministic chunking) so the pooled round
+  // loop also covers the wire-accounting path the perf harness measures.
+  config.faults.transport = true;
+  return config;
+}
+
+std::string RunSyncState(bool pooled) {
+  ExperimentConfig config = SmallConfig();
+  config.pool_round_scratch = pooled;
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  engine.Run();
+  CheckpointWriter w;
+  engine.SaveState(w);
+  return w.buffer();
+}
+
+TEST(RoundScratchTest, SyncEnginePoolingIsBitInvisible) {
+  EXPECT_EQ(RunSyncState(false), RunSyncState(true));
+}
+
+std::string RunAsyncState(bool pooled) {
+  ExperimentConfig config = SmallConfig();
+  config.rounds = 5;
+  config.pool_round_scratch = pooled;
+  AsyncEngine engine(config, nullptr);
+  engine.Run();
+  CheckpointWriter w;
+  engine.SaveState(w);
+  return w.buffer();
+}
+
+TEST(RoundScratchTest, AsyncEnginePoolingIsBitInvisible) {
+  EXPECT_EQ(RunAsyncState(false), RunAsyncState(true));
+}
+
+std::string RunRealState(bool pooled) {
+  RealFlConfig config;
+  config.num_clients = 12;
+  config.clients_per_round = 4;
+  config.num_threads = 1;
+  config.seed = 42;
+  config.faults.transport = true;
+  config.pool_round_scratch = pooled;
+  RealFlEngine engine(config);
+  for (size_t round = 0; round < 3; ++round) {
+    engine.RunRound(round % 2 == 0 ? TechniqueKind::kNone : TechniqueKind::kQuant8);
+  }
+  CheckpointWriter w;
+  engine.SaveState(w);
+  return w.buffer();
+}
+
+TEST(RoundScratchTest, RealEnginePoolingIsBitInvisible) {
+  EXPECT_EQ(RunRealState(false), RunRealState(true));
+}
+
+std::string RunVflState(bool pooled) {
+  VflConfig config;
+  config.seed = 42;
+  config.train_samples = 120;
+  config.faults.transport = true;
+  config.pool_round_scratch = pooled;
+  VflEngine engine(config);
+  for (size_t epoch = 0; epoch < 3; ++epoch) {
+    engine.TrainEpoch(epoch == 1 ? TechniqueKind::kQuant16 : TechniqueKind::kNone);
+  }
+  CheckpointWriter w;
+  engine.SaveState(w);
+  return w.buffer();
+}
+
+TEST(RoundScratchTest, VflEnginePoolingIsBitInvisible) {
+  EXPECT_EQ(RunVflState(false), RunVflState(true));
+}
+
+// Pooling with injected faults: the fault paths fill the pooled fault /
+// reason vectors, the most likely place for cross-round state to leak.
+TEST(RoundScratchTest, SyncEnginePoolingWithFaultsIsBitInvisible) {
+  const auto run = [](bool pooled) {
+    ExperimentConfig config = SmallConfig();
+    config.pool_round_scratch = pooled;
+    config.faults.crash_prob = 0.1;
+    config.faults.corrupt_prob = 0.05;
+    RandomSelector selector(config.seed);
+    SyncEngine engine(config, &selector, nullptr);
+    engine.Run();
+    CheckpointWriter w;
+    engine.SaveState(w);
+    return w.buffer();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// Checkpoint taken mid-run under one toggle value and resumed under the
+// other must still converge to identical final state: the toggle is not
+// part of the serialized state, exactly like num_threads.
+TEST(RoundScratchTest, ResumeAcrossToggleValuesIsBitInvisible) {
+  ExperimentConfig config = SmallConfig();
+  config.pool_round_scratch = true;
+  RandomSelector selector_a(config.seed);
+  SyncEngine pooled(config, &selector_a, nullptr);
+  for (size_t round = 0; round < 4; ++round) {
+    pooled.RunRound(round);
+  }
+  CheckpointWriter mid;
+  pooled.SaveState(mid);
+  selector_a.SaveState(mid);
+  for (size_t round = 4; round < 8; ++round) {
+    pooled.RunRound(round);
+  }
+  CheckpointWriter pooled_final;
+  pooled.SaveState(pooled_final);
+
+  ExperimentConfig fresh_config = SmallConfig();
+  fresh_config.pool_round_scratch = false;
+  RandomSelector selector_b(fresh_config.seed);
+  SyncEngine fresh(fresh_config, &selector_b, nullptr);
+  CheckpointReader r(mid.buffer());
+  fresh.LoadState(r);
+  selector_b.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  for (size_t round = 4; round < 8; ++round) {
+    fresh.RunRound(round);
+  }
+  CheckpointWriter fresh_final;
+  fresh.SaveState(fresh_final);
+
+  EXPECT_EQ(pooled_final.buffer(), fresh_final.buffer());
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,146 @@
+// Bit-exactness regression tests for the same-timestamp trace-query memo
+// (src/trace/trace_memo.h, DESIGN.md §12): with the memo on, every query
+// returns exactly what the un-memoized path returns, checkpoint bytes are
+// unchanged, and a checkpoint restore invalidates the memo (a stale hit
+// after rewinding would skip a needed catch-up).
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/failure/checkpoint_io.h"
+#include "src/trace/compute_trace.h"
+#include "src/trace/interference.h"
+#include "src/trace/network_trace.h"
+#include "src/trace/trace_memo.h"
+
+namespace floatfl {
+namespace {
+
+// Restores the default memo state even when an assertion bails out early.
+class MemoGuard {
+ public:
+  ~MemoGuard() { SetTraceQueryMemo(true); }
+};
+
+// The engines' query pattern: advance, then hit the same timestamp several
+// times (e.g. every chunk of a transfer asking for bandwidth at its start).
+const double kLadder[] = {0.0, 0.0, 0.0, 12.5, 12.5, 40.0, 40.0, 40.0, 40.0,
+                          41.0, 95.0, 95.0, 300.0, 300.0, 300.0, 301.0};
+
+template <typename Trace, typename Query>
+std::vector<double> Drive(Trace& trace, const Query& query) {
+  std::vector<double> values;
+  for (double t : kLadder) {
+    values.push_back(query(trace, t));
+  }
+  return values;
+}
+
+template <typename MakeTrace, typename Query>
+void ExpectMemoInvisible(const MakeTrace& make_trace, const Query& query) {
+  MemoGuard guard;
+  SetTraceQueryMemo(false);
+  auto plain = make_trace();
+  const std::vector<double> expected = Drive(plain, query);
+  CheckpointWriter plain_w;
+  plain.SaveState(plain_w);
+
+  SetTraceQueryMemo(true);
+  auto memoized = make_trace();
+  const std::vector<double> got = Drive(memoized, query);
+  CheckpointWriter memo_w;
+  memoized.SaveState(memo_w);
+
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], got[i]) << "query index " << i;
+  }
+  // The memo field is not serialized: checkpoints stay byte-identical.
+  EXPECT_EQ(plain_w.buffer(), memo_w.buffer());
+}
+
+TEST(TraceMemoTest, NetworkTraceMemoIsBitInvisible) {
+  ExpectMemoInvisible([] { return NetworkTrace(NetworkKind::kFourG, 71); },
+                      [](NetworkTrace& t, double s) { return t.BandwidthMbpsAt(s); });
+  ExpectMemoInvisible([] { return NetworkTrace(NetworkKind::kFiveG, 72); },
+                      [](NetworkTrace& t, double s) { return t.BandwidthMbpsAt(s); });
+}
+
+TEST(TraceMemoTest, ComputeTraceMemoIsBitInvisible) {
+  ExpectMemoInvisible([] { return ComputeTrace::SampleDevice(73); },
+                      [](ComputeTrace& t, double s) { return t.GflopsAt(s); });
+}
+
+TEST(TraceMemoTest, InterferenceMemoIsBitInvisible) {
+  for (InterferenceScenario scenario :
+       {InterferenceScenario::kNone, InterferenceScenario::kStatic,
+        InterferenceScenario::kDynamic}) {
+    ExpectMemoInvisible([scenario] { return InterferenceModel(scenario, 74); },
+                        [](InterferenceModel& m, double s) {
+                          const ResourceAvailability a = m.At(s);
+                          return a.cpu * 1e6 + a.memory * 1e3 + a.network;
+                        });
+  }
+}
+
+// The stale-memo-after-restore hazard: query to t2, checkpoint was taken at
+// t1 < t2, restore, query t2 again. The memo field still holds t2 from
+// before the restore; without invalidation the query would return the
+// restored (t1-state) value without catching up. It must instead re-run the
+// catch-up and reproduce the original t2 value exactly.
+TEST(TraceMemoTest, LoadStateInvalidatesMemo) {
+  MemoGuard guard;
+  SetTraceQueryMemo(true);
+  NetworkTrace trace(NetworkKind::kFourG, 75);
+  (void)trace.BandwidthMbpsAt(100.0);
+  CheckpointWriter w;
+  trace.SaveState(w);
+
+  const double at_200 = trace.BandwidthMbpsAt(200.0);
+
+  CheckpointReader r(w.buffer());
+  trace.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(at_200, trace.BandwidthMbpsAt(200.0));
+}
+
+TEST(TraceMemoTest, ComputeLoadStateInvalidatesMemo) {
+  MemoGuard guard;
+  SetTraceQueryMemo(true);
+  ComputeTrace trace = ComputeTrace::SampleDevice(76);
+  (void)trace.GflopsAt(100.0);
+  CheckpointWriter w;
+  trace.SaveState(w);
+  const double at_500 = trace.GflopsAt(500.0);
+  CheckpointReader r(w.buffer());
+  trace.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(at_500, trace.GflopsAt(500.0));
+}
+
+TEST(TraceMemoTest, InterferenceLoadStateInvalidatesMemo) {
+  MemoGuard guard;
+  SetTraceQueryMemo(true);
+  InterferenceModel model(InterferenceScenario::kDynamic, 77);
+  (void)model.At(100.0);
+  CheckpointWriter w;
+  model.SaveState(w);
+  const ResourceAvailability at_400 = model.At(400.0);
+  CheckpointReader r(w.buffer());
+  model.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  const ResourceAvailability again = model.At(400.0);
+  EXPECT_EQ(at_400.cpu, again.cpu);
+  EXPECT_EQ(at_400.memory, again.memory);
+  EXPECT_EQ(at_400.network, again.network);
+}
+
+TEST(TraceMemoTest, ToggleStateIsReadable) {
+  MemoGuard guard;
+  SetTraceQueryMemo(false);
+  EXPECT_FALSE(TraceQueryMemoEnabled());
+  SetTraceQueryMemo(true);
+  EXPECT_TRUE(TraceQueryMemoEnabled());
+}
+
+}  // namespace
+}  // namespace floatfl
