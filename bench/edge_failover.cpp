@@ -1,0 +1,87 @@
+// Edge-failover sweep (DESIGN.md §13): completed client updates, orphaned /
+// reparented counts and final accuracy vs edge-crash rate and tree fan-out,
+// with deterministic failover on and off. The recipe behind EXPERIMENTS.md's
+// edge-failure section: at any non-zero crash rate, failover converts
+// orphans into fostered clients and strictly beats orphaning on both
+// completed updates and final accuracy, with the gap widening as the crash
+// rate grows. Small fan-outs are the fragile regime even with failover:
+// with only 2 edges, one crash cascade takes the whole tier down and
+// orphans clients no matter the policy.
+//
+//   edge_failover [--smoke]
+//
+// --smoke runs the smallest cell twice and exits non-zero unless the two
+// runs are bit-identical — the CI determinism assertion for the tree path.
+#include <cstring>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace floatfl_bench;
+
+namespace {
+
+ExperimentResult RunTree(double crash_prob, size_t fan_out, bool failover, size_t rounds) {
+  ExperimentConfig config = PaperConfig(DatasetId::kFemnist, ModelId::kResNet34);
+  config.num_clients = 80;
+  config.clients_per_round = 20;
+  config.rounds = rounds;
+  config.topology.num_edges = fan_out;
+  config.topology.failover = failover;
+  config.topology.edge_retry_cooldown_rounds = 2;
+  config.topology.edge_crash_prob = crash_prob;
+  return RunSync(config, "fedavg", nullptr);
+}
+
+int SmokeDeterminism() {
+  const ExperimentResult a = RunTree(0.2, 4, true, 15);
+  const ExperimentResult b = RunTree(0.2, 4, true, 15);
+  if (a.total_completed != b.total_completed || a.global_accuracy != b.global_accuracy ||
+      a.edge_crashes != b.edge_crashes || a.reparented_clients != b.reparented_clients ||
+      a.orphaned_clients != b.orphaned_clients || a.wall_clock_hours != b.wall_clock_hours ||
+      a.accuracy_history != b.accuracy_history) {
+    std::cerr << "edge_failover --smoke: two identical runs diverged\n";
+    return 1;
+  }
+  std::cout << "edge_failover --smoke: deterministic (" << a.total_completed
+            << " completed, " << a.edge_crashes << " edge crashes, "
+            << a.reparented_clients << " reparented)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return SmokeDeterminism();
+  }
+
+  std::cout << "Edge-failover sweep: FedAvg on a two-tier tree, edge crash rate and\n"
+               "fan-out swept; 'foster' reparents a down edge's cohort to the next\n"
+               "live sibling, 'orphan' drops it for the round.\n\n";
+  TablePrinter table({"crash%", "edges", "arm", "done", "orphaned", "reparented",
+                      "acc%", "hours"});
+  for (const double crash : {0.0, 0.10, 0.20}) {
+    for (const size_t fan_out : {2u, 4u, 8u}) {
+      for (const bool failover : {false, true}) {
+        const ExperimentResult r = RunTree(crash, fan_out, failover, 60);
+        table.Cell(100.0 * crash, 0)
+            .Cell(static_cast<long long>(fan_out))
+            .Cell(failover ? "foster" : "orphan")
+            .Cell(static_cast<long long>(r.total_completed))
+            .Cell(static_cast<long long>(r.orphaned_clients))
+            .Cell(static_cast<long long>(r.reparented_clients))
+            .Cell(100.0 * r.global_accuracy, 1)
+            .Cell(r.wall_clock_hours, 1)
+            .EndRow();
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nAt 0% the arms are identical (failover never fires). From 10% up,\n"
+               "foster strictly beats orphan on completed updates and accuracy. At\n"
+               "fan-out 2 even foster orphans some clients — a crash cascade can\n"
+               "take both edges down at once — while from fan-out 4 up there is\n"
+               "almost always a live sibling and failover recovers everything.\n";
+  return 0;
+}

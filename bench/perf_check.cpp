@@ -10,8 +10,11 @@
 // wall_seconds may regress by at most the tolerance (default 15%); getting
 // faster never fails. Samples present in the baseline but missing from the
 // fresh file (or vice versa) fail the check: the trajectory's coverage is
-// part of the contract. Exit 0 = within tolerance, 1 = regression, 2 = bad
-// invocation or unreadable/unparseable input.
+// part of the contract. Every failing field across every sample is reported
+// in one run, each with its JSON path into the fresh file ($[index].field),
+// so one re-run shows the whole damage instead of the first mismatch. Exit
+// 0 = within tolerance, 1 = regression, 2 = bad invocation or
+// unreadable/unparseable input.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -57,9 +60,11 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  std::map<std::string, PerfSample> fresh_by_key;
-  for (const PerfSample& s : fresh) {
-    fresh_by_key[s.Key()] = s;
+  // Key -> (sample, index in the fresh file's array), so failures can name
+  // the exact JSON path of every offending field.
+  std::map<std::string, std::pair<PerfSample, size_t>> fresh_by_key;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    fresh_by_key[fresh[i].Key()] = {fresh[i], i};
   }
 
   bool ok = true;
@@ -70,19 +75,25 @@ int Main(int argc, char** argv) {
       ok = false;
       continue;
     }
-    const PerfDiff diff = ComparePerfSamples(base, it->second, wall_tol);
+    const PerfSample& got = it->second.first;
+    const size_t fresh_index = it->second.second;
+    const PerfDiff diff = ComparePerfSamples(base, got, wall_tol);
     if (!diff.ok) {
-      std::cerr << "FAIL " << diff.key << ": " << diff.detail << "\n";
+      std::cerr << "FAIL " << diff.key << ": " << diff.detail << "at";
+      for (const std::string& field : diff.failed_fields) {
+        std::cerr << " $[" << fresh_index << "]." << field;
+      }
+      std::cerr << "\n";
       ok = false;
     } else {
       std::cout << "ok   " << diff.key << " (wall " << base.wall_seconds << "s -> "
-                << it->second.wall_seconds << "s)\n";
+                << got.wall_seconds << "s)\n";
     }
     fresh_by_key.erase(it);
   }
-  for (const auto& [key, sample] : fresh_by_key) {
-    (void)sample;
-    std::cerr << "FAIL " << key << ": present in " << fresh_path << " but not in baseline\n";
+  for (const auto& [key, entry] : fresh_by_key) {
+    std::cerr << "FAIL " << key << ": present in " << fresh_path << " but not in baseline"
+              << " at $[" << entry.second << "]\n";
     ok = false;
   }
 

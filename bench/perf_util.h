@@ -329,6 +329,9 @@ struct PerfDiff {
   std::string key;
   bool ok = true;
   std::string detail;  // empty when ok
+  // Names of every field that failed, in check order (so callers can print
+  // a JSON path per failing field, not just the first mismatch).
+  std::vector<std::string> failed_fields;
 };
 
 // Compares a fresh sample against its committed baseline. Deterministic
@@ -346,6 +349,7 @@ inline PerfDiff ComparePerfSamples(const PerfSample& baseline, const PerfSample&
   const auto exact = [&](const char* name, double expect, double got) {
     if (expect != got) {
       diff.ok = false;
+      diff.failed_fields.push_back(name);
       why << name << " changed: baseline " << expect << " vs fresh " << got << "; ";
     }
   };
@@ -357,6 +361,7 @@ inline PerfDiff ComparePerfSamples(const PerfSample& baseline, const PerfSample&
       (baseline.wall_seconds >= wall_floor_s || fresh.wall_seconds >= wall_floor_s) &&
       fresh.wall_seconds > baseline.wall_seconds * (1.0 + wall_tol)) {
     diff.ok = false;
+    diff.failed_fields.push_back("wall_seconds");
     why << "wall_seconds regressed: baseline " << baseline.wall_seconds << " vs fresh "
         << fresh.wall_seconds << " (tolerance " << wall_tol * 100.0 << "%); ";
   }

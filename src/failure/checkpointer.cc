@@ -52,6 +52,7 @@ void WriteGuardConfig(CheckpointWriter& w, const GuardConfig& g) {
   w.F64(g.stall_epsilon);
   w.Size(g.snapshot_ring);
   w.Size(g.snapshot_every);
+  w.F64(g.min_snapshot_coverage);
   w.Size(g.safe_mode_rounds);
   w.Size(g.quarantine_min_trials);
   w.F64(g.quarantine_failure_rate);
@@ -67,14 +68,45 @@ void WriteAggregatorConfig(CheckpointWriter& w, const AggregatorConfig& a) {
   w.F64(a.clip_norm);
 }
 
+void WriteTopologyConfig(CheckpointWriter& w, const TopologyConfig& t) {
+  w.Size(t.num_edges);
+  w.Bool(t.failover);
+  w.Size(t.edge_retry_cooldown_rounds);
+  w.F64(t.edge_overcommit);
+  w.F64(t.edge_crash_prob);
+  w.F64(t.edge_blackout_prob);
+  w.F64(t.edge_flaky_fraction);
+  w.F64(t.edge_flaky_enter_prob);
+  w.F64(t.edge_flaky_exit_prob);
+  w.F64(t.edge_flaky_crash_prob);
+  w.U32(static_cast<uint32_t>(t.edge_byzantine_mode));
+  w.F64(t.edge_byzantine_fraction);
+  w.F64(t.edge_byzantine_scale);
+  w.F64(t.edge_link_loss_prob);
+  w.F64(t.edge_link_blackout_prob);
+  w.F64(t.edge_chunk_mb);
+  w.Size(t.edge_max_retries);
+  WriteAggregatorConfig(w, t.edge_aggregator);
+  w.Bool(t.edge_adaptive_deadline.enabled);
+  w.F64(t.edge_adaptive_deadline.min_factor);
+  w.F64(t.edge_adaptive_deadline.max_factor);
+  w.F64(t.edge_adaptive_deadline.headroom);
+}
+
 template <typename Engine>
 bool SaveEngine(const std::string& path, const Engine& engine, Checkpointer::EngineTag tag) {
+  // The payload is serialized separately so the header can carry its hash;
+  // Restore verifies the bytes in full before any LoadState touches the
+  // engine.
+  CheckpointWriter payload;
+  engine.SaveState(payload);
   CheckpointWriter w;
   w.U32(Checkpointer::kMagic);
   w.U32(Checkpointer::kVersion);
   w.U32(static_cast<uint32_t>(tag));
   w.U64(FingerprintConfig(engine.config()));
-  engine.SaveState(w);
+  w.U64(Fnv1a(payload.buffer()));
+  w.Str(payload.buffer());
   return w.WriteFile(path);
 }
 
@@ -91,8 +123,17 @@ bool RestoreEngine(const std::string& path, Engine& engine, Checkpointer::Engine
   if (r.U64() != FingerprintConfig(engine.config())) {
     return false;
   }
-  engine.LoadState(r);
-  return r.AtEnd();
+  // Hash-check the whole payload before loading anything: a truncated or
+  // bit-flipped archive is refused with the engine untouched, never loaded
+  // partway.
+  const uint64_t payload_hash = r.U64();
+  const std::string payload = r.Str();
+  if (!r.ok() || !r.AtEnd() || Fnv1a(payload) != payload_hash) {
+    return false;
+  }
+  CheckpointReader pr(payload);
+  engine.LoadState(pr);
+  return pr.ok() && pr.AtEnd();
 }
 
 }  // namespace
@@ -120,6 +161,7 @@ uint64_t FingerprintConfig(const ExperimentConfig& config) {
   w.F64(config.adaptive_deadline.max_factor);
   w.F64(config.adaptive_deadline.headroom);
   WriteGuardConfig(w, config.guard);
+  WriteTopologyConfig(w, config.topology);
   return Fnv1a(w.buffer());
 }
 
@@ -141,6 +183,7 @@ uint64_t FingerprintConfig(const RealFlConfig& config) {
   WriteFaultConfig(w, config.faults);
   WriteAggregatorConfig(w, config.aggregator);
   WriteGuardConfig(w, config.guard);
+  WriteTopologyConfig(w, config.topology);
   return Fnv1a(w.buffer());
 }
 

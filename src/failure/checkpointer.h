@@ -1,13 +1,16 @@
 // Versioned whole-engine checkpoints (DESIGN.md §8).
 //
 // A checkpoint file is a small header — magic, format version, engine tag,
-// and a fingerprint of the engine's configuration — followed by the engine's
-// own SaveState payload. Restore refuses (returns false) on a bad magic,
+// a fingerprint of the engine's configuration, and an FNV-1a hash of the
+// payload — followed by the engine's own SaveState payload as one
+// length-prefixed blob. Restore refuses (returns false) on a bad magic,
 // unknown version, wrong engine type, mismatched configuration fingerprint,
-// or a truncated/overlong payload, so a stale or foreign checkpoint can
-// never be silently loaded into a fresh engine. The resume contract is
-// bit-for-bit: run N rounds == run M, checkpoint, restore into a freshly
-// constructed engine, run N-M more.
+// a truncated/overlong archive, or a payload whose bytes no longer hash to
+// the recorded value — so a stale, foreign, truncated, or bit-flipped
+// checkpoint can never be silently (or partially) loaded into a fresh
+// engine: the payload is verified in full *before* any engine state is
+// touched. The resume contract is bit-for-bit: run N rounds == run M,
+// checkpoint, restore into a freshly constructed engine, run N-M more.
 #ifndef SRC_FAILURE_CHECKPOINTER_H_
 #define SRC_FAILURE_CHECKPOINTER_H_
 
@@ -43,9 +46,15 @@ class Checkpointer {
   // payloads grew the self-healing guard state (watchdog, snapshot ring,
   // quarantine, tracker) and, for the real engine, an attached-policy
   // section. v5: TransportTracker serializes its cumulative wire_mb
-  // (bytes-moved accounting for the perf harness, DESIGN.md §12). Older
-  // checkpoints are refused (the version field mismatches).
-  static constexpr uint32_t kVersion = 5;
+  // (bytes-moved accounting for the perf harness, DESIGN.md §12). v6: the
+  // topology config joined the sync/real fingerprints (and
+  // min_snapshot_coverage the guard section); sync/real payloads grew the
+  // aggregation-tree state (edge injector, up/foster masks, topology
+  // tracker, edge aggregator / deadline controller); the header gained a
+  // payload hash and the payload became a length-prefixed blob verified
+  // against it before LoadState runs. Older checkpoints are refused (the
+  // version field mismatches).
+  static constexpr uint32_t kVersion = 6;
   enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3, kVfl = 4 };
 
   // Atomic save (temp file + rename). Returns false on I/O failure.
@@ -55,8 +64,10 @@ class Checkpointer {
   static bool Save(const std::string& path, const VflEngine& engine);
 
   // Restores into an engine freshly constructed with the *same* config the
-  // checkpoint was taken under. Returns false (engine state unspecified,
-  // reconstruct before reuse) on header or payload mismatch.
+  // checkpoint was taken under. Returns false on header mismatch or a
+  // corrupt (truncated / bit-flipped) payload; corruption is detected by the
+  // payload hash before LoadState runs, so on a hash mismatch the engine is
+  // untouched — never partially loaded.
   static bool Restore(const std::string& path, SyncEngine& engine);
   static bool Restore(const std::string& path, AsyncEngine& engine);
   static bool Restore(const std::string& path, RealFlEngine& engine);

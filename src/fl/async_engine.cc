@@ -20,6 +20,11 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
       rng_(config.seed ^ 0xA5F1C3D2E4B60789ULL),
       busy_(config.num_clients, false) {
   ValidateExperimentConfig(config_);
+  // FedBuff's per-client pacing has no round boundary an edge tier could
+  // aggregate at; the async engine keeps star semantics and refuses an
+  // enabled topology rather than silently ignoring it.
+  FLOATFL_CHECK_MSG(!config_.topology.enabled(),
+                    "async engine does not support hierarchical topology");
   injector_ = FaultInjector(config_.faults, config_.seed, config_.num_clients);
   transport_ = Transport(config_.faults, config_.seed);
   guard_ = TrainingGuard(config_.guard);

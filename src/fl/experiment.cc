@@ -40,6 +40,7 @@ void ValidateExperimentConfig(const ExperimentConfig& config) {
                     "adaptive_deadline.headroom must be positive");
   ValidateAggregatorConfig(config.aggregator);
   ValidateGuardConfig(config.guard);
+  ValidateTopologyConfig(config.topology);
 }
 
 }  // namespace floatfl

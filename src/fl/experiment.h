@@ -17,6 +17,7 @@
 #include "src/models/model_zoo.h"
 #include "src/net/adaptive_deadline.h"
 #include "src/opt/technique.h"
+#include "src/topology/topology_config.h"
 #include "src/trace/interference.h"
 
 namespace floatfl {
@@ -67,6 +68,12 @@ struct ExperimentConfig {
   // action quarantine (DESIGN.md §11). Default off: strict no-op, every
   // pre-guard golden byte-identical.
   GuardConfig guard;
+  // Hierarchical aggregation tree: clients -> edge aggregators -> root, with
+  // edge-level fault injection and deterministic failover (DESIGN.md §13).
+  // Default (num_edges == 0) keeps the flat star topology bit-for-bit.
+  // Honored by the sync engine; the async engine keeps star semantics and
+  // refuses an enabled topology at construction.
+  TopologyConfig topology;
 };
 
 // Aborts the process with a descriptive message when `config` violates an
@@ -88,6 +95,7 @@ enum class DropoutReason : uint32_t {
   kCorrupted,       // update failed server-side validation (quarantined)
   kRejected,        // valid but abandoned (over-selection closed the round)
   kTransferTimedOut,  // lossy transport exhausted retries / transfer budget
+  kEdgeOrphaned,    // every edge in the client's failover chain was down
 };
 
 struct DropoutBreakdown {
@@ -99,10 +107,11 @@ struct DropoutBreakdown {
   size_t corrupted = 0;     // updates quarantined by server-side validation
   size_t rejected = 0;      // abandoned by over-selection round close
   size_t transfer_timed_out = 0;  // lossy transport exhausted retries/budget
+  size_t edge_orphaned = 0;  // no live edge aggregator to report to
 
   size_t Total() const {
     return unavailable + out_of_memory + missed_deadline + departed + crashed + corrupted +
-           rejected + transfer_timed_out;
+           rejected + transfer_timed_out + edge_orphaned;
   }
 };
 
@@ -148,6 +157,19 @@ struct ExperimentResult {
   size_t quarantine_openings = 0;  // per-technique cooldown windows opened
   size_t rejected_rewards = 0;
   size_t safe_mode_rounds = 0;
+  // Hierarchical-topology totals (src/metrics/topology_tracker.h). All zero
+  // on the flat star topology (num_edges == 0).
+  size_t edge_crashes = 0;
+  size_t edge_blackouts = 0;
+  size_t reparented_clients = 0;
+  size_t orphaned_clients = 0;
+  size_t partials_forwarded = 0;
+  size_t partials_lost = 0;
+  size_t tampered_partials = 0;
+  size_t tampered_rejections = 0;
+  size_t late_partials = 0;
+  double tier1_wire_mb = 0.0;
+  double tier1_retransmitted_mb = 0.0;
 
   ResourceTotals useful;
   ResourceTotals wasted;

@@ -78,6 +78,9 @@ void CountDropout(DropoutReason reason, DropoutBreakdown& breakdown) {
     case DropoutReason::kTransferTimedOut:
       ++breakdown.transfer_timed_out;
       break;
+    case DropoutReason::kEdgeOrphaned:
+      ++breakdown.edge_orphaned;
+      break;
     case DropoutReason::kNone:
       break;
   }

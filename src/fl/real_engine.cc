@@ -91,6 +91,12 @@ RealFlEngine::RealFlEngine(const RealFlConfig& config)
   FLOATFL_CHECK(config.num_classes >= 2);
   ValidateGuardConfig(config_.guard);
   guard_ = TrainingGuard(config_.guard);
+  ValidateTopologyConfig(config_.topology);
+  edge_injector_ = EdgeFaultInjector(config_.topology, config_.seed, config_.topology.num_edges);
+  tree_ = AggregationTree(config_.topology, config_.num_clients);
+  edge_transport_ = Transport(config_.topology.LinkFaultConfig(),
+                              config_.seed ^ TopologyConfig::kEdgeLinkSeedSalt);
+  edge_aggregator_ = MakeAggregator(config_.topology.edge_aggregator);
   const size_t threads = ResolveThreadCount(config.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(threads - 1);
@@ -211,6 +217,23 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   const size_t round = rounds_run_++;
   injector_.BeginRound(round);
   guard_.BeginRound(round);
+  // Hierarchical topology (DESIGN.md §13): draw this round's edge fault
+  // decisions and refresh the failover assignment before tasking anyone.
+  const bool tree_on = tree_.enabled();
+  if (tree_on) {
+    edge_injector_.BeginRound(round);
+    std::vector<EdgeFaultDecision>& edge_decisions = scratch_.edge_decisions;
+    edge_decisions.assign(tree_.num_edges(), EdgeFaultDecision());
+    for (size_t edge = 0; edge < edge_decisions.size(); ++edge) {
+      edge_decisions[edge] = edge_injector_.Decide(round, edge);
+      if (edge_decisions[edge].crash) {
+        topo_tracker_.RecordEdgeCrash();
+      } else if (edge_decisions[edge].blackout) {
+        topo_tracker_.RecordEdgeBlackout();
+      }
+    }
+    tree_.BeginRound(round, edge_decisions);
+  }
   // Round-start test accuracy, the baseline for the policy's accuracy
   // credit. Only evaluated when someone consumes the credit.
   const double accuracy_before = report ? EvaluateAccuracy() : 0.0;
@@ -246,6 +269,12 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   delivered.assign(k, 1);
   transfers.assign(k, TransferResult());
   ParallelFor(pool_.get(), k, [&](size_t i) {
+    if (tree_on && tree_.EffectiveEdge(order[i]) == AggregationTree::kOrphaned) {
+      // No live edge to report to: the client is never tasked and trains
+      // nothing (phase 3 attributes the orphan, not a crash).
+      delivered[i] = 0;
+      return;
+    }
     if (faults[i].crash || faults[i].blackout) {
       delivered[i] = 0;
       return;
@@ -289,9 +318,23 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   std::vector<DropoutReason>& reasons = scratch_.reasons;
   participated.assign(k, 0);
   reasons.assign(k, DropoutReason::kNone);
+  std::vector<size_t> update_edges;  // effective edge per accepted update
   for (size_t i = 0; i < k; ++i) {
     if (faults[i].byzantine) {
       ++stats.byzantine_selected;
+    }
+    if (tree_on) {
+      const size_t effective = tree_.EffectiveEdge(order[i]);
+      if (effective == AggregationTree::kOrphaned) {
+        ++stats.orphaned;
+        topo_tracker_.RecordOrphaned(1);
+        reasons[i] = DropoutReason::kEdgeOrphaned;
+        continue;
+      }
+      if (effective != tree_.HomeEdge(order[i])) {
+        ++stats.reparented;
+        topo_tracker_.RecordReparented(1);
+      }
     }
     if (!delivered[i]) {
       ++stats.crashed;
@@ -322,6 +365,9 @@ RealRoundStats RealFlEngine::RunRoundImpl(
     total_error += processed[i].max_error;
     updates.push_back(std::move(processed[i].params));
     weights.push_back(static_cast<double>(shards_[order[i]].total));
+    if (tree_on) {
+      update_edges.push_back(tree_.EffectiveEdge(order[i]));
+    }
   }
   // Failure attribution for the guard's quarantine (selection order).
   for (size_t i = 0; i < k; ++i) {
@@ -329,6 +375,74 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   }
 
   AggregatorStats agg_stats;
+  const size_t accepted_clients = updates.size();
+  size_t clients_at_root = accepted_clients;
+  if (tree_on && !updates.empty()) {
+    // Edge tier (DESIGN.md §13): fold each effective edge's cohort into one
+    // parameter-space partial with the edge aggregation rule, let Byzantine
+    // edges tamper with theirs, carry each partial over the (possibly lossy)
+    // inter-tier link, and re-validate at the root. The root then aggregates
+    // partials — weighted by their cohorts' sample counts — instead of raw
+    // client updates. Losing one partial loses its whole cohort.
+    clients_at_root = 0;
+    const double partial_mb = static_cast<double>(DenseUpdateBytes()) / (1024.0 * 1024.0);
+    std::vector<std::vector<float>> partials;
+    std::vector<double> partial_weights;
+    std::vector<std::vector<float>> group_updates;
+    std::vector<double> group_weights;
+    for (size_t edge = 0; edge < tree_.num_edges(); ++edge) {
+      group_updates.clear();
+      group_weights.clear();
+      double cohort_weight = 0.0;
+      for (size_t u = 0; u < updates.size(); ++u) {
+        if (update_edges[u] == edge) {
+          group_updates.push_back(std::move(updates[u]));
+          group_weights.push_back(weights[u]);
+          cohort_weight += weights[u];
+        }
+      }
+      if (group_updates.empty()) {
+        continue;
+      }
+      AggregatorStats edge_stats;
+      std::vector<float> partial =
+          edge_aggregator_->Aggregate(group_updates, group_weights, global_params, &edge_stats);
+      topo_tracker_.RecordEdgeAggExclusions(edge_stats.updates_clipped +
+                                            edge_stats.krum_rejections +
+                                            edge_stats.updates_trimmed);
+      if (edge_injector_.enabled() && scratch_.edge_decisions[edge].byzantine) {
+        FaultConfig tamper;
+        tamper.byzantine_mode = config_.topology.edge_byzantine_mode;
+        tamper.byzantine_scale = config_.topology.edge_byzantine_scale;
+        ApplyByzantineAttack(partial, global_params, tamper,
+                             edge_injector_.AttackRng(round, edge));
+        topo_tracker_.RecordTampered();
+        ++stats.tampered_partials;
+      }
+      if (edge_transport_.enabled()) {
+        const TransferResult res =
+            edge_transport_.TryDeliver(round, edge, partial_mb, TransferLeg::kUpload, true);
+        topo_tracker_.RecordPartial(res.delivered, res.attempts, res.wire_mb,
+                                    res.retransmitted_mb);
+        if (!res.delivered) {
+          ++stats.partials_lost;
+          continue;
+        }
+      } else {
+        topo_tracker_.RecordPartial(true, 0, 0.0, 0.0);
+      }
+      if (!ValidRealUpdate(partial, config_.faults.reject_norm_threshold)) {
+        topo_tracker_.RecordTamperedRejections(1);
+        ++stats.tampered_rejections;
+        continue;
+      }
+      clients_at_root += group_updates.size();
+      partials.push_back(std::move(partial));
+      partial_weights.push_back(cohort_weight);
+    }
+    updates.swap(partials);
+    weights.swap(partial_weights);
+  }
   if (!updates.empty()) {
     global_->SetParameters(aggregator_->Aggregate(updates, weights, global_params, &agg_stats));
   }
@@ -337,9 +451,9 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   stats.krum_rejections = agg_stats.krum_rejections;
   stats.updates_trimmed = agg_stats.updates_trimmed;
 
-  stats.participants = updates.size();
-  stats.mean_upload_bytes = updates.empty() ? 0.0 : total_bytes / updates.size();
-  stats.mean_update_error = updates.empty() ? 0.0 : total_error / updates.size();
+  stats.participants = accepted_clients;
+  stats.mean_upload_bytes = accepted_clients == 0 ? 0.0 : total_bytes / accepted_clients;
+  stats.mean_update_error = accepted_clients == 0 ? 0.0 : total_error / accepted_clients;
   stats.test_accuracy = EvaluateAccuracy();
   stats.test_loss = EvaluateLoss();
 
@@ -362,6 +476,10 @@ RealRoundStats RealFlEngine::RunRoundImpl(
     HealthSignal health;
     health.metric = stats.test_accuracy;
     health.loss = stats.test_loss;
+    if (tree_on && accepted_clients > 0) {
+      health.coverage =
+          static_cast<double>(clients_at_root) / static_cast<double>(accepted_clients);
+    }
     const bool rolled_back = guard_.EndRound(
         round, health,
         [this](CheckpointWriter& w) {
@@ -434,6 +552,10 @@ void RealFlEngine::SaveState(CheckpointWriter& w) const {
     policy_->SaveState(w);
   }
   guard_.SaveState(w);
+  edge_injector_.SaveState(w);
+  tree_.SaveState(w);
+  topo_tracker_.SaveState(w);
+  edge_aggregator_->SaveState(w);
 }
 
 void RealFlEngine::LoadState(CheckpointReader& r) {
@@ -460,6 +582,10 @@ void RealFlEngine::LoadState(CheckpointReader& r) {
     policy_->LoadState(r);
   }
   guard_.LoadState(r);
+  edge_injector_.LoadState(r);
+  tree_.LoadState(r);
+  topo_tracker_.LoadState(r);
+  edge_aggregator_->LoadState(r);
 }
 
 }  // namespace floatfl

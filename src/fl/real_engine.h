@@ -23,17 +23,20 @@
 #include "src/data/dataset.h"
 #include "src/data/synthetic.h"
 #include "src/failure/checkpoint_io.h"
+#include "src/failure/edge_fault_injector.h"
 #include "src/failure/fault_injector.h"
 #include "src/fl/tuning_policy.h"
 #include "src/guard/guard_config.h"
 #include "src/guard/training_guard.h"
 #include "src/metrics/aggregation_tracker.h"
+#include "src/metrics/topology_tracker.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/net/transport.h"
 #include "src/nn/mlp.h"
 #include "src/nn/optimizer.h"
 #include "src/opt/technique.h"
 #include "src/sim/thread_pool.h"
+#include "src/topology/aggregation_tree.h"
 
 namespace floatfl {
 
@@ -66,6 +69,13 @@ struct RealFlConfig {
   AggregatorConfig aggregator;
   // Self-healing guard (DESIGN.md §11). Default disabled = strict no-op.
   GuardConfig guard;
+  // Hierarchical aggregation tree (DESIGN.md §13). Default (num_edges == 0)
+  // keeps the flat star pipeline bit-for-bit. The engine has no wall clock,
+  // so the sync-only knobs (edge_overcommit, edge_adaptive_deadline) are
+  // ignored here; everything else — edge faults, failover, Byzantine edges,
+  // the lossy inter-tier link, the per-edge aggregation rule — applies to
+  // real parameter-space partials.
+  TopologyConfig topology;
 };
 
 // Per-round measurements of the real pipeline.
@@ -99,6 +109,13 @@ struct RealRoundStats {
   // True when the guard's watchdog fired and the round ended by restoring
   // the last known good model (test metrics reflect the restored state).
   bool rolled_back = false;
+  // Hierarchical-topology accounting (DESIGN.md §13); all zero on the flat
+  // star topology.
+  size_t orphaned = 0;            // selected clients with no live edge
+  size_t reparented = 0;          // selected clients served by a foster edge
+  size_t partials_lost = 0;       // edge partials lost on the inter-tier link
+  size_t tampered_partials = 0;   // partials a Byzantine edge tampered with
+  size_t tampered_rejections = 0;  // partials the root's validation rejected
 };
 
 class RealFlEngine {
@@ -135,6 +152,9 @@ class RealFlEngine {
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
   const TrainingGuard& guard() const { return guard_; }
+  const EdgeFaultInjector& edge_injector() const { return edge_injector_; }
+  const AggregationTree& tree() const { return tree_; }
+  const TopologyTracker& topology_tracker() const { return topo_tracker_; }
 
   // Checkpoint/resume: the datasets and model topology are rebuilt
   // deterministically from config; only the mutable training state (RNGs,
@@ -175,6 +195,7 @@ class RealFlEngine {
     std::vector<double> weights;
     std::vector<uint8_t> participated;
     std::vector<DropoutReason> reasons;
+    std::vector<EdgeFaultDecision> edge_decisions;
 
     void Release() {
       techniques = decltype(techniques)();
@@ -187,6 +208,7 @@ class RealFlEngine {
       weights = decltype(weights)();
       participated = decltype(participated)();
       reasons = decltype(reasons)();
+      edge_decisions = decltype(edge_decisions)();
     }
   };
 
@@ -201,6 +223,15 @@ class RealFlEngine {
   TransportTracker transport_tracker_;
   // Self-healing guard (DESIGN.md §11); disabled by default.
   TrainingGuard guard_;
+  // Hierarchical aggregation tree (DESIGN.md §13); disabled (star pipeline,
+  // byte-identical engine) by default. One edge aggregator instance folds
+  // every edge's cohort in edge order, so its internal totals accumulate
+  // deterministically across edges and rounds.
+  EdgeFaultInjector edge_injector_;
+  AggregationTree tree_;
+  TopologyTracker topo_tracker_;
+  Transport edge_transport_;
+  std::unique_ptr<Aggregator> edge_aggregator_;
   Rng rng_;
   // Root of the per-(round, client) training streams; never advanced, only
   // ForkKeyed — so the streams are independent of simulation order.

@@ -38,6 +38,12 @@ SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, Tunin
   transport_ = Transport(config_.faults, config_.seed);
   deadline_ctrl_ = AdaptiveDeadlineController(config_.adaptive_deadline, config_.num_clients,
                                               config_.deadline_s);
+  edge_injector_ = EdgeFaultInjector(config_.topology, config_.seed, config_.topology.num_edges);
+  tree_ = AggregationTree(config_.topology, config_.num_clients);
+  edge_transport_ = Transport(config_.topology.LinkFaultConfig(),
+                              config_.seed ^ TopologyConfig::kEdgeLinkSeedSalt);
+  edge_deadline_ctrl_ = AdaptiveDeadlineController(config_.topology.edge_adaptive_deadline,
+                                                   config_.topology.num_edges, config_.deadline_s);
   round_deadline_s_ = config_.deadline_s;
   reference_ = ComputePopulationReference(clients_);
   std::vector<ClientShard> shards;
@@ -289,6 +295,24 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
 void SyncEngine::RunRound(size_t round) {
   injector_.BeginRound(round);
   guard_.BeginRound(round);
+  // Hierarchical topology (DESIGN.md §13): draw this round's edge fault
+  // decisions and fold them (plus crash cooldowns) into the up/down mask and
+  // failover assignment before any client is tasked.
+  const bool tree_on = tree_.enabled();
+  if (tree_on) {
+    edge_injector_.BeginRound(round);
+    std::vector<EdgeFaultDecision>& edge_decisions = scratch_.edge_decisions;
+    edge_decisions.assign(tree_.num_edges(), EdgeFaultDecision());
+    for (size_t edge = 0; edge < edge_decisions.size(); ++edge) {
+      edge_decisions[edge] = edge_injector_.Decide(round, edge);
+      if (edge_decisions[edge].crash) {
+        topo_tracker_.RecordEdgeCrash();
+      } else if (edge_decisions[edge].blackout) {
+        topo_tracker_.RecordEdgeBlackout();
+      }
+    }
+    tree_.BeginRound(round, edge_decisions);
+  }
   if (deadline_ctrl_.enabled()) {
     // Re-plan the sync deadline from the population's observed round times
     // (clamped to the configured bounds around the base deadline).
@@ -347,6 +371,16 @@ void SyncEngine::RunRound(size_t round) {
   std::vector<ClientRoundOutcome>& outcomes = scratch_.outcomes;
   outcomes.assign(selected.size(), ClientRoundOutcome());
   ParallelFor(pool_.get(), selected.size(), [&](size_t i) {
+    if (tree_on && tree_.EffectiveEdge(selected[i]) == AggregationTree::kOrphaned) {
+      // Every edge in the client's failover chain is down: the task push has
+      // nowhere to land, the client never runs, and nothing is charged.
+      ClientRoundOutcome orphan;
+      orphan.client_id = selected[i];
+      orphan.technique = techniques[i];
+      orphan.reason = DropoutReason::kEdgeOrphaned;
+      outcomes[i] = orphan;
+      return;
+    }
     outcomes[i] = SimulateClient(clients_[selected[i]], round, now_s_, techniques[i], faults[i]);
   });
 
@@ -409,6 +443,13 @@ void SyncEngine::RunRound(size_t round) {
                                 outcome.reason == DropoutReason::kTransferTimedOut);
     }
     CountDropout(outcome.reason, dropout_breakdown_);
+    if (tree_on) {
+      if (outcome.reason == DropoutReason::kEdgeOrphaned) {
+        topo_tracker_.RecordOrphaned(1);
+      } else if (tree_.Reparented(selected[i])) {
+        topo_tracker_.RecordReparented(1);
+      }
+    }
     if (config_.faults.retry_cooldown_rounds > 0 &&
         (outcome.reason == DropoutReason::kCrashed ||
          outcome.reason == DropoutReason::kCorrupted)) {
@@ -445,6 +486,117 @@ void SyncEngine::RunRound(size_t round) {
       ++accepted;
     }
   }
+
+  // Edge tier (DESIGN.md §13): group the accepted contributions under their
+  // effective (post-failover) edges, fold each group with the edge
+  // aggregation rule, let Byzantine edges tamper with the partial they
+  // forward, carry each partial over the (possibly lossy) inter-tier link,
+  // apply the root's patience (adaptive deadline over per-edge round times,
+  // edge over-selection), and re-validate what arrives. Whatever survives —
+  // concatenated in edge order — is what the root aggregates.
+  if (tree_on && !contributions.empty()) {
+    const size_t num_edges = tree_.num_edges();
+    std::vector<std::vector<ClientContribution>> groups(num_edges);
+    std::vector<double> edge_elapsed(num_edges, 0.0);
+    for (const auto& contribution : contributions) {
+      groups[tree_.EffectiveEdge(contribution.client_id)].push_back(contribution);
+    }
+    for (const auto& outcome : outcomes) {
+      if (outcome.completed) {
+        const size_t edge = tree_.EffectiveEdge(outcome.client_id);
+        edge_elapsed[edge] = std::max(edge_elapsed[edge], outcome.time_spent_s);
+      }
+    }
+    const double partial_mb = GetModelProfile(config_.model).weight_mb;
+    std::vector<uint8_t> delivered(num_edges, 0);
+    for (size_t edge = 0; edge < num_edges; ++edge) {
+      if (groups[edge].empty()) {
+        continue;
+      }
+      AggregatorStats edge_stats;
+      ApplyQualityAggregation(config_.topology.edge_aggregator, groups[edge], &edge_stats);
+      topo_tracker_.RecordEdgeAggExclusions(edge_stats.updates_clipped +
+                                            edge_stats.krum_rejections +
+                                            edge_stats.updates_trimmed);
+      if (edge_injector_.enabled() && scratch_.edge_decisions[edge].byzantine) {
+        for (auto& c : groups[edge]) {
+          c.quality = edge_injector_.TamperedQuality(c.quality, round, edge);
+        }
+        topo_tracker_.RecordTampered();
+      }
+      bool ok = true;
+      if (edge_transport_.enabled()) {
+        // Losing the partial loses every client update behind it: the
+        // blast-radius asymmetry that makes edge links worth hardening.
+        const TransferResult res =
+            edge_transport_.TryDeliver(round, edge, partial_mb, TransferLeg::kUpload, true);
+        topo_tracker_.RecordPartial(res.delivered, res.attempts, res.wire_mb,
+                                    res.retransmitted_mb);
+        ok = res.delivered;
+      } else {
+        topo_tracker_.RecordPartial(true, 0, 0.0, 0.0);
+      }
+      delivered[edge] = ok ? 1 : 0;
+    }
+    std::vector<size_t> arrived;
+    for (size_t edge = 0; edge < num_edges; ++edge) {
+      if (!groups[edge].empty() && delivered[edge]) {
+        arrived.push_back(edge);
+      }
+    }
+    if (edge_deadline_ctrl_.enabled()) {
+      const double root_patience = edge_deadline_ctrl_.CurrentDeadline();
+      std::vector<size_t> in_time;
+      for (size_t edge : arrived) {
+        if (edge_elapsed[edge] <= root_patience) {
+          in_time.push_back(edge);
+        } else {
+          topo_tracker_.RecordLatePartial();
+        }
+      }
+      arrived.swap(in_time);
+    }
+    if (config_.topology.edge_overcommit > 1.0) {
+      const size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(static_cast<double>(num_edges) /
+                                           config_.topology.edge_overcommit)));
+      if (arrived.size() > keep) {
+        std::stable_sort(arrived.begin(), arrived.end(),
+                         [&](size_t a, size_t b) { return edge_elapsed[a] < edge_elapsed[b]; });
+        for (size_t j = keep; j < arrived.size(); ++j) {
+          topo_tracker_.RecordLatePartial();
+        }
+        arrived.resize(keep);
+        std::sort(arrived.begin(), arrived.end());
+      }
+    }
+    if (edge_deadline_ctrl_.enabled()) {
+      // Every delivered partial (late or not) feeds the estimate, in edge
+      // order, so the controller sees the tree's true pace.
+      for (size_t edge = 0; edge < num_edges; ++edge) {
+        if (!groups[edge].empty() && delivered[edge]) {
+          edge_deadline_ctrl_.Observe(edge, edge_elapsed[edge], 0.0);
+        }
+      }
+    }
+    contributions.clear();
+    for (size_t edge : arrived) {
+      size_t rejected = 0;
+      for (const auto& c : groups[edge]) {
+        if (IsValidUpdateQuality(c.quality)) {
+          contributions.push_back(c);
+        } else {
+          ++rejected;
+        }
+      }
+      if (rejected > 0) {
+        topo_tracker_.RecordTamperedRejections(rejected);
+      }
+    }
+  }
+  // Fraction of completed client updates that made it through the tree to
+  // the root — the guard's per-tier health signal. 1 on the star topology.
+  const size_t reached_root = contributions.size();
   AggregatorStats agg_stats;
   ApplyQualityAggregation(config_.aggregator, contributions, &agg_stats);
   agg_tracker_.Record(byzantine_selected, agg_stats);
@@ -493,6 +645,9 @@ void SyncEngine::RunRound(size_t round) {
     HealthSignal health;
     health.metric = surrogate_->GlobalAccuracy();
     health.loss = 1.0 - health.metric;
+    if (tree_on && accepted > 0) {
+      health.coverage = static_cast<double>(reached_root) / static_cast<double>(accepted);
+    }
     guard_.EndRound(
         round, health,
         [this](CheckpointWriter& w) {
@@ -553,6 +708,17 @@ ExperimentResult SyncEngine::Snapshot() const {
   result.quarantine_openings = guard_.tracker().QuarantineOpenings();
   result.rejected_rewards = guard_.tracker().RejectedRewards();
   result.safe_mode_rounds = guard_.tracker().SafeModeRounds();
+  result.edge_crashes = topo_tracker_.EdgeCrashes();
+  result.edge_blackouts = topo_tracker_.EdgeBlackouts();
+  result.reparented_clients = topo_tracker_.ReparentedClients();
+  result.orphaned_clients = topo_tracker_.OrphanedClients();
+  result.partials_forwarded = topo_tracker_.PartialsForwarded();
+  result.partials_lost = topo_tracker_.PartialsLost();
+  result.tampered_partials = topo_tracker_.TamperedPartials();
+  result.tampered_rejections = topo_tracker_.TamperedRejections();
+  result.late_partials = topo_tracker_.LatePartials();
+  result.tier1_wire_mb = topo_tracker_.Tier1WireMb();
+  result.tier1_retransmitted_mb = topo_tracker_.Tier1RetransmittedMb();
   result.accuracy_history = accuracy_history_;
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
@@ -578,6 +744,7 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
   w.Size(dropout_breakdown_.corrupted);
   w.Size(dropout_breakdown_.rejected);
   w.Size(dropout_breakdown_.transfer_timed_out);
+  w.Size(dropout_breakdown_.edge_orphaned);
   w.F64Vec(accuracy_history_);
   w.Size(clients_.size());
   for (const auto& client : clients_) {
@@ -597,6 +764,10 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
   transport_tracker_.SaveState(w);
   deadline_ctrl_.SaveState(w);
   guard_.SaveState(w);
+  edge_injector_.SaveState(w);
+  tree_.SaveState(w);
+  topo_tracker_.SaveState(w);
+  edge_deadline_ctrl_.SaveState(w);
 }
 
 void SyncEngine::LoadState(CheckpointReader& r) {
@@ -611,6 +782,7 @@ void SyncEngine::LoadState(CheckpointReader& r) {
   dropout_breakdown_.corrupted = r.Size();
   dropout_breakdown_.rejected = r.Size();
   dropout_breakdown_.transfer_timed_out = r.Size();
+  dropout_breakdown_.edge_orphaned = r.Size();
   accuracy_history_ = r.F64Vec();
   const size_t n = r.Size();
   // A failed reader (truncated/corrupted archive) returns zeros; that is the
@@ -641,6 +813,10 @@ void SyncEngine::LoadState(CheckpointReader& r) {
   transport_tracker_.LoadState(r);
   deadline_ctrl_.LoadState(r);
   guard_.LoadState(r);
+  edge_injector_.LoadState(r);
+  tree_.LoadState(r);
+  topo_tracker_.LoadState(r);
+  edge_deadline_ctrl_.LoadState(r);
 }
 
 }  // namespace floatfl

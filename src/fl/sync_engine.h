@@ -14,6 +14,7 @@
 
 #include "src/common/rng.h"
 #include "src/failure/checkpoint_io.h"
+#include "src/failure/edge_fault_injector.h"
 #include "src/failure/fault_injector.h"
 #include "src/fl/client.h"
 #include "src/sim/thread_pool.h"
@@ -25,11 +26,13 @@
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/resource_accountant.h"
+#include "src/metrics/topology_tracker.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/models/surrogate_accuracy.h"
 #include "src/net/adaptive_deadline.h"
 #include "src/net/transport.h"
 #include "src/selection/selector.h"
+#include "src/topology/aggregation_tree.h"
 
 namespace floatfl {
 
@@ -101,6 +104,9 @@ class SyncEngine {
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
   const AdaptiveDeadlineController& deadline_controller() const { return deadline_ctrl_; }
   const TrainingGuard& guard() const { return guard_; }
+  const EdgeFaultInjector& edge_injector() const { return edge_injector_; }
+  const AggregationTree& tree() const { return tree_; }
+  const TopologyTracker& topology_tracker() const { return topo_tracker_; }
   // The deadline governing the current round: the static configured value,
   // or the adaptive controller's latest proposal when it is enabled.
   double CurrentRoundDeadline() const { return round_deadline_s_; }
@@ -132,6 +138,15 @@ class SyncEngine {
   AdaptiveDeadlineController deadline_ctrl_;
   // Self-healing guard (DESIGN.md §11); a disabled guard is a strict no-op.
   TrainingGuard guard_;
+  // Hierarchical aggregation tree (DESIGN.md §13); disabled (star topology,
+  // byte-identical engine) by default. The edge transport carries the
+  // edge -> root partial-aggregate uploads; the edge deadline controller
+  // re-plans the root's patience over per-edge round times.
+  EdgeFaultInjector edge_injector_;
+  AggregationTree tree_;
+  TopologyTracker topo_tracker_;
+  Transport edge_transport_;
+  AdaptiveDeadlineController edge_deadline_ctrl_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   std::vector<double> accuracy_history_;
@@ -153,6 +168,7 @@ class SyncEngine {
     std::vector<ClientRoundOutcome> outcomes;
     std::vector<size_t> completed_idx;
     std::vector<ClientContribution> contributions;
+    std::vector<EdgeFaultDecision> edge_decisions;
 
     void Release() {
       observations = decltype(observations)();
@@ -161,6 +177,7 @@ class SyncEngine {
       outcomes = decltype(outcomes)();
       completed_idx = decltype(completed_idx)();
       contributions = decltype(contributions)();
+      edge_decisions = decltype(edge_decisions)();
     }
   };
   RoundScratch scratch_;

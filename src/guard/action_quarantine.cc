@@ -25,6 +25,9 @@ bool ActionQuarantine::Attributable(DropoutReason reason) {
     case DropoutReason::kNone:
     case DropoutReason::kUnavailable:
     case DropoutReason::kDeparted:
+    // Losing every edge in the failover chain is infrastructure weather, not
+    // something the client's technique caused.
+    case DropoutReason::kEdgeOrphaned:
       return false;
   }
   return false;

@@ -9,6 +9,9 @@ void ValidateGuardConfig(const GuardConfig& config) {
   FLOATFL_CHECK_MSG(config.stall_epsilon >= 0.0, "guard.stall_epsilon must be >= 0");
   FLOATFL_CHECK_MSG(config.snapshot_ring >= 1, "guard.snapshot_ring must be >= 1");
   FLOATFL_CHECK_MSG(config.snapshot_every >= 1, "guard.snapshot_every must be >= 1");
+  FLOATFL_CHECK_MSG(
+      config.min_snapshot_coverage >= 0.0 && config.min_snapshot_coverage <= 1.0,
+      "guard.min_snapshot_coverage must be in [0, 1]");
   FLOATFL_CHECK_MSG(config.quarantine_failure_rate > 0.0 && config.quarantine_failure_rate <= 1.0,
                     "guard.quarantine_failure_rate must be in (0, 1]");
   FLOATFL_CHECK_MSG(config.quarantine_cooldown_rounds >= 1,

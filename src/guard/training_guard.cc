@@ -67,8 +67,10 @@ bool TrainingGuard::EndRound(size_t round, const HealthSignal& health, const Sav
     consecutive_triggers_ = 0;
     // Snapshot only states at (or above) the best seen so far: during a slow
     // decay every round is individually "healthy" but still tainted, and the
-    // ring must never learn to prefer it.
-    if (health.metric >= watchdog_.Best() && round >= next_snapshot_round_) {
+    // ring must never learn to prefer it. Coverage-starved rounds (partials
+    // lost in the aggregation tree) are likewise never ring candidates.
+    if (health.metric >= watchdog_.Best() && round >= next_snapshot_round_ &&
+        health.coverage >= config_.min_snapshot_coverage) {
       CheckpointWriter w;
       save(w);
       ring_.Push(round, health.metric, w.buffer());

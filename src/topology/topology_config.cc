@@ -1,0 +1,55 @@
+#include "src/topology/topology_config.h"
+
+#include "src/agg/aggregator.h"
+#include "src/common/check.h"
+
+namespace floatfl {
+
+FaultConfig TopologyConfig::LinkFaultConfig() const {
+  FaultConfig link;
+  link.transport = EdgeLinkLossy();
+  link.chunk_loss_prob = edge_link_loss_prob;
+  link.link_blackout_prob = edge_link_blackout_prob;
+  link.transport_chunk_mb = edge_chunk_mb;
+  link.max_transfer_retries = edge_max_retries;
+  // Partial aggregates are re-derivable server-side state; retries always
+  // salvage acknowledged chunks (range requests are free between servers).
+  link.resumable_uploads = true;
+  return link;
+}
+
+void ValidateTopologyConfig(const TopologyConfig& config) {
+  FLOATFL_CHECK_MSG(config.edge_overcommit >= 1.0, "topology.edge_overcommit must be >= 1.0");
+  FLOATFL_CHECK_MSG(config.edge_crash_prob >= 0.0 && config.edge_crash_prob <= 1.0,
+                    "topology.edge_crash_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.edge_blackout_prob >= 0.0 && config.edge_blackout_prob <= 1.0,
+                    "topology.edge_blackout_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.edge_flaky_fraction >= 0.0 && config.edge_flaky_fraction <= 1.0,
+                    "topology.edge_flaky_fraction must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.edge_flaky_enter_prob >= 0.0 && config.edge_flaky_enter_prob <= 1.0,
+                    "topology.edge_flaky_enter_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.edge_flaky_exit_prob >= 0.0 && config.edge_flaky_exit_prob <= 1.0,
+                    "topology.edge_flaky_exit_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.edge_flaky_crash_prob >= 0.0 && config.edge_flaky_crash_prob <= 1.0,
+                    "topology.edge_flaky_crash_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(
+      config.edge_byzantine_fraction >= 0.0 && config.edge_byzantine_fraction <= 1.0,
+      "topology.edge_byzantine_fraction must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.edge_byzantine_scale >= 0.0,
+                    "topology.edge_byzantine_scale must be non-negative");
+  FLOATFL_CHECK_MSG(config.edge_link_loss_prob >= 0.0 && config.edge_link_loss_prob < 1.0,
+                    "topology.edge_link_loss_prob must be in [0, 1)");
+  FLOATFL_CHECK_MSG(
+      config.edge_link_blackout_prob >= 0.0 && config.edge_link_blackout_prob < 1.0,
+      "topology.edge_link_blackout_prob must be in [0, 1)");
+  FLOATFL_CHECK_MSG(config.edge_chunk_mb > 0.0, "topology.edge_chunk_mb must be positive");
+  FLOATFL_CHECK_MSG(
+      config.edge_adaptive_deadline.min_factor > 0.0 &&
+          config.edge_adaptive_deadline.min_factor <= config.edge_adaptive_deadline.max_factor,
+      "topology.edge_adaptive_deadline factors must satisfy 0 < min_factor <= max_factor");
+  FLOATFL_CHECK_MSG(config.edge_adaptive_deadline.headroom > 0.0,
+                    "topology.edge_adaptive_deadline.headroom must be positive");
+  ValidateAggregatorConfig(config.edge_aggregator);
+}
+
+}  // namespace floatfl

@@ -1,0 +1,176 @@
+// Corrupt-archive hardening (DESIGN.md §8): a truncated or bit-flipped
+// checkpoint must fail Restore with a clean `false` — never undefined
+// behavior, never a partial load — on every engine. The v6 payload hash is
+// verified in full before LoadState runs, so after any refused restore the
+// target engine's serialized state is byte-identical to what it was before
+// the attempt.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+
+#include "src/failure/checkpoint_io.h"
+#include "src/failure/checkpointer.h"
+#include "src/fl/async_engine.h"
+#include "src/fl/real_engine.h"
+#include "src/fl/sync_engine.h"
+#include "src/fl/vfl_engine.h"
+#include "src/selection/random_selector.h"
+
+namespace floatfl {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename Engine>
+std::string Serialized(const Engine& engine) {
+  CheckpointWriter w;
+  engine.SaveState(w);
+  return w.buffer();
+}
+
+// Runs the corruption sweep for one saved archive against a restore target:
+// every truncation length and every flipped bit position tried must be
+// refused, and the target engine must come out byte-identical each time.
+template <typename Engine>
+void SweepCorruptions(const std::string& archive, const std::string& path, Engine& target) {
+  const std::string pristine = Serialized(target);
+  ASSERT_FALSE(archive.empty());
+
+  // Truncations: drop the tail at a spread of cut points, including cutting
+  // mid-header, mid-length-prefix and one byte short of valid.
+  for (const size_t keep : {size_t{0}, size_t{2}, size_t{7}, size_t{13}, archive.size() / 4,
+                            archive.size() / 2, 3 * archive.size() / 4, archive.size() - 1}) {
+    WriteAll(path, archive.substr(0, keep));
+    EXPECT_FALSE(Checkpointer::Restore(path, target)) << "truncated to " << keep << " bytes";
+    EXPECT_EQ(Serialized(target), pristine) << "truncated to " << keep << " bytes";
+  }
+
+  // Bit flips: one flipped bit at 16 byte offsets spread over the file —
+  // header fields, the stored hash, the length prefix and deep payload.
+  for (size_t i = 0; i < 16; ++i) {
+    const size_t offset = i * (archive.size() - 1) / 15;
+    std::string flipped = archive;
+    flipped[offset] = static_cast<char>(flipped[offset] ^ (1 << (i % 8)));
+    WriteAll(path, flipped);
+    EXPECT_FALSE(Checkpointer::Restore(path, target)) << "bit flip at byte " << offset;
+    EXPECT_EQ(Serialized(target), pristine) << "bit flip at byte " << offset;
+  }
+
+  // Trailing garbage: a valid archive with extra bytes appended is overlong,
+  // not silently accepted.
+  WriteAll(path, archive + std::string(8, '\x5A'));
+  EXPECT_FALSE(Checkpointer::Restore(path, target));
+  EXPECT_EQ(Serialized(target), pristine);
+
+  // The untouched archive still restores (the sweep didn't poison the
+  // target), proving the refusals above were about the corruption.
+  WriteAll(path, archive);
+  EXPECT_TRUE(Checkpointer::Restore(path, target));
+}
+
+TEST(CheckpointCorruptionTest, SyncEngineRefusesCorruptArchives) {
+  ExperimentConfig config;
+  config.num_clients = 30;
+  config.clients_per_round = 8;
+  config.rounds = 20;
+  config.seed = 71;
+  config.faults.crash_prob = 0.1;
+  const std::string path = TempPath("corrupt_sync.ckpt");
+
+  RandomSelector source_sel(config.seed);
+  SyncEngine source(config, &source_sel, nullptr);
+  for (size_t round = 0; round < 5; ++round) {
+    source.RunRound(round);
+  }
+  ASSERT_TRUE(Checkpointer::Save(path, source));
+  const std::string archive = ReadAll(path);
+
+  RandomSelector target_sel(config.seed);
+  SyncEngine target(config, &target_sel, nullptr);
+  SweepCorruptions(archive, path, target);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruptionTest, AsyncEngineRefusesCorruptArchives) {
+  ExperimentConfig config;
+  config.num_clients = 30;
+  config.clients_per_round = 8;
+  config.rounds = 20;
+  config.seed = 72;
+  config.async_concurrency = 12;
+  config.async_buffer = 4;
+  const std::string path = TempPath("corrupt_async.ckpt");
+
+  AsyncEngine source(config, nullptr);
+  source.RunUntil(5);
+  ASSERT_TRUE(Checkpointer::Save(path, source));
+  const std::string archive = ReadAll(path);
+
+  AsyncEngine target(config, nullptr);
+  SweepCorruptions(archive, path, target);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruptionTest, RealEngineRefusesCorruptArchives) {
+  RealFlConfig config;
+  config.num_clients = 8;
+  config.clients_per_round = 4;
+  config.num_classes = 3;
+  config.input_dim = 8;
+  config.hidden_dims = {12};
+  config.test_samples_per_class = 10;
+  config.seed = 73;
+  config.num_threads = 1;
+  const std::string path = TempPath("corrupt_real.ckpt");
+
+  RealFlEngine source(config);
+  for (size_t r = 0; r < 3; ++r) {
+    source.RunRound(TechniqueKind::kQuant8);
+  }
+  ASSERT_TRUE(Checkpointer::Save(path, source));
+  const std::string archive = ReadAll(path);
+
+  RealFlEngine target(config);
+  SweepCorruptions(archive, path, target);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruptionTest, VflEngineRefusesCorruptArchives) {
+  VflConfig config;
+  config.num_parties = 3;
+  config.features_per_party = 5;
+  config.embedding_dim = 6;
+  config.num_classes = 4;
+  config.train_samples = 120;
+  config.test_samples = 80;
+  config.seed = 74;
+  const std::string path = TempPath("corrupt_vfl.ckpt");
+
+  VflEngine source(config);
+  for (size_t e = 0; e < 3; ++e) {
+    source.TrainEpoch(TechniqueKind::kQuant8);
+  }
+  ASSERT_TRUE(Checkpointer::Save(path, source));
+  const std::string archive = ReadAll(path);
+
+  VflEngine target(config);
+  SweepCorruptions(archive, path, target);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace floatfl

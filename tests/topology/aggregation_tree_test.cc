@@ -1,0 +1,149 @@
+// AggregationTree routing and failover (DESIGN.md §13): static home-edge
+// membership, deterministic ring-order fosters, crash cooldowns, orphaning
+// with failover off, and bit-exact state round-trips.
+#include "src/topology/aggregation_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace floatfl {
+namespace {
+
+constexpr size_t kEdges = 4;
+constexpr size_t kClients = 22;
+
+TopologyConfig Tree(bool failover = true) {
+  TopologyConfig topology;
+  topology.num_edges = kEdges;
+  topology.failover = failover;
+  topology.edge_retry_cooldown_rounds = 2;
+  return topology;
+}
+
+// One round's decisions with the listed edges crashed / blacked out.
+std::vector<EdgeFaultDecision> Decisions(std::vector<size_t> crashed,
+                                         std::vector<size_t> blacked = {}) {
+  std::vector<EdgeFaultDecision> decisions(kEdges);
+  for (size_t e : crashed) {
+    decisions[e].crash = true;
+  }
+  for (size_t e : blacked) {
+    decisions[e].blackout = true;
+  }
+  return decisions;
+}
+
+TEST(AggregationTreeTest, DisabledTreeRoutesEverythingToRoot) {
+  AggregationTree star;
+  EXPECT_FALSE(star.enabled());
+  EXPECT_EQ(star.HomeEdge(17), 0u);
+  EXPECT_EQ(star.EffectiveEdge(17), 0u);
+  EXPECT_FALSE(star.Reparented(17));
+}
+
+TEST(AggregationTreeTest, HomeEdgeIsStaticModulo) {
+  AggregationTree tree(Tree(), kClients);
+  tree.BeginRound(0, Decisions({}));
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(tree.HomeEdge(c), c % kEdges);
+    EXPECT_EQ(tree.EffectiveEdge(c), c % kEdges);
+    EXPECT_FALSE(tree.Reparented(c));
+  }
+}
+
+TEST(AggregationTreeTest, FosterIsNextLiveSiblingInRingOrder) {
+  AggregationTree tree(Tree(), kClients);
+  tree.BeginRound(0, Decisions({1}));
+  EXPECT_FALSE(tree.EdgeUp(1));
+  EXPECT_EQ(tree.StandinFor(1), 2u);  // first live sibling after 1
+  EXPECT_EQ(tree.EffectiveEdge(1), 2u);
+  EXPECT_TRUE(tree.Reparented(1));
+  EXPECT_EQ(tree.EffectiveEdge(5), 2u);  // same home edge, same foster
+  // Clients of live edges are untouched.
+  EXPECT_EQ(tree.EffectiveEdge(0), 0u);
+  EXPECT_FALSE(tree.Reparented(0));
+
+  // Ring order wraps: with 2 and 3 also down, edge 3's cohort lands on 0.
+  tree.BeginRound(1, Decisions({2, 3}));
+  EXPECT_EQ(tree.StandinFor(3), 0u);
+}
+
+TEST(AggregationTreeTest, FailoverOffOrphansTheCohort) {
+  AggregationTree tree(Tree(/*failover=*/false), kClients);
+  tree.BeginRound(0, Decisions({1}));
+  EXPECT_EQ(tree.EffectiveEdge(1), AggregationTree::kOrphaned);
+  EXPECT_FALSE(tree.Reparented(1));
+  EXPECT_EQ(tree.EffectiveEdge(0), 0u);  // live edges unaffected
+}
+
+TEST(AggregationTreeTest, AllEdgesDownOrphansEveryone) {
+  AggregationTree tree(Tree(), kClients);
+  tree.BeginRound(0, Decisions({0, 1, 2, 3}));
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(tree.EffectiveEdge(c), AggregationTree::kOrphaned);
+  }
+}
+
+TEST(AggregationTreeTest, CrashCooldownKeepsEdgeDown) {
+  AggregationTree tree(Tree(), kClients);
+  tree.BeginRound(0, Decisions({2}));
+  EXPECT_FALSE(tree.EdgeUp(2));
+
+  // Rounds 1 and 2: no new fault, but the cooldown holds edge 2 down and
+  // its cohort stays fostered.
+  tree.BeginRound(1, Decisions({}));
+  EXPECT_TRUE(tree.EdgeCooling(2, 1));
+  EXPECT_FALSE(tree.EdgeUp(2));
+  EXPECT_EQ(tree.EffectiveEdge(2), 3u);
+  tree.BeginRound(2, Decisions({}));
+  EXPECT_FALSE(tree.EdgeUp(2));
+
+  // Round 3: cooldown expired, the edge rejoins and the cohort comes home.
+  tree.BeginRound(3, Decisions({}));
+  EXPECT_FALSE(tree.EdgeCooling(2, 3));
+  EXPECT_TRUE(tree.EdgeUp(2));
+  EXPECT_EQ(tree.EffectiveEdge(2), 2u);
+  EXPECT_FALSE(tree.Reparented(2));
+}
+
+TEST(AggregationTreeTest, BlackoutCarriesNoCooldown) {
+  AggregationTree tree(Tree(), kClients);
+  tree.BeginRound(0, Decisions({}, {2}));
+  EXPECT_FALSE(tree.EdgeUp(2));
+  EXPECT_EQ(tree.EffectiveEdge(2), 3u);
+  tree.BeginRound(1, Decisions({}));
+  EXPECT_TRUE(tree.EdgeUp(2));
+  EXPECT_EQ(tree.EffectiveEdge(2), 2u);
+}
+
+TEST(AggregationTreeTest, StateRoundTripsBitExactly) {
+  AggregationTree tree(Tree(), kClients);
+  tree.BeginRound(0, Decisions({1}));
+  tree.BeginRound(1, Decisions({3}, {0}));
+
+  CheckpointWriter w;
+  tree.SaveState(w);
+  AggregationTree restored(Tree(), kClients);
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+
+  // Same mask, fosters and cooldowns...
+  for (size_t e = 0; e < kEdges; ++e) {
+    EXPECT_EQ(tree.EdgeUp(e), restored.EdgeUp(e));
+    EXPECT_EQ(tree.StandinFor(e), restored.StandinFor(e));
+    EXPECT_EQ(tree.EdgeCooling(e, 2), restored.EdgeCooling(e, 2));
+  }
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(tree.EffectiveEdge(c), restored.EffectiveEdge(c));
+  }
+  // ...and byte-identical re-serialization.
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,221 @@
+// EdgeFaultInjector (DESIGN.md §13): keyed-draw determinism, Markov flaky
+// chains that survive checkpoint boundaries, seeded Byzantine membership,
+// and the quality-space tampering contract.
+#include "src/failure/edge_fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace floatfl {
+namespace {
+
+constexpr size_t kEdges = 8;
+
+TopologyConfig FaultyTopology() {
+  TopologyConfig topology;
+  topology.num_edges = kEdges;
+  topology.edge_crash_prob = 0.15;
+  topology.edge_blackout_prob = 0.1;
+  topology.edge_flaky_fraction = 0.5;
+  topology.edge_flaky_enter_prob = 0.3;
+  topology.edge_flaky_exit_prob = 0.4;
+  topology.edge_flaky_crash_prob = 0.5;
+  return topology;
+}
+
+TEST(EdgeFaultInjectorTest, DisabledInjectorNeverFires) {
+  EdgeFaultInjector off;
+  EXPECT_FALSE(off.enabled());
+  off.BeginRound(0);
+  const EdgeFaultDecision d = off.Decide(0, 0);
+  EXPECT_FALSE(d.crash);
+  EXPECT_FALSE(d.blackout);
+  EXPECT_FALSE(d.byzantine);
+
+  // A faulty config with num_edges == 0 is equally inert.
+  TopologyConfig star = FaultyTopology();
+  star.num_edges = 0;
+  EdgeFaultInjector inert(star, 42, 0);
+  EXPECT_FALSE(inert.enabled());
+}
+
+TEST(EdgeFaultInjectorTest, DecisionsAreSeedDeterministicAndRepeatable) {
+  const TopologyConfig topology = FaultyTopology();
+  EdgeFaultInjector a(topology, 42, kEdges);
+  EdgeFaultInjector b(topology, 42, kEdges);
+  for (size_t round = 0; round < 20; ++round) {
+    a.BeginRound(round);
+    b.BeginRound(round);
+    for (size_t edge = 0; edge < kEdges; ++edge) {
+      const EdgeFaultDecision da = a.Decide(round, edge);
+      const EdgeFaultDecision db = b.Decide(round, edge);
+      EXPECT_EQ(da.crash, db.crash);
+      EXPECT_EQ(da.blackout, db.blackout);
+      EXPECT_EQ(da.byzantine, db.byzantine);
+      // Decide is a pure fixed-order draw: asking twice answers the same.
+      const EdgeFaultDecision again = a.Decide(round, edge);
+      EXPECT_EQ(da.crash, again.crash);
+      EXPECT_EQ(da.blackout, again.blackout);
+    }
+  }
+}
+
+TEST(EdgeFaultInjectorTest, SeedChangesDecisions) {
+  const TopologyConfig topology = FaultyTopology();
+  EdgeFaultInjector a(topology, 1, kEdges);
+  EdgeFaultInjector b(topology, 2, kEdges);
+  size_t differing = 0;
+  for (size_t round = 0; round < 30; ++round) {
+    a.BeginRound(round);
+    b.BeginRound(round);
+    for (size_t edge = 0; edge < kEdges; ++edge) {
+      const EdgeFaultDecision da = a.Decide(round, edge);
+      const EdgeFaultDecision db = b.Decide(round, edge);
+      differing += (da.crash != db.crash || da.blackout != db.blackout) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(EdgeFaultInjectorTest, CertainCrashAlwaysCrashes) {
+  TopologyConfig topology;
+  topology.num_edges = kEdges;
+  topology.edge_crash_prob = 1.0;
+  EdgeFaultInjector injector(topology, 7, kEdges);
+  injector.BeginRound(0);
+  for (size_t edge = 0; edge < kEdges; ++edge) {
+    const EdgeFaultDecision d = injector.Decide(0, edge);
+    EXPECT_TRUE(d.crash);
+    // A crashed edge never simultaneously tampers: it forwarded nothing.
+    EXPECT_FALSE(d.byzantine);
+  }
+}
+
+TEST(EdgeFaultInjectorTest, ByzantineMembershipMatchesFraction) {
+  TopologyConfig topology;
+  topology.num_edges = kEdges;
+  topology.edge_byzantine_mode = ByzantineMode::kSignFlip;
+  topology.edge_byzantine_fraction = 0.5;
+  EdgeFaultInjector injector(topology, 11, kEdges);
+  size_t byzantine = 0;
+  for (size_t edge = 0; edge < kEdges; ++edge) {
+    byzantine += injector.IsByzantineEdge(edge) ? 1 : 0;
+  }
+  // Membership is a per-edge Bernoulli(fraction) draw (like client
+  // colluders), so at 0.5 some but not all edges are tampering.
+  EXPECT_GT(byzantine, 0u);
+  EXPECT_LT(byzantine, kEdges);
+  // Membership is drawn once at construction: an up Byzantine edge tampers
+  // every round.
+  injector.BeginRound(3);
+  for (size_t edge = 0; edge < kEdges; ++edge) {
+    const EdgeFaultDecision d = injector.Decide(3, edge);
+    if (!d.crash && !d.blackout) {
+      EXPECT_EQ(d.byzantine, injector.IsByzantineEdge(edge));
+    }
+  }
+}
+
+TEST(EdgeFaultInjectorTest, TamperedQualityModes) {
+  TopologyConfig topology;
+  topology.num_edges = kEdges;
+  topology.edge_byzantine_fraction = 1.0;
+  topology.edge_byzantine_scale = 3.0;
+
+  topology.edge_byzantine_mode = ByzantineMode::kSignFlip;
+  EdgeFaultInjector sign(topology, 5, kEdges);
+  EXPECT_EQ(sign.TamperedQuality(0.8, 2, 1), 0.0);
+
+  // Scaled replacement is deliberately out of band: the root's range
+  // validation must be able to catch it.
+  topology.edge_byzantine_mode = ByzantineMode::kScaledReplacement;
+  EdgeFaultInjector scaled(topology, 5, kEdges);
+  EXPECT_LT(scaled.TamperedQuality(0.8, 2, 1), 0.0);
+
+  // Gaussian noise perturbs without clamping and is keyed (round, edge):
+  // deterministic per coordinate, different across coordinates.
+  topology.edge_byzantine_mode = ByzantineMode::kGaussianNoise;
+  EdgeFaultInjector noisy(topology, 5, kEdges);
+  const double q1 = noisy.TamperedQuality(0.8, 2, 1);
+  EXPECT_EQ(q1, noisy.TamperedQuality(0.8, 2, 1));
+  EXPECT_NE(q1, 0.8);
+  EXPECT_NE(q1, noisy.TamperedQuality(0.8, 3, 1));
+}
+
+TEST(EdgeFaultInjectorTest, FlakyEpisodesRaiseCrashRate) {
+  TopologyConfig topology;
+  topology.num_edges = kEdges;
+  topology.edge_flaky_fraction = 1.0;
+  topology.edge_flaky_enter_prob = 1.0;  // permanently flaky from round 0
+  topology.edge_flaky_exit_prob = 0.0;
+  topology.edge_flaky_crash_prob = 1.0;
+  EdgeFaultInjector injector(topology, 3, kEdges);
+  injector.BeginRound(0);
+  injector.BeginRound(1);
+  for (size_t edge = 0; edge < kEdges; ++edge) {
+    EXPECT_TRUE(injector.IsFlakyEligible(edge));
+    EXPECT_TRUE(injector.IsFlaky(edge));
+    EXPECT_TRUE(injector.Decide(1, edge).crash);
+  }
+}
+
+TEST(EdgeFaultInjectorTest, MarkovChainsSurviveCheckpointBoundary) {
+  const TopologyConfig topology = FaultyTopology();
+  const size_t total_rounds = 16;
+  const size_t boundary = 7;
+
+  // Uninterrupted reference.
+  EdgeFaultInjector full(topology, 99, kEdges);
+  std::vector<EdgeFaultDecision> expected;
+  for (size_t round = 0; round < total_rounds; ++round) {
+    full.BeginRound(round);
+    for (size_t edge = 0; edge < kEdges; ++edge) {
+      expected.push_back(full.Decide(round, edge));
+    }
+  }
+
+  // Save at the boundary, restore into a fresh injector, keep going.
+  EdgeFaultInjector half(topology, 99, kEdges);
+  for (size_t round = 0; round < boundary; ++round) {
+    half.BeginRound(round);
+  }
+  CheckpointWriter w;
+  half.SaveState(w);
+  EdgeFaultInjector resumed(topology, 99, kEdges);
+  CheckpointReader r(w.buffer());
+  ASSERT_TRUE(resumed.LoadState(r));
+  ASSERT_TRUE(r.AtEnd());
+  for (size_t round = boundary; round < total_rounds; ++round) {
+    resumed.BeginRound(round);
+    for (size_t edge = 0; edge < kEdges; ++edge) {
+      const EdgeFaultDecision d = resumed.Decide(round, edge);
+      const EdgeFaultDecision& e = expected[round * kEdges + edge];
+      EXPECT_EQ(d.crash, e.crash);
+      EXPECT_EQ(d.blackout, e.blackout);
+      EXPECT_EQ(d.byzantine, e.byzantine);
+    }
+  }
+}
+
+TEST(EdgeFaultInjectorTest, BeginRoundCatchesUpAfterGap) {
+  // Jumping straight to round R must land the chains in the same state as
+  // stepping rounds one by one (one keyed draw per missing round).
+  const TopologyConfig topology = FaultyTopology();
+  EdgeFaultInjector stepped(topology, 21, kEdges);
+  for (size_t round = 0; round <= 9; ++round) {
+    stepped.BeginRound(round);
+  }
+  EdgeFaultInjector jumped(topology, 21, kEdges);
+  jumped.BeginRound(9);
+  for (size_t edge = 0; edge < kEdges; ++edge) {
+    EXPECT_EQ(stepped.IsFlaky(edge), jumped.IsFlaky(edge));
+    const EdgeFaultDecision ds = stepped.Decide(9, edge);
+    const EdgeFaultDecision dj = jumped.Decide(9, edge);
+    EXPECT_EQ(ds.crash, dj.crash);
+    EXPECT_EQ(ds.blackout, dj.blackout);
+  }
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,152 @@
+// TopologyConfig invariants (DESIGN.md §13): every violated knob must abort
+// with a message naming the offending field, the derived predicates must
+// gate on num_edges, and the inter-tier LinkFaultConfig must map the link
+// knobs onto src/net semantics exactly.
+#include "src/topology/topology_config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fl/experiment.h"
+
+namespace floatfl {
+namespace {
+
+TopologyConfig EnabledTree() {
+  TopologyConfig topology;
+  topology.num_edges = 4;
+  topology.edge_crash_prob = 0.2;
+  topology.edge_link_loss_prob = 0.05;
+  return topology;
+}
+
+TEST(TopologyConfigTest, DefaultAndEnabledConfigsPass) {
+  ValidateTopologyConfig(TopologyConfig{});  // must not abort
+  ValidateTopologyConfig(EnabledTree());
+}
+
+TEST(TopologyConfigTest, PredicatesGateOnNumEdges) {
+  // Every fault/attack/link knob cranked but num_edges == 0: all predicates
+  // stay false, so no engine consults any of it (strict no-op).
+  TopologyConfig star;
+  star.edge_crash_prob = 1.0;
+  star.edge_byzantine_mode = ByzantineMode::kSignFlip;
+  star.edge_byzantine_fraction = 1.0;
+  star.edge_link_loss_prob = 0.5;
+  EXPECT_FALSE(star.enabled());
+  EXPECT_FALSE(star.EdgeFaultsEnabled());
+  EXPECT_FALSE(star.EdgeAttacksEnabled());
+  EXPECT_FALSE(star.EdgeLinkLossy());
+
+  TopologyConfig tree = star;
+  tree.num_edges = 2;
+  EXPECT_TRUE(tree.enabled());
+  EXPECT_TRUE(tree.EdgeFaultsEnabled());
+  EXPECT_TRUE(tree.EdgeAttacksEnabled());
+  EXPECT_TRUE(tree.EdgeLinkLossy());
+
+  // Flaky edges that never crash extra are not a fault source.
+  TopologyConfig flaky_only;
+  flaky_only.num_edges = 2;
+  flaky_only.edge_flaky_fraction = 0.5;
+  flaky_only.edge_flaky_enter_prob = 0.5;
+  EXPECT_FALSE(flaky_only.EdgeFaultsEnabled());
+  flaky_only.edge_flaky_crash_prob = 0.1;
+  EXPECT_TRUE(flaky_only.EdgeFaultsEnabled());
+}
+
+TEST(TopologyConfigTest, LinkFaultConfigMapsLinkKnobs) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_link_blackout_prob = 0.01;
+  topology.edge_chunk_mb = 0.5;
+  topology.edge_max_retries = 7;
+  const FaultConfig link = topology.LinkFaultConfig();
+  EXPECT_TRUE(link.transport);
+  EXPECT_EQ(link.chunk_loss_prob, 0.05);
+  EXPECT_EQ(link.link_blackout_prob, 0.01);
+  EXPECT_EQ(link.transport_chunk_mb, 0.5);
+  EXPECT_EQ(link.max_transfer_retries, 7u);
+  EXPECT_TRUE(link.resumable_uploads);
+
+  // A loss-free link maps to a disabled transport: no draws at all.
+  TopologyConfig clean;
+  clean.num_edges = 4;
+  EXPECT_FALSE(clean.LinkFaultConfig().transport);
+}
+
+TEST(TopologyConfigDeathTest, UndercommitRejected) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_overcommit = 0.5;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "edge_overcommit must be >= 1.0");
+}
+
+TEST(TopologyConfigDeathTest, CrashProbOutOfRange) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_crash_prob = 1.5;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "edge_crash_prob must be in");
+}
+
+TEST(TopologyConfigDeathTest, NegativeBlackoutProb) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_blackout_prob = -0.1;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "edge_blackout_prob must be in");
+}
+
+TEST(TopologyConfigDeathTest, FlakyFractionOutOfRange) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_flaky_fraction = 2.0;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "edge_flaky_fraction must be in");
+}
+
+TEST(TopologyConfigDeathTest, ByzantineFractionOutOfRange) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_byzantine_fraction = -1.0;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "edge_byzantine_fraction must be in");
+}
+
+TEST(TopologyConfigDeathTest, NegativeByzantineScale) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_byzantine_scale = -3.0;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "edge_byzantine_scale must be non-negative");
+}
+
+TEST(TopologyConfigDeathTest, CertainLinkLossRejected) {
+  // Loss probability 1.0 would make every transfer spin through its full
+  // retry budget forever-lossy; the half-open range forbids it.
+  TopologyConfig topology = EnabledTree();
+  topology.edge_link_loss_prob = 1.0;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "edge_link_loss_prob must be in");
+}
+
+TEST(TopologyConfigDeathTest, ZeroChunkRejected) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_chunk_mb = 0.0;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "edge_chunk_mb must be positive");
+}
+
+TEST(TopologyConfigDeathTest, InvertedDeadlineFactors) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_adaptive_deadline.min_factor = 2.0;
+  topology.edge_adaptive_deadline.max_factor = 1.0;
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "min_factor <= max_factor");
+}
+
+TEST(TopologyConfigDeathTest, BadEdgeAggregatorRejected) {
+  TopologyConfig topology = EnabledTree();
+  topology.edge_aggregator.kind = AggregatorKind::kTrimmedMean;
+  topology.edge_aggregator.trim_fraction = 0.5;  // trims everything
+  EXPECT_DEATH(ValidateTopologyConfig(topology), "trim_fraction");
+}
+
+TEST(TopologyConfigDeathTest, ExperimentValidationCoversTopology) {
+  // The embedded TopologyConfig is validated through the engine-config
+  // entry point too, so a bad tree fails fast at engine construction.
+  ExperimentConfig config;
+  config.num_clients = 20;
+  config.clients_per_round = 5;
+  config.rounds = 10;
+  config.topology.edge_overcommit = 0.0;
+  EXPECT_DEATH(ValidateExperimentConfig(config), "edge_overcommit must be >= 1.0");
+}
+
+}  // namespace
+}  // namespace floatfl
