@@ -1,0 +1,198 @@
+// Crash-recovery sweep (DESIGN.md §14): supervised runs under stochastic
+// process kills, swept over kill rate × checkpoint cadence × ring depth.
+// Every cell must converge to the uninterrupted golden bit-for-bit; the
+// interesting output is the *cost* of each durability setting — how many
+// process lives a run burns, how many rounds get replayed, and how many
+// archives the ring writes — as the kill rate climbs and the cadence
+// coarsens. The recipe behind EXPERIMENTS.md's crash-recovery section.
+//
+//   crash_recovery [--smoke]
+//
+// --smoke runs the smallest cell twice and exits non-zero unless both runs
+// converge to the same golden bit-for-bit — the CI determinism assertion
+// for the recovery path.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/failure/checkpoint_io.h"
+#include "src/fl/sync_engine.h"
+#include "src/recovery/checkpoint_ring.h"
+#include "src/recovery/crash_plan.h"
+#include "src/recovery/run_supervisor.h"
+#include "src/selection/random_selector.h"
+
+using namespace floatfl;
+
+namespace {
+
+ExperimentConfig SweepConfig() {
+  ExperimentConfig config;
+  config.num_clients = 60;
+  config.clients_per_round = 12;
+  config.rounds = 40;
+  config.dataset = DatasetId::kFemnist;
+  config.model = ModelId::kResNet34;
+  config.interference = InterferenceScenario::kDynamic;
+  config.seed = 42;
+  config.faults.crash_prob = 0.10;  // client-level faults, for realism
+  config.num_threads = 1;
+  return config;
+}
+
+// Serialized engine state minus the trailing RecoveryTracker section — the
+// bytes that must match the golden (the tracker legitimately differs: it
+// counts the restarts).
+std::string TrainingState(const SyncEngine& engine) {
+  CheckpointWriter full;
+  engine.SaveState(full);
+  CheckpointWriter tail;
+  engine.recovery_tracker().SaveState(tail);
+  return full.buffer().substr(0, full.buffer().size() - tail.buffer().size());
+}
+
+void WipeRing(const std::string& dir) {
+  CheckpointRing ring(dir, 0);
+  ring.SweepTemps();
+  for (size_t round : ring.Rounds()) {
+    std::remove(ring.PathFor(round).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+struct CellResult {
+  size_t lives = 0;
+  size_t kills = 0;
+  size_t restarts = 0;
+  size_t rounds_replayed = 0;
+  size_t checkpoints_written = 0;
+  size_t checkpoints_failed = 0;
+  bool identical = false;
+  bool converged = false;
+};
+
+// One sweep cell: stochastic soft kills at `kill_prob` per (round, site),
+// relaunch-from-ring until the run completes, compare against `golden`.
+CellResult RunCell(const ExperimentConfig& config, const std::string& golden,
+                   double kill_prob, size_t cadence, size_t ring_depth) {
+  RecoveryConfig recovery;
+  recovery.enabled = true;
+  recovery.dir = "crash_recovery_ring";
+  recovery.checkpoint_every = cadence;
+  recovery.ring_depth = ring_depth;
+  WipeRing(recovery.dir);
+
+  CrashPlanConfig plan_config;
+  plan_config.seed = config.seed;
+  plan_config.crash_prob = kill_prob;
+  plan_config.short_write_prob = kill_prob / 2.0;  // disk faults ride along
+  CrashPlan plan(plan_config);
+
+  CellResult cell;
+  constexpr size_t kMaxLives = 500;
+  std::unique_ptr<RandomSelector> selector;
+  std::unique_ptr<SyncEngine> engine;
+  for (; cell.lives < kMaxLives; ++cell.lives) {
+    selector = std::make_unique<RandomSelector>(config.seed);
+    engine = std::make_unique<SyncEngine>(config, selector.get(), nullptr);
+    RunSupervisor<SyncEngine> supervisor(recovery, *engine);
+    supervisor.SetCrashPlan(&plan);
+    supervisor.Recover();
+    if (supervisor.Run(config.rounds) == SupervisedOutcome::kCompleted) {
+      ++cell.lives;
+      cell.converged = true;
+      break;
+    }
+  }
+  if (cell.converged) {
+    const RecoveryTracker& tracker = engine->recovery_tracker();
+    cell.kills = plan.KillsFired();
+    cell.restarts = tracker.Restarts();
+    cell.rounds_replayed = tracker.RoundsReplayed();
+    cell.checkpoints_written = tracker.CheckpointsWritten();
+    cell.checkpoints_failed = tracker.CheckpointsFailed();
+    cell.identical = TrainingState(*engine) == golden;
+  }
+  WipeRing(recovery.dir);
+  return cell;
+}
+
+std::string GoldenState(const ExperimentConfig& config) {
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  RunSupervisor<SyncEngine> supervisor(RecoveryConfig{}, engine);
+  supervisor.RecoverAndRun(config.rounds);
+  return TrainingState(engine);
+}
+
+int SmokeDeterminism() {
+  ExperimentConfig config = SweepConfig();
+  config.rounds = 12;
+  const std::string golden = GoldenState(config);
+  const CellResult a = RunCell(config, golden, 0.05, 2, 3);
+  const CellResult b = RunCell(config, golden, 0.05, 2, 3);
+  if (!a.converged || !b.converged || !a.identical || !b.identical ||
+      a.lives != b.lives || a.kills != b.kills || a.restarts != b.restarts ||
+      a.rounds_replayed != b.rounds_replayed ||
+      a.checkpoints_written != b.checkpoints_written) {
+    std::cerr << "crash_recovery --smoke: recovery diverged from golden or "
+                 "between identical runs\n";
+    return 1;
+  }
+  std::cout << "crash_recovery --smoke: deterministic and bit-identical to the "
+               "uninterrupted golden ("
+            << a.lives << " lives, " << a.kills << " kills, " << a.rounds_replayed
+            << " rounds replayed)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return SmokeDeterminism();
+  }
+
+  const ExperimentConfig config = SweepConfig();
+  std::cout << "Crash-recovery sweep: FedAvg, " << config.rounds
+            << " rounds, stochastic process kills at every crashpoint of the\n"
+               "save sequence; each cell relaunches from the checkpoint ring "
+               "until the\nrun completes and checks the result against an "
+               "uninterrupted golden.\n\n";
+  const std::string golden = GoldenState(config);
+
+  TablePrinter table({"kill%", "every", "depth", "lives", "kills", "restarts",
+                      "replayed", "saved", "failed", "bit==golden"});
+  for (const double kill_prob : {0.02, 0.05, 0.10}) {
+    for (const size_t cadence : {2u, 5u, 10u}) {
+      for (const size_t depth : {1u, 3u}) {
+        const CellResult cell = RunCell(config, golden, kill_prob, cadence, depth);
+        table.Cell(100.0 * kill_prob, 0)
+            .Cell(static_cast<long long>(cadence))
+            .Cell(static_cast<long long>(depth))
+            .Cell(static_cast<long long>(cell.lives))
+            .Cell(static_cast<long long>(cell.kills))
+            .Cell(static_cast<long long>(cell.restarts))
+            .Cell(static_cast<long long>(cell.rounds_replayed))
+            .Cell(static_cast<long long>(cell.checkpoints_written))
+            .Cell(static_cast<long long>(cell.checkpoints_failed))
+            .Cell(cell.converged ? (cell.identical ? "yes" : "NO") : "n/a")
+            .EndRow();
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nEvery converged cell must say yes: recovery is bit-exact at any\n"
+               "kill rate. The cost dial is visible in 'replayed' — a coarser\n"
+               "cadence re-runs more rounds per restart — and in 'saved' vs the\n"
+               "kill rate: more kills, more lives, more ring churn. Ring depth\n"
+               "does not change results (newest-good wins); it buys tolerance\n"
+               "to corrupt newest archives, which this sweep's disk faults\n"
+               "exercise via short writes.\n";
+  return 0;
+}

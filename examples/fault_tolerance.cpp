@@ -6,17 +6,22 @@
 // server-side defenses (1.5x over-selection, 2-round retry cooldown) toggled
 // on, printing the dropout breakdown and quarantine counts for each arm.
 //
-// Part 2 demonstrates crash recovery of the *experiment itself*: it runs half
-// the rounds, saves a checkpoint, "kills" the process state by constructing a
-// brand-new engine, restores, finishes — and verifies the result is
+// Part 2 demonstrates crash recovery of the *experiment itself* through the
+// RunSupervisor (DESIGN.md §14): a supervised run auto-checkpoints into a
+// bounded on-disk ring, gets "killed" mid-run, is relaunched from scratch —
+// and even after the newest archive is corrupted on disk, recovery falls
+// back to an older ring entry, replays the missing rounds, and finishes
 // bit-for-bit identical to an uninterrupted run.
+#include <unistd.h>
+
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "src/common/table.h"
 #include "src/core/float_controller.h"
-#include "src/failure/checkpointer.h"
 #include "src/fl/sync_engine.h"
+#include "src/recovery/run_supervisor.h"
 #include "src/selection/random_selector.h"
 
 using namespace floatfl;
@@ -87,45 +92,80 @@ int main() {
                "spend (wasted_h) for shorter rounds (hours).\n";
 
   // --- Part 2: kill and resume the experiment itself ----------------------
-  std::cout << "\n=== Checkpoint/resume: kill at round " << faulty.rounds / 2
-            << ", restore, finish ===\n\n";
-  const std::string path = "fault_tolerance_demo.ckpt";
+  std::cout << "\n=== Supervised recovery: auto-checkpoint ring, kill at round "
+            << faulty.rounds / 2 << ", corrupt the newest archive, relaunch ===\n\n";
 
   const ExperimentResult uninterrupted = RunArm(faulty, /*with_float=*/true);
 
-  RandomSelector first_selector(faulty.seed);
-  auto first_controller = FloatController::MakeDefault(faulty.seed, faulty.rounds);
-  SyncEngine first_life(faulty, &first_selector, first_controller.get());
-  for (size_t round = 0; round < faulty.rounds / 2; ++round) {
-    first_life.RunRound(round);
-  }
-  if (!Checkpointer::Save(path, first_life)) {
-    std::cerr << "checkpoint save failed\n";
-    return 1;
-  }
-  std::cout << "saved checkpoint after " << first_life.RoundsRun() << " rounds\n";
+  RecoveryConfig recovery;
+  recovery.enabled = true;
+  recovery.dir = "fault_tolerance_ring";
+  recovery.checkpoint_every = 10;  // auto-save cadence, in rounds
+  recovery.ring_depth = 3;         // newest 3 archives are retained
 
-  // "Process restart": everything rebuilt from config, state from the file.
-  RandomSelector second_selector(faulty.seed);
-  auto second_controller = FloatController::MakeDefault(faulty.seed, faulty.rounds);
-  SyncEngine second_life(faulty, &second_selector, second_controller.get());
-  if (!Checkpointer::Restore(path, second_life)) {
-    std::cerr << "checkpoint restore failed\n";
+  // Life 1: the supervisor auto-saves every 10 rounds while we run the first
+  // half, then the "process dies" — we simply abandon the engine, exactly
+  // what a kill leaves behind: nothing but the ring on disk.
+  {
+    RandomSelector selector(faulty.seed);
+    auto controller = FloatController::MakeDefault(faulty.seed, faulty.rounds);
+    SyncEngine engine(faulty, &selector, controller.get());
+    RunSupervisor<SyncEngine> supervisor(recovery, engine);
+    supervisor.Recover();  // empty ring: fresh start
+    supervisor.Run(faulty.rounds / 2);
+    std::cout << "life 1: ran " << engine.RoundsRun() << " rounds, wrote "
+              << supervisor.report().checkpoints_written
+              << " ring archives, then died\n";
+  }
+
+  // Sabotage: flip a byte in the newest archive. Recovery must detect the
+  // damage via the payload hash, skip it, and fall back to an older entry.
+  {
+    const std::string newest = "fault_tolerance_ring/ckpt-0000000040.flck";
+    std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(64);
+    const char byte = static_cast<char>(f.get());
+    f.seekp(64);
+    f.put(static_cast<char>(byte ^ 0x5A));
+  }
+
+  // Life 2: rebuilt from config alone. Recover() scans the ring newest →
+  // oldest, skips the corrupt archive, restores round 30, and the replayed
+  // rounds re-run deterministically to the same bytes.
+  RandomSelector selector(faulty.seed);
+  auto controller = FloatController::MakeDefault(faulty.seed, faulty.rounds);
+  SyncEngine engine(faulty, &selector, controller.get());
+  RunSupervisor<SyncEngine> supervisor(recovery, engine);
+  supervisor.Recover();
+  const RecoveryReport& report = supervisor.report();
+  std::cout << "life 2: restored at round " << report.rounds_restored << " (skipped "
+            << report.archives_skipped << " corrupt archive, replaying "
+            << report.rounds_replayed << " rounds), finishing...\n";
+  if (supervisor.Run(faulty.rounds) != SupervisedOutcome::kCompleted) {
+    std::cerr << "supervised run did not complete\n";
     return 1;
   }
-  std::cout << "restored at round " << second_life.RoundsRun() << ", finishing...\n";
-  const ExperimentResult resumed = second_life.Run();
+  const ExperimentResult resumed = engine.Snapshot();
 
   const bool identical = resumed.accuracy_avg == uninterrupted.accuracy_avg &&
                          resumed.wall_clock_hours == uninterrupted.wall_clock_hours &&
                          resumed.total_completed == uninterrupted.total_completed &&
                          resumed.total_dropouts == uninterrupted.total_dropouts &&
                          resumed.accuracy_history == uninterrupted.accuracy_history;
-  std::cout << "resumed run " << (identical ? "IS" : "IS NOT")
+  std::cout << "recovered run " << (identical ? "IS" : "IS NOT")
             << " bit-for-bit identical to the uninterrupted run ("
             << 100.0 * resumed.accuracy_avg << "% vs " << 100.0 * uninterrupted.accuracy_avg
             << "% accuracy, " << resumed.total_dropouts << " vs "
-            << uninterrupted.total_dropouts << " dropouts)\n";
-  std::remove(path.c_str());
+            << uninterrupted.total_dropouts << " dropouts); the engine's own "
+            << "recovery accounting reports " << resumed.recovery_restarts
+            << " restart, " << resumed.recovery_archives_skipped
+            << " archive skipped, " << resumed.recovery_rounds_replayed
+            << " rounds replayed\n";
+
+  // Clean up the demo's ring directory.
+  for (size_t round : supervisor.ring().Rounds()) {
+    std::remove(supervisor.ring().PathFor(round).c_str());
+  }
+  ::rmdir(recovery.dir.c_str());
   return identical ? 0 : 1;
 }

@@ -1,30 +1,32 @@
 #include "src/failure/checkpoint_io.h"
 
-#include <cstdio>
+#include <sys/stat.h>
+
 #include <fstream>
+
+#include "src/failure/durable_file.h"
 
 namespace floatfl {
 
 bool CheckpointWriter::WriteFile(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return false;
-    }
-    out.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-    if (!out) {
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return WriteFile(path, DefaultDurableFile());
+}
+
+bool CheckpointWriter::WriteFile(const std::string& path, DurableFile& io) const {
+  return io.Write(path, buf_);
 }
 
 bool CheckpointReader::FromFile(const std::string& path, CheckpointReader* out) {
+  // Refuse degenerate paths outright: an empty name, or a directory (reading
+  // one through ifstream "succeeds" with zero bytes on some libstdc++
+  // versions, which would surface as a confusing header mismatch instead of
+  // an I/O error).
+  struct stat st;
+  if (path.empty() || ::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    *out = CheckpointReader("");
+    out->ok_ = false;
+    return false;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     *out = CheckpointReader("");

@@ -18,6 +18,8 @@
 
 namespace floatfl {
 
+class DurableFile;
+
 class CheckpointWriter {
  public:
   void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
@@ -69,8 +71,14 @@ class CheckpointWriter {
 
   const std::string& buffer() const { return buf_; }
 
-  // Atomic file write (temp + rename). Returns false on any I/O failure.
+  // Crash-consistent file write (fsync'd temp + rename + directory fsync,
+  // src/failure/durable_file.h). Returns false on any I/O failure — an empty
+  // path, an unwritable or missing parent directory, a directory as the
+  // target, a short write — without ever leaving a partial final file. The
+  // second overload routes the bytes through an injected writer so tests can
+  // tear the write or kill the process at named crashpoints.
   bool WriteFile(const std::string& path) const;
+  bool WriteFile(const std::string& path, DurableFile& io) const;
 
  private:
   void Raw(const void* p, size_t n) {

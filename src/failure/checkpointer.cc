@@ -1,6 +1,7 @@
 #include "src/failure/checkpointer.h"
 
 #include "src/failure/checkpoint_io.h"
+#include "src/failure/durable_file.h"
 #include "src/fl/async_engine.h"
 #include "src/fl/real_engine.h"
 #include "src/fl/sync_engine.h"
@@ -94,7 +95,8 @@ void WriteTopologyConfig(CheckpointWriter& w, const TopologyConfig& t) {
 }
 
 template <typename Engine>
-bool SaveEngine(const std::string& path, const Engine& engine, Checkpointer::EngineTag tag) {
+bool SaveEngine(const std::string& path, const Engine& engine, Checkpointer::EngineTag tag,
+                DurableFile& io) {
   // The payload is serialized separately so the header can carry its hash;
   // Restore verifies the bytes in full before any LoadState touches the
   // engine.
@@ -107,7 +109,7 @@ bool SaveEngine(const std::string& path, const Engine& engine, Checkpointer::Eng
   w.U64(FingerprintConfig(engine.config()));
   w.U64(Fnv1a(payload.buffer()));
   w.Str(payload.buffer());
-  return w.WriteFile(path);
+  return w.WriteFile(path, io);
 }
 
 template <typename Engine>
@@ -205,16 +207,29 @@ uint64_t FingerprintConfig(const VflConfig& config) {
 }
 
 bool Checkpointer::Save(const std::string& path, const SyncEngine& engine) {
-  return SaveEngine(path, engine, EngineTag::kSync);
+  return SaveEngine(path, engine, EngineTag::kSync, DefaultDurableFile());
 }
 bool Checkpointer::Save(const std::string& path, const AsyncEngine& engine) {
-  return SaveEngine(path, engine, EngineTag::kAsync);
+  return SaveEngine(path, engine, EngineTag::kAsync, DefaultDurableFile());
 }
 bool Checkpointer::Save(const std::string& path, const RealFlEngine& engine) {
-  return SaveEngine(path, engine, EngineTag::kReal);
+  return SaveEngine(path, engine, EngineTag::kReal, DefaultDurableFile());
 }
 bool Checkpointer::Save(const std::string& path, const VflEngine& engine) {
-  return SaveEngine(path, engine, EngineTag::kVfl);
+  return SaveEngine(path, engine, EngineTag::kVfl, DefaultDurableFile());
+}
+
+bool Checkpointer::Save(const std::string& path, const SyncEngine& engine, DurableFile& io) {
+  return SaveEngine(path, engine, EngineTag::kSync, io);
+}
+bool Checkpointer::Save(const std::string& path, const AsyncEngine& engine, DurableFile& io) {
+  return SaveEngine(path, engine, EngineTag::kAsync, io);
+}
+bool Checkpointer::Save(const std::string& path, const RealFlEngine& engine, DurableFile& io) {
+  return SaveEngine(path, engine, EngineTag::kReal, io);
+}
+bool Checkpointer::Save(const std::string& path, const VflEngine& engine, DurableFile& io) {
+  return SaveEngine(path, engine, EngineTag::kVfl, io);
 }
 
 bool Checkpointer::Restore(const std::string& path, SyncEngine& engine) {

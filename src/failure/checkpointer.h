@@ -19,6 +19,7 @@
 
 namespace floatfl {
 
+class DurableFile;
 class SyncEngine;
 class AsyncEngine;
 class RealFlEngine;
@@ -52,16 +53,27 @@ class Checkpointer {
   // aggregation-tree state (edge injector, up/foster masks, topology
   // tracker, edge aggregator / deadline controller); the header gained a
   // payload hash and the payload became a length-prefixed blob verified
-  // against it before LoadState runs. Older checkpoints are refused (the
-  // version field mismatches).
-  static constexpr uint32_t kVersion = 6;
+  // against it before LoadState runs. v7: engine payloads grew a
+  // RecoveryTracker section (cumulative restart/replay accounting that rides
+  // inside the engine so the totals survive process kills, DESIGN.md §14).
+  // Older checkpoints are refused (the version field mismatches).
+  static constexpr uint32_t kVersion = 7;
   enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3, kVfl = 4 };
 
-  // Atomic save (temp file + rename). Returns false on I/O failure.
+  // Crash-consistent save (fsync'd temp file + rename). Returns false on
+  // I/O failure — including an empty/unwritable/directory path — and never
+  // crashes the caller.
   static bool Save(const std::string& path, const SyncEngine& engine);
   static bool Save(const std::string& path, const AsyncEngine& engine);
   static bool Save(const std::string& path, const RealFlEngine& engine);
   static bool Save(const std::string& path, const VflEngine& engine);
+
+  // Same, writing through an injectable DurableFile (fault injection, custom
+  // storage). The default overloads above use the process-wide fsync'd one.
+  static bool Save(const std::string& path, const SyncEngine& engine, DurableFile& io);
+  static bool Save(const std::string& path, const AsyncEngine& engine, DurableFile& io);
+  static bool Save(const std::string& path, const RealFlEngine& engine, DurableFile& io);
+  static bool Save(const std::string& path, const VflEngine& engine, DurableFile& io);
 
   // Restores into an engine freshly constructed with the *same* config the
   // checkpoint was taken under. Returns false on header mismatch or a

@@ -1,0 +1,87 @@
+#include "src/failure/durable_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace floatfl {
+namespace {
+
+// Directory part of `path` ("." when the path has no slash), for the
+// post-rename directory fsync that makes the new entry itself durable.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+bool WriteAllFd(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DurableFile::Write(const std::string& path, const std::string& bytes) {
+  if (path.empty()) {
+    return false;
+  }
+  // Refuse a target that is a directory up front: the temp would be created
+  // and the rename would fail anyway, but failing early keeps the error path
+  // free of stray temps.
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    return false;
+  }
+  const std::string tmp = path + TempSuffix();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  const bool wrote = WriteAllFd(fd, bytes.data(), bytes.size());
+  // The fsync is the durability step: after it returns, the temp's bytes are
+  // on stable storage and the rename below can only ever expose a complete
+  // archive, never a torn one.
+  const bool synced = wrote && ::fsync(fd) == 0;
+  if (::close(fd) != 0 || !synced) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the directory entry durable too; best-effort on filesystems that
+  // refuse O_DIRECTORY fsync (the rename above is already atomic).
+  const int dir_fd = ::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+DurableFile& DefaultDurableFile() {
+  static DurableFile instance;
+  return instance;
+}
+
+}  // namespace floatfl

@@ -1,0 +1,43 @@
+// Crash-consistent file writes for the checkpoint path (DESIGN.md §14).
+//
+// A checkpoint that survives `kill -9` at any instant needs more than
+// temp + rename: the temp's bytes must be fsync'd before the rename (or the
+// rename can land while the data is still only in the page cache, leaving a
+// durable name over torn bytes after a power cut), and the directory entry
+// must be fsync'd after it (or the rename itself can be lost). DurableFile
+// implements exactly that sequence and is *injectable*: the recovery tests
+// substitute a fault-injecting subclass (src/recovery/crash_plan.h) that
+// tears the write at byte k, simulates ENOSPC, or kills the process at a
+// named crashpoint — so every torn-write window the real sequence has is
+// exercised deterministically, not hoped about.
+#ifndef SRC_FAILURE_DURABLE_FILE_H_
+#define SRC_FAILURE_DURABLE_FILE_H_
+
+#include <string>
+
+namespace floatfl {
+
+class DurableFile {
+ public:
+  virtual ~DurableFile() = default;
+
+  // Writes `bytes` to `path` crash-consistently: create `path + ".tmp"`,
+  // write everything, fsync the temp, rename it over `path`, fsync the
+  // parent directory. Returns false on any I/O failure — empty path, a
+  // parent directory that does not exist or cannot be written, a target that
+  // is a directory, a short write (disk full) — and never leaves a partial
+  // *final* file behind (a torn temp may remain; readers never look at
+  // temps, and the checkpoint ring sweeps them on recovery).
+  virtual bool Write(const std::string& path, const std::string& bytes);
+
+  // Suffix of the in-flight temp file next to the final path. Part of the
+  // contract: recovery scanners must skip (and may sweep) "*.tmp" entries.
+  static const char* TempSuffix() { return ".tmp"; }
+};
+
+// Shared default instance used when no writer is injected.
+DurableFile& DefaultDurableFile();
+
+}  // namespace floatfl
+
+#endif  // SRC_FAILURE_DURABLE_FILE_H_

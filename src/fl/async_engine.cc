@@ -477,6 +477,11 @@ ExperimentResult AsyncEngine::Snapshot() const {
   result.quarantine_openings = guard_.tracker().QuarantineOpenings();
   result.rejected_rewards = guard_.tracker().RejectedRewards();
   result.safe_mode_rounds = guard_.tracker().SafeModeRounds();
+  result.recovery_restarts = recovery_tracker_.Restarts();
+  result.recovery_archives_skipped = recovery_tracker_.ArchivesSkipped();
+  result.recovery_rounds_replayed = recovery_tracker_.RoundsReplayed();
+  result.recovery_checkpoints_written = recovery_tracker_.CheckpointsWritten();
+  result.recovery_checkpoints_failed = recovery_tracker_.CheckpointsFailed();
   result.accuracy_history = accuracy_history_;
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
@@ -583,6 +588,7 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   agg_tracker_.SaveState(w);
   transport_tracker_.SaveState(w);
   guard_.SaveState(w);
+  recovery_tracker_.SaveState(w);
 }
 
 void AsyncEngine::LoadState(CheckpointReader& r) {
@@ -652,6 +658,7 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   agg_tracker_.LoadState(r);
   transport_tracker_.LoadState(r);
   guard_.LoadState(r);
+  recovery_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -23,6 +23,7 @@
 #include "src/guard/training_guard.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
+#include "src/metrics/recovery_tracker.h"
 #include "src/metrics/resource_accountant.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/models/surrogate_accuracy.h"
@@ -57,6 +58,10 @@ class AsyncEngine {
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
   const TrainingGuard& guard() const { return guard_; }
+  // Crash-recovery accounting (DESIGN.md §14); recorded by the RunSupervisor
+  // and serialized with the engine so totals survive process kills.
+  RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
+  const RecoveryTracker& recovery_tracker() const { return recovery_tracker_; }
 
   // Checkpoint/resume of all mutable engine state (DESIGN.md §8).
   void SaveState(CheckpointWriter& w) const;
@@ -102,6 +107,7 @@ class AsyncEngine {
   // Self-healing guard (DESIGN.md §11); rounds are keyed by the aggregation
   // version (async FL's round analogue). A disabled guard is a strict no-op.
   TrainingGuard guard_;
+  RecoveryTracker recovery_tracker_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   // Byzantine completers retired since the last aggregation (folded into the

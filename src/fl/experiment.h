@@ -170,6 +170,14 @@ struct ExperimentResult {
   size_t late_partials = 0;
   double tier1_wire_mb = 0.0;
   double tier1_retransmitted_mb = 0.0;
+  // Crash-recovery totals (src/metrics/recovery_tracker.h). All zero when no
+  // RunSupervisor drives the run; cumulative across process lives because the
+  // tracker rides inside the engine checkpoint (DESIGN.md §14).
+  size_t recovery_restarts = 0;
+  size_t recovery_archives_skipped = 0;
+  size_t recovery_rounds_replayed = 0;
+  size_t recovery_checkpoints_written = 0;
+  size_t recovery_checkpoints_failed = 0;
 
   ResourceTotals useful;
   ResourceTotals wasted;

@@ -556,6 +556,7 @@ void RealFlEngine::SaveState(CheckpointWriter& w) const {
   tree_.SaveState(w);
   topo_tracker_.SaveState(w);
   edge_aggregator_->SaveState(w);
+  recovery_tracker_.SaveState(w);
 }
 
 void RealFlEngine::LoadState(CheckpointReader& r) {
@@ -586,6 +587,7 @@ void RealFlEngine::LoadState(CheckpointReader& r) {
   tree_.LoadState(r);
   topo_tracker_.LoadState(r);
   edge_aggregator_->LoadState(r);
+  recovery_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -29,6 +29,7 @@
 #include "src/guard/guard_config.h"
 #include "src/guard/training_guard.h"
 #include "src/metrics/aggregation_tracker.h"
+#include "src/metrics/recovery_tracker.h"
 #include "src/metrics/topology_tracker.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/net/transport.h"
@@ -155,6 +156,10 @@ class RealFlEngine {
   const EdgeFaultInjector& edge_injector() const { return edge_injector_; }
   const AggregationTree& tree() const { return tree_; }
   const TopologyTracker& topology_tracker() const { return topo_tracker_; }
+  // Crash-recovery accounting (DESIGN.md §14); recorded by the RunSupervisor
+  // and serialized with the engine so totals survive process kills.
+  RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
+  const RecoveryTracker& recovery_tracker() const { return recovery_tracker_; }
 
   // Checkpoint/resume: the datasets and model topology are rebuilt
   // deterministically from config; only the mutable training state (RNGs,
@@ -232,6 +237,7 @@ class RealFlEngine {
   TopologyTracker topo_tracker_;
   Transport edge_transport_;
   std::unique_ptr<Aggregator> edge_aggregator_;
+  RecoveryTracker recovery_tracker_;
   Rng rng_;
   // Root of the per-(round, client) training streams; never advanced, only
   // ForkKeyed — so the streams are independent of simulation order.

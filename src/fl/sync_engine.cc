@@ -719,6 +719,11 @@ ExperimentResult SyncEngine::Snapshot() const {
   result.late_partials = topo_tracker_.LatePartials();
   result.tier1_wire_mb = topo_tracker_.Tier1WireMb();
   result.tier1_retransmitted_mb = topo_tracker_.Tier1RetransmittedMb();
+  result.recovery_restarts = recovery_tracker_.Restarts();
+  result.recovery_archives_skipped = recovery_tracker_.ArchivesSkipped();
+  result.recovery_rounds_replayed = recovery_tracker_.RoundsReplayed();
+  result.recovery_checkpoints_written = recovery_tracker_.CheckpointsWritten();
+  result.recovery_checkpoints_failed = recovery_tracker_.CheckpointsFailed();
   result.accuracy_history = accuracy_history_;
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
@@ -768,6 +773,7 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
   tree_.SaveState(w);
   topo_tracker_.SaveState(w);
   edge_deadline_ctrl_.SaveState(w);
+  recovery_tracker_.SaveState(w);
 }
 
 void SyncEngine::LoadState(CheckpointReader& r) {
@@ -817,6 +823,7 @@ void SyncEngine::LoadState(CheckpointReader& r) {
   tree_.LoadState(r);
   topo_tracker_.LoadState(r);
   edge_deadline_ctrl_.LoadState(r);
+  recovery_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

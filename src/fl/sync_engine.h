@@ -25,6 +25,7 @@
 #include "src/guard/training_guard.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
+#include "src/metrics/recovery_tracker.h"
 #include "src/metrics/resource_accountant.h"
 #include "src/metrics/topology_tracker.h"
 #include "src/metrics/transport_tracker.h"
@@ -107,6 +108,10 @@ class SyncEngine {
   const EdgeFaultInjector& edge_injector() const { return edge_injector_; }
   const AggregationTree& tree() const { return tree_; }
   const TopologyTracker& topology_tracker() const { return topo_tracker_; }
+  // Crash-recovery accounting (DESIGN.md §14); recorded by the RunSupervisor
+  // and serialized with the engine so totals survive process kills.
+  RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
+  const RecoveryTracker& recovery_tracker() const { return recovery_tracker_; }
   // The deadline governing the current round: the static configured value,
   // or the adaptive controller's latest proposal when it is enabled.
   double CurrentRoundDeadline() const { return round_deadline_s_; }
@@ -147,6 +152,7 @@ class SyncEngine {
   TopologyTracker topo_tracker_;
   Transport edge_transport_;
   AdaptiveDeadlineController edge_deadline_ctrl_;
+  RecoveryTracker recovery_tracker_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   std::vector<double> accuracy_history_;

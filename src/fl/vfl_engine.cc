@@ -324,6 +324,7 @@ void VflEngine::SaveState(CheckpointWriter& w) const {
   injector_.SaveState(w);
   transport_tracker_.SaveState(w);
   guard_.SaveState(w);
+  recovery_tracker_.SaveState(w);
 }
 
 void VflEngine::LoadState(CheckpointReader& r) {
@@ -342,6 +343,7 @@ void VflEngine::LoadState(CheckpointReader& r) {
   injector_.LoadState(r);
   transport_tracker_.LoadState(r);
   guard_.LoadState(r);
+  recovery_tracker_.LoadState(r);
 }
 
 }  // namespace floatfl

@@ -20,6 +20,7 @@
 #include "src/failure/fault_injector.h"
 #include "src/guard/guard_config.h"
 #include "src/guard/training_guard.h"
+#include "src/metrics/recovery_tracker.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/net/transport.h"
 #include "src/fl/experiment.h"
@@ -89,6 +90,10 @@ class VflEngine {
   size_t EpochsRun() const { return epochs_run_; }
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
   const TrainingGuard& guard() const { return guard_; }
+  // Crash-recovery accounting (DESIGN.md §14); recorded by the RunSupervisor
+  // and serialized with the engine so totals survive process kills.
+  RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
+  const RecoveryTracker& recovery_tracker() const { return recovery_tracker_; }
 
   // Checkpoint/resume: datasets and model topology rebuild from config; the
   // mutable training state (epoch counter, RNG, every party encoder, the top
@@ -116,6 +121,7 @@ class VflEngine {
   TransportTracker transport_tracker_;
   // Self-healing guard (DESIGN.md §11); disabled by default.
   TrainingGuard guard_;
+  RecoveryTracker recovery_tracker_;
   Rng rng_;
   size_t epochs_run_ = 0;
   std::vector<DenseLayer> bottoms_;       // one encoder per party

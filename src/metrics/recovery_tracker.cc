@@ -1,0 +1,27 @@
+#include "src/metrics/recovery_tracker.h"
+
+#include "src/failure/checkpoint_io.h"
+
+namespace floatfl {
+
+void RecoveryTracker::SaveState(CheckpointWriter& w) const {
+  w.Size(restarts_);
+  w.Size(archives_skipped_);
+  w.Size(rounds_replayed_);
+  w.Size(checkpoints_written_);
+  w.Size(checkpoints_failed_);
+  w.Size(checkpoints_collected_);
+  w.Size(temps_swept_);
+}
+
+void RecoveryTracker::LoadState(CheckpointReader& r) {
+  restarts_ = r.Size();
+  archives_skipped_ = r.Size();
+  rounds_replayed_ = r.Size();
+  checkpoints_written_ = r.Size();
+  checkpoints_failed_ = r.Size();
+  checkpoints_collected_ = r.Size();
+  temps_swept_ = r.Size();
+}
+
+}  // namespace floatfl

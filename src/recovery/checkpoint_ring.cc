@@ -1,0 +1,150 @@
+#include "src/recovery/checkpoint_ring.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/failure/durable_file.h"
+
+namespace floatfl {
+namespace {
+
+constexpr char kPrefix[] = "ckpt-";
+constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+constexpr char kSuffix[] = ".flck";
+constexpr size_t kRoundDigits = 10;
+
+// Parses "ckpt-0000000042.flck" (optionally "+ .tmp") into its round stamp.
+// Returns false for anything else — foreign files are never touched.
+bool ParseStamp(const std::string& name, bool allow_temp, size_t* round) {
+  std::string base = name;
+  const std::string temp_suffix = DurableFile::TempSuffix();
+  if (base.size() > temp_suffix.size() &&
+      base.compare(base.size() - temp_suffix.size(), temp_suffix.size(), temp_suffix) == 0) {
+    if (!allow_temp) {
+      return false;
+    }
+    base.resize(base.size() - temp_suffix.size());
+  }
+  const std::string suffix = kSuffix;
+  if (base.size() != kPrefixLen + kRoundDigits + suffix.size() ||
+      base.compare(0, kPrefixLen, kPrefix) != 0 ||
+      base.compare(base.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  size_t value = 0;
+  for (size_t i = kPrefixLen; i < kPrefixLen + kRoundDigits; ++i) {
+    const char c = base[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *round = value;
+  return true;
+}
+
+bool IsTempName(const std::string& name) {
+  const std::string temp_suffix = DurableFile::TempSuffix();
+  return name.size() > temp_suffix.size() &&
+         name.compare(name.size() - temp_suffix.size(), temp_suffix.size(), temp_suffix) == 0;
+}
+
+// Calls `visit(name)` for every regular entry in `dir`; missing directory is
+// an empty listing, not an error.
+template <typename Visitor>
+void ListDir(const std::string& dir, Visitor visit) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return;
+  }
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    visit(name);
+  }
+  ::closedir(d);
+}
+
+}  // namespace
+
+CheckpointRing::CheckpointRing(std::string dir, size_t depth)
+    : dir_(std::move(dir)), depth_(depth) {}
+
+bool CheckpointRing::EnsureDir() const {
+  if (dir_.empty()) {
+    return false;
+  }
+  struct stat st;
+  if (::stat(dir_.c_str(), &st) == 0) {
+    return S_ISDIR(st.st_mode);
+  }
+  return ::mkdir(dir_.c_str(), 0755) == 0;
+}
+
+std::string CheckpointRing::PathFor(size_t rounds_done) const {
+  char stamp[kRoundDigits + 1];
+  std::snprintf(stamp, sizeof(stamp), "%010zu", rounds_done);
+  return dir_ + "/" + kPrefix + stamp + kSuffix;
+}
+
+std::vector<size_t> CheckpointRing::Rounds() const {
+  std::vector<size_t> rounds;
+  ListDir(dir_, [&rounds](const std::string& name) {
+    size_t round = 0;
+    if (!IsTempName(name) && ParseStamp(name, /*allow_temp=*/false, &round)) {
+      rounds.push_back(round);
+    }
+  });
+  std::sort(rounds.begin(), rounds.end());
+  return rounds;
+}
+
+size_t CheckpointRing::FurthestNamedRound() const {
+  size_t furthest = 0;
+  ListDir(dir_, [&furthest](const std::string& name) {
+    size_t round = 0;
+    if (ParseStamp(name, /*allow_temp=*/true, &round)) {
+      furthest = std::max(furthest, round);
+    }
+  });
+  return furthest;
+}
+
+size_t CheckpointRing::SweepTemps() const {
+  std::vector<std::string> temps;
+  ListDir(dir_, [&temps](const std::string& name) {
+    size_t round = 0;
+    if (IsTempName(name) && ParseStamp(name, /*allow_temp=*/true, &round)) {
+      temps.push_back(name);
+    }
+  });
+  size_t swept = 0;
+  for (const std::string& name : temps) {
+    if (::unlink((dir_ + "/" + name).c_str()) == 0) {
+      ++swept;
+    }
+  }
+  return swept;
+}
+
+size_t CheckpointRing::Collect() const {
+  const std::vector<size_t> rounds = Rounds();
+  if (rounds.size() <= depth_) {
+    return 0;
+  }
+  size_t collected = 0;
+  for (size_t i = 0; i + depth_ < rounds.size(); ++i) {
+    if (::unlink(PathFor(rounds[i]).c_str()) == 0) {
+      ++collected;
+    }
+  }
+  return collected;
+}
+
+}  // namespace floatfl

@@ -1,0 +1,57 @@
+// Bounded on-disk ring of round-stamped checkpoint archives (DESIGN.md §14).
+//
+// Layout: one directory holding `ckpt-<10-digit round>.flck` archives plus
+// whatever `*.tmp` wreckage killed writers left behind. The round number in
+// the name is load-bearing twice over: retention GC keeps the newest
+// `depth` archives by round, and recovery uses the largest round named
+// *anywhere* in the directory (archives and torn temps alike) as proof of
+// how far a previous life got — the basis of the rounds-replayed accounting.
+// The ring never trusts a name for *content*: every candidate archive is
+// verified by the checkpointer's payload hash before it is restored.
+#ifndef SRC_RECOVERY_CHECKPOINT_RING_H_
+#define SRC_RECOVERY_CHECKPOINT_RING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace floatfl {
+
+class CheckpointRing {
+ public:
+  CheckpointRing() = default;
+  CheckpointRing(std::string dir, size_t depth);
+
+  // Creates the ring directory (one level) if missing. Returns false when it
+  // cannot exist as a directory.
+  bool EnsureDir() const;
+
+  // Archive path for a checkpoint taken after `rounds_done` rounds.
+  std::string PathFor(size_t rounds_done) const;
+
+  // Round stamps of the archives currently on disk, ascending. Torn temps
+  // and foreign files are not listed. Empty when the directory is missing.
+  std::vector<size_t> Rounds() const;
+
+  // Largest round stamp named anywhere in the directory — final archives
+  // *and* in-flight `*.tmp` files — or 0 when nothing is stamped. Evidence
+  // of the furthest round any previous life provably reached.
+  size_t FurthestNamedRound() const;
+
+  // Deletes leftover `*.tmp` files (killed writers). Returns how many.
+  size_t SweepTemps() const;
+
+  // Deletes the oldest archives beyond `depth`. Returns how many.
+  size_t Collect() const;
+
+  const std::string& dir() const { return dir_; }
+  size_t depth() const { return depth_; }
+
+ private:
+  std::string dir_;
+  size_t depth_ = 0;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_RECOVERY_CHECKPOINT_RING_H_

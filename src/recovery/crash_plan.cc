@@ -1,0 +1,175 @@
+#include "src/recovery/crash_plan.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "src/common/rng.h"
+
+namespace floatfl {
+namespace {
+
+// Seed salts separating the kill draws from the disk-fault draws (the same
+// (round, site) key must not correlate them).
+constexpr uint64_t kKillSalt = 0x6B696C6C9E3779B9ULL;        // "kill"
+constexpr uint64_t kShortWriteSalt = 0x73687274C2B2AE35ULL;  // "shrt"
+constexpr uint64_t kEnospcSalt = 0x656E6F73D6E8FEB8ULL;      // "enos"
+
+// Pure-function Bernoulli keyed on (seed ^ salt, round, site): no chain
+// state, so a relaunched life re-draws identically for replayed rounds.
+bool KeyedDraw(uint64_t seed, uint64_t salt, size_t round, size_t site, double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  Rng draw = Rng(seed ^ salt).ForkKeyed(Rng::StreamKey(round, site));
+  return draw.Bernoulli(p);
+}
+
+// Writes the first `count` bytes of `bytes` to `path` and stops — the torn
+// temp a kill or a full disk leaves mid-write. Best effort by design: the
+// caller is about to report a crash or an I/O failure either way.
+void WriteTorn(const std::string& path, const std::string& bytes, size_t count) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return;
+  }
+  const size_t n = count < bytes.size() ? count : bytes.size();
+  if (n > 0) {
+    [[maybe_unused]] const ssize_t written = ::write(fd, bytes.data(), n);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+const char* CrashSiteName(CrashSite site) {
+  switch (site) {
+    case CrashSite::kBeforeSave:
+      return "before-save";
+    case CrashSite::kMidWrite:
+      return "mid-write";
+    case CrashSite::kAfterTempBeforeRename:
+      return "after-temp-before-rename";
+    case CrashSite::kAfterRename:
+      return "after-rename";
+    case CrashSite::kMidRound:
+      return "mid-round";
+  }
+  return "unknown";
+}
+
+const char* DiskFaultName(DiskFault fault) {
+  switch (fault) {
+    case DiskFault::kNone:
+      return "none";
+    case DiskFault::kShortWrite:
+      return "short-write";
+    case DiskFault::kEnospc:
+      return "enospc";
+    case DiskFault::kUnwritableDir:
+      return "unwritable-dir";
+  }
+  return "unknown";
+}
+
+CrashPlan::CrashPlan(const CrashPlanConfig& config) : config_(config) {}
+
+bool CrashPlan::FiresAt(size_t round, CrashSite site) {
+  bool fires = false;
+  if (config_.directed) {
+    if (config_.trigger_kill && !directed_kill_spent_ && site == config_.trigger_site &&
+        round >= config_.trigger_round) {
+      directed_kill_spent_ = true;
+      fires = true;
+    }
+  } else {
+    // The kill ordinal joins the key: a relaunched life replays the killed
+    // round with one more kill behind it and re-draws, so a stochastic plan
+    // cannot pin the same (round, site) forever and starve progress. Still
+    // fully deterministic given the kill history.
+    const uint64_t life_seed = config_.seed + 0x9E3779B97F4A7C15ULL * (kills_fired_ + 1);
+    fires = KeyedDraw(life_seed, kKillSalt, round, static_cast<size_t>(site),
+                      config_.crash_prob);
+  }
+  if (!fires) {
+    return false;
+  }
+  ++kills_fired_;
+  return true;
+}
+
+void CrashPlan::Kill() const {
+  if (config_.hard_kill) {
+    // SIGKILL semantics: no destructors, no stream flushes, no atexit hooks
+    // — the process image vanishes with whatever the kernel already has.
+    std::_Exit(kKillExitCode);
+  }
+}
+
+DiskFault CrashPlan::DiskFaultAt(size_t round) {
+  if (config_.directed) {
+    if (config_.trigger_disk_fault != DiskFault::kNone && !directed_fault_spent_ &&
+        round >= config_.trigger_round) {
+      directed_fault_spent_ = true;
+      return config_.trigger_disk_fault;
+    }
+    return DiskFault::kNone;
+  }
+  if (KeyedDraw(config_.seed, kShortWriteSalt, round, 0, config_.short_write_prob)) {
+    return DiskFault::kShortWrite;
+  }
+  if (KeyedDraw(config_.seed, kEnospcSalt, round, 0, config_.enospc_prob)) {
+    return DiskFault::kEnospc;
+  }
+  return DiskFault::kNone;
+}
+
+bool FaultyDurableFile::Write(const std::string& path, const std::string& bytes) {
+  if (plan_ == nullptr) {
+    return DurableFile::Write(path, bytes);
+  }
+  const std::string tmp = path + TempSuffix();
+
+  // Non-fatal disk faults first: the save fails, the process lives on.
+  switch (plan_->DiskFaultAt(round_)) {
+    case DiskFault::kUnwritableDir:
+      // open() of the temp fails: nothing touches the disk at all.
+      return false;
+    case DiskFault::kEnospc:
+      // The first write() fails: an empty temp is left behind.
+      WriteTorn(tmp, bytes, 0);
+      return false;
+    case DiskFault::kShortWrite:
+      // The device fills mid-write: a torn temp is left behind.
+      WriteTorn(tmp, bytes, plan_->torn_byte());
+      return false;
+    case DiskFault::kNone:
+      break;
+  }
+
+  // Kill windows inside the write sequence, in the order the sequence
+  // visits them. Each branch first puts the disk into exactly the state a
+  // kill at that instant leaves, then dies (hard) or unwinds (soft).
+  if (plan_->FiresAt(round_, CrashSite::kMidWrite)) {
+    WriteTorn(tmp, bytes, plan_->torn_byte());
+    plan_->Kill();
+    crashed_ = true;
+    return false;
+  }
+  if (plan_->FiresAt(round_, CrashSite::kAfterTempBeforeRename)) {
+    WriteTorn(tmp, bytes, bytes.size());
+    plan_->Kill();
+    crashed_ = true;
+    return false;
+  }
+  const bool ok = DurableFile::Write(path, bytes);
+  if (plan_->FiresAt(round_, CrashSite::kAfterRename)) {
+    plan_->Kill();
+    crashed_ = true;
+    return false;
+  }
+  return ok;
+}
+
+}  // namespace floatfl

@@ -1,0 +1,149 @@
+// Deterministic process-fault injection for the run supervisor
+// (DESIGN.md §14).
+//
+// The durability claim — "kill the process at any instant, relaunch, finish
+// with bit-identical results" — is only testable if the kill instants are
+// named and reachable on demand. CrashPlan enumerates every window the
+// checkpoint write sequence has (before anything is written; mid-write with
+// the temp torn at byte k; temp durable but the rename not done; archive
+// durable with the death right after; and between rounds with work not yet
+// persisted) plus the non-fatal disk faults a save can hit (short write,
+// device full, unwritable directory), and decides deterministically —
+// either by a directed one-shot trigger (the crashpoint-sweep tests) or by
+// (seed, round, site)-keyed Bernoulli draws (the bench's crash-rate sweeps)
+// — whether each visited site fires.
+//
+// A fired kill comes in two flavors: `hard_kill` calls std::_Exit, which for
+// durability purposes is SIGKILL (no destructors, no flushes, no atexit) and
+// is what the fork/relaunch harness uses on real child processes; soft mode
+// records the kill and unwinds through RunSupervisor::Run, which abandons
+// the engine exactly as a kill would abandon the process image — same bytes
+// on disk either way, so the in-process sweep covers every site cheaply and
+// sanitizer-friendly.
+#ifndef SRC_RECOVERY_CRASH_PLAN_H_
+#define SRC_RECOVERY_CRASH_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/failure/durable_file.h"
+
+namespace floatfl {
+
+// Named instants a kill can arrive at, ordered as the save sequence visits
+// them. kMidRound is the between-saves window: the round's work exists only
+// in memory and dies with the process.
+enum class CrashSite : uint32_t {
+  kBeforeSave = 0,
+  kMidWrite,                // temp torn at torn_byte, then death
+  kAfterTempBeforeRename,   // temp fully durable, final name never appears
+  kAfterRename,             // archive fully durable, death right after
+  kMidRound,                // after the engine stepped, before the cadence check
+};
+inline constexpr size_t kNumCrashSites = 5;
+const char* CrashSiteName(CrashSite site);
+
+// Non-fatal save failures: Save returns false, the run limps on with the
+// previous archive one cadence staler.
+enum class DiskFault : uint32_t {
+  kNone = 0,
+  kShortWrite,      // only the first torn_byte bytes reach the temp
+  kEnospc,          // the write fails outright (device full)
+  kUnwritableDir,   // the temp cannot even be created
+};
+inline constexpr size_t kNumDiskFaults = 3;  // excluding kNone
+const char* DiskFaultName(DiskFault fault);
+
+struct CrashPlanConfig {
+  uint64_t seed = 0;
+  // Keyed per-(round, site) kill probability for stochastic sweeps. Draws
+  // are pure functions of (seed, kill ordinal, round, site): deterministic
+  // given the kill history, but a replayed round re-draws under the next
+  // ordinal after each kill, so a stochastic plan can never pin the same
+  // site forever and starve progress.
+  double crash_prob = 0.0;
+  // Keyed per-round disk-fault probabilities, drawn at each save attempt.
+  double short_write_prob = 0.0;
+  double enospc_prob = 0.0;
+
+  // Directed one-shot kill: fire exactly once, at the first visit to
+  // `trigger_site` with round >= trigger_round. The crashpoint-sweep tests
+  // aim one of these at every site in turn. `trigger_kill = false` keeps a
+  // directed plan fault-only (disk faults fire, no kill ever does).
+  bool directed = false;
+  bool trigger_kill = true;
+  size_t trigger_round = 0;
+  CrashSite trigger_site = CrashSite::kBeforeSave;
+  // Directed one-shot disk fault at the first save with round >=
+  // trigger_round (independent of the kill trigger).
+  DiskFault trigger_disk_fault = DiskFault::kNone;
+
+  // Bytes of the payload that reach the temp before a torn or short write
+  // gives out.
+  size_t torn_byte = 16;
+  // true: a fired kill calls std::_Exit(kKillExitCode) on the spot (the
+  // fork/relaunch harness). false: the kill is recorded and the supervisor
+  // unwinds, abandoning the engine (the in-process sweep).
+  bool hard_kill = false;
+};
+
+class CrashPlan {
+ public:
+  // The exit code a hard kill dies with; the relaunch harness asserts it to
+  // distinguish a planned kill from a genuine crash.
+  static constexpr int kKillExitCode = 87;
+
+  CrashPlan() = default;  // never fires
+  explicit CrashPlan(const CrashPlanConfig& config);
+
+  // True when the plan kills the process at (round, site). Only the
+  // *decision*: the caller stages the disk into the state a kill at that
+  // instant leaves (torn temp, durable temp, renamed archive), then calls
+  // Kill() — which dies via std::_Exit in hard mode and is a no-op in soft
+  // mode, where the caller unwinds instead.
+  bool FiresAt(size_t round, CrashSite site);
+  // Dies on the spot in hard mode (std::_Exit(kKillExitCode), SIGKILL
+  // semantics); returns in soft mode.
+  void Kill() const;
+  // The disk fault (if any) afflicting the save attempted at `round`.
+  DiskFault DiskFaultAt(size_t round);
+
+  size_t torn_byte() const { return config_.torn_byte; }
+  bool hard_kill() const { return config_.hard_kill; }
+  // Soft kills recorded so far (a hard kill leaves no one to ask).
+  size_t KillsFired() const { return kills_fired_; }
+
+ private:
+  CrashPlanConfig config_;
+  bool directed_kill_spent_ = false;
+  bool directed_fault_spent_ = false;
+  size_t kills_fired_ = 0;
+};
+
+// DurableFile that consults a CrashPlan at every crashpoint and disk-fault
+// window of the write sequence. Arm(round) keys the next Write; after a
+// Write that "crashed" in soft mode, crashed() is true and the file state on
+// disk is byte-for-byte what a real kill at that instant would leave.
+class FaultyDurableFile : public DurableFile {
+ public:
+  // Neither pointer is owned; `plan` may be null (plain durable writes).
+  explicit FaultyDurableFile(CrashPlan* plan) : plan_(plan) {}
+
+  void Arm(size_t round) {
+    round_ = round;
+    crashed_ = false;
+  }
+  bool crashed() const { return crashed_; }
+
+  bool Write(const std::string& path, const std::string& bytes) override;
+
+ private:
+  CrashPlan* plan_;
+  size_t round_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_RECOVERY_CRASH_PLAN_H_

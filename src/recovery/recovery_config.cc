@@ -1,0 +1,16 @@
+#include "src/recovery/recovery_config.h"
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+void ValidateRecoveryConfig(const RecoveryConfig& config) {
+  if (!config.enabled) {
+    return;
+  }
+  FLOATFL_CHECK_MSG(!config.dir.empty(), "recovery.dir must be set when recovery is enabled");
+  FLOATFL_CHECK_MSG(config.checkpoint_every >= 1, "recovery.checkpoint_every must be >= 1");
+  FLOATFL_CHECK_MSG(config.ring_depth >= 1, "recovery.ring_depth must be >= 1");
+}
+
+}  // namespace floatfl

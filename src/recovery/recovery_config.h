@@ -1,0 +1,44 @@
+// Configuration of the crash-consistent run supervisor (DESIGN.md §14).
+//
+// Deliberately *not* part of ExperimentConfig / RealFlConfig: the checkpoint
+// cadence and ring depth are operational knobs of one process life, like
+// num_threads — a run checkpointed every 5 rounds must restore into a
+// supervisor checkpointing every 20, so none of these fields may join the
+// config fingerprint. Keeping them out of the engine configs makes that
+// impossible to get wrong.
+//
+// A default-constructed RecoveryConfig (enabled == false) is a strict no-op:
+// the supervisor performs zero filesystem I/O, never scans or writes a ring,
+// and drives the engine byte-identically to calling its Run loop directly.
+#ifndef SRC_RECOVERY_RECOVERY_CONFIG_H_
+#define SRC_RECOVERY_RECOVERY_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+
+namespace floatfl {
+
+struct RecoveryConfig {
+  // Off = the supervisor is a transparent pass-through (strict no-op).
+  bool enabled = false;
+  // Directory holding the checkpoint ring. Created (one level) on first use.
+  // Required non-empty when enabled.
+  std::string dir;
+  // Rounds between ring checkpoints. A kill loses at most this many rounds
+  // of work (they are replayed bit-exactly on recovery).
+  size_t checkpoint_every = 5;
+  // Archives retained on disk; older ones are garbage-collected after each
+  // successful save. Depth >= 2 is what makes recovery survive a *corrupt*
+  // newest archive (torn by a kill mid-write) by falling back one slot.
+  size_t ring_depth = 3;
+};
+
+// Aborts the process with a descriptive message when `config` violates a
+// supervisor invariant (enabled with an empty dir, zero cadence, zero
+// depth). Called at supervisor construction so misconfigurations fail
+// before any round runs.
+void ValidateRecoveryConfig(const RecoveryConfig& config);
+
+}  // namespace floatfl
+
+#endif  // SRC_RECOVERY_RECOVERY_CONFIG_H_

@@ -1,0 +1,142 @@
+// Save/Restore edge-path hardening (DESIGN.md §14): Checkpointer::Save must
+// return false — never crash, never leave the target mangled — when pointed
+// at an empty path, a directory, or a location whose parent does not exist;
+// Checkpointer::Restore must cleanly refuse a zero-byte file, a directory,
+// and a missing file while leaving the target engine byte-identical. These
+// are the failure modes a mis-configured recovery dir produces in practice.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/failure/checkpoint_io.h"
+#include "src/failure/checkpointer.h"
+#include "src/fl/async_engine.h"
+#include "src/fl/real_engine.h"
+#include "src/fl/sync_engine.h"
+#include "src/fl/vfl_engine.h"
+#include "src/selection/random_selector.h"
+
+namespace floatfl {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+template <typename Engine>
+std::string Serialized(const Engine& engine) {
+  CheckpointWriter w;
+  engine.SaveState(w);
+  return w.buffer();
+}
+
+// The shared sweep: every bad Save target returns false, every bad Restore
+// source returns false, and the engine is untouched throughout.
+template <typename Engine>
+void SweepBadPaths(Engine& engine, const std::string& tag) {
+  const std::string pristine = Serialized(engine);
+
+  // Save to an empty path: refused before anything touches the filesystem.
+  EXPECT_FALSE(Checkpointer::Save("", engine));
+
+  // Save with a directory as the target path: refused, directory intact.
+  const std::string dir_target = TempPath("hardening_dir_" + tag);
+  ::mkdir(dir_target.c_str(), 0755);
+  EXPECT_FALSE(Checkpointer::Save(dir_target, engine));
+  struct stat st {};
+  ASSERT_EQ(::stat(dir_target.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+
+  // Save under a parent directory that does not exist (the classic
+  // mis-typed recovery dir): refused, nothing created.
+  const std::string orphan = TempPath("no_such_dir_" + tag) + "/ckpt.flck";
+  EXPECT_FALSE(Checkpointer::Save(orphan, engine));
+  EXPECT_NE(::access(orphan.c_str(), F_OK), 0);
+
+  // Restore from a zero-byte file: refused, engine untouched.
+  const std::string empty_file = TempPath("hardening_empty_" + tag);
+  { std::ofstream out(empty_file, std::ios::binary | std::ios::trunc); }
+  EXPECT_FALSE(Checkpointer::Restore(empty_file, engine));
+  EXPECT_EQ(Serialized(engine), pristine);
+
+  // Restore from a directory / an empty path / a missing file: refused.
+  EXPECT_FALSE(Checkpointer::Restore(dir_target, engine));
+  EXPECT_FALSE(Checkpointer::Restore("", engine));
+  EXPECT_FALSE(Checkpointer::Restore(TempPath("does_not_exist_" + tag), engine));
+  EXPECT_EQ(Serialized(engine), pristine);
+
+  // A good path still works after the gauntlet, proving the refusals were
+  // about the paths and the engine can still round-trip.
+  const std::string good = TempPath("hardening_good_" + tag + ".flck");
+  EXPECT_TRUE(Checkpointer::Save(good, engine));
+  EXPECT_TRUE(Checkpointer::Restore(good, engine));
+  EXPECT_EQ(Serialized(engine), pristine);
+
+  std::remove(good.c_str());
+  std::remove(empty_file.c_str());
+  ::rmdir(dir_target.c_str());
+}
+
+TEST(CheckpointHardeningTest, SyncEngineSurvivesBadPaths) {
+  ExperimentConfig config;
+  config.num_clients = 20;
+  config.clients_per_round = 5;
+  config.rounds = 10;
+  config.seed = 81;
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  for (size_t round = 0; round < 3; ++round) {
+    engine.RunRound(round);
+  }
+  SweepBadPaths(engine, "sync");
+}
+
+TEST(CheckpointHardeningTest, AsyncEngineSurvivesBadPaths) {
+  ExperimentConfig config;
+  config.num_clients = 20;
+  config.clients_per_round = 5;
+  config.rounds = 10;
+  config.seed = 82;
+  config.async_concurrency = 8;
+  config.async_buffer = 3;
+  AsyncEngine engine(config, nullptr);
+  engine.RunUntil(3);
+  SweepBadPaths(engine, "async");
+}
+
+TEST(CheckpointHardeningTest, RealEngineSurvivesBadPaths) {
+  RealFlConfig config;
+  config.num_clients = 8;
+  config.clients_per_round = 4;
+  config.num_classes = 3;
+  config.input_dim = 8;
+  config.hidden_dims = {12};
+  config.test_samples_per_class = 10;
+  config.seed = 83;
+  config.num_threads = 1;
+  RealFlEngine engine(config);
+  engine.RunRound(TechniqueKind::kNone);
+  SweepBadPaths(engine, "real");
+}
+
+TEST(CheckpointHardeningTest, VflEngineSurvivesBadPaths) {
+  VflConfig config;
+  config.num_parties = 3;
+  config.features_per_party = 5;
+  config.embedding_dim = 6;
+  config.num_classes = 4;
+  config.train_samples = 120;
+  config.test_samples = 80;
+  config.seed = 84;
+  VflEngine engine(config);
+  engine.TrainEpoch(TechniqueKind::kNone);
+  SweepBadPaths(engine, "vfl");
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,146 @@
+// Empty-state save/restore for the bookkeeping trackers (DESIGN.md §10,
+// §14), mirroring tests/net/empty_state_test.cc: a tracker with nothing
+// recorded must round-trip through SaveState/LoadState bit-exactly, and
+// loading an empty snapshot over a dirty tracker must fully reset it — the
+// degenerate "checkpoint taken before anything happened" case every
+// freshly-constructed engine hits.
+#include <gtest/gtest.h>
+
+#include "src/failure/checkpoint_io.h"
+#include "src/metrics/guard_tracker.h"
+#include "src/metrics/recovery_tracker.h"
+#include "src/metrics/topology_tracker.h"
+
+namespace floatfl {
+namespace {
+
+TEST(TrackerEmptyStateTest, TopologyTrackerZeroEventsRoundTrips) {
+  const TopologyTracker fresh;
+  CheckpointWriter w;
+  fresh.SaveState(w);
+
+  TopologyTracker restored;
+  restored.RecordEdgeCrash();  // dirty, then overwritten
+  restored.RecordReparented(4);
+  restored.RecordPartial(true, 2, 1.5, 0.5);
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(restored.EdgeCrashes(), 0u);
+  EXPECT_EQ(restored.EdgeBlackouts(), 0u);
+  EXPECT_EQ(restored.ReparentedClients(), 0u);
+  EXPECT_EQ(restored.OrphanedClients(), 0u);
+  EXPECT_EQ(restored.PartialsForwarded(), 0u);
+  EXPECT_EQ(restored.PartialsLost(), 0u);
+  EXPECT_EQ(restored.TamperedPartials(), 0u);
+  EXPECT_EQ(restored.TamperedRejections(), 0u);
+  EXPECT_EQ(restored.LatePartials(), 0u);
+  EXPECT_EQ(restored.EdgeAggExclusions(), 0u);
+  EXPECT_EQ(restored.EdgeTransferAttempts(), 0u);
+  EXPECT_EQ(restored.Tier1WireMb(), 0.0);
+  EXPECT_EQ(restored.Tier1RetransmittedMb(), 0.0);
+
+  // Re-serialization is byte-identical: nothing drifted through the trip.
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(TrackerEmptyStateTest, GuardTrackerZeroEventsRoundTrips) {
+  const GuardTracker fresh;
+  CheckpointWriter w;
+  fresh.SaveState(w);
+
+  GuardTracker restored;
+  restored.RecordSnapshot();  // dirty, then overwritten
+  restored.RecordRollback();
+  restored.RecordSafeModeRound();
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(restored.Snapshots(), 0u);
+  EXPECT_EQ(restored.NonFiniteTriggers(), 0u);
+  EXPECT_EQ(restored.CollapseTriggers(), 0u);
+  EXPECT_EQ(restored.StallTriggers(), 0u);
+  EXPECT_EQ(restored.WatchdogTriggers(), 0u);
+  EXPECT_EQ(restored.Rollbacks(), 0u);
+  EXPECT_EQ(restored.MaskedActions(), 0u);
+  EXPECT_EQ(restored.QuarantineOpenings(), 0u);
+  EXPECT_EQ(restored.RejectedRewards(), 0u);
+  EXPECT_EQ(restored.SafeModeRounds(), 0u);
+
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(TrackerEmptyStateTest, RecoveryTrackerZeroEventsRoundTrips) {
+  const RecoveryTracker fresh;
+  CheckpointWriter w;
+  fresh.SaveState(w);
+
+  RecoveryTracker restored;
+  restored.RecordRestart();  // dirty, then overwritten
+  restored.RecordArchivesSkipped(2);
+  restored.RecordRoundsReplayed(5);
+  restored.RecordCheckpointWritten();
+  restored.RecordCheckpointFailed();
+  restored.RecordCheckpointsCollected(3);
+  restored.RecordTempsSwept(1);
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(restored.Restarts(), 0u);
+  EXPECT_EQ(restored.ArchivesSkipped(), 0u);
+  EXPECT_EQ(restored.RoundsReplayed(), 0u);
+  EXPECT_EQ(restored.CheckpointsWritten(), 0u);
+  EXPECT_EQ(restored.CheckpointsFailed(), 0u);
+  EXPECT_EQ(restored.CheckpointsCollected(), 0u);
+  EXPECT_EQ(restored.TempsSwept(), 0u);
+
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(TrackerEmptyStateTest, RecoveryTrackerAccumulatedStateRoundTrips) {
+  // The non-empty direction: a tracker carrying totals from two process
+  // lives survives the trip exactly (it rides inside engine checkpoints, so
+  // this is what makes the counters cumulative across kills).
+  RecoveryTracker source;
+  source.RecordRestart();
+  source.RecordRestart();
+  source.RecordArchivesSkipped(1);
+  source.RecordRoundsReplayed(7);
+  source.RecordCheckpointWritten();
+  source.RecordCheckpointsCollected(2);
+  source.RecordTempsSwept(3);
+  CheckpointWriter w;
+  source.SaveState(w);
+
+  RecoveryTracker restored;
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.Restarts(), 2u);
+  EXPECT_EQ(restored.ArchivesSkipped(), 1u);
+  EXPECT_EQ(restored.RoundsReplayed(), 7u);
+  EXPECT_EQ(restored.CheckpointsWritten(), 1u);
+  EXPECT_EQ(restored.CheckpointsFailed(), 0u);
+  EXPECT_EQ(restored.CheckpointsCollected(), 2u);
+  EXPECT_EQ(restored.TempsSwept(), 3u);
+
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,126 @@
+#include "src/recovery/checkpoint_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/failure/durable_file.h"
+
+namespace floatfl {
+namespace {
+
+class CheckpointRingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/ring_test_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
+    RemoveTree();
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+  }
+  void TearDown() override { RemoveTree(); }
+
+  void RemoveTree() {
+    // The ring only ever holds flat files; a shallow sweep is enough.
+    CheckpointRing ring(dir_, 0);
+    ring.SweepTemps();
+    for (size_t round : ring.Rounds()) {
+      std::remove(ring.PathFor(round).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  void Touch(const std::string& name, const std::string& bytes = "x") {
+    std::ofstream out(dir_ + "/" + name, std::ios::binary);
+    out << bytes;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointRingTest, PathForIsZeroPaddedAndStable) {
+  CheckpointRing ring(dir_, 3);
+  EXPECT_EQ(ring.PathFor(42), dir_ + "/ckpt-0000000042.flck");
+  EXPECT_EQ(ring.PathFor(0), dir_ + "/ckpt-0000000000.flck");
+  EXPECT_EQ(ring.PathFor(1234567890), dir_ + "/ckpt-1234567890.flck");
+}
+
+TEST_F(CheckpointRingTest, RoundsListsArchivesAscendingIgnoringForeignFiles) {
+  CheckpointRing ring(dir_, 3);
+  Touch("ckpt-0000000010.flck");
+  Touch("ckpt-0000000002.flck");
+  Touch("ckpt-0000000007.flck");
+  Touch("ckpt-0000000005.flck.tmp");  // in-flight: not an archive
+  Touch("notes.txt");                 // foreign: never touched
+  Touch("ckpt-badstamp.flck");        // malformed stamp
+  EXPECT_EQ(ring.Rounds(), (std::vector<size_t>{2, 7, 10}));
+  std::remove((dir_ + "/notes.txt").c_str());
+  std::remove((dir_ + "/ckpt-badstamp.flck").c_str());
+}
+
+TEST_F(CheckpointRingTest, FurthestNamedRoundIncludesTornTemps) {
+  CheckpointRing ring(dir_, 3);
+  Touch("ckpt-0000000004.flck");
+  EXPECT_EQ(ring.FurthestNamedRound(), 4u);
+  // A torn temp from a killed writer proves a later round was reached even
+  // though no archive for it survived — the rounds-replayed evidence.
+  Touch("ckpt-0000000009.flck.tmp");
+  EXPECT_EQ(ring.FurthestNamedRound(), 9u);
+}
+
+TEST_F(CheckpointRingTest, SweepTempsRemovesOnlyTemps) {
+  CheckpointRing ring(dir_, 3);
+  Touch("ckpt-0000000004.flck");
+  Touch("ckpt-0000000006.flck.tmp");
+  Touch("ckpt-0000000008.flck.tmp");
+  Touch("keepme.tmp");  // foreign (no valid stamp): left alone
+  EXPECT_EQ(ring.SweepTemps(), 2u);
+  EXPECT_EQ(ring.Rounds(), (std::vector<size_t>{4}));
+  struct stat st;
+  EXPECT_EQ(::stat((dir_ + "/keepme.tmp").c_str(), &st), 0);
+  std::remove((dir_ + "/keepme.tmp").c_str());
+}
+
+TEST_F(CheckpointRingTest, CollectKeepsNewestDepthArchives) {
+  CheckpointRing ring(dir_, 2);
+  for (size_t round : {3, 6, 9, 12, 15}) {
+    Touch("ckpt-" + std::string(10 - std::to_string(round).size(), '0') +
+          std::to_string(round) + ".flck");
+  }
+  EXPECT_EQ(ring.Collect(), 3u);
+  EXPECT_EQ(ring.Rounds(), (std::vector<size_t>{12, 15}));
+  EXPECT_EQ(ring.Collect(), 0u);  // idempotent once within depth
+}
+
+TEST_F(CheckpointRingTest, MissingDirectoryIsEmptyNotFatal) {
+  CheckpointRing ring(dir_ + "/nope", 3);
+  EXPECT_TRUE(ring.Rounds().empty());
+  EXPECT_EQ(ring.FurthestNamedRound(), 0u);
+  EXPECT_EQ(ring.SweepTemps(), 0u);
+  EXPECT_EQ(ring.Collect(), 0u);
+}
+
+TEST_F(CheckpointRingTest, EnsureDirCreatesOneLevel) {
+  const std::string fresh = dir_ + "/fresh";
+  CheckpointRing ring(fresh, 3);
+  EXPECT_TRUE(ring.EnsureDir());
+  struct stat st;
+  ASSERT_EQ(::stat(fresh.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+  EXPECT_TRUE(ring.EnsureDir());  // idempotent
+  ::rmdir(fresh.c_str());
+  // Two missing levels cannot be created; a file in the way cannot either.
+  EXPECT_FALSE(CheckpointRing(dir_ + "/a/b", 3).EnsureDir());
+  Touch("blocked");
+  EXPECT_FALSE(CheckpointRing(dir_ + "/blocked", 3).EnsureDir());
+  std::remove((dir_ + "/blocked").c_str());
+  EXPECT_FALSE(CheckpointRing("", 3).EnsureDir());
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,228 @@
+#include "src/recovery/crash_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace floatfl {
+namespace {
+
+std::string TempPath(const std::string& name) { return testing::TempDir() + "/" + name; }
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+bool Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(CrashPlanTest, DefaultPlanNeverFires) {
+  CrashPlan plan;
+  for (size_t round = 0; round < 100; ++round) {
+    for (size_t site = 0; site < kNumCrashSites; ++site) {
+      EXPECT_FALSE(plan.FiresAt(round, static_cast<CrashSite>(site)));
+    }
+    EXPECT_EQ(plan.DiskFaultAt(round), DiskFault::kNone);
+  }
+  EXPECT_EQ(plan.KillsFired(), 0u);
+}
+
+TEST(CrashPlanTest, KeyedDrawsAreReplayIdentical) {
+  CrashPlanConfig config;
+  config.seed = 7;
+  config.crash_prob = 0.3;
+  config.short_write_prob = 0.2;
+  config.enospc_prob = 0.2;
+  // Two plans walking the same (round, site) grid must agree everywhere:
+  // the draws are pure functions of (seed, round, site), not chain state —
+  // exactly what a killed-and-relaunched life relies on when it replays.
+  CrashPlan a(config);
+  CrashPlan b(config);
+  for (size_t round = 0; round < 50; ++round) {
+    for (size_t site = 0; site < kNumCrashSites; ++site) {
+      EXPECT_EQ(a.FiresAt(round, static_cast<CrashSite>(site)),
+                b.FiresAt(round, static_cast<CrashSite>(site)));
+    }
+    EXPECT_EQ(a.DiskFaultAt(round), b.DiskFaultAt(round));
+  }
+  EXPECT_EQ(a.KillsFired(), b.KillsFired());
+  EXPECT_GT(a.KillsFired(), 0u);  // 0.3 over 250 draws: must fire sometimes
+}
+
+TEST(CrashPlanTest, DirectedPlanFiresExactlyOnceAtItsSite) {
+  CrashPlanConfig config;
+  config.directed = true;
+  config.trigger_round = 5;
+  config.trigger_site = CrashSite::kAfterRename;
+  CrashPlan plan(config);
+  // Earlier rounds and other sites never fire.
+  for (size_t round = 0; round < 5; ++round) {
+    for (size_t site = 0; site < kNumCrashSites; ++site) {
+      EXPECT_FALSE(plan.FiresAt(round, static_cast<CrashSite>(site)));
+    }
+  }
+  EXPECT_FALSE(plan.FiresAt(5, CrashSite::kMidWrite));
+  EXPECT_TRUE(plan.FiresAt(5, CrashSite::kAfterRename));
+  // One-shot: spent forever after.
+  EXPECT_FALSE(plan.FiresAt(5, CrashSite::kAfterRename));
+  EXPECT_FALSE(plan.FiresAt(6, CrashSite::kAfterRename));
+  EXPECT_EQ(plan.KillsFired(), 1u);
+}
+
+TEST(CrashPlanTest, DirectedDiskFaultFiresOnce) {
+  CrashPlanConfig config;
+  config.directed = true;
+  config.trigger_round = 3;
+  config.trigger_disk_fault = DiskFault::kEnospc;
+  CrashPlan plan(config);
+  EXPECT_EQ(plan.DiskFaultAt(2), DiskFault::kNone);
+  EXPECT_EQ(plan.DiskFaultAt(3), DiskFault::kEnospc);
+  EXPECT_EQ(plan.DiskFaultAt(3), DiskFault::kNone);
+  EXPECT_EQ(plan.DiskFaultAt(4), DiskFault::kNone);
+}
+
+TEST(CrashPlanTest, SiteAndFaultNamesAreStable) {
+  EXPECT_STREQ(CrashSiteName(CrashSite::kBeforeSave), "before-save");
+  EXPECT_STREQ(CrashSiteName(CrashSite::kMidWrite), "mid-write");
+  EXPECT_STREQ(CrashSiteName(CrashSite::kAfterTempBeforeRename), "after-temp-before-rename");
+  EXPECT_STREQ(CrashSiteName(CrashSite::kAfterRename), "after-rename");
+  EXPECT_STREQ(CrashSiteName(CrashSite::kMidRound), "mid-round");
+  EXPECT_STREQ(DiskFaultName(DiskFault::kShortWrite), "short-write");
+  EXPECT_STREQ(DiskFaultName(DiskFault::kEnospc), "enospc");
+  EXPECT_STREQ(DiskFaultName(DiskFault::kUnwritableDir), "unwritable-dir");
+}
+
+// --- FaultyDurableFile: every window leaves exactly the disk state a kill
+// at that instant would leave.
+
+std::string Payload() {
+  std::string bytes;
+  for (int i = 0; i < 64; ++i) {
+    bytes.push_back(static_cast<char>('A' + (i % 26)));
+  }
+  return bytes;
+}
+
+struct StagedWrite {
+  bool ok = false;
+  bool crashed = false;
+  bool final_exists = false;
+  std::string final_bytes;
+  bool temp_exists = false;
+  std::string temp_bytes;
+};
+
+StagedWrite WriteUnder(CrashPlanConfig config, const std::string& name) {
+  config.hard_kill = false;  // soft mode: the test process must survive
+  CrashPlan plan(config);
+  FaultyDurableFile io(&plan);
+  const std::string path = TempPath(name);
+  const std::string tmp = path + DurableFile::TempSuffix();
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+  io.Arm(config.trigger_round);
+  StagedWrite staged;
+  staged.ok = io.Write(path, Payload());
+  staged.crashed = io.crashed();
+  staged.final_exists = Exists(path);
+  staged.final_bytes = staged.final_exists ? ReadAll(path) : "";
+  staged.temp_exists = Exists(tmp);
+  staged.temp_bytes = staged.temp_exists ? ReadAll(tmp) : "";
+  std::remove(path.c_str());
+  std::remove(tmp.c_str());
+  return staged;
+}
+
+CrashPlanConfig DirectedAt(CrashSite site) {
+  CrashPlanConfig config;
+  config.directed = true;
+  config.trigger_site = site;
+  config.torn_byte = 16;
+  return config;
+}
+
+TEST(FaultyDurableFileTest, MidWriteLeavesTornTempOnly) {
+  const StagedWrite staged = WriteUnder(DirectedAt(CrashSite::kMidWrite), "faulty_midwrite.bin");
+  EXPECT_FALSE(staged.ok);
+  EXPECT_TRUE(staged.crashed);
+  EXPECT_FALSE(staged.final_exists);
+  ASSERT_TRUE(staged.temp_exists);
+  EXPECT_EQ(staged.temp_bytes, Payload().substr(0, 16));
+}
+
+TEST(FaultyDurableFileTest, AfterTempBeforeRenameLeavesFullTempNoFinal) {
+  const StagedWrite staged =
+      WriteUnder(DirectedAt(CrashSite::kAfterTempBeforeRename), "faulty_afttemp.bin");
+  EXPECT_FALSE(staged.ok);
+  EXPECT_TRUE(staged.crashed);
+  EXPECT_FALSE(staged.final_exists);
+  ASSERT_TRUE(staged.temp_exists);
+  EXPECT_EQ(staged.temp_bytes, Payload());
+}
+
+TEST(FaultyDurableFileTest, AfterRenameLeavesDurableFinal) {
+  const StagedWrite staged =
+      WriteUnder(DirectedAt(CrashSite::kAfterRename), "faulty_aftrename.bin");
+  EXPECT_FALSE(staged.ok);  // crashed after the archive landed
+  EXPECT_TRUE(staged.crashed);
+  ASSERT_TRUE(staged.final_exists);
+  EXPECT_EQ(staged.final_bytes, Payload());
+  EXPECT_FALSE(staged.temp_exists);
+}
+
+TEST(FaultyDurableFileTest, ShortWriteFailsWithTornTempAndNoCrash) {
+  CrashPlanConfig config;
+  config.directed = true;
+  config.trigger_disk_fault = DiskFault::kShortWrite;
+  config.torn_byte = 8;
+  const StagedWrite staged = WriteUnder(config, "faulty_short.bin");
+  EXPECT_FALSE(staged.ok);
+  EXPECT_FALSE(staged.crashed);  // non-fatal: the save failed, the run lives
+  EXPECT_FALSE(staged.final_exists);
+  ASSERT_TRUE(staged.temp_exists);
+  EXPECT_EQ(staged.temp_bytes, Payload().substr(0, 8));
+}
+
+TEST(FaultyDurableFileTest, EnospcFailsWithEmptyTemp) {
+  CrashPlanConfig config;
+  config.directed = true;
+  config.trigger_disk_fault = DiskFault::kEnospc;
+  const StagedWrite staged = WriteUnder(config, "faulty_enospc.bin");
+  EXPECT_FALSE(staged.ok);
+  EXPECT_FALSE(staged.crashed);
+  EXPECT_FALSE(staged.final_exists);
+  ASSERT_TRUE(staged.temp_exists);
+  EXPECT_EQ(staged.temp_bytes, "");
+}
+
+TEST(FaultyDurableFileTest, UnwritableDirFailsTouchingNothing) {
+  CrashPlanConfig config;
+  config.directed = true;
+  config.trigger_disk_fault = DiskFault::kUnwritableDir;
+  const StagedWrite staged = WriteUnder(config, "faulty_unwritable.bin");
+  EXPECT_FALSE(staged.ok);
+  EXPECT_FALSE(staged.crashed);
+  EXPECT_FALSE(staged.final_exists);
+  EXPECT_FALSE(staged.temp_exists);
+}
+
+TEST(FaultyDurableFileTest, NullPlanIsPlainDurableWrite) {
+  FaultyDurableFile io(nullptr);
+  const std::string path = TempPath("faulty_passthrough.bin");
+  io.Arm(0);
+  ASSERT_TRUE(io.Write(path, Payload()));
+  EXPECT_FALSE(io.crashed());
+  EXPECT_EQ(ReadAll(path), Payload());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace floatfl

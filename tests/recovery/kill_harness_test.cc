@@ -1,0 +1,135 @@
+// The fork/relaunch kill harness (DESIGN.md §14): a real child process is
+// hard-killed (std::_Exit, SIGKILL semantics — no destructors, no flushes)
+// at every named crashpoint on every engine, then relaunched from scratch;
+// the relaunched child must recover from the ring and finish with training
+// state bit-identical to an uninterrupted golden. This is the end-to-end
+// proof that the soft-kill sweep (crash_sweep_test.cc) models real process
+// death faithfully. All configs run num_threads = 1: forking a process with
+// live worker threads is undefined-behavior territory the harness has no
+// business in.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/failure/durable_file.h"
+#include "src/recovery/crash_plan.h"
+#include "src/recovery/run_supervisor.h"
+#include "tests/recovery/engine_harness.h"
+
+namespace floatfl {
+namespace {
+
+using testutil::AsyncHarness;
+using testutil::RealHarness;
+using testutil::SyncHarness;
+using testutil::TrainingState;
+using testutil::VflHarness;
+using testutil::WipeRingDir;
+
+// Runs one process life in a forked child: fresh engine, recover, run. With
+// a plan, the child dies mid-run via std::_Exit(87); without one it writes
+// its final training state to `out_path` and exits 0. Returns the child's
+// raw wait status.
+template <typename Harness>
+int RunChildLife(const RecoveryConfig& recovery, const CrashPlanConfig* plan_config,
+                 const std::string& out_path) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    Harness harness;
+    harness.Fresh();
+    RunSupervisor<typename Harness::Engine> supervisor(recovery, harness.get());
+    CrashPlan plan;
+    if (plan_config != nullptr) {
+      plan = CrashPlan(*plan_config);
+      supervisor.SetCrashPlan(&plan);
+    }
+    supervisor.Recover();
+    const SupervisedOutcome outcome = supervisor.Run(Harness::kTotalRounds);
+    if (outcome == SupervisedOutcome::kCompleted && !out_path.empty()) {
+      if (!DefaultDurableFile().Write(out_path, TrainingState(harness.get()))) {
+        std::_Exit(2);
+      }
+    }
+    // A hard-kill plan never reaches here; a clean life exits 0.
+    std::_Exit(outcome == SupervisedOutcome::kCompleted ? 0 : 1);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+template <typename Harness>
+void RunKillHarness() {
+  Harness harness;
+  harness.Fresh();
+  {
+    RunSupervisor<typename Harness::Engine> golden_supervisor(RecoveryConfig{}, harness.get());
+    ASSERT_EQ(golden_supervisor.RecoverAndRun(Harness::kTotalRounds),
+              SupervisedOutcome::kCompleted);
+  }
+  const std::string golden = TrainingState(harness.get());
+
+  for (size_t site_index = 0; site_index < kNumCrashSites; ++site_index) {
+    const CrashSite site = static_cast<CrashSite>(site_index);
+    SCOPED_TRACE(std::string(Harness::kName) + " hard-killed at " + CrashSiteName(site));
+
+    RecoveryConfig recovery;
+    recovery.enabled = true;
+    recovery.dir =
+        testing::TempDir() + "/kill_" + Harness::kName + "_" + CrashSiteName(site);
+    recovery.checkpoint_every = 2;
+    recovery.ring_depth = 3;
+    WipeRingDir(recovery.dir);
+    const std::string out_path = recovery.dir + "_state.bin";
+    std::remove(out_path.c_str());
+
+    CrashPlanConfig plan_config;
+    plan_config.directed = true;
+    plan_config.trigger_round = Harness::kTotalRounds / 2;
+    plan_config.trigger_site = site;
+    plan_config.hard_kill = true;  // std::_Exit(87) on the spot
+
+    // Life 1: dies at the crashpoint with the planned exit code.
+    const int first = RunChildLife<Harness>(recovery, &plan_config, "");
+    ASSERT_TRUE(WIFEXITED(first));
+    ASSERT_EQ(WEXITSTATUS(first), CrashPlan::kKillExitCode);
+
+    // Life 2: a clean relaunch recovers from the ring and completes.
+    const int second = RunChildLife<Harness>(recovery, nullptr, out_path);
+    ASSERT_TRUE(WIFEXITED(second));
+    ASSERT_EQ(WEXITSTATUS(second), 0);
+
+    EXPECT_EQ(ReadAll(out_path), golden);
+    std::remove(out_path.c_str());
+    WipeRingDir(recovery.dir);
+  }
+}
+
+TEST(KillHarnessTest, SyncEngineSurvivesHardKillAtEverySite) {
+  RunKillHarness<SyncHarness>();
+}
+
+TEST(KillHarnessTest, AsyncEngineSurvivesHardKillAtEverySite) {
+  RunKillHarness<AsyncHarness>();
+}
+
+TEST(KillHarnessTest, RealEngineSurvivesHardKillAtEverySite) {
+  RunKillHarness<RealHarness>();
+}
+
+TEST(KillHarnessTest, VflEngineSurvivesHardKillAtEverySite) {
+  RunKillHarness<VflHarness>();
+}
+
+}  // namespace
+}  // namespace floatfl
