@@ -1,0 +1,137 @@
+// Overload sweep (DESIGN.md §15): admitted / shed / folded deliveries,
+// wasted communication and final accuracy vs completion-stampede rate,
+// ingress queue depth and shedding policy, under a fixed duplicate + replay
+// storm. The recipe behind EXPERIMENTS.md's overload section: the ungated
+// arm re-processes every redundant delivery (wasted comm grows with the
+// stampede rate and the accuracy ceiling sags under stale replays); a
+// bounded queue with headroom for the cohort zeroes the waste at full
+// accuracy, while an over-tight cap starts shedding originals and pays
+// for it in accuracy — the sweep shows where that cliff sits.
+//
+//   overload [--smoke]
+//
+// --smoke runs the smallest cell twice and exits non-zero unless the two
+// runs are bit-identical — the CI determinism assertion for the admission
+// path.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+
+using namespace floatfl_bench;
+
+namespace {
+
+ExperimentResult RunStorm(double stampede_prob, size_t queue_capacity, SheddingPolicy policy,
+                          size_t rounds) {
+  ExperimentConfig config = PaperConfig(DatasetId::kFemnist, ModelId::kResNet34);
+  config.num_clients = 80;
+  config.clients_per_round = 16;
+  config.rounds = rounds;
+  config.faults.duplicate_prob = 0.4;
+  config.faults.replay_prob = 0.5;
+  config.faults.reorder_prob = 0.3;
+  config.faults.stampede_prob = stampede_prob;
+  config.faults.stampede_factor = 4;
+  if (queue_capacity > 0) {
+    config.admission.queue_capacity = queue_capacity;
+    config.admission.shed_policy = policy;
+    config.admission.dedup = true;
+    config.admission.dedup_window_rounds = 4;
+    config.admission.reject_replays = true;
+    config.admission.max_update_age = 0;
+  }
+  return RunSync(config, "oort", nullptr);
+}
+
+const char* PolicyName(SheddingPolicy policy) {
+  switch (policy) {
+    case SheddingPolicy::kDropNewest:
+      return "newest";
+    case SheddingPolicy::kDropOldest:
+      return "oldest";
+    case SheddingPolicy::kDropStalest:
+      return "stalest";
+    case SheddingPolicy::kUtilityPriority:
+      return "utility";
+  }
+  return "?";
+}
+
+int SmokeDeterminism() {
+  const ExperimentResult a = RunStorm(0.5, 12, SheddingPolicy::kDropStalest, 15);
+  const ExperimentResult b = RunStorm(0.5, 12, SheddingPolicy::kDropStalest, 15);
+  if (a.total_completed != b.total_completed || a.global_accuracy != b.global_accuracy ||
+      a.admission_admitted != b.admission_admitted ||
+      a.admission_deduplicated != b.admission_deduplicated ||
+      a.admission_shed != b.admission_shed ||
+      a.admission_replay_rejected != b.admission_replay_rejected ||
+      a.admission_peak_queue_depth != b.admission_peak_queue_depth ||
+      a.redundant_mb != b.redundant_mb || a.wall_clock_hours != b.wall_clock_hours ||
+      a.accuracy_history != b.accuracy_history) {
+    std::cerr << "overload --smoke: two identical runs diverged\n";
+    return 1;
+  }
+  std::cout << "overload --smoke: deterministic (" << a.admission_admitted << " admitted, "
+            << a.admission_deduplicated << " folded, " << a.admission_shed << " shed, "
+            << a.admission_replay_rejected << " replays refused)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return SmokeDeterminism();
+  }
+
+  std::cout << "Overload sweep: FedAvg under a duplicate/replay storm; stampede rate,\n"
+               "ingress queue depth and shedding policy swept. cap=0 is the ungated\n"
+               "server (every redundant delivery fully re-processed).\n\n";
+  TablePrinter table({"stampede%", "cap", "policy", "admitted", "folded", "shed", "replays",
+                      "peakQ", "redund MB", "acc%"});
+  for (const double stampede : {0.0, 0.3, 0.6}) {
+    // The ungated baseline first, then the gated arms.
+    const ExperimentResult ungated = RunStorm(stampede, 0, SheddingPolicy::kDropNewest, 120);
+    table.Cell(100.0 * stampede, 0)
+        .Cell("off")
+        .Cell("-")
+        .Cell(static_cast<long long>(ungated.total_completed))
+        .Cell(static_cast<long long>(0))
+        .Cell(static_cast<long long>(0))
+        .Cell(static_cast<long long>(0))
+        .Cell(static_cast<long long>(0))
+        .Cell(ungated.redundant_mb, 1)
+        .Cell(100.0 * ungated.global_accuracy, 1)
+        .EndRow();
+    for (const size_t cap : {8u, 16u, 32u}) {
+      for (const SheddingPolicy policy :
+           {SheddingPolicy::kDropNewest, SheddingPolicy::kDropOldest,
+            SheddingPolicy::kDropStalest, SheddingPolicy::kUtilityPriority}) {
+        const ExperimentResult r = RunStorm(stampede, cap, policy, 120);
+        table.Cell(100.0 * stampede, 0)
+            .Cell(static_cast<long long>(cap))
+            .Cell(PolicyName(policy))
+            .Cell(static_cast<long long>(r.admission_admitted))
+            .Cell(static_cast<long long>(r.admission_deduplicated))
+            .Cell(static_cast<long long>(r.admission_shed))
+            .Cell(static_cast<long long>(r.admission_replay_rejected))
+            .Cell(static_cast<long long>(r.admission_peak_queue_depth))
+            .Cell(r.redundant_mb, 1)
+            .Cell(100.0 * r.global_accuracy, 1)
+            .EndRow();
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe ungated arm's redundant MB grows with the stampede rate and its\n"
+               "accuracy sags: stale replays depress the quality the surrogate can\n"
+               "sustain. Every gated arm zeroes the redundant re-processing at the\n"
+               "doorstep, and any cap with headroom for the cohort (>= 16 here)\n"
+               "beats the ungated server outright. An over-tight cap (8) sheds\n"
+               "originals and pays in accuracy; with same-round sync arrivals the\n"
+               "staleness-blind policies degenerate to drop-newest, so the policy\n"
+               "choice only matters once arrivals differ in age or utility.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "src/admission/admission_config.h"
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+void ValidateAdmissionConfig(const AdmissionConfig& config) {
+  FLOATFL_CHECK_MSG(config.shed_policy == SheddingPolicy::kDropNewest ||
+                        config.shed_policy == SheddingPolicy::kDropOldest ||
+                        config.shed_policy == SheddingPolicy::kDropStalest ||
+                        config.shed_policy == SheddingPolicy::kUtilityPriority,
+                    "unknown shedding policy");
+  FLOATFL_CHECK_MSG(!config.dedup || config.dedup_window_rounds > 0,
+                    "dedup requires a positive dedup_window_rounds");
+  FLOATFL_CHECK_MSG(config.rate_tokens_per_round >= 0.0,
+                    "rate_tokens_per_round must be non-negative");
+  FLOATFL_CHECK_MSG(config.rate_bucket_cap >= 0.0, "rate_bucket_cap must be non-negative");
+  FLOATFL_CHECK_MSG(config.rate_bucket_cap == 0.0 ||
+                        config.rate_bucket_cap >= config.rate_tokens_per_round,
+                    "rate_bucket_cap must be at least rate_tokens_per_round");
+  FLOATFL_CHECK_MSG(config.async_max_staleness >= 0.0,
+                    "async_max_staleness must be non-negative");
+  FLOATFL_CHECK_MSG(config.staleness_decay >= 0.0, "staleness_decay must be non-negative");
+  FLOATFL_CHECK_MSG(!config.staleness_downweight || config.staleness_decay > 0.0,
+                    "staleness_downweight requires a positive staleness_decay");
+}
+
+}  // namespace floatfl

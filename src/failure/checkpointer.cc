@@ -44,6 +44,25 @@ void WriteFaultConfig(CheckpointWriter& w, const FaultConfig& f) {
   w.Size(f.max_transfer_retries);
   w.Bool(f.resumable_uploads);
   w.Size(f.byzantine_start_round);
+  w.F64(f.duplicate_prob);
+  w.F64(f.replay_prob);
+  w.F64(f.reorder_prob);
+  w.F64(f.stampede_prob);
+  w.Size(f.stampede_factor);
+}
+
+void WriteAdmissionConfig(CheckpointWriter& w, const AdmissionConfig& a) {
+  w.Size(a.queue_capacity);
+  w.U32(static_cast<uint32_t>(a.shed_policy));
+  w.Bool(a.dedup);
+  w.Size(a.dedup_window_rounds);
+  w.Bool(a.reject_replays);
+  w.Size(a.max_update_age);
+  w.F64(a.rate_tokens_per_round);
+  w.F64(a.rate_bucket_cap);
+  w.F64(a.async_max_staleness);
+  w.Bool(a.staleness_downweight);
+  w.F64(a.staleness_decay);
 }
 
 void WriteGuardConfig(CheckpointWriter& w, const GuardConfig& g) {
@@ -164,6 +183,7 @@ uint64_t FingerprintConfig(const ExperimentConfig& config) {
   w.F64(config.adaptive_deadline.headroom);
   WriteGuardConfig(w, config.guard);
   WriteTopologyConfig(w, config.topology);
+  WriteAdmissionConfig(w, config.admission);
   return Fnv1a(w.buffer());
 }
 
@@ -186,6 +206,7 @@ uint64_t FingerprintConfig(const RealFlConfig& config) {
   WriteAggregatorConfig(w, config.aggregator);
   WriteGuardConfig(w, config.guard);
   WriteTopologyConfig(w, config.topology);
+  WriteAdmissionConfig(w, config.admission);
   return Fnv1a(w.buffer());
 }
 

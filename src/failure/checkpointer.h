@@ -56,8 +56,12 @@ class Checkpointer {
   // against it before LoadState runs. v7: engine payloads grew a
   // RecoveryTracker section (cumulative restart/replay accounting that rides
   // inside the engine so the totals survive process kills, DESIGN.md §14).
+  // v8: the overload fault fields and the admission config joined the
+  // sync/real/async fingerprints; engine payloads grew the server-ingestion
+  // admission section (dedup set, token buckets, update log, admission
+  // tracker — DESIGN.md §15) and four new dropout-breakdown counters.
   // Older checkpoints are refused (the version field mismatches).
-  static constexpr uint32_t kVersion = 7;
+  static constexpr uint32_t kVersion = 8;
   enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3, kVfl = 4 };
 
   // Crash-consistent save (fsync'd temp file + rename). Returns false on

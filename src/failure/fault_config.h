@@ -109,6 +109,25 @@ struct FaultConfig {
   // start (the exact pre-existing behavior).
   size_t byzantine_start_round = 0;
 
+  // --- Server-overload faults (src/admission, DESIGN.md §15) ------------
+  // Ingestion failure modes on the server side of the wire. All draws are
+  // keyed (seed, round, client, kind), stateless and thread-count invariant
+  // (src/failure/overload_injector.h). All-zero = strict no-op.
+  //
+  // Per delivered upload: probability that the transport re-delivers it
+  // (at-least-once duplicate carrying the same (client, round, attempt) key).
+  double duplicate_prob = 0.0;
+  // Per client-round: probability that the client's last accepted upload is
+  // re-delivered as a stale replay.
+  double replay_prob = 0.0;
+  // Per round: probability the within-round arrival order is permuted.
+  double reorder_prob = 0.0;
+  // Completion-stampede episodes: with stampede_prob per round, the
+  // duplicate/replay gates draw stampede_factor slots instead of one, so
+  // arrivals spike far above ingress-queue capacity.
+  double stampede_prob = 0.0;
+  size_t stampede_factor = 4;
+
   // --- Server-side defenses ---------------------------------------------
   // Synchronous over-selection: select ceil(K * overcommit) clients and
   // close the round at the first K valid completions; the abandoned
@@ -136,6 +155,13 @@ struct FaultConfig {
   // transport layer instead of the one-shot point-sample cost model.
   bool TransportEnabled() const {
     return transport || chunk_loss_prob > 0.0 || link_blackout_prob > 0.0;
+  }
+
+  // True when the server-overload fault side (duplicates, replays,
+  // reordering, stampedes) can fire. A stampede alone does nothing — it only
+  // multiplies the duplicate/replay draw slots.
+  bool OverloadEnabled() const {
+    return duplicate_prob > 0.0 || replay_prob > 0.0 || reorder_prob > 0.0;
   }
 
   // True when the Byzantine adversary can act.

@@ -1,0 +1,65 @@
+#include "src/failure/overload_injector.h"
+
+#include <algorithm>
+
+namespace floatfl {
+
+bool OverloadInjector::IsStampede(uint64_t round) const {
+  if (!enabled_ || config_.stampede_prob <= 0.0) {
+    return false;
+  }
+  Rng draw = root_.ForkKeyed(Rng::StreamKey(round, 0) ^ kKindStampede);
+  return draw.Bernoulli(config_.stampede_prob);
+}
+
+size_t OverloadInjector::SlotsThisRound(uint64_t round) const {
+  return IsStampede(round) ? std::max<size_t>(1, config_.stampede_factor) : 1;
+}
+
+size_t OverloadInjector::CountFiring(uint64_t round, size_t client_id, uint64_t kind,
+                                     double prob) const {
+  if (prob <= 0.0) {
+    return 0;
+  }
+  Rng draw = root_.ForkKeyed(Rng::StreamKey(round, client_id) ^ kind);
+  const size_t slots = SlotsThisRound(round);
+  size_t fired = 0;
+  for (size_t s = 0; s < slots; ++s) {
+    if (draw.Bernoulli(prob)) {
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+size_t OverloadInjector::DuplicateCopies(uint64_t round, size_t client_id) const {
+  if (!enabled_) {
+    return 0;
+  }
+  return CountFiring(round, client_id, kKindDuplicate, config_.duplicate_prob);
+}
+
+size_t OverloadInjector::ReplaySlots(uint64_t round, size_t client_id) const {
+  if (!enabled_) {
+    return 0;
+  }
+  return CountFiring(round, client_id, kKindReplay, config_.replay_prob);
+}
+
+void OverloadInjector::MaybeReorder(uint64_t round, std::vector<size_t>& order) const {
+  if (!enabled_ || config_.reorder_prob <= 0.0 || order.size() < 2) {
+    return;
+  }
+  Rng draw = root_.ForkKeyed(Rng::StreamKey(round, 0) ^ kKindReorder);
+  if (!draw.Bernoulli(config_.reorder_prob)) {
+    return;
+  }
+  const std::vector<size_t> perm = draw.Permutation(order.size());
+  std::vector<size_t> reordered(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    reordered[i] = order[perm[i]];
+  }
+  order.swap(reordered);
+}
+
+}  // namespace floatfl

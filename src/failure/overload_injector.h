@@ -1,0 +1,69 @@
+// Deterministic server-overload fault injection (DESIGN.md §15).
+//
+// Models the ingestion failure modes a healthy-client fault model misses:
+// at-least-once duplicate delivery (the transport re-delivers an upload the
+// server already has), replayed stale uploads (a retransmit buffer pushes a
+// past round's update again), within-round arrival reordering, and
+// completion-stampede episodes that multiply the duplicate/replay draw slots
+// so arrivals spike far above queue capacity. Every draw forks a keyed
+// stream from a never-advanced root — (round, client, kind)-addressed — so
+// injection is stateless, bit-for-bit thread-count invariant, and needs no
+// checkpoint state of its own.
+#ifndef SRC_FAILURE_OVERLOAD_INJECTOR_H_
+#define SRC_FAILURE_OVERLOAD_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/failure/fault_config.h"
+
+namespace floatfl {
+
+class OverloadInjector {
+ public:
+  // Per-subsystem salt so overload draws never collide with the client
+  // fault injector or transport streams sharing the experiment seed.
+  static constexpr uint64_t kOverloadSeedSalt = 0x8F1D96A5C3E07B42ULL;
+
+  OverloadInjector() = default;
+  OverloadInjector(const FaultConfig& config, uint64_t seed)
+      : config_(config), root_(seed ^ kOverloadSeedSalt), enabled_(config.OverloadEnabled()) {}
+
+  bool enabled() const { return enabled_; }
+
+  // True when this round is a completion-stampede episode: the duplicate and
+  // replay gates below draw stampede_factor slots instead of one.
+  bool IsStampede(uint64_t round) const;
+
+  // Number of extra at-least-once copies of a delivered upload (0 = none).
+  size_t DuplicateCopies(uint64_t round, size_t client_id) const;
+
+  // Number of replay slots firing for this client this round; each firing
+  // slot re-delivers the client's last accepted upload.
+  size_t ReplaySlots(uint64_t round, size_t client_id) const;
+
+  // Applies this round's reorder draw to the arrival order (identity when
+  // the draw does not fire).
+  void MaybeReorder(uint64_t round, std::vector<size_t>& order) const;
+
+ private:
+  // Kind salts keep the per-(round, client) streams of the four draw kinds
+  // decorrelated.
+  static constexpr uint64_t kKindDuplicate = 0x9E3779B97F4A7C15ULL;
+  static constexpr uint64_t kKindReplay = 0xC2B2AE3D27D4EB4FULL;
+  static constexpr uint64_t kKindStampede = 0x165667B19E3779F9ULL;
+  static constexpr uint64_t kKindReorder = 0x27D4EB2F165667C5ULL;
+
+  size_t SlotsThisRound(uint64_t round) const;
+  size_t CountFiring(uint64_t round, size_t client_id, uint64_t kind, double prob) const;
+
+  FaultConfig config_;
+  Rng root_;
+  bool enabled_ = false;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_FAILURE_OVERLOAD_INJECTOR_H_

@@ -28,6 +28,9 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
   injector_ = FaultInjector(config_.faults, config_.seed, config_.num_clients);
   transport_ = Transport(config_.faults, config_.seed);
   guard_ = TrainingGuard(config_.guard);
+  overload_ = OverloadInjector(config_.faults, config_.seed);
+  admission_ = AdmissionController(config_.admission);
+  update_log_ = UpdateLog(config_.num_clients);
   const size_t threads = ResolveThreadCount(config.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(threads - 1);
@@ -338,8 +341,10 @@ void AsyncEngine::StepOnce() {
   if (!flight.outcome.completed) {
     drop_reason = flight.outcome.reason == DropoutReason::kNone ? DropoutReason::kMissedDeadline
                                                                 : flight.outcome.reason;
-  } else if (staleness > kMaxStaleness) {
-    // Completed but too stale: the work is discarded.
+  } else if (staleness > config_.admission.async_max_staleness) {
+    // Completed but too stale: the work is discarded. The bound is the old
+    // hardcoded kMaxStaleness constant, now configurable (DESIGN.md §15);
+    // its pinned default keeps this branch byte-identical.
     drop_reason = DropoutReason::kMissedDeadline;
   } else if (flight.outcome.corrupted &&
              !IsValidUpdateQuality(PoisonedQuality(flight.outcome.corrupt_kind))) {
@@ -356,12 +361,141 @@ void AsyncEngine::StepOnce() {
       // crafted quality is identical across thread counts and resumes.
       contribution.quality =
           injector_.AttackedQuality(contribution.quality, flight.start_version, flight.client_id);
-      ++pending_byzantine_;
     }
     contribution.staleness = staleness;
-    buffer_.push_back(contribution);
-    accepted = true;
-    ++client.times_completed;
+    bool admit_ok = true;
+    if (!overload_.enabled() && !admission_.enabled()) {
+      buffer_.push_back(contribution);
+    } else {
+      // Server ingestion (DESIGN.md §15): one retirement is one ingestion
+      // burst — the delivered upload plus whatever at-least-once duplicates
+      // of it and replays of the client's last accepted upload the overload
+      // injector adds, keyed by the aggregation version. The admission gate
+      // rules on the burst in arrival order; a redundant delivery that
+      // passes (or meets an unguarded server) is re-processed in full —
+      // waste plus an extra stale copy in the aggregation buffer.
+      struct IngressDelivery {
+        AdmissionController::Arrival arrival;
+        bool redundant = false;
+        TechniqueKind technique = TechniqueKind::kNone;
+        double quality = 0.0;
+        double upload_comm_s = 0.0;
+        double upload_mb = 0.0;
+      };
+      // The launch count keys the upload (like the fault and transport
+      // streams): a client can legitimately upload twice against the same
+      // model version, so only true re-deliveries may share a dedup key.
+      const uint64_t attempt =
+          client.times_selected > 0 ? static_cast<uint64_t>(client.times_selected) - 1 : 0;
+      std::vector<IngressDelivery> deliveries;
+      IngressDelivery original;
+      original.arrival.client_id = flight.client_id;
+      original.arrival.round = flight.start_version;
+      original.arrival.attempt = attempt;
+      original.arrival.staleness = staleness;
+      original.arrival.utility = contribution.quality;
+      original.technique = flight.technique;
+      original.quality = contribution.quality;
+      original.upload_comm_s = 0.5 * flight.outcome.costs.comm_time_s;  // upload leg
+      original.upload_mb = 0.5 * flight.outcome.costs.traffic_mb;
+      deliveries.push_back(original);
+      if (overload_.enabled()) {
+        const size_t copies = overload_.DuplicateCopies(version_, flight.client_id);
+        for (size_t c = 0; c < copies; ++c) {
+          IngressDelivery d = original;
+          d.redundant = true;
+          deliveries.push_back(d);
+        }
+        const LoggedUpload* logged = update_log_.Get(flight.client_id);
+        if (logged != nullptr && logged->round < version_) {
+          const size_t slots = overload_.ReplaySlots(version_, flight.client_id);
+          for (size_t s = 0; s < slots; ++s) {
+            IngressDelivery d;
+            d.arrival.client_id = flight.client_id;
+            d.arrival.round = logged->round;
+            d.arrival.attempt = logged->attempt;
+            d.arrival.staleness = static_cast<double>(version_ - logged->round);
+            // A stale upload ranks below fresh ones under utility-priority
+            // shedding, more so the older it is.
+            d.arrival.utility = logged->quality / (1.0 + d.arrival.staleness);
+            d.redundant = true;
+            d.technique = static_cast<TechniqueKind>(logged->technique);
+            d.quality = logged->quality;
+            d.upload_comm_s = logged->upload_comm_s;
+            d.upload_mb = logged->upload_mb;
+            deliveries.push_back(d);
+          }
+        }
+      }
+      std::vector<AdmissionController::Verdict> verdicts;
+      if (admission_.enabled()) {
+        std::vector<AdmissionController::Arrival> arrivals;
+        arrivals.reserve(deliveries.size());
+        for (const IngressDelivery& d : deliveries) {
+          arrivals.push_back(d.arrival);
+        }
+        verdicts = admission_.Admit(version_, arrivals, &admission_tracker_);
+      } else {
+        AdmissionController::Verdict pass;
+        pass.admitted = true;
+        verdicts.assign(deliveries.size(), pass);
+      }
+      for (size_t i = 0; i < deliveries.size(); ++i) {
+        const IngressDelivery& d = deliveries[i];
+        const AdmissionController::Verdict& v = verdicts[i];
+        if (!d.redundant) {
+          if (v.admitted) {
+            ClientContribution weighted = contribution;
+            weighted.quality *= v.weight;
+            buffer_.push_back(weighted);
+          } else {
+            admit_ok = false;
+            drop_reason = v.reason;
+          }
+          continue;
+        }
+        if (v.admitted) {
+          accountant_.Record(0.0, d.upload_comm_s, 0.0, false);
+          redundant_mb_ += d.upload_mb;
+          ClientContribution extra;
+          extra.client_id = flight.client_id;
+          extra.quality = d.quality * v.weight;
+          extra.staleness = d.arrival.staleness;
+          buffer_.push_back(extra);
+        } else {
+          // Rejected at the doorstep before any processing: one tracker
+          // record and one participated=false policy report — no waste
+          // charge and no guard/cooldown side effects.
+          tracker_.Record(flight.client_id, d.technique, false, v.reason);
+          CountDropout(v.reason, dropout_breakdown_);
+          if (policy_ != nullptr) {
+            policy_->Report(flight.client_id, flight.observation, global, d.technique, false,
+                            0.0);
+          }
+        }
+      }
+    }
+    if (admit_ok) {
+      if (flight.outcome.byzantine) {
+        ++pending_byzantine_;
+      }
+      accepted = true;
+      ++client.times_completed;
+      if (overload_.enabled()) {
+        // Remember the accepted upload (at its original keys): the replay
+        // fault re-delivers exactly this entry at a later version.
+        LoggedUpload entry;
+        entry.round = flight.start_version;
+        entry.attempt = client.times_selected > 0
+                            ? static_cast<uint64_t>(client.times_selected) - 1
+                            : 0;
+        entry.quality = contribution.quality;
+        entry.upload_comm_s = 0.5 * flight.outcome.costs.comm_time_s;
+        entry.upload_mb = 0.5 * flight.outcome.costs.traffic_mb;
+        entry.technique = static_cast<uint32_t>(flight.technique);
+        update_log_.Record(flight.client_id, entry);
+      }
+    }
   }
   if (!accepted) {
     CountDropout(drop_reason, dropout_breakdown_);
@@ -482,6 +616,13 @@ ExperimentResult AsyncEngine::Snapshot() const {
   result.recovery_rounds_replayed = recovery_tracker_.RoundsReplayed();
   result.recovery_checkpoints_written = recovery_tracker_.CheckpointsWritten();
   result.recovery_checkpoints_failed = recovery_tracker_.CheckpointsFailed();
+  result.admission_admitted = admission_tracker_.Admitted();
+  result.admission_deduplicated = admission_tracker_.Deduplicated();
+  result.admission_shed = admission_tracker_.Shed();
+  result.admission_rate_limited = admission_tracker_.RateLimited();
+  result.admission_replay_rejected = admission_tracker_.ReplayRejected();
+  result.admission_peak_queue_depth = admission_tracker_.PeakQueueDepth();
+  result.redundant_mb = redundant_mb_;
   result.accuracy_history = accuracy_history_;
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
@@ -551,6 +692,10 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   w.Size(dropout_breakdown_.corrupted);
   w.Size(dropout_breakdown_.rejected);
   w.Size(dropout_breakdown_.transfer_timed_out);
+  w.Size(dropout_breakdown_.shed);
+  w.Size(dropout_breakdown_.duplicate);
+  w.Size(dropout_breakdown_.replayed);
+  w.Size(dropout_breakdown_.rate_limited);
   w.F64Vec(accuracy_history_);
   SaveRng(w, rng_);
   w.Size(clients_.size());
@@ -588,6 +733,10 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   agg_tracker_.SaveState(w);
   transport_tracker_.SaveState(w);
   guard_.SaveState(w);
+  admission_.SaveState(w);
+  update_log_.SaveState(w);
+  admission_tracker_.SaveState(w);
+  w.F64(redundant_mb_);
   recovery_tracker_.SaveState(w);
 }
 
@@ -604,6 +753,10 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   dropout_breakdown_.corrupted = r.Size();
   dropout_breakdown_.rejected = r.Size();
   dropout_breakdown_.transfer_timed_out = r.Size();
+  dropout_breakdown_.shed = r.Size();
+  dropout_breakdown_.duplicate = r.Size();
+  dropout_breakdown_.replayed = r.Size();
+  dropout_breakdown_.rate_limited = r.Size();
   accuracy_history_ = r.F64Vec();
   LoadRng(r, rng_);
   const size_t n = r.Size();
@@ -658,6 +811,10 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   agg_tracker_.LoadState(r);
   transport_tracker_.LoadState(r);
   guard_.LoadState(r);
+  admission_.LoadState(r);
+  update_log_.LoadState(r);
+  admission_tracker_.LoadState(r);
+  redundant_mb_ = r.F64();
   recovery_tracker_.LoadState(r);
 }
 

@@ -3,7 +3,8 @@
 // Up to `async_concurrency` clients train concurrently; completed updates
 // enter a buffer and every `async_buffer` updates are aggregated into a new
 // model version. Slow clients keep training on stale versions; staleness
-// discounts their contribution, and updates staler than kMaxStaleness are
+// discounts their contribution, and updates staler than the configured
+// bound (AdmissionConfig::async_max_staleness, DESIGN.md §15) are
 // discarded. Over-selection makes FedBuff fast in wall-clock but heavy in
 // aggregate client resource spend — the trade-off of Figure 2b.
 #ifndef SRC_FL_ASYNC_ENGINE_H_
@@ -12,15 +13,19 @@
 #include <memory>
 #include <vector>
 
+#include "src/admission/admission_controller.h"
+#include "src/admission/update_log.h"
 #include "src/common/rng.h"
 #include "src/failure/checkpoint_io.h"
 #include "src/failure/fault_injector.h"
+#include "src/failure/overload_injector.h"
 #include "src/fl/client.h"
 #include "src/fl/experiment.h"
 #include "src/fl/observation.h"
 #include "src/fl/sync_engine.h"
 #include "src/fl/tuning_policy.h"
 #include "src/guard/training_guard.h"
+#include "src/metrics/admission_tracker.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/recovery_tracker.h"
@@ -58,6 +63,8 @@ class AsyncEngine {
   const AggregationTracker& aggregation_tracker() const { return agg_tracker_; }
   const TransportTracker& transport_tracker() const { return transport_tracker_; }
   const TrainingGuard& guard() const { return guard_; }
+  // Cumulative server-ingestion accounting (DESIGN.md §15).
+  const AdmissionTracker& admission_tracker() const { return admission_tracker_; }
   // Crash-recovery accounting (DESIGN.md §14); recorded by the RunSupervisor
   // and serialized with the engine so totals survive process kills.
   RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
@@ -87,8 +94,6 @@ class AsyncEngine {
                                          TechniqueKind technique,
                                          const FaultDecision& fault) const;
 
-  static constexpr double kMaxStaleness = 10.0;
-
   ExperimentConfig config_;
   TuningPolicy* policy_;
   // Work pool for the launch-batch simulation fan-out; null when
@@ -107,6 +112,16 @@ class AsyncEngine {
   // Self-healing guard (DESIGN.md §11); rounds are keyed by the aggregation
   // version (async FL's round analogue). A disabled guard is a strict no-op.
   TrainingGuard guard_;
+  // Server-ingestion admission layer and its fault side (DESIGN.md §15);
+  // both disabled (and the engine byte-identical) by default. Bursts are
+  // keyed by the aggregation version.
+  OverloadInjector overload_;
+  AdmissionController admission_;
+  AdmissionTracker admission_tracker_;
+  UpdateLog update_log_;
+  // Wire volume of duplicate/replay deliveries the server fully
+  // re-processed (zero when the admission gate rejected them at ingress).
+  double redundant_mb_ = 0.0;
   RecoveryTracker recovery_tracker_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;

@@ -38,9 +38,21 @@ void ValidateExperimentConfig(const ExperimentConfig& config) {
                     "adaptive_deadline factors must satisfy 0 < min_factor <= max_factor");
   FLOATFL_CHECK_MSG(config.adaptive_deadline.headroom > 0.0,
                     "adaptive_deadline.headroom must be positive");
+  FLOATFL_CHECK_MSG(
+      config.faults.duplicate_prob >= 0.0 && config.faults.duplicate_prob <= 1.0,
+      "faults.duplicate_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.faults.replay_prob >= 0.0 && config.faults.replay_prob <= 1.0,
+                    "faults.replay_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.faults.reorder_prob >= 0.0 && config.faults.reorder_prob <= 1.0,
+                    "faults.reorder_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.faults.stampede_prob >= 0.0 && config.faults.stampede_prob <= 1.0,
+                    "faults.stampede_prob must be in [0, 1]");
+  FLOATFL_CHECK_MSG(config.faults.stampede_prob == 0.0 || config.faults.stampede_factor > 0,
+                    "faults.stampede_factor must be positive when stampedes can fire");
   ValidateAggregatorConfig(config.aggregator);
   ValidateGuardConfig(config.guard);
   ValidateTopologyConfig(config.topology);
+  ValidateAdmissionConfig(config.admission);
 }
 
 }  // namespace floatfl

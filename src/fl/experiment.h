@@ -8,6 +8,7 @@
 #include <map>
 #include <vector>
 
+#include "src/admission/admission_config.h"
 #include "src/agg/aggregator_config.h"
 #include "src/data/dataset.h"
 #include "src/failure/fault_config.h"
@@ -74,6 +75,11 @@ struct ExperimentConfig {
   // Honored by the sync engine; the async engine keeps star semantics and
   // refuses an enabled topology at construction.
   TopologyConfig topology;
+  // Server-ingestion admission layer: bounded ingress queue + shedding,
+  // idempotent duplicate folding, per-client rate limiting, and the async
+  // bounded-staleness rule (DESIGN.md §15). Default off: strict byte-for-byte
+  // no-op (async_max_staleness keeps its pinned pre-config default).
+  AdmissionConfig admission;
 };
 
 // Aborts the process with a descriptive message when `config` violates an
@@ -96,6 +102,10 @@ enum class DropoutReason : uint32_t {
   kRejected,        // valid but abandoned (over-selection closed the round)
   kTransferTimedOut,  // lossy transport exhausted retries / transfer budget
   kEdgeOrphaned,    // every edge in the client's failover chain was down
+  kShed,            // bounded ingress queue full; shed per the configured policy
+  kDuplicate,       // at-least-once re-delivery folded by idempotent admission
+  kReplayed,        // stale upload from a past round, rejected by the age gate
+  kRateLimited,     // the client's token bucket ran dry
 };
 
 struct DropoutBreakdown {
@@ -108,10 +118,15 @@ struct DropoutBreakdown {
   size_t rejected = 0;      // abandoned by over-selection round close
   size_t transfer_timed_out = 0;  // lossy transport exhausted retries/budget
   size_t edge_orphaned = 0;  // no live edge aggregator to report to
+  size_t shed = 0;           // shed by the bounded ingress queue
+  size_t duplicate = 0;      // re-deliveries folded by idempotent admission
+  size_t replayed = 0;       // stale replays rejected by the age gate
+  size_t rate_limited = 0;   // deliveries refused by the token bucket
 
   size_t Total() const {
     return unavailable + out_of_memory + missed_deadline + departed + crashed + corrupted +
-           rejected + transfer_timed_out + edge_orphaned;
+           rejected + transfer_timed_out + edge_orphaned + shed + duplicate + replayed +
+           rate_limited;
   }
 };
 
@@ -178,6 +193,17 @@ struct ExperimentResult {
   size_t recovery_rounds_replayed = 0;
   size_t recovery_checkpoints_written = 0;
   size_t recovery_checkpoints_failed = 0;
+  // Server-ingestion totals (src/metrics/admission_tracker.h). All zero when
+  // the admission layer is disabled. redundant_mb is the wire volume of
+  // duplicate/replay deliveries an unguarded server fully re-processed —
+  // the wasted-work figure the admission gate exists to cut.
+  size_t admission_admitted = 0;
+  size_t admission_deduplicated = 0;
+  size_t admission_shed = 0;
+  size_t admission_rate_limited = 0;
+  size_t admission_replay_rejected = 0;
+  size_t admission_peak_queue_depth = 0;
+  double redundant_mb = 0.0;
 
   ResourceTotals useful;
   ResourceTotals wasted;

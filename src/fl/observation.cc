@@ -81,6 +81,18 @@ void CountDropout(DropoutReason reason, DropoutBreakdown& breakdown) {
     case DropoutReason::kEdgeOrphaned:
       ++breakdown.edge_orphaned;
       break;
+    case DropoutReason::kShed:
+      ++breakdown.shed;
+      break;
+    case DropoutReason::kDuplicate:
+      ++breakdown.duplicate;
+      break;
+    case DropoutReason::kReplayed:
+      ++breakdown.replayed;
+      break;
+    case DropoutReason::kRateLimited:
+      ++breakdown.rate_limited;
+      break;
     case DropoutReason::kNone:
       break;
   }

@@ -97,6 +97,10 @@ RealFlEngine::RealFlEngine(const RealFlConfig& config)
   edge_transport_ = Transport(config_.topology.LinkFaultConfig(),
                               config_.seed ^ TopologyConfig::kEdgeLinkSeedSalt);
   edge_aggregator_ = MakeAggregator(config_.topology.edge_aggregator);
+  ValidateAdmissionConfig(config_.admission);
+  overload_ = OverloadInjector(config_.faults, config_.seed);
+  admission_ = AdmissionController(config_.admission);
+  update_log_ = UpdateLog(config_.num_clients);
   const size_t threads = ResolveThreadCount(config.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(threads - 1);
@@ -319,6 +323,8 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   participated.assign(k, 0);
   reasons.assign(k, DropoutReason::kNone);
   std::vector<size_t> update_edges;  // effective edge per accepted update
+  const bool ingest_on = overload_.enabled() || admission_.enabled();
+  std::vector<size_t> passing;  // selection indices that reached the server door
   for (size_t i = 0; i < k; ++i) {
     if (faults[i].byzantine) {
       ++stats.byzantine_selected;
@@ -360,6 +366,11 @@ RealRoundStats RealFlEngine::RunRoundImpl(
       reasons[i] = DropoutReason::kCorrupted;
       continue;
     }
+    if (ingest_on) {
+      // Admission decides this upload's fate below; defer the acceptance.
+      passing.push_back(i);
+      continue;
+    }
     participated[i] = 1;
     total_bytes += static_cast<double>(processed[i].upload_bytes);
     total_error += processed[i].max_error;
@@ -369,13 +380,170 @@ RealRoundStats RealFlEngine::RunRoundImpl(
       update_edges.push_back(tree_.EffectiveEdge(order[i]));
     }
   }
+  if (ingest_on) {
+    // Server ingestion (DESIGN.md §15): the round's validated uploads form
+    // one ingestion burst — possibly reordered, duplicated, and joined by
+    // replays of earlier accepted uploads — and the admission gate rules on
+    // it in arrival order. An admitted redundant delivery is re-processed in
+    // full: its parameter vector re-enters the FedAvg reduction and its wire
+    // volume is booked as redundant; a doorstep rejection costs nothing.
+    struct IngressDelivery {
+      AdmissionController::Arrival arrival;
+      size_t idx = 0;  // selection index
+      bool redundant = false;
+      bool replay = false;
+      double upload_mb = 0.0;
+    };
+    std::vector<size_t> arrival_order = passing;
+    overload_.MaybeReorder(round, arrival_order);
+    auto fresh_delivery = [&](size_t i) {
+      IngressDelivery d;
+      d.arrival.client_id = order[i];
+      d.arrival.round = round;
+      d.arrival.attempt = 0;
+      d.arrival.staleness = 0.0;
+      // Utility-priority shedding keeps the data-rich uploads.
+      d.arrival.utility = static_cast<double>(shards_[order[i]].total);
+      d.idx = i;
+      d.upload_mb = static_cast<double>(processed[i].upload_bytes) / (1024.0 * 1024.0);
+      return d;
+    };
+    std::vector<IngressDelivery> deliveries;
+    for (size_t i : arrival_order) {
+      deliveries.push_back(fresh_delivery(i));
+    }
+    if (overload_.enabled()) {
+      for (size_t i : arrival_order) {
+        const size_t copies = overload_.DuplicateCopies(round, order[i]);
+        for (size_t c = 0; c < copies; ++c) {
+          IngressDelivery d = fresh_delivery(i);
+          d.redundant = true;
+          deliveries.push_back(d);
+        }
+      }
+      for (size_t i = 0; i < k; ++i) {
+        const LoggedUpload* logged = update_log_.Get(order[i]);
+        if (logged == nullptr || logged->round >= round) {
+          continue;
+        }
+        const size_t slots = overload_.ReplaySlots(round, order[i]);
+        for (size_t s = 0; s < slots; ++s) {
+          IngressDelivery d;
+          d.arrival.client_id = order[i];
+          d.arrival.round = logged->round;
+          d.arrival.attempt = logged->attempt;
+          d.arrival.staleness = static_cast<double>(round - logged->round);
+          d.arrival.utility = logged->weight / (1.0 + d.arrival.staleness);
+          d.idx = i;
+          d.redundant = true;
+          d.replay = true;
+          d.upload_mb = logged->upload_mb;
+          deliveries.push_back(d);
+        }
+      }
+    }
+    std::vector<AdmissionController::Verdict> verdicts;
+    if (admission_.enabled()) {
+      std::vector<AdmissionController::Arrival> arrivals;
+      arrivals.reserve(deliveries.size());
+      for (const IngressDelivery& d : deliveries) {
+        arrivals.push_back(d.arrival);
+      }
+      verdicts = admission_.Admit(round, arrivals, &admission_tracker_);
+    } else {
+      AdmissionController::Verdict pass;
+      pass.admitted = true;
+      verdicts.assign(deliveries.size(), pass);
+    }
+    for (size_t n = 0; n < deliveries.size(); ++n) {
+      const IngressDelivery& d = deliveries[n];
+      const AdmissionController::Verdict& v = verdicts[n];
+      const size_t i = d.idx;
+      if (!v.admitted) {
+        switch (v.reason) {
+          case DropoutReason::kDuplicate:
+            ++stats.deduplicated;
+            break;
+          case DropoutReason::kShed:
+            ++stats.shed;
+            break;
+          case DropoutReason::kRateLimited:
+            ++stats.rate_limited;
+            break;
+          case DropoutReason::kReplayed:
+            ++stats.replay_rejected;
+            break;
+          default:
+            break;
+        }
+        if (!d.redundant) {
+          reasons[i] = v.reason;
+        } else if (report) {
+          // A doorstep-rejected redundant still costs the policy one
+          // participated=false report — the delivery happened, the server
+          // just refused to process it.
+          report(order[i], techniques[i], false, 0.0);
+        }
+        continue;
+      }
+      ++stats.admitted;
+      if (!d.redundant) {
+        participated[i] = 1;
+        total_bytes += static_cast<double>(processed[i].upload_bytes);
+        total_error += processed[i].max_error;
+        // Copies, not moves: duplicates of this upload may still arrive.
+        updates.push_back(processed[i].params);
+        weights.push_back(static_cast<double>(shards_[order[i]].total) * v.weight);
+        if (tree_on) {
+          update_edges.push_back(tree_.EffectiveEdge(order[i]));
+        }
+        if (overload_.enabled()) {
+          // Remember the accepted upload: the replay fault re-delivers
+          // exactly this entry (same dedup key) in a later round.
+          LoggedUpload entry;
+          entry.round = round;
+          entry.attempt = 0;
+          entry.upload_mb = d.upload_mb;
+          entry.technique = static_cast<uint32_t>(techniques[i]);
+          entry.params = processed[i].params;
+          entry.weight = static_cast<double>(shards_[order[i]].total);
+          update_log_.Record(order[i], entry);
+        }
+      } else if (!d.replay) {
+        stats.redundant_upload_mb += d.upload_mb;
+        updates.push_back(processed[i].params);
+        weights.push_back(static_cast<double>(shards_[order[i]].total) * v.weight);
+        if (tree_on) {
+          update_edges.push_back(tree_.EffectiveEdge(order[i]));
+        }
+      } else {
+        const LoggedUpload* logged = update_log_.Get(order[i]);
+        stats.redundant_upload_mb += d.upload_mb;
+        updates.push_back(logged->params);
+        weights.push_back(logged->weight * v.weight);
+        if (tree_on) {
+          update_edges.push_back(tree_.EffectiveEdge(order[i]));
+        }
+      }
+    }
+    stats.peak_queue_depth = admission_tracker_.PeakQueueDepth();
+  }
   // Failure attribution for the guard's quarantine (selection order).
   for (size_t i = 0; i < k; ++i) {
     guard_.Observe(techniques[i], participated[i] != 0, reasons[i], round);
   }
 
   AggregatorStats agg_stats;
+  // With ingestion active, `updates` may carry admitted redundant deliveries
+  // on top of the originals; participant accounting counts only the latter.
   const size_t accepted_clients = updates.size();
+  size_t original_accepted = accepted_clients;
+  if (ingest_on) {
+    original_accepted = 0;
+    for (size_t i = 0; i < k; ++i) {
+      original_accepted += participated[i];
+    }
+  }
   size_t clients_at_root = accepted_clients;
   if (tree_on && !updates.empty()) {
     // Edge tier (DESIGN.md §13): fold each effective edge's cohort into one
@@ -451,9 +619,9 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   stats.krum_rejections = agg_stats.krum_rejections;
   stats.updates_trimmed = agg_stats.updates_trimmed;
 
-  stats.participants = accepted_clients;
-  stats.mean_upload_bytes = accepted_clients == 0 ? 0.0 : total_bytes / accepted_clients;
-  stats.mean_update_error = accepted_clients == 0 ? 0.0 : total_error / accepted_clients;
+  stats.participants = original_accepted;
+  stats.mean_upload_bytes = original_accepted == 0 ? 0.0 : total_bytes / original_accepted;
+  stats.mean_update_error = original_accepted == 0 ? 0.0 : total_error / original_accepted;
   stats.test_accuracy = EvaluateAccuracy();
   stats.test_loss = EvaluateLoss();
 
@@ -556,6 +724,9 @@ void RealFlEngine::SaveState(CheckpointWriter& w) const {
   tree_.SaveState(w);
   topo_tracker_.SaveState(w);
   edge_aggregator_->SaveState(w);
+  admission_.SaveState(w);
+  update_log_.SaveState(w);
+  admission_tracker_.SaveState(w);
   recovery_tracker_.SaveState(w);
 }
 
@@ -587,6 +758,9 @@ void RealFlEngine::LoadState(CheckpointReader& r) {
   tree_.LoadState(r);
   topo_tracker_.LoadState(r);
   edge_aggregator_->LoadState(r);
+  admission_.LoadState(r);
+  update_log_.LoadState(r);
+  admission_tracker_.LoadState(r);
   recovery_tracker_.LoadState(r);
 }
 

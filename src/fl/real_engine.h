@@ -17,6 +17,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/admission/admission_config.h"
+#include "src/admission/admission_controller.h"
+#include "src/admission/update_log.h"
 #include "src/agg/aggregator.h"
 #include "src/agg/aggregator_config.h"
 #include "src/common/rng.h"
@@ -25,9 +28,11 @@
 #include "src/failure/checkpoint_io.h"
 #include "src/failure/edge_fault_injector.h"
 #include "src/failure/fault_injector.h"
+#include "src/failure/overload_injector.h"
 #include "src/fl/tuning_policy.h"
 #include "src/guard/guard_config.h"
 #include "src/guard/training_guard.h"
+#include "src/metrics/admission_tracker.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/recovery_tracker.h"
 #include "src/metrics/topology_tracker.h"
@@ -77,6 +82,10 @@ struct RealFlConfig {
   // the lossy inter-tier link, the per-edge aggregation rule — applies to
   // real parameter-space partials.
   TopologyConfig topology;
+  // Server-ingestion admission layer (DESIGN.md §15). Default off: strict
+  // byte-for-byte no-op. The async-only bounded-staleness knob is ignored
+  // here (the real engine is synchronous).
+  AdmissionConfig admission;
 };
 
 // Per-round measurements of the real pipeline.
@@ -117,6 +126,17 @@ struct RealRoundStats {
   size_t partials_lost = 0;       // edge partials lost on the inter-tier link
   size_t tampered_partials = 0;   // partials a Byzantine edge tampered with
   size_t tampered_rejections = 0;  // partials the root's validation rejected
+  // Server-ingestion accounting (DESIGN.md §15); all zero with the admission
+  // layer off and no overload faults. redundant_upload_mb is the wire volume
+  // of duplicate/replay deliveries the server fully re-processed this round
+  // (zero when the admission gate turned them away at the doorstep).
+  size_t admitted = 0;
+  size_t deduplicated = 0;
+  size_t shed = 0;
+  size_t rate_limited = 0;
+  size_t replay_rejected = 0;
+  size_t peak_queue_depth = 0;
+  double redundant_upload_mb = 0.0;
 };
 
 class RealFlEngine {
@@ -156,6 +176,8 @@ class RealFlEngine {
   const EdgeFaultInjector& edge_injector() const { return edge_injector_; }
   const AggregationTree& tree() const { return tree_; }
   const TopologyTracker& topology_tracker() const { return topo_tracker_; }
+  // Cumulative server-ingestion accounting (DESIGN.md §15).
+  const AdmissionTracker& admission_tracker() const { return admission_tracker_; }
   // Crash-recovery accounting (DESIGN.md §14); recorded by the RunSupervisor
   // and serialized with the engine so totals survive process kills.
   RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
@@ -237,6 +259,11 @@ class RealFlEngine {
   TopologyTracker topo_tracker_;
   Transport edge_transport_;
   std::unique_ptr<Aggregator> edge_aggregator_;
+  // Server-ingestion admission layer (DESIGN.md §15); disabled by default.
+  OverloadInjector overload_;
+  AdmissionController admission_;
+  AdmissionTracker admission_tracker_;
+  UpdateLog update_log_;
   RecoveryTracker recovery_tracker_;
   Rng rng_;
   // Root of the per-(round, client) training streams; never advanced, only

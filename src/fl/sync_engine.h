@@ -12,10 +12,13 @@
 #include <memory>
 #include <vector>
 
+#include "src/admission/admission_controller.h"
+#include "src/admission/update_log.h"
 #include "src/common/rng.h"
 #include "src/failure/checkpoint_io.h"
 #include "src/failure/edge_fault_injector.h"
 #include "src/failure/fault_injector.h"
+#include "src/failure/overload_injector.h"
 #include "src/fl/client.h"
 #include "src/sim/thread_pool.h"
 #include "src/fl/cost_model.h"
@@ -23,6 +26,7 @@
 #include "src/fl/observation.h"
 #include "src/fl/tuning_policy.h"
 #include "src/guard/training_guard.h"
+#include "src/metrics/admission_tracker.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/recovery_tracker.h"
@@ -108,6 +112,8 @@ class SyncEngine {
   const EdgeFaultInjector& edge_injector() const { return edge_injector_; }
   const AggregationTree& tree() const { return tree_; }
   const TopologyTracker& topology_tracker() const { return topo_tracker_; }
+  // Cumulative server-ingestion accounting (DESIGN.md §15).
+  const AdmissionTracker& admission_tracker() const { return admission_tracker_; }
   // Crash-recovery accounting (DESIGN.md §14); recorded by the RunSupervisor
   // and serialized with the engine so totals survive process kills.
   RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
@@ -152,6 +158,15 @@ class SyncEngine {
   TopologyTracker topo_tracker_;
   Transport edge_transport_;
   AdaptiveDeadlineController edge_deadline_ctrl_;
+  // Server-ingestion admission layer and its fault side (DESIGN.md §15);
+  // both disabled (and the engine byte-identical) by default.
+  OverloadInjector overload_;
+  AdmissionController admission_;
+  AdmissionTracker admission_tracker_;
+  UpdateLog update_log_;
+  // Wire volume of duplicate/replay deliveries the server fully
+  // re-processed (zero when the admission gate rejected them at ingress).
+  double redundant_mb_ = 0.0;
   RecoveryTracker recovery_tracker_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;

@@ -28,6 +28,13 @@ bool ActionQuarantine::Attributable(DropoutReason reason) {
     // Losing every edge in the failover chain is infrastructure weather, not
     // something the client's technique caused.
     case DropoutReason::kEdgeOrphaned:
+    // Server-ingestion rejections (shed under overload, folded duplicates,
+    // stale replays, rate limiting) blame the delivery path, not the
+    // technique the client trained with.
+    case DropoutReason::kShed:
+    case DropoutReason::kDuplicate:
+    case DropoutReason::kReplayed:
+    case DropoutReason::kRateLimited:
       return false;
   }
   return false;

@@ -1,0 +1,66 @@
+// Cumulative accounting of the server-ingestion (admission) layer
+// (DESIGN.md §15): what the gate admitted and what it turned away, by
+// verdict, plus the deepest the bounded ingress queue ever got. Recorded
+// from sequential engine code only; rides inside engine checkpoints so the
+// totals are bit-exact across resumes.
+#ifndef SRC_METRICS_ADMISSION_TRACKER_H_
+#define SRC_METRICS_ADMISSION_TRACKER_H_
+
+#include <cstddef>
+
+#include "src/failure/checkpoint_io.h"
+
+namespace floatfl {
+
+class AdmissionTracker {
+ public:
+  void RecordAdmitted(size_t n) { admitted_ += n; }
+  void RecordDeduplicated() { ++deduplicated_; }
+  void RecordShed() { ++shed_; }
+  void RecordRateLimited() { ++rate_limited_; }
+  void RecordReplayRejected() { ++replay_rejected_; }
+  void RecordQueueDepth(size_t depth) {
+    if (depth > peak_queue_depth_) {
+      peak_queue_depth_ = depth;
+    }
+  }
+
+  size_t Admitted() const { return admitted_; }
+  size_t Deduplicated() const { return deduplicated_; }
+  size_t Shed() const { return shed_; }
+  size_t RateLimited() const { return rate_limited_; }
+  size_t ReplayRejected() const { return replay_rejected_; }
+  size_t PeakQueueDepth() const { return peak_queue_depth_; }
+  size_t TotalRejected() const {
+    return deduplicated_ + shed_ + rate_limited_ + replay_rejected_;
+  }
+
+  void SaveState(CheckpointWriter& w) const {
+    w.Size(admitted_);
+    w.Size(deduplicated_);
+    w.Size(shed_);
+    w.Size(rate_limited_);
+    w.Size(replay_rejected_);
+    w.Size(peak_queue_depth_);
+  }
+  void LoadState(CheckpointReader& r) {
+    admitted_ = r.Size();
+    deduplicated_ = r.Size();
+    shed_ = r.Size();
+    rate_limited_ = r.Size();
+    replay_rejected_ = r.Size();
+    peak_queue_depth_ = r.Size();
+  }
+
+ private:
+  size_t admitted_ = 0;
+  size_t deduplicated_ = 0;
+  size_t shed_ = 0;
+  size_t rate_limited_ = 0;
+  size_t replay_rejected_ = 0;
+  size_t peak_queue_depth_ = 0;
+};
+
+}  // namespace floatfl
+
+#endif  // SRC_METRICS_ADMISSION_TRACKER_H_

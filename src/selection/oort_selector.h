@@ -39,6 +39,7 @@ class OortSelector final : public Selector {
   void LoadState(CheckpointReader& r) override;
 
   double UtilityOf(size_t client_id) const { return utility_[client_id]; }
+  double IngestUtility(size_t client_id) const override { return utility_[client_id]; }
   bool IsBlacklisted(size_t client_id) const { return failures_[client_id] >= params_.blacklist_failures; }
   // Oort's pacer: the developer-preferred round duration as a fraction of
   // the deadline, relaxed when too few clients complete and tightened when

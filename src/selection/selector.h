@@ -45,6 +45,15 @@ class Selector {
     (void)nominal_mbps;
   }
 
+  // The selector's current utility score for a client, consumed by the
+  // admission layer's utility-priority load shedding (DESIGN.md §15).
+  // Score-free selectors return 0 and the engines fall back to the arriving
+  // update's quality.
+  virtual double IngestUtility(size_t client_id) const {
+    (void)client_id;
+    return 0.0;
+  }
+
   virtual std::string Name() const = 0;
 
   // Checkpoint/resume of the selector's mutable state (RNG, utilities,

@@ -1,0 +1,144 @@
+// AdmissionConfig semantics (DESIGN.md §15): the default config disables
+// every gate, each gate flag flips enabled(), async_max_staleness is
+// deliberately excluded from enabled() (it replaces a pre-existing engine
+// constant), and ValidateAdmissionConfig aborts on every invariant breach.
+#include <gtest/gtest.h>
+
+#include "src/admission/admission_config.h"
+
+namespace floatfl {
+namespace {
+
+TEST(AdmissionConfigTest, DefaultIsDisabled) {
+  const AdmissionConfig config;
+  EXPECT_FALSE(config.enabled());
+  EXPECT_EQ(config.queue_capacity, 0u);
+  EXPECT_EQ(config.shed_policy, SheddingPolicy::kDropNewest);
+  EXPECT_FALSE(config.dedup);
+  EXPECT_EQ(config.dedup_window_rounds, 4u);
+  EXPECT_FALSE(config.reject_replays);
+  EXPECT_EQ(config.max_update_age, 0u);
+  EXPECT_EQ(config.rate_tokens_per_round, 0.0);
+  EXPECT_EQ(config.rate_bucket_cap, 0.0);
+  EXPECT_EQ(config.async_max_staleness, 10.0);
+  EXPECT_FALSE(config.staleness_downweight);
+  EXPECT_EQ(config.staleness_decay, 0.25);
+}
+
+TEST(AdmissionConfigTest, EachGateFlagEnablesTheLayer) {
+  AdmissionConfig config;
+  config.queue_capacity = 8;
+  EXPECT_TRUE(config.enabled());
+
+  config = AdmissionConfig();
+  config.dedup = true;
+  EXPECT_TRUE(config.enabled());
+
+  config = AdmissionConfig();
+  config.reject_replays = true;
+  EXPECT_TRUE(config.enabled());
+
+  config = AdmissionConfig();
+  config.rate_tokens_per_round = 2.0;
+  EXPECT_TRUE(config.enabled());
+
+  config = AdmissionConfig();
+  config.staleness_downweight = true;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(AdmissionConfigTest, PassiveKnobsDoNotEnableTheLayer) {
+  // Knobs that only matter when their gate flag is set — and the async
+  // staleness bound, which is live even with the layer off — must not flip
+  // enabled() on their own.
+  AdmissionConfig config;
+  config.shed_policy = SheddingPolicy::kUtilityPriority;
+  config.dedup_window_rounds = 99;
+  config.max_update_age = 7;
+  config.rate_bucket_cap = 12.0;
+  config.async_max_staleness = 3.0;
+  config.staleness_decay = 1.5;
+  EXPECT_FALSE(config.enabled());
+}
+
+TEST(AdmissionConfigTest, BucketCapDefaultsToRefillAmount) {
+  AdmissionConfig config;
+  config.rate_tokens_per_round = 3.0;
+  EXPECT_EQ(config.BucketCap(), 3.0);
+  config.rate_bucket_cap = 5.0;
+  EXPECT_EQ(config.BucketCap(), 5.0);
+}
+
+TEST(AdmissionConfigTest, StalenessWeight) {
+  AdmissionConfig config;
+  // Off: always 1, no matter the staleness.
+  EXPECT_EQ(config.StalenessWeight(0.0), 1.0);
+  EXPECT_EQ(config.StalenessWeight(8.0), 1.0);
+
+  config.staleness_downweight = true;
+  config.staleness_decay = 0.25;
+  EXPECT_EQ(config.StalenessWeight(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(config.StalenessWeight(4.0), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(config.StalenessWeight(8.0), 1.0 / 3.0);
+  // Monotone: staler never weighs more.
+  EXPECT_LT(config.StalenessWeight(8.0), config.StalenessWeight(4.0));
+}
+
+TEST(AdmissionConfigDeathTest, ValidationAbortsOnInvariantBreaches) {
+  AdmissionConfig config;
+  config.shed_policy = static_cast<SheddingPolicy>(42);
+  EXPECT_DEATH(ValidateAdmissionConfig(config), "unknown shedding policy");
+
+  config = AdmissionConfig();
+  config.dedup = true;
+  config.dedup_window_rounds = 0;
+  EXPECT_DEATH(ValidateAdmissionConfig(config), "positive dedup_window_rounds");
+
+  config = AdmissionConfig();
+  config.rate_tokens_per_round = -1.0;
+  EXPECT_DEATH(ValidateAdmissionConfig(config), "rate_tokens_per_round must be non-negative");
+
+  config = AdmissionConfig();
+  config.rate_bucket_cap = -0.5;
+  EXPECT_DEATH(ValidateAdmissionConfig(config), "rate_bucket_cap must be non-negative");
+
+  config = AdmissionConfig();
+  config.rate_tokens_per_round = 4.0;
+  config.rate_bucket_cap = 2.0;  // cap below the per-round refill
+  EXPECT_DEATH(ValidateAdmissionConfig(config), "at least rate_tokens_per_round");
+
+  config = AdmissionConfig();
+  config.async_max_staleness = -1.0;
+  EXPECT_DEATH(ValidateAdmissionConfig(config), "async_max_staleness must be non-negative");
+
+  config = AdmissionConfig();
+  config.staleness_decay = -0.25;
+  EXPECT_DEATH(ValidateAdmissionConfig(config), "staleness_decay must be non-negative");
+
+  config = AdmissionConfig();
+  config.staleness_downweight = true;
+  config.staleness_decay = 0.0;
+  EXPECT_DEATH(ValidateAdmissionConfig(config), "positive staleness_decay");
+}
+
+TEST(AdmissionConfigTest, ValidationAcceptsDefaultsAndFullyArmedConfig) {
+  ValidateAdmissionConfig(AdmissionConfig());
+
+  AdmissionConfig armed;
+  armed.queue_capacity = 16;
+  armed.shed_policy = SheddingPolicy::kUtilityPriority;
+  armed.dedup = true;
+  armed.dedup_window_rounds = 6;
+  armed.reject_replays = true;
+  armed.max_update_age = 2;
+  armed.rate_tokens_per_round = 2.0;
+  armed.rate_bucket_cap = 8.0;
+  armed.async_max_staleness = 5.0;
+  armed.staleness_downweight = true;
+  armed.staleness_decay = 0.5;
+  ValidateAdmissionConfig(armed);
+  EXPECT_TRUE(armed.enabled());
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -1,0 +1,182 @@
+// Checkpoint/resume with the admission layer mid-flight (DESIGN.md §15):
+// a run interrupted at the halfway point — dedup window populated, token
+// buckets partially drained, update log holding replayable uploads — must
+// finish bit-identical to the uninterrupted run: same accuracy trajectory,
+// same admission counters, byte-identical final serialized state.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/failure/checkpoint_io.h"
+#include "src/failure/checkpointer.h"
+#include "src/fl/async_engine.h"
+#include "src/fl/real_engine.h"
+#include "src/fl/sync_engine.h"
+#include "src/fl/tuning_policy.h"
+#include "src/selection/random_selector.h"
+
+namespace floatfl {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Storm + every admission gate armed, so the checkpoint carries non-trivial
+// dedup keys, bucket levels and logged uploads.
+ExperimentConfig ArmedStormConfig() {
+  ExperimentConfig config;
+  config.num_clients = 40;
+  config.clients_per_round = 8;
+  config.rounds = 100;
+  config.seed = 137;
+  config.model = ModelId::kShuffleNetV2;
+  config.faults.duplicate_prob = 0.3;
+  config.faults.replay_prob = 0.4;
+  config.faults.reorder_prob = 0.3;
+  config.faults.stampede_prob = 0.3;
+  config.faults.stampede_factor = 4;
+  config.admission.dedup = true;
+  config.admission.dedup_window_rounds = 5;
+  config.admission.reject_replays = true;
+  config.admission.max_update_age = 1;
+  config.admission.rate_tokens_per_round = 2.0;
+  config.admission.rate_bucket_cap = 6.0;
+  config.admission.queue_capacity = 20;
+  config.admission.shed_policy = SheddingPolicy::kDropStalest;
+  config.admission.staleness_downweight = true;
+  config.admission.staleness_decay = 0.25;
+  config.async_concurrency = 16;
+  config.async_buffer = 4;
+  return config;
+}
+
+void ExpectIdenticalFinalState(const ExperimentResult& expected, const ExperimentResult& actual) {
+  EXPECT_EQ(expected.accuracy_history, actual.accuracy_history);
+  EXPECT_EQ(expected.global_accuracy, actual.global_accuracy);
+  EXPECT_EQ(expected.total_completed, actual.total_completed);
+  EXPECT_EQ(expected.admission_admitted, actual.admission_admitted);
+  EXPECT_EQ(expected.admission_deduplicated, actual.admission_deduplicated);
+  EXPECT_EQ(expected.admission_shed, actual.admission_shed);
+  EXPECT_EQ(expected.admission_rate_limited, actual.admission_rate_limited);
+  EXPECT_EQ(expected.admission_replay_rejected, actual.admission_replay_rejected);
+  EXPECT_EQ(expected.admission_peak_queue_depth, actual.admission_peak_queue_depth);
+  EXPECT_EQ(expected.redundant_mb, actual.redundant_mb);
+}
+
+TEST(AdmissionResumeTest, SyncFiftyPlusFiftyIsBitExact) {
+  const ExperimentConfig config = ArmedStormConfig();
+  const std::string path = TempPath("admission_sync_resume.ckpt");
+
+  RandomSelector full_sel(config.seed);
+  StaticPolicy full_pol(TechniqueKind::kQuant8);
+  SyncEngine full(config, &full_sel, &full_pol);
+  const ExperimentResult expected = full.Run();
+  // The interruption point must land with admission state in flight.
+  EXPECT_GT(expected.admission_deduplicated, 0u);
+  EXPECT_GT(expected.admission_replay_rejected, 0u);
+
+  RandomSelector half_sel(config.seed);
+  StaticPolicy half_pol(TechniqueKind::kQuant8);
+  SyncEngine half(config, &half_sel, &half_pol);
+  for (size_t round = 0; round < config.rounds / 2; ++round) {
+    half.RunRound(round);
+  }
+  ASSERT_TRUE(Checkpointer::Save(path, half));
+
+  RandomSelector resumed_sel(config.seed);
+  StaticPolicy resumed_pol(TechniqueKind::kQuant8);
+  SyncEngine resumed(config, &resumed_sel, &resumed_pol);
+  ASSERT_TRUE(Checkpointer::Restore(path, resumed));
+  const ExperimentResult actual = resumed.Run();
+
+  ExpectIdenticalFinalState(expected, actual);
+  CheckpointWriter full_state;
+  full.SaveState(full_state);
+  CheckpointWriter resumed_state;
+  resumed.SaveState(resumed_state);
+  EXPECT_EQ(full_state.buffer(), resumed_state.buffer());
+  std::remove(path.c_str());
+}
+
+TEST(AdmissionResumeTest, AsyncFiftyPlusFiftyIsBitExact) {
+  const ExperimentConfig config = ArmedStormConfig();
+  const std::string path = TempPath("admission_async_resume.ckpt");
+
+  StaticPolicy full_pol(TechniqueKind::kQuant8);
+  AsyncEngine full(config, &full_pol);
+  const ExperimentResult expected = full.Run();
+  EXPECT_GT(expected.admission_deduplicated, 0u);
+
+  StaticPolicy half_pol(TechniqueKind::kQuant8);
+  AsyncEngine half(config, &half_pol);
+  half.RunUntil(config.rounds / 2);
+  ASSERT_TRUE(Checkpointer::Save(path, half));
+
+  StaticPolicy resumed_pol(TechniqueKind::kQuant8);
+  AsyncEngine resumed(config, &resumed_pol);
+  ASSERT_TRUE(Checkpointer::Restore(path, resumed));
+  EXPECT_EQ(resumed.Version(), config.rounds / 2);
+  const ExperimentResult actual = resumed.Run();
+
+  ExpectIdenticalFinalState(expected, actual);
+  CheckpointWriter full_state;
+  full.SaveState(full_state);
+  CheckpointWriter resumed_state;
+  resumed.SaveState(resumed_state);
+  EXPECT_EQ(full_state.buffer(), resumed_state.buffer());
+  std::remove(path.c_str());
+}
+
+TEST(AdmissionResumeTest, RealHalfPlusHalfIsBitExact) {
+  RealFlConfig config;
+  config.num_clients = 10;
+  config.clients_per_round = 5;
+  config.num_classes = 3;
+  config.input_dim = 8;
+  config.hidden_dims = {12};
+  config.test_samples_per_class = 10;
+  config.seed = 29;
+  config.num_threads = 1;
+  config.faults.duplicate_prob = 0.4;
+  config.faults.replay_prob = 0.5;
+  config.faults.stampede_prob = 0.5;
+  config.admission.dedup = true;
+  config.admission.dedup_window_rounds = 3;
+  config.admission.reject_replays = true;
+  config.admission.rate_tokens_per_round = 2.0;
+  config.admission.rate_bucket_cap = 4.0;
+  config.admission.queue_capacity = 8;
+  const std::string path = TempPath("admission_real_resume.ckpt");
+  constexpr size_t kRounds = 8;
+
+  RealFlEngine full(config);
+  for (size_t r = 0; r < kRounds; ++r) {
+    full.RunRound(TechniqueKind::kNone);
+  }
+  EXPECT_GT(full.admission_tracker().TotalRejected(), 0u);
+
+  RealFlEngine half(config);
+  for (size_t r = 0; r < kRounds / 2; ++r) {
+    half.RunRound(TechniqueKind::kNone);
+  }
+  ASSERT_TRUE(Checkpointer::Save(path, half));
+
+  RealFlEngine resumed(config);
+  ASSERT_TRUE(Checkpointer::Restore(path, resumed));
+  for (size_t r = kRounds / 2; r < kRounds; ++r) {
+    resumed.RunRound(TechniqueKind::kNone);
+  }
+
+  EXPECT_EQ(full.global_model().GetParameters(), resumed.global_model().GetParameters());
+  CheckpointWriter full_state;
+  full.SaveState(full_state);
+  CheckpointWriter resumed_state;
+  resumed.SaveState(resumed_state);
+  EXPECT_EQ(full_state.buffer(), resumed_state.buffer());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace floatfl

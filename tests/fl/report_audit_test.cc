@@ -187,6 +187,159 @@ TEST(ReportAuditTest, RealEngineReportsDefenseRejectedClientsAsFailed) {
   EXPECT_EQ(policy.FailedCount(), crashed + rejected + timed_out);
 }
 
+// One overload scenario per admission rejection reason (DESIGN.md §15).
+// Each pairs a fault pattern with exactly the gate that catches it, so the
+// audit can assert the targeted DropoutReason actually fired.
+struct OverloadScenario {
+  const char* name;
+  FaultConfig faults;
+  AdmissionConfig admission;
+};
+
+std::vector<OverloadScenario> OverloadScenarios() {
+  std::vector<OverloadScenario> scenarios;
+
+  // Duplicates fold (kDuplicate) and beyond-window replays are refused by
+  // the age gate (kReplayed).
+  OverloadScenario dedup;
+  dedup.name = "dedup+replay";
+  dedup.faults.duplicate_prob = 0.5;
+  dedup.faults.replay_prob = 0.6;
+  dedup.admission.dedup = true;
+  dedup.admission.dedup_window_rounds = 2;
+  dedup.admission.reject_replays = true;
+  dedup.admission.max_update_age = 0;
+  scenarios.push_back(dedup);
+
+  // A stampede of duplicates against a tiny queue: arrivals shed (kShed).
+  OverloadScenario shed;
+  shed.name = "bounded-queue";
+  shed.faults.duplicate_prob = 1.0;
+  shed.faults.stampede_prob = 0.5;
+  shed.faults.stampede_factor = 4;
+  shed.admission.queue_capacity = 4;
+  scenarios.push_back(shed);
+
+  // Duplicates against a one-token bucket: the original spends the token,
+  // the re-delivery is refused (kRateLimited).
+  OverloadScenario rate;
+  rate.name = "token-bucket";
+  rate.faults.duplicate_prob = 1.0;
+  rate.admission.rate_tokens_per_round = 1.0;
+  rate.admission.rate_bucket_cap = 1.0;
+  scenarios.push_back(rate);
+  return scenarios;
+}
+
+// The scenario's targeted rejection counters out of a result's breakdown.
+size_t TargetedRejections(const OverloadScenario& s, const DropoutBreakdown& b) {
+  if (s.admission.dedup) {
+    return b.duplicate + b.replayed;
+  }
+  if (s.admission.queue_capacity > 0) {
+    return b.shed;
+  }
+  return b.rate_limited;
+}
+
+TEST(ReportAuditTest, SyncEngineReportsEveryAdmissionRejection) {
+  for (const OverloadScenario& scenario : OverloadScenarios()) {
+    ExperimentConfig config;
+    config.num_clients = 40;
+    config.clients_per_round = 8;
+    config.rounds = 30;
+    config.seed = 808;
+    config.model = ModelId::kShuffleNetV2;
+    config.faults = scenario.faults;
+    config.admission = scenario.admission;
+
+    RandomSelector selector(config.seed);
+    RecordingPolicy policy(TechniqueKind::kQuant8);
+    SyncEngine engine(config, &selector, &policy);
+    const ExperimentResult result = engine.Run();
+
+    // Premise: the targeted rejection reason fired.
+    EXPECT_GT(TargetedRejections(scenario, result.dropout_breakdown), 0u) << scenario.name;
+    if (scenario.admission.dedup) {
+      EXPECT_GT(result.dropout_breakdown.duplicate, 0u) << scenario.name;
+      EXPECT_GT(result.dropout_breakdown.replayed, 0u) << scenario.name;
+    }
+    // Every rejection — original or redundant delivery — produced exactly
+    // one participated=false Report, and nothing was double-reported.
+    EXPECT_EQ(policy.events().size(), result.total_selected) << scenario.name;
+    EXPECT_EQ(policy.FailedCount(), result.total_dropouts) << scenario.name;
+    EXPECT_EQ(policy.events().size() - policy.FailedCount(), result.total_completed)
+        << scenario.name;
+  }
+}
+
+TEST(ReportAuditTest, AsyncEngineReportsEveryAdmissionRejection) {
+  for (const OverloadScenario& scenario : OverloadScenarios()) {
+    ExperimentConfig config;
+    config.num_clients = 40;
+    config.clients_per_round = 8;
+    config.rounds = 30;
+    config.seed = 808;
+    config.model = ModelId::kShuffleNetV2;
+    config.async_concurrency = 16;
+    config.async_buffer = 4;
+    config.faults = scenario.faults;
+    config.admission = scenario.admission;
+
+    RecordingPolicy policy(TechniqueKind::kQuant8);
+    AsyncEngine engine(config, &policy);
+    const ExperimentResult result = engine.Run();
+
+    EXPECT_GT(TargetedRejections(scenario, result.dropout_breakdown), 0u) << scenario.name;
+    EXPECT_EQ(policy.events().size(), result.total_selected) << scenario.name;
+    EXPECT_EQ(policy.FailedCount(), result.total_dropouts) << scenario.name;
+    EXPECT_EQ(policy.events().size() - policy.FailedCount(), result.total_completed)
+        << scenario.name;
+  }
+}
+
+TEST(ReportAuditTest, RealEngineReportsEveryAdmissionRejection) {
+  for (const OverloadScenario& scenario : OverloadScenarios()) {
+    RealFlConfig config;
+    config.num_clients = 10;
+    config.clients_per_round = 5;
+    config.num_classes = 3;
+    config.input_dim = 8;
+    config.hidden_dims = {12};
+    config.test_samples_per_class = 10;
+    config.seed = 47;
+    config.num_threads = 1;
+    config.faults = scenario.faults;
+    config.admission = scenario.admission;
+
+    RecordingPolicy policy(TechniqueKind::kQuant8);
+    RealFlEngine engine(config);
+    engine.AttachPolicy(&policy);
+
+    const size_t rounds = 10;
+    size_t crashed = 0;
+    size_t rejected = 0;
+    size_t timed_out = 0;
+    size_t admission_rejections = 0;
+    for (size_t r = 0; r < rounds; ++r) {
+      const RealRoundStats stats = engine.RunRoundWithPolicy();
+      crashed += stats.crashed;
+      rejected += stats.rejected_updates;
+      timed_out += stats.transfer_timeouts;
+      admission_rejections +=
+          stats.deduplicated + stats.shed + stats.rate_limited + stats.replay_rejected;
+    }
+
+    // Premise: the gate actually rejected deliveries.
+    EXPECT_GT(admission_rejections, 0u) << scenario.name;
+    // One Decide per selected client per round; one participated=false
+    // Report per failure of ANY kind, admission rejections included.
+    EXPECT_EQ(policy.Decides(), rounds * config.clients_per_round) << scenario.name;
+    EXPECT_EQ(policy.FailedCount(), crashed + rejected + timed_out + admission_rejections)
+        << scenario.name;
+  }
+}
+
 TEST(ReportAuditTest, RealEngineReportSequenceIsDeterministic) {
   RealFlConfig config;
   config.num_clients = 8;

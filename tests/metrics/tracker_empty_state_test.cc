@@ -6,10 +6,18 @@
 // freshly-constructed engine hits.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "src/failure/checkpoint_io.h"
+#include "src/failure/checkpointer.h"
+#include "src/fl/sync_engine.h"
+#include "src/metrics/admission_tracker.h"
 #include "src/metrics/guard_tracker.h"
 #include "src/metrics/recovery_tracker.h"
 #include "src/metrics/topology_tracker.h"
+#include "src/selection/random_selector.h"
 
 namespace floatfl {
 namespace {
@@ -140,6 +148,114 @@ TEST(TrackerEmptyStateTest, RecoveryTrackerAccumulatedStateRoundTrips) {
   CheckpointWriter w2;
   restored.SaveState(w2);
   EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(TrackerEmptyStateTest, AdmissionTrackerZeroEventsRoundTrips) {
+  const AdmissionTracker fresh;
+  CheckpointWriter w;
+  fresh.SaveState(w);
+
+  AdmissionTracker restored;
+  restored.RecordAdmitted(3);  // dirty, then overwritten
+  restored.RecordDeduplicated();
+  restored.RecordShed();
+  restored.RecordRateLimited();
+  restored.RecordReplayRejected();
+  restored.RecordQueueDepth(7);
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(restored.Admitted(), 0u);
+  EXPECT_EQ(restored.Deduplicated(), 0u);
+  EXPECT_EQ(restored.Shed(), 0u);
+  EXPECT_EQ(restored.RateLimited(), 0u);
+  EXPECT_EQ(restored.ReplayRejected(), 0u);
+  EXPECT_EQ(restored.PeakQueueDepth(), 0u);
+  EXPECT_EQ(restored.TotalRejected(), 0u);
+
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(TrackerEmptyStateTest, AdmissionTrackerAccumulatedStateRoundTrips) {
+  AdmissionTracker source;
+  source.RecordAdmitted(12);
+  source.RecordDeduplicated();
+  source.RecordDeduplicated();
+  source.RecordShed();
+  source.RecordRateLimited();
+  source.RecordRateLimited();
+  source.RecordRateLimited();
+  source.RecordReplayRejected();
+  source.RecordQueueDepth(9);
+  source.RecordQueueDepth(4);  // peak sticks at the maximum seen
+  CheckpointWriter w;
+  source.SaveState(w);
+
+  AdmissionTracker restored;
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.Admitted(), 12u);
+  EXPECT_EQ(restored.Deduplicated(), 2u);
+  EXPECT_EQ(restored.Shed(), 1u);
+  EXPECT_EQ(restored.RateLimited(), 3u);
+  EXPECT_EQ(restored.ReplayRejected(), 1u);
+  EXPECT_EQ(restored.PeakQueueDepth(), 9u);
+  EXPECT_EQ(restored.TotalRejected(), 7u);
+
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(TrackerEmptyStateTest, CheckpointFormatV8RefusesV7Archives) {
+  // The admission layer extended every engine payload and both config
+  // fingerprints, so the checkpoint format is v8 and a v7 archive (same
+  // magic, older layout) must be refused instead of misparsed.
+  ASSERT_EQ(Checkpointer::kVersion, 8u);
+  const std::string path = testing::TempDir() + "/v7_refusal.ckpt";
+
+  ExperimentConfig config;
+  config.num_clients = 10;
+  config.clients_per_round = 4;
+  config.rounds = 6;
+  config.seed = 3;
+  RandomSelector selector(config.seed);
+  SyncEngine engine(config, &selector, nullptr);
+  engine.RunRound(0);
+  ASSERT_TRUE(Checkpointer::Save(path, engine));
+
+  // The untouched archive restores fine.
+  RandomSelector fresh_selector(config.seed);
+  SyncEngine restored(config, &fresh_selector, nullptr);
+  EXPECT_TRUE(Checkpointer::Restore(path, restored));
+
+  // Patch the version word (bytes 4..7, after the magic) down to 7.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[4] = 7;
+  bytes[5] = 0;
+  bytes[6] = 0;
+  bytes[7] = 0;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  RandomSelector v7_selector(config.seed);
+  SyncEngine v7_target(config, &v7_selector, nullptr);
+  EXPECT_FALSE(Checkpointer::Restore(path, v7_target));
+  std::remove(path.c_str());
 }
 
 }  // namespace
