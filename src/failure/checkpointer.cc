@@ -65,6 +65,14 @@ void WriteAdmissionConfig(CheckpointWriter& w, const AdmissionConfig& a) {
   w.F64(a.staleness_decay);
 }
 
+void WriteSalvageConfig(CheckpointWriter& w, const SalvageConfig& s) {
+  w.Bool(s.enabled);
+  w.F64(s.min_progress);
+  w.Bool(s.speculation);
+  w.F64(s.speculation_margin);
+  w.F64(s.max_backup_fraction);
+}
+
 void WriteGuardConfig(CheckpointWriter& w, const GuardConfig& g) {
   w.Bool(g.enabled);
   w.F64(g.collapse_threshold);
@@ -184,6 +192,7 @@ uint64_t FingerprintConfig(const ExperimentConfig& config) {
   WriteGuardConfig(w, config.guard);
   WriteTopologyConfig(w, config.topology);
   WriteAdmissionConfig(w, config.admission);
+  WriteSalvageConfig(w, config.salvage);
   return Fnv1a(w.buffer());
 }
 
@@ -200,6 +209,7 @@ uint64_t FingerprintConfig(const RealFlConfig& config) {
   w.Size(config.sgd.batch_size);
   w.Size(config.sgd.epochs);
   w.Size(config.sgd.frozen_layers);
+  w.Size(config.sgd.max_steps);
   w.Size(config.test_samples_per_class);
   w.U64(config.seed);
   WriteFaultConfig(w, config.faults);
@@ -207,6 +217,7 @@ uint64_t FingerprintConfig(const RealFlConfig& config) {
   WriteGuardConfig(w, config.guard);
   WriteTopologyConfig(w, config.topology);
   WriteAdmissionConfig(w, config.admission);
+  WriteSalvageConfig(w, config.salvage);
   return Fnv1a(w.buffer());
 }
 

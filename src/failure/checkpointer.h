@@ -60,8 +60,14 @@ class Checkpointer {
   // sync/real/async fingerprints; engine payloads grew the server-ingestion
   // admission section (dedup set, token buckets, update log, admission
   // tracker — DESIGN.md §15) and four new dropout-breakdown counters.
-  // Older checkpoints are refused (the version field mismatches).
-  static constexpr uint32_t kVersion = 8;
+  // v9: the salvage config joined the sync/real/async fingerprints; engine
+  // payloads grew the graceful-degradation section (SalvageTracker,
+  // SpeculativeScheduler cursor/counters — DESIGN.md §16), two new
+  // dropout-breakdown counters (backup_covered, backup_redundant), the
+  // TransportTracker's unique-progress bytes, the surrogate contribution
+  // weight in the async buffer, and the salvage metadata on in-flight async
+  // outcomes. Older checkpoints are refused (the version field mismatches).
+  static constexpr uint32_t kVersion = 9;
   enum class EngineTag : uint32_t { kSync = 1, kAsync = 2, kReal = 3, kVfl = 4 };
 
   // Crash-consistent save (fsync'd temp file + rename). Returns false on

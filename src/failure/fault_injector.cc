@@ -16,6 +16,7 @@ constexpr uint64_t kFlakySalt = 0x9D2C5680F1E3A7B5ULL;
 constexpr uint64_t kFaultSalt = 0xC3A5C85C97CB3127ULL;
 constexpr uint64_t kByzantineSalt = 0xB1A5EDC0117D3A70ULL;
 constexpr uint64_t kAttackSalt = 0xA77AC4B5D2E9F163ULL;
+constexpr uint64_t kInterruptSalt = 0x1F7E2D9B6C4A5E38ULL;
 
 }  // namespace
 
@@ -143,6 +144,12 @@ bool FaultInjector::IsByzantine(size_t client_id) const {
 Rng FaultInjector::AttackRng(size_t round, size_t client_id) const {
   const Rng root(seed_ ^ kAttackSalt);
   return root.ForkKeyed(Rng::StreamKey(round, client_id));
+}
+
+double FaultInjector::InterruptionPoint(size_t round, size_t client_id) const {
+  const Rng root(seed_ ^ kInterruptSalt);
+  Rng stream = root.ForkKeyed(Rng::StreamKey(round, client_id));
+  return stream.NextDouble();
 }
 
 double FaultInjector::AttackedQuality(double quality, size_t round, size_t client_id) const {

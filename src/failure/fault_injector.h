@@ -82,6 +82,14 @@ class FaultInjector {
   // invariant and survive checkpoint/resume.
   Rng AttackRng(size_t round, size_t client_id) const;
 
+  // Interruption-point draw for graceful degradation (DESIGN.md §16): where
+  // inside its local work a client was when an injected fault cut it short,
+  // as a fraction in [0, 1). Drawn from its own salted (round, client) key —
+  // independent of Decide()'s fixed draw sequence — so the salvage layer can
+  // consult it only when armed without perturbing any other stream. Pure and
+  // const: safe to call from the sequential phase of any engine.
+  double InterruptionPoint(size_t round, size_t client_id) const;
+
   // Quality-space attack for the surrogate engines: sign-flip submits a
   // worthless-but-valid contribution (quality 0, inside the [0, 1]
   // validation band), scaled replacement submits a negative quality of

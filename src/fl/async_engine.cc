@@ -1,6 +1,7 @@
 #include "src/fl/async_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "src/agg/quality_agg.h"
@@ -25,6 +26,11 @@ AsyncEngine::AsyncEngine(const ExperimentConfig& config, TuningPolicy* policy)
   // enabled topology rather than silently ignoring it.
   FLOATFL_CHECK_MSG(!config_.topology.enabled(),
                     "async engine does not support hierarchical topology");
+  // Speculation hedges against a round deadline; async FL has none, so a
+  // backup could never beat its primary to anything. Refuse rather than
+  // silently ignore (partial-work salvage is supported).
+  FLOATFL_CHECK_MSG(!config_.salvage.speculation,
+                    "async engine does not support speculative re-execution");
   injector_ = FaultInjector(config_.faults, config_.seed, config_.num_clients);
   transport_ = Transport(config_.faults, config_.seed);
   guard_ = TrainingGuard(config_.guard);
@@ -76,9 +82,23 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t trans
   inputs.availability = avail;
   outcome.costs = ComputeRoundCosts(inputs);
 
+  // Salvage metadata (DESIGN.md §16); see SyncEngine::SimulateClient. Pure
+  // arithmetic, filled in even when salvage is disabled.
+  outcome.salvage_total_steps =
+      TotalLocalSteps(inputs.local_samples, config_.epochs, config_.batch_size);
+  auto mark_salvage = [&outcome](double trained_s, double train_time_s) {
+    outcome.salvage_fraction =
+        CompletedStepFraction(trained_s, train_time_s, outcome.salvage_total_steps);
+    outcome.salvage_steps = static_cast<size_t>(std::llround(
+        outcome.salvage_fraction * static_cast<double>(outcome.salvage_total_steps)));
+  };
+
   if (config_.assume_no_dropouts) {
     // Injected faults still apply in the counterfactual (see SyncEngine).
     if (fault.crash) {
+      mark_salvage(fault.crash_fraction * outcome.costs.total_time_s -
+                       0.5 * outcome.costs.comm_time_s,
+                   outcome.costs.train_time_s);
       outcome.reason = DropoutReason::kCrashed;
       outcome.costs.train_time_s *= fault.crash_fraction;
       outcome.costs.comm_time_s *= fault.crash_fraction;
@@ -121,6 +141,7 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t trans
     outcome.transfer_attempts = download.attempts;
     outcome.retransmitted_mb = download.retransmitted_mb;
     outcome.salvaged_mb = download.salvaged_mb;
+    outcome.transfer_progress_mb = download.progress_mb;
     outcome.transfer_backoff_s = download.backoff_s;
     if (!download.delivered) {
       outcome.reason = DropoutReason::kTransferTimedOut;
@@ -144,6 +165,7 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t trans
     outcome.transfer_attempts += upload.attempts;
     outcome.retransmitted_mb += upload.retransmitted_mb;
     outcome.salvaged_mb += upload.salvaged_mb;
+    outcome.transfer_progress_mb += upload.progress_mb;
     outcome.transfer_backoff_s += upload.backoff_s;
     const double total_time = download.elapsed_s + train_time + upload.elapsed_s;
     outcome.costs.comm_time_s = download.wire_time_s + upload.wire_time_s;
@@ -152,6 +174,7 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t trans
     if (fault.crash) {
       const double crash_time = fault.crash_fraction * total_time;
       if (client.availability().AvailableFor(now_s, crash_time)) {
+        mark_salvage(crash_time - download.elapsed_s, train_time);
         outcome.reason = DropoutReason::kCrashed;
         outcome.costs.train_time_s *= fault.crash_fraction;
         outcome.costs.comm_time_s *= fault.crash_fraction;
@@ -160,6 +183,14 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t trans
       }
     }
     if (!upload.delivered) {
+      // Training finished; the salvageable partial is the acked prefix of
+      // the upload the server already holds, measured in payload bytes.
+      outcome.salvage_fraction =
+          upload_opts.payload_mb > 0.0
+              ? std::min(1.0, upload.progress_mb / upload_opts.payload_mb)
+              : 0.0;
+      outcome.salvage_steps =
+          outcome.salvage_fraction > 0.0 ? outcome.salvage_total_steps : 0;
       outcome.reason = DropoutReason::kTransferTimedOut;
       outcome.time_spent_s = total_time;
       return outcome;
@@ -168,6 +199,7 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t trans
       outcome.reason = DropoutReason::kDeparted;
       const double available =
           std::max(0.0, client.availability().PeriodEndAfter(now_s) - now_s);
+      mark_salvage(available - download.elapsed_s, train_time);
       const double frac = std::min(1.0, available / std::max(1e-9, total_time));
       outcome.costs.train_time_s *= frac;
       outcome.costs.comm_time_s *= frac;
@@ -196,6 +228,8 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t trans
     // point; otherwise the departure below ends the round first, benignly.
     const double crash_time = fault.crash_fraction * outcome.costs.total_time_s;
     if (client.availability().AvailableFor(now_s, crash_time)) {
+      // The download (half the comm budget) precedes training.
+      mark_salvage(crash_time - 0.5 * outcome.costs.comm_time_s, outcome.costs.train_time_s);
       outcome.reason = DropoutReason::kCrashed;
       outcome.costs.train_time_s *= fault.crash_fraction;
       outcome.costs.comm_time_s *= fault.crash_fraction;
@@ -209,6 +243,7 @@ ClientRoundOutcome AsyncEngine::SimulateAsyncClient(Client& client, size_t trans
     outcome.reason = DropoutReason::kDeparted;
     const double available = std::max(0.0, client.availability().PeriodEndAfter(now_s) - now_s);
     const double frac = std::min(1.0, available / std::max(1e-9, outcome.costs.total_time_s));
+    mark_salvage(frac * outcome.costs.train_time_s, outcome.costs.train_time_s);
     outcome.costs.train_time_s *= frac;
     outcome.costs.comm_time_s *= frac;
     outcome.time_spent_s = available;
@@ -497,6 +532,68 @@ void AsyncEngine::StepOnce() {
       }
     }
   }
+  // Partial-work salvage (DESIGN.md §16): an interrupted flight's completed
+  // local steps re-enter the aggregation buffer at step-count weight instead
+  // of being discarded — provided the partial clears the min-progress bar,
+  // the bounded-staleness rule a full update would face, and (when enabled)
+  // the admission gate under its dedicated partial attempt key. The
+  // retirement still books as a dropout; only the spend flips to useful.
+  bool salvaged = false;
+  if (config_.salvage.enabled && !flight.outcome.completed &&
+      staleness <= config_.admission.async_max_staleness) {
+    const ClientRoundOutcome& o = flight.outcome;
+    const bool interrupted = o.reason == DropoutReason::kCrashed ||
+                             o.reason == DropoutReason::kDeparted ||
+                             o.reason == DropoutReason::kTransferTimedOut;
+    if (interrupted && o.salvage_fraction > 0.0) {
+      if (o.salvage_fraction < config_.salvage.min_progress) {
+        salvage_tracker_.RecordPartialBelowMin();
+      } else {
+        bool admit_partial = true;
+        if (admission_.enabled()) {
+          AdmissionController::Arrival a;
+          a.client_id = flight.client_id;
+          a.round = flight.start_version;
+          // The partial namespace offset keeps the key distinct from the
+          // launch-count key of the client's own full uploads.
+          a.attempt = kPartialUpdateAttempt +
+                      (client.times_selected > 0
+                           ? static_cast<uint64_t>(client.times_selected) - 1
+                           : 0);
+          a.staleness = staleness;
+          a.utility =
+              (1.0 - EffectOf(flight.technique).accuracy_impact) * o.salvage_fraction;
+          std::vector<AdmissionController::Arrival> arrivals;
+          arrivals.push_back(a);
+          const std::vector<AdmissionController::Verdict> verdicts =
+              admission_.Admit(version_, arrivals, &admission_tracker_);
+          admit_partial = verdicts[0].admitted;
+        }
+        if (!admit_partial) {
+          salvage_tracker_.RecordPartialRejected();
+        } else {
+          salvaged = true;
+          ClientContribution partial;
+          partial.client_id = flight.client_id;
+          partial.quality = 1.0 - EffectOf(flight.technique).accuracy_impact;
+          if (o.byzantine) {
+            partial.quality = injector_.AttackedQuality(partial.quality, flight.start_version,
+                                                        flight.client_id);
+            ++pending_byzantine_;
+          }
+          partial.staleness = staleness;
+          partial.weight = o.salvage_fraction;
+          buffer_.push_back(partial);
+          const double acked_mb =
+              o.reason == DropoutReason::kTransferTimedOut
+                  ? o.salvage_fraction * GetModelProfile(config_.model).weight_mb *
+                        EffectOf(flight.technique).comm_mult
+                  : 0.0;
+          salvage_tracker_.RecordPartialSalvaged(o.salvage_steps, o.salvage_fraction, acked_mb);
+        }
+      }
+    }
+  }
   if (!accepted) {
     CountDropout(drop_reason, dropout_breakdown_);
     if (config_.faults.retry_cooldown_rounds > 0 &&
@@ -507,12 +604,13 @@ void AsyncEngine::StepOnce() {
   client.last_round_duration_s = flight.outcome.time_spent_s;
   client.UpdateDeadlineDiff(flight.outcome.deadline_diff);
   accountant_.Record(flight.outcome.costs.train_time_s, flight.outcome.costs.comm_time_s,
-                     flight.outcome.costs.peak_memory_mb, accepted);
+                     flight.outcome.costs.peak_memory_mb, accepted || salvaged);
   tracker_.Record(flight.client_id, flight.technique, accepted, drop_reason);
   guard_.Observe(flight.technique, accepted, drop_reason, version_);
   if (flight.outcome.transfer_attempts > 0) {
     transport_tracker_.Record(flight.outcome.transfer_attempts, flight.outcome.costs.traffic_mb,
                               flight.outcome.retransmitted_mb, flight.outcome.salvaged_mb,
+                              flight.outcome.transfer_progress_mb,
                               flight.outcome.transfer_backoff_s,
                               flight.outcome.reason == DropoutReason::kTransferTimedOut);
   }
@@ -623,6 +721,12 @@ ExperimentResult AsyncEngine::Snapshot() const {
   result.admission_replay_rejected = admission_tracker_.ReplayRejected();
   result.admission_peak_queue_depth = admission_tracker_.PeakQueueDepth();
   result.redundant_mb = redundant_mb_;
+  result.partials_salvaged = salvage_tracker_.PartialsSalvaged();
+  result.partials_below_min = salvage_tracker_.PartialsBelowMin();
+  result.partials_rejected = salvage_tracker_.PartialsRejected();
+  result.salvaged_steps = salvage_tracker_.SalvagedSteps();
+  result.salvaged_progress_mb = salvage_tracker_.SalvagedProgressMb();
+  result.transfer_progress_mb = transport_tracker_.TotalProgressMb();
   result.accuracy_history = accuracy_history_;
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
@@ -652,6 +756,11 @@ void SaveOutcome(CheckpointWriter& w, const ClientRoundOutcome& o) {
   w.F64(o.salvaged_mb);
   w.F64(o.transfer_backoff_s);
   w.F64(o.effective_mbps);
+  w.F64(o.transfer_progress_mb);
+  w.F64(o.salvage_fraction);
+  w.Size(o.salvage_steps);
+  w.Size(o.salvage_total_steps);
+  w.Bool(o.salvaged);
 }
 
 void LoadOutcome(CheckpointReader& r, ClientRoundOutcome& o) {
@@ -675,6 +784,11 @@ void LoadOutcome(CheckpointReader& r, ClientRoundOutcome& o) {
   o.salvaged_mb = r.F64();
   o.transfer_backoff_s = r.F64();
   o.effective_mbps = r.F64();
+  o.transfer_progress_mb = r.F64();
+  o.salvage_fraction = r.F64();
+  o.salvage_steps = r.Size();
+  o.salvage_total_steps = r.Size();
+  o.salvaged = r.Bool();
 }
 
 }  // namespace
@@ -696,6 +810,8 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   w.Size(dropout_breakdown_.duplicate);
   w.Size(dropout_breakdown_.replayed);
   w.Size(dropout_breakdown_.rate_limited);
+  w.Size(dropout_breakdown_.backup_covered);
+  w.Size(dropout_breakdown_.backup_redundant);
   w.F64Vec(accuracy_history_);
   SaveRng(w, rng_);
   w.Size(clients_.size());
@@ -720,6 +836,7 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
     w.Size(contribution.client_id);
     w.F64(contribution.quality);
     w.F64(contribution.staleness);
+    w.F64(contribution.weight);
   }
   surrogate_->SaveState(w);
   accountant_.SaveState(w);
@@ -737,6 +854,9 @@ void AsyncEngine::SaveState(CheckpointWriter& w) const {
   update_log_.SaveState(w);
   admission_tracker_.SaveState(w);
   w.F64(redundant_mb_);
+  salvage_tracker_.SaveState(w);
+  // The RecoveryTracker stays the final section of every engine payload:
+  // the recovery tests strip it off the tail to compare training state.
   recovery_tracker_.SaveState(w);
 }
 
@@ -757,6 +877,8 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   dropout_breakdown_.duplicate = r.Size();
   dropout_breakdown_.replayed = r.Size();
   dropout_breakdown_.rate_limited = r.Size();
+  dropout_breakdown_.backup_covered = r.Size();
+  dropout_breakdown_.backup_redundant = r.Size();
   accuracy_history_ = r.F64Vec();
   LoadRng(r, rng_);
   const size_t n = r.Size();
@@ -792,6 +914,7 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
     contribution.client_id = r.Size();
     contribution.quality = r.F64();
     contribution.staleness = r.F64();
+    contribution.weight = r.F64();
     buffer_.push_back(contribution);
   }
   surrogate_->LoadState(r);
@@ -815,6 +938,7 @@ void AsyncEngine::LoadState(CheckpointReader& r) {
   update_log_.LoadState(r);
   admission_tracker_.LoadState(r);
   redundant_mb_ = r.F64();
+  salvage_tracker_.LoadState(r);
   recovery_tracker_.LoadState(r);
 }
 

@@ -30,6 +30,7 @@
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/recovery_tracker.h"
 #include "src/metrics/resource_accountant.h"
+#include "src/metrics/salvage_tracker.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/models/surrogate_accuracy.h"
 #include "src/net/transport.h"
@@ -69,6 +70,8 @@ class AsyncEngine {
   // and serialized with the engine so totals survive process kills.
   RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
   const RecoveryTracker& recovery_tracker() const { return recovery_tracker_; }
+  // Graceful-degradation accounting (DESIGN.md §16).
+  const SalvageTracker& salvage_tracker() const { return salvage_tracker_; }
 
   // Checkpoint/resume of all mutable engine state (DESIGN.md §8).
   void SaveState(CheckpointWriter& w) const;
@@ -123,6 +126,8 @@ class AsyncEngine {
   // re-processed (zero when the admission gate rejected them at ingress).
   double redundant_mb_ = 0.0;
   RecoveryTracker recovery_tracker_;
+  // Partial-work salvage accounting (DESIGN.md §16); no-op by default.
+  SalvageTracker salvage_tracker_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   // Byzantine completers retired since the last aggregation (folded into the

@@ -1,6 +1,7 @@
 #include "src/fl/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/check.h"
 #include "src/common/stats.h"
@@ -40,6 +41,23 @@ RoundCosts ComputeRoundCosts(const RoundCostInputs& in) {
 
   out.total_time_s = out.train_time_s + out.comm_time_s;
   return out;
+}
+
+size_t TotalLocalSteps(size_t local_samples, size_t epochs, size_t batch_size) {
+  if (local_samples == 0 || batch_size == 0) {
+    return 0;
+  }
+  const size_t steps_per_epoch = (local_samples + batch_size - 1) / batch_size;
+  return epochs * steps_per_epoch;
+}
+
+double CompletedStepFraction(double trained_s, double train_time_s, size_t total_steps) {
+  if (total_steps == 0 || train_time_s <= 0.0 || trained_s <= 0.0) {
+    return 0.0;
+  }
+  const double time_frac = std::min(1.0, trained_s / train_time_s);
+  const double steps = std::floor(time_frac * static_cast<double>(total_steps));
+  return steps / static_cast<double>(total_steps);
 }
 
 namespace {

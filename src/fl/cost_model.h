@@ -40,6 +40,18 @@ struct RoundCosts {
 
 RoundCosts ComputeRoundCosts(const RoundCostInputs& in);
 
+// Total mini-batch steps one local round performs: epochs full passes over
+// the shard at batch_size granularity. The completed-local-steps denominator
+// for partial-work salvage (DESIGN.md §16).
+size_t TotalLocalSteps(size_t local_samples, size_t epochs, size_t batch_size);
+
+// Completed-work fraction after `trained_s` seconds of a `train_time_s`
+// training phase, quantized to whole mini-batch steps out of `total_steps` —
+// an interruption mid-step forfeits that step. Returns a value in [0, 1];
+// degenerate inputs (no training time, no steps) yield 0. Pure arithmetic,
+// no RNG: the partial-charging half of the salvage layer.
+double CompletedStepFraction(double trained_s, double train_time_s, size_t total_steps);
+
 class Client;
 struct ExperimentConfig;
 

@@ -53,6 +53,7 @@ void ValidateExperimentConfig(const ExperimentConfig& config) {
   ValidateGuardConfig(config.guard);
   ValidateTopologyConfig(config.topology);
   ValidateAdmissionConfig(config.admission);
+  ValidateSalvageConfig(config.salvage);
 }
 
 }  // namespace floatfl

@@ -18,6 +18,7 @@
 #include "src/models/model_zoo.h"
 #include "src/net/adaptive_deadline.h"
 #include "src/opt/technique.h"
+#include "src/salvage/salvage_config.h"
 #include "src/topology/topology_config.h"
 #include "src/trace/interference.h"
 
@@ -80,6 +81,12 @@ struct ExperimentConfig {
   // bounded-staleness rule (DESIGN.md §15). Default off: strict byte-for-byte
   // no-op (async_max_staleness keeps its pinned pre-config default).
   AdmissionConfig admission;
+  // Graceful degradation for stragglers: partial-work salvage and
+  // speculative re-execution (DESIGN.md §16). Default off: all-or-nothing
+  // rounds, every pre-salvage golden byte-identical. Speculation is honored
+  // by the sync engine; the async engine has no round deadline and refuses
+  // it at construction, like topology.
+  SalvageConfig salvage;
 };
 
 // Aborts the process with a descriptive message when `config` violates an
@@ -106,6 +113,8 @@ enum class DropoutReason : uint32_t {
   kDuplicate,       // at-least-once re-delivery folded by idempotent admission
   kReplayed,        // stale upload from a past round, rejected by the age gate
   kRateLimited,     // the client's token bucket ran dry
+  kBackupCovered,   // interrupted primary whose speculative backup delivered
+  kBackupRedundant, // speculative execution that lost the first-valid-wins race
 };
 
 struct DropoutBreakdown {
@@ -122,11 +131,13 @@ struct DropoutBreakdown {
   size_t duplicate = 0;      // re-deliveries folded by idempotent admission
   size_t replayed = 0;       // stale replays rejected by the age gate
   size_t rate_limited = 0;   // deliveries refused by the token bucket
+  size_t backup_covered = 0;   // interrupted primaries whose backup delivered
+  size_t backup_redundant = 0; // speculative executions charged as redundant
 
   size_t Total() const {
     return unavailable + out_of_memory + missed_deadline + departed + crashed + corrupted +
            rejected + transfer_timed_out + edge_orphaned + shed + duplicate + replayed +
-           rate_limited;
+           rate_limited + backup_covered + backup_redundant;
   }
 };
 
@@ -204,6 +215,21 @@ struct ExperimentResult {
   size_t admission_replay_rejected = 0;
   size_t admission_peak_queue_depth = 0;
   double redundant_mb = 0.0;
+  // Graceful-degradation totals (src/metrics/salvage_tracker.h). All zero
+  // when the salvage layer is disabled. transfer_progress_mb is the unique
+  // acked payload bytes across every transfer — on timed-out transfers, the
+  // salvageable-progress figure the partial-update path consumes, kept
+  // distinct from salvaged_mb/redundant_mb so no byte is double-charged.
+  size_t partials_salvaged = 0;
+  size_t partials_below_min = 0;
+  size_t partials_rejected = 0;
+  uint64_t salvaged_steps = 0;
+  double salvaged_progress_mb = 0.0;
+  size_t backups_planned = 0;
+  size_t backups_won = 0;
+  size_t backups_redundant = 0;
+  size_t deadline_misses_averted = 0;
+  double transfer_progress_mb = 0.0;
 
   ResourceTotals useful;
   ResourceTotals wasted;

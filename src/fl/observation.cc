@@ -93,6 +93,12 @@ void CountDropout(DropoutReason reason, DropoutBreakdown& breakdown) {
     case DropoutReason::kRateLimited:
       ++breakdown.rate_limited;
       break;
+    case DropoutReason::kBackupCovered:
+      ++breakdown.backup_covered;
+      break;
+    case DropoutReason::kBackupRedundant:
+      ++breakdown.backup_redundant;
+      break;
     case DropoutReason::kNone:
       break;
   }

@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/data/dirichlet.h"
 #include "src/failure/checkpoint_util.h"
+#include "src/fl/cost_model.h"
 #include "src/fl/experiment.h"
 #include "src/opt/compress.h"
 #include "src/opt/prune.h"
@@ -100,6 +101,11 @@ RealFlEngine::RealFlEngine(const RealFlConfig& config)
   ValidateAdmissionConfig(config_.admission);
   overload_ = OverloadInjector(config_.faults, config_.seed);
   admission_ = AdmissionController(config_.admission);
+  ValidateSalvageConfig(config_.salvage);
+  // No wall clock means no deadline race a backup could win; refuse rather
+  // than silently ignore, like the async engine.
+  FLOATFL_CHECK_MSG(!config_.salvage.speculation,
+                    "real engine does not support speculative re-execution");
   update_log_ = UpdateLog(config_.num_clients);
   const size_t threads = ResolveThreadCount(config.num_threads);
   if (threads > 1) {
@@ -260,6 +266,32 @@ RealRoundStats RealFlEngine::RunRoundImpl(
       faults[i] = injector_.Decide(round, order[i], static_cast<double>(round));
     }
   }
+  // Graceful degradation (DESIGN.md §16): where inside its local work each
+  // crash-faulted client was interrupted, from the injector's own salted
+  // (round, client) streams, quantized to whole mini-batch steps. Sequential
+  // and salvage-gated: with salvage off no draw happens and nothing changes.
+  const bool salvage_on = config_.salvage.enabled;
+  std::vector<double>& salvage_fractions = scratch_.salvage_fractions;
+  std::vector<size_t>& salvage_steps = scratch_.salvage_steps;
+  salvage_fractions.assign(k, 0.0);
+  salvage_steps.assign(k, 0);
+  if (salvage_on) {
+    for (size_t i = 0; i < k; ++i) {
+      if (!faults[i].crash || faults[i].blackout) {
+        continue;  // blackout preempts: the client never even started
+      }
+      const size_t id = order[i];
+      const size_t total =
+          TotalLocalSteps(client_labels_[id].size(), config_.sgd.epochs, config_.sgd.batch_size);
+      if (total == 0) {
+        continue;
+      }
+      const double point = injector_.InterruptionPoint(round, id);
+      salvage_steps[i] = static_cast<size_t>(point * static_cast<double>(total));
+      salvage_fractions[i] =
+          static_cast<double>(salvage_steps[i]) / static_cast<double>(total);
+    }
+  }
 
   // Phase 2 (parallel): local training and upload processing. Each client
   // trains on its own (round, client_id)-keyed RNG stream, so the trained
@@ -279,9 +311,17 @@ RealRoundStats RealFlEngine::RunRoundImpl(
       delivered[i] = 0;
       return;
     }
-    if (faults[i].crash || faults[i].blackout) {
+    const bool interrupted = faults[i].crash || faults[i].blackout;
+    if (interrupted) {
       delivered[i] = 0;
-      return;
+      // Partial-work salvage (DESIGN.md §16): a crash-faulted client with a
+      // qualifying interruption point still trains — the same shuffled batch
+      // sequence, cut short at its drawn step count — and ships the partial.
+      // Below min_progress the work is forfeited without training (phase 3
+      // attributes the below-min discard).
+      if (salvage_steps[i] == 0 || salvage_fractions[i] < config_.salvage.min_progress) {
+        return;
+      }
     }
     const size_t id = order[i];
     Rng client_rng = client_stream_root_.ForkKeyed(Rng::StreamKey(round, id));
@@ -289,6 +329,9 @@ RealRoundStats RealFlEngine::RunRoundImpl(
     local.SetParameters(global_params);
     SgdConfig sgd = config_.sgd;
     sgd.frozen_layers = frozen_layers[i];
+    if (interrupted) {
+      sgd.max_steps = salvage_steps[i];
+    }
     TrainSgd(local, client_inputs_[id], client_labels_[id], sgd, client_rng);
     processed[i] = ProcessUpload(local.GetParameters(), techniques[i]);
     if (faults[i].corrupt) {
@@ -296,6 +339,11 @@ RealRoundStats RealFlEngine::RunRoundImpl(
     } else if (faults[i].byzantine) {
       ApplyByzantineAttack(processed[i].params, global_params, config_.faults,
                            injector_.AttackRng(round, id));
+    }
+    if (interrupted) {
+      // The partial is recovered from the crashed client's last report; no
+      // fresh upload transfer happens on its behalf.
+      return;
     }
     if (transport_.enabled()) {
       // Lossy upload delivery over the *actual* serialized size, so heavier
@@ -325,6 +373,18 @@ RealRoundStats RealFlEngine::RunRoundImpl(
   std::vector<size_t> update_edges;  // effective edge per accepted update
   const bool ingest_on = overload_.enabled() || admission_.enabled();
   std::vector<size_t> passing;  // selection indices that reached the server door
+  // Validated partial updates from interrupted clients (DESIGN.md §16),
+  // collected in selection order and appended to the aggregate — behind the
+  // admission gate, under the partial dedup namespace — after the fresh
+  // uploads have been ruled on.
+  struct PartialCandidate {
+    size_t idx = 0;  // selection index
+    std::vector<float> params;
+    double fraction = 0.0;
+    size_t steps = 0;
+    double acked_mb = 0.0;
+  };
+  std::vector<PartialCandidate> partial_candidates;
   for (size_t i = 0; i < k; ++i) {
     if (faults[i].byzantine) {
       ++stats.byzantine_selected;
@@ -345,19 +405,87 @@ RealRoundStats RealFlEngine::RunRoundImpl(
     if (!delivered[i]) {
       ++stats.crashed;
       reasons[i] = faults[i].blackout ? DropoutReason::kUnavailable : DropoutReason::kCrashed;
+      // The client is a dropout either way (the guard and the policy see it
+      // as one); salvage only decides whether its partial work survives.
+      if (salvage_on && salvage_fractions[i] > 0.0) {
+        if (salvage_fractions[i] < config_.salvage.min_progress) {
+          ++stats.partials_below_min;
+          salvage_tracker_.RecordPartialBelowMin();
+        } else {
+          // Progress normalization (DESIGN.md §16): a truncated run's delta
+          // is roughly `fraction` of a full epoch's, so averaging the raw
+          // partial into FedAvg drags the round's step back toward the stale
+          // global. Extrapolate the delta to full-epoch scale — bounded by
+          // 1 / min_progress — and let the samples x fraction aggregation
+          // weight carry the reduced trust instead. Validation sees the
+          // extrapolated tensor, so a poisoned partial is quarantined at the
+          // amplitude it would actually enter aggregation with.
+          std::vector<float> extrapolated = std::move(processed[i].params);
+          const float inv_fraction = static_cast<float>(1.0 / salvage_fractions[i]);
+          for (size_t j = 0; j < extrapolated.size(); ++j) {
+            extrapolated[j] =
+                global_params[j] + (extrapolated[j] - global_params[j]) * inv_fraction;
+          }
+          if (!ValidRealUpdate(extrapolated, config_.faults.reject_norm_threshold)) {
+            ++stats.partials_rejected;
+            salvage_tracker_.RecordPartialRejected();
+          } else {
+            PartialCandidate p;
+            p.idx = i;
+            p.params = std::move(extrapolated);
+            p.fraction = salvage_fractions[i];
+            p.steps = salvage_steps[i];
+            partial_candidates.push_back(std::move(p));
+          }
+        }
+      }
       continue;
     }
     if (transport_.enabled()) {
       transport_tracker_.Record(transfers[i].attempts, transfers[i].wire_mb,
                                 transfers[i].retransmitted_mb, transfers[i].salvaged_mb,
-                                transfers[i].backoff_s, transfers[i].timed_out);
+                                transfers[i].progress_mb, transfers[i].backoff_s,
+                                transfers[i].timed_out);
       stats.retransmitted_mb += transfers[i].retransmitted_mb;
       stats.salvaged_mb += transfers[i].salvaged_mb;
       if (!transfers[i].delivered) {
         // The trained update never survived the lossy link: nothing reaches
-        // validation or aggregation.
+        // validation or aggregation intact.
         ++stats.transfer_timeouts;
         reasons[i] = DropoutReason::kTransferTimedOut;
+        // Prefix-patch salvage (DESIGN.md §16): the acked byte prefix of the
+        // serialized upload is real trained data; splice it over the round's
+        // starting global parameters and weight by the acked fraction.
+        if (salvage_on) {
+          const double payload_mb =
+              static_cast<double>(processed[i].upload_bytes) / (1024.0 * 1024.0);
+          const double frac =
+              payload_mb > 0.0 ? std::min(1.0, transfers[i].progress_mb / payload_mb) : 0.0;
+          if (frac > 0.0 && frac < config_.salvage.min_progress) {
+            ++stats.partials_below_min;
+            salvage_tracker_.RecordPartialBelowMin();
+          } else if (frac >= config_.salvage.min_progress) {
+            std::vector<float> patched = global_params;
+            const size_t prefix = std::min(
+                patched.size(), static_cast<size_t>(frac * static_cast<double>(patched.size())));
+            std::copy(processed[i].params.begin(), processed[i].params.begin() + prefix,
+                      patched.begin());
+            if (!ValidRealUpdate(patched, config_.faults.reject_norm_threshold)) {
+              ++stats.partials_rejected;
+              salvage_tracker_.RecordPartialRejected();
+            } else {
+              PartialCandidate p;
+              p.idx = i;
+              p.params = std::move(patched);
+              p.fraction = frac;
+              // Training finished in full; only the transfer was cut short.
+              p.steps = TotalLocalSteps(client_labels_[order[i]].size(), config_.sgd.epochs,
+                                        config_.sgd.batch_size);
+              p.acked_mb = transfers[i].progress_mb;
+              partial_candidates.push_back(std::move(p));
+            }
+          }
+        }
         continue;
       }
     }
@@ -527,6 +655,50 @@ RealRoundStats RealFlEngine::RunRoundImpl(
       }
     }
     stats.peak_queue_depth = admission_tracker_.PeakQueueDepth();
+  }
+  if (!partial_candidates.empty()) {
+    // Partial updates enter through the same admission gate as fresh uploads
+    // (one burst, selection order) under the partial dedup namespace, with
+    // utility discounted by the completed-work fraction so shedding drops
+    // the thinnest partials first. An admitted partial re-enters FedAvg at
+    // step-fraction weight; the client itself stays a dropout.
+    std::vector<AdmissionController::Verdict> verdicts;
+    if (admission_.enabled()) {
+      std::vector<AdmissionController::Arrival> arrivals;
+      arrivals.reserve(partial_candidates.size());
+      for (const PartialCandidate& p : partial_candidates) {
+        AdmissionController::Arrival a;
+        a.client_id = order[p.idx];
+        a.round = round;
+        a.attempt = kPartialUpdateAttempt;
+        a.staleness = 0.0;
+        a.utility = static_cast<double>(shards_[order[p.idx]].total) * p.fraction;
+        arrivals.push_back(a);
+      }
+      verdicts = admission_.Admit(round, arrivals, &admission_tracker_);
+      stats.peak_queue_depth = admission_tracker_.PeakQueueDepth();
+    } else {
+      AdmissionController::Verdict pass;
+      pass.admitted = true;
+      verdicts.assign(partial_candidates.size(), pass);
+    }
+    for (size_t n = 0; n < partial_candidates.size(); ++n) {
+      PartialCandidate& p = partial_candidates[n];
+      if (!verdicts[n].admitted) {
+        ++stats.partials_rejected;
+        salvage_tracker_.RecordPartialRejected();
+        continue;
+      }
+      ++stats.partials_salvaged;
+      stats.salvaged_steps += p.steps;
+      salvage_tracker_.RecordPartialSalvaged(p.steps, p.fraction, p.acked_mb);
+      updates.push_back(std::move(p.params));
+      weights.push_back(static_cast<double>(shards_[order[p.idx]].total) * p.fraction *
+                        verdicts[n].weight);
+      if (tree_on) {
+        update_edges.push_back(tree_.EffectiveEdge(order[p.idx]));
+      }
+    }
   }
   // Failure attribution for the guard's quarantine (selection order).
   for (size_t i = 0; i < k; ++i) {
@@ -727,6 +899,9 @@ void RealFlEngine::SaveState(CheckpointWriter& w) const {
   admission_.SaveState(w);
   update_log_.SaveState(w);
   admission_tracker_.SaveState(w);
+  salvage_tracker_.SaveState(w);
+  // The RecoveryTracker stays the final section of every engine payload:
+  // the recovery tests strip it off the tail to compare training state.
   recovery_tracker_.SaveState(w);
 }
 
@@ -761,6 +936,7 @@ void RealFlEngine::LoadState(CheckpointReader& r) {
   admission_.LoadState(r);
   update_log_.LoadState(r);
   admission_tracker_.LoadState(r);
+  salvage_tracker_.LoadState(r);
   recovery_tracker_.LoadState(r);
 }
 

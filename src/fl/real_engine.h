@@ -35,12 +35,14 @@
 #include "src/metrics/admission_tracker.h"
 #include "src/metrics/aggregation_tracker.h"
 #include "src/metrics/recovery_tracker.h"
+#include "src/metrics/salvage_tracker.h"
 #include "src/metrics/topology_tracker.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/net/transport.h"
 #include "src/nn/mlp.h"
 #include "src/nn/optimizer.h"
 #include "src/opt/technique.h"
+#include "src/salvage/salvage_config.h"
 #include "src/sim/thread_pool.h"
 #include "src/topology/aggregation_tree.h"
 
@@ -86,6 +88,14 @@ struct RealFlConfig {
   // byte-for-byte no-op. The async-only bounded-staleness knob is ignored
   // here (the real engine is synchronous).
   AdmissionConfig admission;
+  // Graceful degradation (DESIGN.md §16). Default off: strict byte-for-byte
+  // no-op. With salvage on, a crash-faulted client trains up to its drawn
+  // interruption point (real SGD steps, capped via SgdConfig::max_steps) and
+  // the server aggregates the partial at step-fraction weight; a timed-out
+  // upload is salvaged as a prefix patch over the acked byte fraction.
+  // Speculative re-execution is refused: the engine has no wall clock, so
+  // there is no deadline race for a backup to win.
+  SalvageConfig salvage;
 };
 
 // Per-round measurements of the real pipeline.
@@ -137,6 +147,14 @@ struct RealRoundStats {
   size_t replay_rejected = 0;
   size_t peak_queue_depth = 0;
   double redundant_upload_mb = 0.0;
+  // Graceful-degradation accounting (DESIGN.md §16); all zero with salvage
+  // off. A salvaged client still counts in crashed / transfer_timeouts (it
+  // is a dropout for the guard and the policy), but its partial update
+  // re-entered aggregation at reduced weight.
+  size_t partials_salvaged = 0;
+  size_t partials_below_min = 0;
+  size_t partials_rejected = 0;
+  uint64_t salvaged_steps = 0;
 };
 
 class RealFlEngine {
@@ -182,6 +200,8 @@ class RealFlEngine {
   // and serialized with the engine so totals survive process kills.
   RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
   const RecoveryTracker& recovery_tracker() const { return recovery_tracker_; }
+  // Graceful-degradation accounting (DESIGN.md §16).
+  const SalvageTracker& salvage_tracker() const { return salvage_tracker_; }
 
   // Checkpoint/resume: the datasets and model topology are rebuilt
   // deterministically from config; only the mutable training state (RNGs,
@@ -223,6 +243,12 @@ class RealFlEngine {
     std::vector<uint8_t> participated;
     std::vector<DropoutReason> reasons;
     std::vector<EdgeFaultDecision> edge_decisions;
+    // Per-slot interruption progress (DESIGN.md §16): the step-quantized
+    // fraction of local training a crash-faulted client finished before its
+    // drawn interruption point, and the matching whole-step count. Zero for
+    // healthy clients and with salvage off.
+    std::vector<double> salvage_fractions;
+    std::vector<size_t> salvage_steps;
 
     void Release() {
       techniques = decltype(techniques)();
@@ -236,6 +262,8 @@ class RealFlEngine {
       participated = decltype(participated)();
       reasons = decltype(reasons)();
       edge_decisions = decltype(edge_decisions)();
+      salvage_fractions = decltype(salvage_fractions)();
+      salvage_steps = decltype(salvage_steps)();
     }
   };
 
@@ -265,6 +293,8 @@ class RealFlEngine {
   AdmissionTracker admission_tracker_;
   UpdateLog update_log_;
   RecoveryTracker recovery_tracker_;
+  // Partial-work salvage accounting (DESIGN.md §16); no-op by default.
+  SalvageTracker salvage_tracker_;
   Rng rng_;
   // Root of the per-(round, client) training streams; never advanced, only
   // ForkKeyed — so the streams are independent of simulation order.

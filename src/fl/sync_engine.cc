@@ -13,6 +13,9 @@ namespace {
 // Server-side aggregation and bookkeeping gap between rounds, seconds.
 constexpr double kRoundOverheadS = 10.0;
 
+// backup_of marker for ordinary (non-backup) cohort slots.
+constexpr size_t kPrimarySlot = static_cast<size_t>(-1);
+
 }  // namespace
 
 SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, TuningPolicy* policy)
@@ -46,6 +49,7 @@ SyncEngine::SyncEngine(const ExperimentConfig& config, Selector* selector, Tunin
                                                    config_.topology.num_edges, config_.deadline_s);
   overload_ = OverloadInjector(config_.faults, config_.seed);
   admission_ = AdmissionController(config_.admission);
+  scheduler_ = SpeculativeScheduler(config_.salvage);
   update_log_ = UpdateLog(config_.num_clients);
   round_deadline_s_ = config_.deadline_s;
   reference_ = ComputePopulationReference(clients_);
@@ -95,6 +99,20 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
   inputs.availability = avail;
   outcome.costs = ComputeRoundCosts(inputs);
 
+  // Salvage metadata (DESIGN.md §16): whole local steps this round would run
+  // uninterrupted, and a quantizer mapping an interruption's trained seconds
+  // onto completed whole steps. Pure arithmetic over quantities the
+  // simulation computes anyway — no RNG, so filling it in unconditionally
+  // keeps the salvage-off engine bit-identical.
+  outcome.salvage_total_steps =
+      TotalLocalSteps(inputs.local_samples, config_.epochs, config_.batch_size);
+  auto mark_salvage = [&outcome](double trained_s, double train_time_s) {
+    outcome.salvage_fraction =
+        CompletedStepFraction(trained_s, train_time_s, outcome.salvage_total_steps);
+    outcome.salvage_steps = static_cast<size_t>(std::llround(
+        outcome.salvage_fraction * static_cast<double>(outcome.salvage_total_steps)));
+  };
+
   const double deadline = round_deadline_s_;
   if (fault.blackout) {
     // The server cannot reach the client during a network blackout: the task
@@ -112,6 +130,9 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
     // (and fault-scenario tests rely on this to isolate the injector).
     if (fault.crash) {
       const double crash_time = fault.crash_fraction * outcome.costs.total_time_s;
+      // The download (half the comm budget) precedes training; whatever ran
+      // after it and before the crash is salvageable progress.
+      mark_salvage(crash_time - 0.5 * outcome.costs.comm_time_s, outcome.costs.train_time_s);
       outcome.reason = DropoutReason::kCrashed;
       outcome.costs.train_time_s *= fault.crash_fraction;
       outcome.costs.comm_time_s *= fault.crash_fraction;
@@ -167,6 +188,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
     outcome.transfer_attempts = download.attempts;
     outcome.retransmitted_mb = download.retransmitted_mb;
     outcome.salvaged_mb = download.salvaged_mb;
+    outcome.transfer_progress_mb = download.progress_mb;
     outcome.transfer_backoff_s = download.backoff_s;
     if (!download.delivered) {
       // Retries (or the round budget) exhausted before the model arrived:
@@ -186,6 +208,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
       // starts and the round closes without this client.
       outcome.reason = DropoutReason::kMissedDeadline;
       outcome.deadline_diff = (download.elapsed_s + train_time - deadline) / deadline;
+      mark_salvage(deadline - download.elapsed_s, train_time);
       outcome.costs.train_time_s = std::max(0.0, deadline - download.elapsed_s);
       outcome.costs.comm_time_s = download.wire_time_s;
       outcome.costs.traffic_mb = download.wire_mb;
@@ -204,6 +227,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
     outcome.transfer_attempts += upload.attempts;
     outcome.retransmitted_mb += upload.retransmitted_mb;
     outcome.salvaged_mb += upload.salvaged_mb;
+    outcome.transfer_progress_mb += upload.progress_mb;
     outcome.transfer_backoff_s += upload.backoff_s;
     const double total_time = download.elapsed_s + train_time + upload.elapsed_s;
     outcome.costs.comm_time_s = download.wire_time_s + upload.wire_time_s;
@@ -212,6 +236,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
     if (fault.crash) {
       const double crash_time = fault.crash_fraction * total_time;
       if (crash_time <= deadline && client.availability().AvailableFor(now_s, crash_time)) {
+        mark_salvage(crash_time - download.elapsed_s, train_time);
         outcome.reason = DropoutReason::kCrashed;
         outcome.costs.train_time_s *= fault.crash_fraction;
         outcome.costs.comm_time_s *= fault.crash_fraction;
@@ -220,6 +245,14 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
       }
     }
     if (!upload.delivered) {
+      // Training finished; the salvageable partial is the acked prefix of
+      // the upload the server already holds, measured in payload bytes.
+      outcome.salvage_fraction =
+          upload_opts.payload_mb > 0.0
+              ? std::min(1.0, upload.progress_mb / upload_opts.payload_mb)
+              : 0.0;
+      outcome.salvage_steps =
+          outcome.salvage_fraction > 0.0 ? outcome.salvage_total_steps : 0;
       outcome.reason = DropoutReason::kTransferTimedOut;
       outcome.deadline_diff = std::max(0.0, (total_time - deadline) / deadline);
       outcome.time_spent_s = total_time;
@@ -229,6 +262,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
       outcome.reason = DropoutReason::kDeparted;
       const double available =
           std::max(0.0, client.availability().PeriodEndAfter(now_s) - now_s);
+      mark_salvage(available - download.elapsed_s, train_time);
       const double frac = std::min(1.0, available / std::max(1e-9, total_time));
       outcome.costs.train_time_s *= frac;
       outcome.costs.comm_time_s *= frac;
@@ -257,6 +291,8 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
     // departure would otherwise end the round first, benignly).
     const double crash_time = fault.crash_fraction * outcome.costs.total_time_s;
     if (crash_time <= deadline && client.availability().AvailableFor(now_s, crash_time)) {
+      // The download (half the comm budget) precedes training.
+      mark_salvage(crash_time - 0.5 * outcome.costs.comm_time_s, outcome.costs.train_time_s);
       outcome.reason = DropoutReason::kCrashed;
       outcome.costs.train_time_s *= fault.crash_fraction;
       outcome.costs.comm_time_s *= fault.crash_fraction;
@@ -269,6 +305,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
     outcome.reason = DropoutReason::kMissedDeadline;
     outcome.deadline_diff = (outcome.costs.total_time_s - deadline) / deadline;
     const double frac = deadline / outcome.costs.total_time_s;
+    mark_salvage(frac * outcome.costs.train_time_s, outcome.costs.train_time_s);
     outcome.costs.train_time_s *= frac;
     outcome.costs.comm_time_s *= frac;
     outcome.time_spent_s = deadline;
@@ -279,6 +316,7 @@ ClientRoundOutcome SyncEngine::SimulateClient(Client& client, size_t round, doub
     outcome.reason = DropoutReason::kDeparted;
     const double available = std::max(0.0, client.availability().PeriodEndAfter(now_s) - now_s);
     const double frac = std::min(1.0, available / outcome.costs.total_time_s);
+    mark_salvage(frac * outcome.costs.train_time_s, outcome.costs.train_time_s);
     outcome.costs.train_time_s *= frac;
     outcome.costs.comm_time_s *= frac;
     outcome.time_spent_s = available;
@@ -331,7 +369,26 @@ void SyncEngine::RunRound(size_t round) {
         std::ceil(static_cast<double>(base_k) * config_.faults.overcommit));
     select_k = std::min(select_k, config_.num_clients);
   }
-  const std::vector<size_t> selected = selector_->Select(round, now_s_, select_k, clients_);
+  std::vector<size_t> selected = selector_->Select(round, now_s_, select_k, clients_);
+
+  // Speculative re-execution (DESIGN.md §16): deterministically draft one
+  // backup executor for every primary whose EWMA deadline profile predicts a
+  // miss, and run the backups through the same observe/decide/simulate path
+  // as the cohort (their own fault draws included). Resolution — first valid
+  // upload wins, the loser charged as redundant — happens after server-side
+  // validation below. `needed` stays pinned to the primary cohort so
+  // speculation can never relax the round-close bar.
+  const size_t num_primaries = selected.size();
+  std::vector<size_t>& backup_of = scratch_.backup_of;
+  backup_of.assign(num_primaries, kPrimarySlot);
+  if (config_.salvage.speculation) {
+    const std::vector<BackupPlan> plans = scheduler_.Plan(round, selected, clients_);
+    salvage_tracker_.RecordBackupsPlanned(plans.size());
+    for (const BackupPlan& plan : plans) {
+      backup_of.push_back(plan.primary_slot);
+      selected.push_back(plan.backup_client_id);
+    }
+  }
 
   GlobalObservation global;
   global.batch_size = config_.batch_size;
@@ -399,10 +456,46 @@ void SyncEngine::RunRound(size_t round) {
     }
   }
 
+  // Backup resolution (DESIGN.md §16): for each (primary, backup) pair the
+  // first valid upload wins and the other execution is charged as redundant
+  // work. A corrupted party keeps kCorrupted (rejected_updates_ already
+  // counted it), and a backup's own deadline miss is re-labeled so
+  // speculation can never inflate the miss statistics it exists to reduce.
+  for (size_t i = num_primaries; i < outcomes.size(); ++i) {
+    ClientRoundOutcome& backup = outcomes[i];
+    ClientRoundOutcome& primary = outcomes[backup_of[i]];
+    if (backup.completed && primary.completed) {
+      ClientRoundOutcome& loser =
+          backup.time_spent_s < primary.time_spent_s ? primary : backup;
+      loser.completed = false;
+      loser.reason = DropoutReason::kBackupRedundant;
+      if (&loser == &primary) {
+        salvage_tracker_.RecordBackupWin();
+      } else {
+        salvage_tracker_.RecordBackupRedundant();
+      }
+    } else if (backup.completed) {
+      // The primary was interrupted and the backup delivered: the cohort
+      // slot is covered.
+      if (primary.reason == DropoutReason::kMissedDeadline) {
+        salvage_tracker_.RecordDeadlineMissAverted();
+      }
+      if (primary.reason != DropoutReason::kCorrupted) {
+        primary.reason = DropoutReason::kBackupCovered;
+      }
+      salvage_tracker_.RecordBackupWin();
+    } else {
+      if (backup.reason == DropoutReason::kMissedDeadline) {
+        backup.reason = DropoutReason::kBackupRedundant;
+      }
+      salvage_tracker_.RecordBackupRedundant();
+    }
+  }
+
   // Over-selection round close: accept the first `needed` valid completions
   // (by finish time, selection order breaking ties); later ones are
   // abandoned and their spend charged as waste.
-  const size_t needed = std::min(base_k, selected.size());
+  const size_t needed = std::min(base_k, num_primaries);
   {
     std::vector<size_t>& completed_idx = scratch_.completed_idx;
     completed_idx.clear();
@@ -571,6 +664,72 @@ void SyncEngine::RunRound(size_t round) {
     }
   }
 
+  // Partial-work salvage (DESIGN.md §16): an interruption that left
+  // measurable progress (crash, deadline miss, departure, timed-out upload)
+  // no longer forfeits the client's work. Partials clearing the
+  // min-progress bar form a second admission burst — keyed with a dedicated
+  // attempt id so a partial can never fold into (or be folded by) the
+  // client's full upload — and the admitted ones re-enter aggregation below
+  // at step-count weight. Salvage converts already-spent compute: it never
+  // extends the round, re-charges communication, or counts toward the
+  // cohort close.
+  if (config_.salvage.enabled) {
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const ClientRoundOutcome& o = outcomes[i];
+      if (o.completed || o.salvage_fraction <= 0.0) {
+        continue;
+      }
+      const bool interrupted = o.reason == DropoutReason::kCrashed ||
+                               o.reason == DropoutReason::kMissedDeadline ||
+                               o.reason == DropoutReason::kDeparted ||
+                               o.reason == DropoutReason::kTransferTimedOut;
+      if (!interrupted) {
+        continue;
+      }
+      if (o.salvage_fraction < config_.salvage.min_progress) {
+        salvage_tracker_.RecordPartialBelowMin();
+        continue;
+      }
+      candidates.push_back(i);
+    }
+    std::vector<AdmissionController::Verdict> verdicts;
+    if (admission_.enabled() && !candidates.empty()) {
+      std::vector<AdmissionController::Arrival> arrivals;
+      arrivals.reserve(candidates.size());
+      for (size_t i : candidates) {
+        AdmissionController::Arrival a;
+        a.client_id = outcomes[i].client_id;
+        a.round = round;
+        a.attempt = kPartialUpdateAttempt;
+        const double u = selector_->IngestUtility(a.client_id);
+        a.utility = (u > 0.0 ? u : 1.0) * outcomes[i].salvage_fraction;
+        arrivals.push_back(a);
+      }
+      verdicts = admission_.Admit(round, arrivals, &admission_tracker_);
+    } else {
+      AdmissionController::Verdict pass;
+      pass.admitted = true;
+      verdicts.assign(candidates.size(), pass);
+    }
+    const double upload_payload_mb = GetModelProfile(config_.model).weight_mb;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      ClientRoundOutcome& o = outcomes[candidates[j]];
+      if (!verdicts[j].admitted) {
+        salvage_tracker_.RecordPartialRejected();
+        continue;
+      }
+      o.salvaged = true;
+      // Acked upload bytes the salvage reuses; zero for training
+      // interruptions, where nothing of the update reached the wire.
+      const double acked_mb =
+          o.reason == DropoutReason::kTransferTimedOut
+              ? o.salvage_fraction * upload_payload_mb * EffectOf(o.technique).comm_mult
+              : 0.0;
+      salvage_tracker_.RecordPartialSalvaged(o.salvage_steps, o.salvage_fraction, acked_mb);
+    }
+  }
+
   // Phase 3 (sequential, selection order): bookkeeping, so the accountant's
   // floating-point sums accumulate in a fixed order.
   for (size_t i = 0; i < selected.size(); ++i) {
@@ -583,14 +742,16 @@ void SyncEngine::RunRound(size_t round) {
     client.last_round_duration_s = outcome.time_spent_s;
     client.UpdateDeadlineDiff(outcome.deadline_diff);
 
+    // A salvaged partial converts the interrupted spend into useful work;
+    // the round still records it as a dropout (completed stays false).
     accountant_.Record(outcome.costs.train_time_s, outcome.costs.comm_time_s,
-                       outcome.costs.peak_memory_mb, outcome.completed);
+                       outcome.costs.peak_memory_mb, outcome.completed || outcome.salvaged);
     tracker_.Record(selected[i], techniques[i], outcome.completed, outcome.reason);
     guard_.Observe(techniques[i], outcome.completed, outcome.reason, round);
     if (outcome.transfer_attempts > 0) {
       transport_tracker_.Record(outcome.transfer_attempts, outcome.costs.traffic_mb,
                                 outcome.retransmitted_mb, outcome.salvaged_mb,
-                                outcome.transfer_backoff_s,
+                                outcome.transfer_progress_mb, outcome.transfer_backoff_s,
                                 outcome.reason == DropoutReason::kTransferTimedOut);
     }
     CountDropout(outcome.reason, dropout_breakdown_);
@@ -646,6 +807,27 @@ void SyncEngine::RunRound(size_t round) {
       }
       round_duration = std::max(round_duration, outcome.time_spent_s);
       ++accepted;
+    }
+  }
+  // Admitted partials re-enter aggregation at step-count weight: the quality
+  // is the same as a full update from this client (the completed steps are
+  // real steps at full quality), while the weight scales its mass in the
+  // round mean by the completed fraction — a 40%-trained partial can never
+  // outvote a full update, and the round's mean quality is not diluted.
+  if (config_.salvage.enabled) {
+    for (const auto& outcome : outcomes) {
+      if (!outcome.salvaged) {
+        continue;
+      }
+      ClientContribution contribution;
+      contribution.client_id = outcome.client_id;
+      contribution.quality = 1.0 - EffectOf(outcome.technique).accuracy_impact;
+      if (outcome.byzantine) {
+        contribution.quality =
+            injector_.AttackedQuality(contribution.quality, round, outcome.client_id);
+      }
+      contribution.weight = outcome.salvage_fraction;
+      contributions.push_back(contribution);
     }
   }
   // Admitted redundant deliveries re-enter aggregation as extra
@@ -906,6 +1088,16 @@ ExperimentResult SyncEngine::Snapshot() const {
   result.admission_replay_rejected = admission_tracker_.ReplayRejected();
   result.admission_peak_queue_depth = admission_tracker_.PeakQueueDepth();
   result.redundant_mb = redundant_mb_;
+  result.partials_salvaged = salvage_tracker_.PartialsSalvaged();
+  result.partials_below_min = salvage_tracker_.PartialsBelowMin();
+  result.partials_rejected = salvage_tracker_.PartialsRejected();
+  result.salvaged_steps = salvage_tracker_.SalvagedSteps();
+  result.salvaged_progress_mb = salvage_tracker_.SalvagedProgressMb();
+  result.backups_planned = salvage_tracker_.BackupsPlanned();
+  result.backups_won = salvage_tracker_.BackupsWon();
+  result.backups_redundant = salvage_tracker_.BackupsRedundant();
+  result.deadline_misses_averted = salvage_tracker_.DeadlineMissesAverted();
+  result.transfer_progress_mb = transport_tracker_.TotalProgressMb();
   result.accuracy_history = accuracy_history_;
   result.per_client_selected = tracker_.selected();
   result.per_client_completed = tracker_.completed();
@@ -936,6 +1128,8 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
   w.Size(dropout_breakdown_.duplicate);
   w.Size(dropout_breakdown_.replayed);
   w.Size(dropout_breakdown_.rate_limited);
+  w.Size(dropout_breakdown_.backup_covered);
+  w.Size(dropout_breakdown_.backup_redundant);
   w.F64Vec(accuracy_history_);
   w.Size(clients_.size());
   for (const auto& client : clients_) {
@@ -963,6 +1157,10 @@ void SyncEngine::SaveState(CheckpointWriter& w) const {
   update_log_.SaveState(w);
   admission_tracker_.SaveState(w);
   w.F64(redundant_mb_);
+  salvage_tracker_.SaveState(w);
+  scheduler_.SaveState(w);
+  // The RecoveryTracker stays the final section of every engine payload:
+  // the recovery tests strip it off the tail to compare training state.
   recovery_tracker_.SaveState(w);
 }
 
@@ -983,6 +1181,8 @@ void SyncEngine::LoadState(CheckpointReader& r) {
   dropout_breakdown_.duplicate = r.Size();
   dropout_breakdown_.replayed = r.Size();
   dropout_breakdown_.rate_limited = r.Size();
+  dropout_breakdown_.backup_covered = r.Size();
+  dropout_breakdown_.backup_redundant = r.Size();
   accuracy_history_ = r.F64Vec();
   const size_t n = r.Size();
   // A failed reader (truncated/corrupted archive) returns zeros; that is the
@@ -1021,6 +1221,8 @@ void SyncEngine::LoadState(CheckpointReader& r) {
   update_log_.LoadState(r);
   admission_tracker_.LoadState(r);
   redundant_mb_ = r.F64();
+  salvage_tracker_.LoadState(r);
+  scheduler_.LoadState(r);
   recovery_tracker_.LoadState(r);
 }
 

@@ -31,11 +31,13 @@
 #include "src/metrics/participation_tracker.h"
 #include "src/metrics/recovery_tracker.h"
 #include "src/metrics/resource_accountant.h"
+#include "src/metrics/salvage_tracker.h"
 #include "src/metrics/topology_tracker.h"
 #include "src/metrics/transport_tracker.h"
 #include "src/models/surrogate_accuracy.h"
 #include "src/net/adaptive_deadline.h"
 #include "src/net/transport.h"
+#include "src/salvage/speculative_scheduler.h"
 #include "src/selection/selector.h"
 #include "src/topology/aggregation_tree.h"
 
@@ -64,9 +66,25 @@ struct ClientRoundOutcome {
   double retransmitted_mb = 0.0;
   double salvaged_mb = 0.0;
   double transfer_backoff_s = 0.0;
+  // Unique acked payload bytes across this round's transfer legs: the full
+  // payload for delivered legs, the carried-forward progress for timed-out
+  // ones. Distinct from salvaged_mb (bytes a *retry* did not resend).
+  double transfer_progress_mb = 0.0;
   // Effective link goodput this round: delivered payload megabits over total
   // transfer seconds (wire + backoff). 0 when nothing was delivered.
   double effective_mbps = 0.0;
+  // Graceful-degradation metadata (DESIGN.md §16): the fraction of local
+  // work completed before an interruption, quantized to whole local steps.
+  // Pure arithmetic over quantities the simulation already computes — filled
+  // in even when salvage is disabled (the engine then ignores it). Zero for
+  // clean completions and for interruptions with nothing to salvage
+  // (blackout, offline, OOM, failed download).
+  double salvage_fraction = 0.0;
+  size_t salvage_steps = 0;
+  size_t salvage_total_steps = 0;
+  // Set by the engine when this partial cleared the min-progress bar and the
+  // admission gate and re-entered aggregation at step-count weight.
+  bool salvaged = false;
 };
 
 class SyncEngine {
@@ -118,6 +136,9 @@ class SyncEngine {
   // and serialized with the engine so totals survive process kills.
   RecoveryTracker& recovery_tracker() { return recovery_tracker_; }
   const RecoveryTracker& recovery_tracker() const { return recovery_tracker_; }
+  // Graceful-degradation accounting and the backup planner (DESIGN.md §16).
+  const SalvageTracker& salvage_tracker() const { return salvage_tracker_; }
+  const SpeculativeScheduler& speculative_scheduler() const { return scheduler_; }
   // The deadline governing the current round: the static configured value,
   // or the adaptive controller's latest proposal when it is enabled.
   double CurrentRoundDeadline() const { return round_deadline_s_; }
@@ -168,6 +189,9 @@ class SyncEngine {
   // re-processed (zero when the admission gate rejected them at ingress).
   double redundant_mb_ = 0.0;
   RecoveryTracker recovery_tracker_;
+  // Graceful degradation (DESIGN.md §16); both strict no-ops by default.
+  SalvageTracker salvage_tracker_;
+  SpeculativeScheduler scheduler_;
   DropoutBreakdown dropout_breakdown_;
   size_t rejected_updates_ = 0;
   std::vector<double> accuracy_history_;
@@ -190,6 +214,9 @@ class SyncEngine {
     std::vector<size_t> completed_idx;
     std::vector<ClientContribution> contributions;
     std::vector<EdgeFaultDecision> edge_decisions;
+    // Slot i's primary slot when slot i is a speculative backup; kPrimary
+    // for ordinary cohort slots (DESIGN.md §16).
+    std::vector<size_t> backup_of;
 
     void Release() {
       observations = decltype(observations)();
@@ -199,6 +226,7 @@ class SyncEngine {
       completed_idx = decltype(completed_idx)();
       contributions = decltype(contributions)();
       edge_decisions = decltype(edge_decisions)();
+      backup_of = decltype(backup_of)();
     }
   };
   RoundScratch scratch_;

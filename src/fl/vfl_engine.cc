@@ -204,7 +204,8 @@ VflRoundStats VflEngine::TrainEpoch(TechniqueKind comm_technique) {
       const TransferResult transfer = transport_.TryDeliver(
           epoch, p, payload_mb, TransferLeg::kUpload, config_.faults.resumable_uploads);
       transport_tracker_.Record(transfer.attempts, transfer.wire_mb, transfer.retransmitted_mb,
-                                transfer.salvaged_mb, transfer.backoff_s, transfer.timed_out);
+                                transfer.salvaged_mb, transfer.progress_mb, transfer.backoff_s,
+                                transfer.timed_out);
       stats.retransmitted_mb += transfer.retransmitted_mb;
       stats.salvaged_mb += transfer.salvaged_mb;
       if (!transfer.delivered) {

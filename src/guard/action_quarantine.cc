@@ -35,6 +35,11 @@ bool ActionQuarantine::Attributable(DropoutReason reason) {
     case DropoutReason::kDuplicate:
     case DropoutReason::kReplayed:
     case DropoutReason::kRateLimited:
+    // Speculation outcomes (DESIGN.md §16): a covered primary's interruption
+    // was already not the technique's doing, and a redundant backup lost a
+    // race the scheduler created — neither indicts the technique.
+    case DropoutReason::kBackupCovered:
+    case DropoutReason::kBackupRedundant:
       return false;
   }
   return false;

@@ -1,0 +1,31 @@
+#include "src/metrics/salvage_tracker.h"
+
+namespace floatfl {
+
+void SalvageTracker::SaveState(CheckpointWriter& w) const {
+  w.Size(partials_salvaged_);
+  w.Size(partials_below_min_);
+  w.Size(partials_rejected_);
+  w.U64(salvaged_steps_);
+  w.F64(salvaged_fraction_sum_);
+  w.F64(salvaged_progress_mb_);
+  w.Size(backups_planned_);
+  w.Size(backups_won_);
+  w.Size(backups_redundant_);
+  w.Size(deadline_misses_averted_);
+}
+
+void SalvageTracker::LoadState(CheckpointReader& r) {
+  partials_salvaged_ = r.Size();
+  partials_below_min_ = r.Size();
+  partials_rejected_ = r.Size();
+  salvaged_steps_ = r.U64();
+  salvaged_fraction_sum_ = r.F64();
+  salvaged_progress_mb_ = r.F64();
+  backups_planned_ = r.Size();
+  backups_won_ = r.Size();
+  backups_redundant_ = r.Size();
+  deadline_misses_averted_ = r.Size();
+}
+
+}  // namespace floatfl

@@ -3,7 +3,8 @@
 namespace floatfl {
 
 void TransportTracker::Record(size_t attempts, double wire_mb, double retransmitted_mb,
-                              double salvaged_mb, double backoff_s, bool timed_out) {
+                              double salvaged_mb, double progress_mb, double backoff_s,
+                              bool timed_out) {
   ++transfers_;
   attempts_ += attempts;
   if (timed_out) {
@@ -12,6 +13,7 @@ void TransportTracker::Record(size_t attempts, double wire_mb, double retransmit
   wire_mb_ += wire_mb;
   retransmitted_mb_ += retransmitted_mb;
   salvaged_mb_ += salvaged_mb;
+  progress_mb_ += progress_mb;
   backoff_s_ += backoff_s;
 }
 
@@ -22,6 +24,7 @@ void TransportTracker::SaveState(CheckpointWriter& w) const {
   w.F64(wire_mb_);
   w.F64(retransmitted_mb_);
   w.F64(salvaged_mb_);
+  w.F64(progress_mb_);
   w.F64(backoff_s_);
 }
 
@@ -32,6 +35,7 @@ void TransportTracker::LoadState(CheckpointReader& r) {
   wire_mb_ = r.F64();
   retransmitted_mb_ = r.F64();
   salvaged_mb_ = r.F64();
+  progress_mb_ = r.F64();
   backoff_s_ = r.F64();
 }
 

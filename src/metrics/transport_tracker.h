@@ -16,10 +16,15 @@ class TransportTracker {
   // Records one finished transfer (download or upload leg). `wire_mb` is the
   // total bytes the transfer put on the wire (payload + retransmissions) —
   // the bytes-moved denominator the perf harness reports (DESIGN.md §12).
-  // Call from sequential bookkeeping code only (not thread-safe; the engines
-  // record after the per-round fan-out has joined).
+  // `salvaged_mb` is the unique acked bytes resumable retries carried
+  // forward (never re-counted per attempt); `progress_mb` is the unique
+  // payload bytes acknowledged overall — on a timed-out transfer, the
+  // salvageable partial progress the graceful-degradation layer can turn
+  // into a partial update (DESIGN.md §16). Call from sequential bookkeeping
+  // code only (not thread-safe; the engines record after the per-round
+  // fan-out has joined).
   void Record(size_t attempts, double wire_mb, double retransmitted_mb, double salvaged_mb,
-              double backoff_s, bool timed_out);
+              double progress_mb, double backoff_s, bool timed_out);
 
   size_t TotalTransfers() const { return transfers_; }
   size_t TotalAttempts() const { return attempts_; }
@@ -27,6 +32,7 @@ class TransportTracker {
   double TotalWireMb() const { return wire_mb_; }
   double TotalRetransmittedMb() const { return retransmitted_mb_; }
   double TotalSalvagedMb() const { return salvaged_mb_; }
+  double TotalProgressMb() const { return progress_mb_; }
   double TotalBackoffS() const { return backoff_s_; }
 
   void SaveState(CheckpointWriter& w) const;
@@ -39,6 +45,7 @@ class TransportTracker {
   double wire_mb_ = 0.0;
   double retransmitted_mb_ = 0.0;
   double salvaged_mb_ = 0.0;
+  double progress_mb_ = 0.0;
   double backoff_s_ = 0.0;
 };
 

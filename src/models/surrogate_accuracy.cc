@@ -61,22 +61,31 @@ void SurrogateAccuracyModel::RoundUpdate(const std::vector<ClientContribution>& 
   double damage = 0.0;
   std::vector<double> cohort_dist(global_dist_.size(), 0.0);
   double cohort_mass = 0.0;
+  // Sum of contribution weights — the denominator of the round-quality
+  // average. Full updates weigh 1.0, salvaged partials their completed-work
+  // fraction (DESIGN.md §16); with all-1.0 weights the sum equals
+  // successful.size() exactly, so the pre-salvage arithmetic is preserved
+  // bit-for-bit.
+  double weight_total = 0.0;
   for (const auto& contribution : successful) {
     FLOATFL_CHECK(contribution.client_id < shards_.size());
     const double discount =
         1.0 / (1.0 + config_.staleness_discount * std::max(0.0, contribution.staleness));
     const double quality = std::clamp(contribution.quality, 0.0, 1.0);
     if (contribution.quality < 0.0) {
-      damage += std::min(-contribution.quality, kMaxDamagePerUpdate) * discount;
+      damage += std::min(-contribution.quality, kMaxDamagePerUpdate) * discount *
+                contribution.weight;
     }
-    effective_updates += quality * discount;
+    effective_updates += quality * discount * contribution.weight;
+    weight_total += contribution.weight;
     const size_t id = contribution.client_id;
-    contrib_ewma_[id] = std::min(1.0, contrib_ewma_[id] + 0.15 * quality * discount);
+    contrib_ewma_[id] =
+        std::min(1.0, contrib_ewma_[id] + 0.15 * quality * discount * contribution.weight);
     ever_contributed_[id] = true;
     for (size_t k = 0; k < cohort_dist.size(); ++k) {
-      cohort_dist[k] += static_cast<double>(shards_[id].class_counts[k]);
+      cohort_dist[k] += static_cast<double>(shards_[id].class_counts[k]) * contribution.weight;
     }
-    cohort_mass += static_cast<double>(shards_[id].total);
+    cohort_mass += static_cast<double>(shards_[id].total) * contribution.weight;
   }
   if (effective_updates <= 0.0 && damage <= 0.0) {
     // A wholly failed round contributes nothing (the paper: progress made by
@@ -103,9 +112,8 @@ void SurrogateAccuracyModel::RoundUpdate(const std::vector<ClientContribution>& 
     // Smoothed update quality: persistent aggressive optimization (8-bit
     // quantization, 75 % pruning/partial training on every update) caps the
     // accuracy the federation can reach, not just its speed.
-    const double round_quality = effective_updates > 0.0
-                                     ? effective_updates / static_cast<double>(successful.size())
-                                     : 1.0;
+    const double round_quality =
+        effective_updates > 0.0 && weight_total > 0.0 ? effective_updates / weight_total : 1.0;
     quality_ewma_ += 0.1 * (round_quality - quality_ewma_);
     const double quality_factor = std::clamp(1.0 - 1.2 * (1.0 - quality_ewma_), 0.5, 1.0);
     // Achievable ceiling grows with cumulative data coverage: a model that has

@@ -47,6 +47,13 @@ struct ClientContribution {
   double quality = 1.0;
   // Staleness in aggregation rounds (0 for synchronous FL).
   double staleness = 0.0;
+  // Completed-work weight in (0, 1]: 1 for a full update, the completed-step
+  // (or acked-byte) fraction for a salvaged partial (DESIGN.md §16). The
+  // weight scales the contribution symmetrically — numerator AND denominator
+  // of the round-quality average — so a partial adds its fraction of
+  // participation without diluting the cohort's quality, and weight 1.0 is
+  // bit-identical to the pre-salvage arithmetic.
+  double weight = 1.0;
 };
 
 class SurrogateAccuracyModel {

@@ -74,8 +74,10 @@ TransferResult Transport::Transfer(size_t round, size_t client_id, const Network
         break;
       }
       if (opts.resumable) {
-        // Graceful degradation: the retry pays only the missing tail.
-        out.salvaged_mb += acked_mb;
+        // Graceful degradation: the retry pays only the missing tail. The
+        // acked prefix only grows, so assigning (not accumulating) keeps
+        // salvaged_mb the unique carried-forward bytes.
+        out.salvaged_mb = acked_mb;
       } else {
         std::fill(acked.begin(), acked.end(), static_cast<uint8_t>(0));
         acked_count = 0;
@@ -137,6 +139,7 @@ TransferResult Transport::Transfer(size_t round, size_t client_id, const Network
     out.timed_out = true;
   }
   out.retransmitted_mb = out.wire_mb - acked_mb;
+  out.progress_mb = out.delivered ? opts.payload_mb : acked_mb;
 
   if (out.delivered && out.attempts == 1 && constant_bw && !any_lost) {
     const double rate = first_bw * std::max(kMinAvailability, opts.availability);
@@ -171,7 +174,8 @@ TransferResult Transport::TryDeliver(size_t round, size_t client_id, double payl
         transfer_root.ForkKeyed(Rng::StreamKey(static_cast<uint64_t>(leg), attempt));
     if (attempt > 0) {
       if (resumable) {
-        out.salvaged_mb += acked_mb;
+        // Unique carried-forward bytes, as in Transfer(): assign, never sum.
+        out.salvaged_mb = acked_mb;
       } else {
         std::fill(acked.begin(), acked.end(), static_cast<uint8_t>(0));
         acked_count = 0;
@@ -206,6 +210,7 @@ TransferResult Transport::TryDeliver(size_t round, size_t client_id, double payl
     out.timed_out = true;
   }
   out.retransmitted_mb = out.wire_mb - acked_mb;
+  out.progress_mb = out.delivered ? payload_mb : acked_mb;
   return out;
 }
 

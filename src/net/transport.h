@@ -56,9 +56,17 @@ struct TransferResult {
   // Wire bytes that did not produce a first-time acknowledgment: lost
   // chunks plus restart-from-scratch resends. wire_mb - unique acked MB.
   double retransmitted_mb = 0.0;
-  // Acknowledged bytes a resumable retry did NOT have to resend,
-  // accumulated over every retry attempt.
+  // Unique acknowledged bytes the resumable retries carried forward instead
+  // of resending — the acked prefix as of the final retry. (Historically
+  // this was accumulated per attempt, re-counting the same bytes on every
+  // retry; it is now the unique figure so salvage accounting and
+  // redundant_mb never double-charge a byte.)
   double salvaged_mb = 0.0;
+  // Unique payload bytes acknowledged by the end of the transfer: the full
+  // payload on delivery, the salvageable partial-progress bytes on a
+  // give-up. This is what the graceful-degradation layer (DESIGN.md §16)
+  // turns into a partial update after an exhausted upload.
+  double progress_mb = 0.0;
   // Time spent waiting in exponential backoff between attempts.
   double backoff_s = 0.0;
   size_t attempts = 1;

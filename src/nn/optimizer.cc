@@ -20,6 +20,9 @@ TrainResult TrainSgd(Mlp& model, const Tensor& inputs, const std::vector<int>& l
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     const std::vector<size_t> order = rng.Permutation(n);
     for (size_t start = 0; start < n; start += config.batch_size) {
+      if (config.max_steps > 0 && result.batches >= config.max_steps) {
+        return result;
+      }
       const size_t count = std::min(config.batch_size, n - start);
       Tensor batch(count, dim);
       std::vector<int> batch_labels(count);

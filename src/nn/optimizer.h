@@ -20,6 +20,11 @@ struct SgdConfig {
   size_t epochs = 1;
   // Number of leading layers excluded from updates (partial training).
   size_t frozen_layers = 0;
+  // Stop after this many mini-batch steps across all epochs (0 = unlimited).
+  // Models a mid-training interruption for partial-work salvage (DESIGN.md
+  // §16): the same shuffled batch sequence is consumed, just cut short, so
+  // the first max_steps batches are bit-identical to an uninterrupted run.
+  size_t max_steps = 0;
 };
 
 struct TrainResult {

@@ -1,0 +1,19 @@
+#include "src/salvage/salvage_config.h"
+
+#include "src/common/check.h"
+
+namespace floatfl {
+
+void ValidateSalvageConfig(const SalvageConfig& config) {
+  FLOATFL_CHECK_MSG(config.min_progress > 0.0 && config.min_progress <= 1.0,
+                    "salvage.min_progress must be in (0, 1]");
+  FLOATFL_CHECK_MSG(config.speculation_margin >= 0.0,
+                    "salvage.speculation_margin must be non-negative");
+  FLOATFL_CHECK_MSG(
+      config.max_backup_fraction >= 0.0 && config.max_backup_fraction <= 1.0,
+      "salvage.max_backup_fraction must be in [0, 1]");
+  FLOATFL_CHECK_MSG(!config.speculation || config.max_backup_fraction > 0.0,
+                    "salvage.speculation requires max_backup_fraction > 0");
+}
+
+}  // namespace floatfl

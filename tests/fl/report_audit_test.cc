@@ -187,6 +187,38 @@ TEST(ReportAuditTest, RealEngineReportsDefenseRejectedClientsAsFailed) {
   EXPECT_EQ(policy.FailedCount(), crashed + rejected + timed_out);
 }
 
+TEST(ReportAuditTest, SyncEngineReportsSalvagedAndSpeculativeOutcomesAsFailed) {
+  // Salvage semantics (DESIGN.md §16): a salvaged partial re-enters
+  // aggregation, but its client is still a dropout to the policy — it gets
+  // exactly one participated=false Report under its interruption reason.
+  // Speculative outcomes likewise: a covered primary (kBackupCovered) and a
+  // redundant loser (kBackupRedundant) each report once as failed, so the
+  // one-report-per-selected-execution conservation survives the layer.
+  ExperimentConfig config = AllFailureModes();
+  config.rounds = 60;
+  config.salvage.enabled = true;
+  config.salvage.speculation = true;
+  config.salvage.speculation_margin = 0.0;
+  config.salvage.max_backup_fraction = 0.25;
+
+  RandomSelector selector(config.seed);
+  RecordingPolicy policy(TechniqueKind::kQuant8);
+  SyncEngine engine(config, &selector, &policy);
+  const ExperimentResult result = engine.Run();
+
+  // Premise: partials were salvaged and speculation resolved races.
+  EXPECT_GT(result.partials_salvaged, 0u);
+  EXPECT_GT(result.dropout_breakdown.backup_covered + result.dropout_breakdown.backup_redundant,
+            0u);
+
+  // Salvaged partials do not inflate completions, and every selected
+  // execution — speculative backups included — reported exactly once.
+  EXPECT_EQ(policy.events().size(), result.total_selected);
+  EXPECT_EQ(policy.FailedCount(), result.total_dropouts);
+  EXPECT_EQ(policy.events().size() - policy.FailedCount(), result.total_completed);
+  EXPECT_EQ(result.dropout_breakdown.Total(), result.total_dropouts);
+}
+
 // One overload scenario per admission rejection reason (DESIGN.md §15).
 // Each pairs a fault pattern with exactly the gate that catches it, so the
 // audit can assert the targeted DropoutReason actually fired.

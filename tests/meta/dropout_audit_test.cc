@@ -1,0 +1,102 @@
+// Dropout-reason audit (ISSUE 10 satellite): every DropoutReason value must
+// have a CountDropout mapping into its own DropoutBreakdown field, and
+// Total() must see it. A reason added without a mapping would silently
+// vanish from the breakdown — and with it from the events == total_selected
+// conservation checks the report audits and the chaos soak rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fl/experiment.h"
+#include "src/fl/observation.h"
+
+namespace floatfl {
+namespace {
+
+// Every enum value, in declaration order. The switch below (no default,
+// compiled with -Wswitch promoted by the repo's warning set) forces this
+// list to stay in lockstep with the enum: adding a DropoutReason without
+// extending it fails the build of this audit.
+std::vector<DropoutReason> AllReasons() {
+  std::vector<DropoutReason> reasons;
+  for (uint32_t raw = 0;; ++raw) {
+    const auto reason = static_cast<DropoutReason>(raw);
+    switch (reason) {
+      case DropoutReason::kNone:
+      case DropoutReason::kUnavailable:
+      case DropoutReason::kOutOfMemory:
+      case DropoutReason::kMissedDeadline:
+      case DropoutReason::kDeparted:
+      case DropoutReason::kCrashed:
+      case DropoutReason::kCorrupted:
+      case DropoutReason::kRejected:
+      case DropoutReason::kTransferTimedOut:
+      case DropoutReason::kEdgeOrphaned:
+      case DropoutReason::kShed:
+      case DropoutReason::kDuplicate:
+      case DropoutReason::kReplayed:
+      case DropoutReason::kRateLimited:
+      case DropoutReason::kBackupCovered:
+        reasons.push_back(reason);
+        continue;
+      case DropoutReason::kBackupRedundant:  // last enumerator
+        reasons.push_back(reason);
+        return reasons;
+    }
+  }
+}
+
+TEST(DropoutAuditTest, EveryReasonHasACountDropoutMapping) {
+  for (const DropoutReason reason : AllReasons()) {
+    DropoutBreakdown breakdown;
+    CountDropout(reason, breakdown);
+    if (reason == DropoutReason::kNone) {
+      EXPECT_EQ(breakdown.Total(), 0u) << "kNone must not count as a dropout";
+    } else {
+      EXPECT_EQ(breakdown.Total(), 1u)
+          << "DropoutReason " << static_cast<uint32_t>(reason)
+          << " has no CountDropout mapping (or its field is missing from Total())";
+    }
+  }
+}
+
+TEST(DropoutAuditTest, ReasonsMapToDistinctFields) {
+  // Counting each reason exactly once must touch 15 distinct fields: if two
+  // reasons shared a field, one double-counted field would mask a missing
+  // mapping elsewhere in the per-reason test above.
+  DropoutBreakdown breakdown;
+  size_t non_none = 0;
+  for (const DropoutReason reason : AllReasons()) {
+    if (reason == DropoutReason::kNone) {
+      continue;
+    }
+    CountDropout(reason, breakdown);
+    ++non_none;
+  }
+  EXPECT_EQ(breakdown.Total(), non_none);
+  for (const size_t field :
+       {breakdown.unavailable, breakdown.out_of_memory, breakdown.missed_deadline,
+        breakdown.departed, breakdown.crashed, breakdown.corrupted, breakdown.rejected,
+        breakdown.transfer_timed_out, breakdown.edge_orphaned, breakdown.shed,
+        breakdown.duplicate, breakdown.replayed, breakdown.rate_limited,
+        breakdown.backup_covered, breakdown.backup_redundant}) {
+    EXPECT_EQ(field, 1u);
+  }
+}
+
+TEST(DropoutAuditTest, SpeculationReasonsAreCounted) {
+  // The two reasons the salvage layer added (DESIGN.md §16) land in their
+  // own fields — a covered primary is not a missed deadline, a redundant
+  // backup is not a rejection.
+  DropoutBreakdown breakdown;
+  CountDropout(DropoutReason::kBackupCovered, breakdown);
+  CountDropout(DropoutReason::kBackupRedundant, breakdown);
+  EXPECT_EQ(breakdown.backup_covered, 1u);
+  EXPECT_EQ(breakdown.backup_redundant, 1u);
+  EXPECT_EQ(breakdown.missed_deadline, 0u);
+  EXPECT_EQ(breakdown.rejected, 0u);
+  EXPECT_EQ(breakdown.Total(), 2u);
+}
+
+}  // namespace
+}  // namespace floatfl

@@ -16,6 +16,7 @@
 #include "src/metrics/admission_tracker.h"
 #include "src/metrics/guard_tracker.h"
 #include "src/metrics/recovery_tracker.h"
+#include "src/metrics/salvage_tracker.h"
 #include "src/metrics/topology_tracker.h"
 #include "src/selection/random_selector.h"
 
@@ -213,12 +214,82 @@ TEST(TrackerEmptyStateTest, AdmissionTrackerAccumulatedStateRoundTrips) {
   EXPECT_EQ(w.buffer(), w2.buffer());
 }
 
-TEST(TrackerEmptyStateTest, CheckpointFormatV8RefusesV7Archives) {
-  // The admission layer extended every engine payload and both config
-  // fingerprints, so the checkpoint format is v8 and a v7 archive (same
-  // magic, older layout) must be refused instead of misparsed.
-  ASSERT_EQ(Checkpointer::kVersion, 8u);
-  const std::string path = testing::TempDir() + "/v7_refusal.ckpt";
+TEST(TrackerEmptyStateTest, SalvageTrackerZeroEventsRoundTrips) {
+  const SalvageTracker fresh;
+  CheckpointWriter w;
+  fresh.SaveState(w);
+
+  SalvageTracker restored;
+  restored.RecordPartialSalvaged(12, 0.5, 1.25);  // dirty, then overwritten
+  restored.RecordPartialBelowMin();
+  restored.RecordPartialRejected();
+  restored.RecordBackupsPlanned(3);
+  restored.RecordBackupWin();
+  restored.RecordBackupRedundant();
+  restored.RecordDeadlineMissAverted();
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(restored.PartialsSalvaged(), 0u);
+  EXPECT_EQ(restored.PartialsBelowMin(), 0u);
+  EXPECT_EQ(restored.PartialsRejected(), 0u);
+  EXPECT_EQ(restored.SalvagedSteps(), 0u);
+  EXPECT_EQ(restored.SalvagedFractionSum(), 0.0);
+  EXPECT_EQ(restored.SalvagedProgressMb(), 0.0);
+  EXPECT_EQ(restored.BackupsPlanned(), 0u);
+  EXPECT_EQ(restored.BackupsWon(), 0u);
+  EXPECT_EQ(restored.BackupsRedundant(), 0u);
+  EXPECT_EQ(restored.DeadlineMissesAverted(), 0u);
+
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(TrackerEmptyStateTest, SalvageTrackerAccumulatedStateRoundTrips) {
+  SalvageTracker source;
+  source.RecordPartialSalvaged(9, 0.75, 0.0);
+  source.RecordPartialSalvaged(4, 0.3125, 2.5);
+  source.RecordPartialBelowMin();
+  source.RecordPartialRejected();
+  source.RecordPartialRejected();
+  source.RecordBackupsPlanned(5);
+  source.RecordBackupWin();
+  source.RecordBackupWin();
+  source.RecordBackupRedundant();
+  source.RecordDeadlineMissAverted();
+  CheckpointWriter w;
+  source.SaveState(w);
+
+  SalvageTracker restored;
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.PartialsSalvaged(), 2u);
+  EXPECT_EQ(restored.PartialsBelowMin(), 1u);
+  EXPECT_EQ(restored.PartialsRejected(), 2u);
+  EXPECT_EQ(restored.SalvagedSteps(), 13u);
+  EXPECT_EQ(restored.SalvagedFractionSum(), 0.75 + 0.3125);
+  EXPECT_EQ(restored.SalvagedProgressMb(), 2.5);
+  EXPECT_EQ(restored.BackupsPlanned(), 5u);
+  EXPECT_EQ(restored.BackupsWon(), 2u);
+  EXPECT_EQ(restored.BackupsRedundant(), 1u);
+  EXPECT_EQ(restored.DeadlineMissesAverted(), 1u);
+
+  CheckpointWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(TrackerEmptyStateTest, CheckpointFormatV9RefusesV8Archives) {
+  // The graceful-degradation layer extended every engine payload and both
+  // config fingerprints, so the checkpoint format is v9 and a v8 archive
+  // (same magic, older layout) must be refused instead of misparsed.
+  ASSERT_EQ(Checkpointer::kVersion, 9u);
+  const std::string path = testing::TempDir() + "/v8_refusal.ckpt";
 
   ExperimentConfig config;
   config.num_clients = 10;
@@ -235,7 +306,7 @@ TEST(TrackerEmptyStateTest, CheckpointFormatV8RefusesV7Archives) {
   SyncEngine restored(config, &fresh_selector, nullptr);
   EXPECT_TRUE(Checkpointer::Restore(path, restored));
 
-  // Patch the version word (bytes 4..7, after the magic) down to 7.
+  // Patch the version word (bytes 4..7, after the magic) down to 8.
   std::string bytes;
   {
     std::ifstream in(path, std::ios::binary);
@@ -243,7 +314,7 @@ TEST(TrackerEmptyStateTest, CheckpointFormatV8RefusesV7Archives) {
     bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
   }
   ASSERT_GE(bytes.size(), 8u);
-  bytes[4] = 7;
+  bytes[4] = 8;
   bytes[5] = 0;
   bytes[6] = 0;
   bytes[7] = 0;
@@ -252,9 +323,9 @@ TEST(TrackerEmptyStateTest, CheckpointFormatV8RefusesV7Archives) {
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
 
-  RandomSelector v7_selector(config.seed);
-  SyncEngine v7_target(config, &v7_selector, nullptr);
-  EXPECT_FALSE(Checkpointer::Restore(path, v7_target));
+  RandomSelector v8_selector(config.seed);
+  SyncEngine v8_target(config, &v8_selector, nullptr);
+  EXPECT_FALSE(Checkpointer::Restore(path, v8_target));
   std::remove(path.c_str());
 }
 

@@ -18,7 +18,7 @@ TEST(EmptyStateTest, TransportTrackerZeroTransfersRoundTrips) {
   fresh.SaveState(w);
 
   TransportTracker restored;
-  restored.Record(3, 12.0, 4.0, 1.0, 2.5, true);  // dirty, then overwritten
+  restored.Record(3, 12.0, 4.0, 1.0, 0.5, 2.5, true);  // dirty, then overwritten
   CheckpointReader r(w.buffer());
   restored.LoadState(r);
   ASSERT_TRUE(r.ok());

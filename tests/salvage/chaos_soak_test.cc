@@ -1,0 +1,300 @@
+// Cross-subsystem chaos soak (ISSUE 10 satellite): every fault system the
+// repo has grown — client crashes, corruption, Byzantine attackers, the
+// lossy transport, edge-tier faults, overload storms, the self-healing
+// guard — armed at once WITH the salvage layer, per engine. Three
+// invariants must hold under the full storm:
+//   1. Finiteness: every reported metric is a finite number.
+//   2. Conservation: exactly one policy Report per selected execution
+//      (events == total_selected), and completions + dropouts == selected.
+//   3. Determinism: 50 rounds + checkpoint/resume + 50 rounds is bit-exact
+//      against the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "src/failure/checkpoint_io.h"
+#include "src/failure/checkpointer.h"
+#include "src/fl/async_engine.h"
+#include "src/fl/real_engine.h"
+#include "src/fl/sync_engine.h"
+#include "src/fl/tuning_policy.h"
+#include "src/selection/random_selector.h"
+
+namespace floatfl {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Counts Reports and checks every credit is finite.
+class CountingPolicy final : public TuningPolicy {
+ public:
+  TechniqueKind Decide(size_t, const ClientObservation&, const GlobalObservation&) override {
+    return TechniqueKind::kQuant8;
+  }
+  void Report(size_t client_id, const ClientObservation&, const GlobalObservation&, TechniqueKind,
+              bool participated, double credit) override {
+    EXPECT_TRUE(std::isfinite(credit)) << "non-finite credit for client " << client_id;
+    ++events_;
+    failed_ += participated ? 0 : 1;
+  }
+  std::string Name() const override { return "counting"; }
+  size_t Events() const { return events_; }
+  size_t Failed() const { return failed_; }
+
+ private:
+  size_t events_ = 0;
+  size_t failed_ = 0;
+};
+
+// Every fault system at once, salvage and speculation armed on top.
+ExperimentConfig ChaosConfig() {
+  ExperimentConfig config;
+  config.num_clients = 40;
+  config.clients_per_round = 8;
+  config.rounds = 100;
+  config.seed = 7777;
+  config.model = ModelId::kShuffleNetV2;
+  config.interference = InterferenceScenario::kDynamic;
+  // Client faults.
+  config.faults.crash_prob = 0.15;
+  config.faults.corrupt_prob = 0.1;
+  config.faults.flaky_fraction = 0.2;
+  config.faults.flaky_enter_prob = 0.2;
+  config.faults.flaky_exit_prob = 0.3;
+  config.faults.flaky_crash_prob = 0.3;
+  config.faults.overcommit = 1.5;
+  config.faults.retry_cooldown_rounds = 2;
+  // Byzantine attack vs a robust rule.
+  config.faults.byzantine_mode = ByzantineMode::kScaledReplacement;
+  config.faults.byzantine_fraction = 0.15;
+  config.aggregator.kind = AggregatorKind::kTrimmedMean;
+  // Lossy transport.
+  config.faults.chunk_loss_prob = 0.1;
+  config.faults.link_blackout_prob = 0.05;
+  config.faults.max_transfer_retries = 2;
+  // Overload storm vs the admission layer.
+  config.faults.duplicate_prob = 0.2;
+  config.faults.replay_prob = 0.2;
+  config.faults.stampede_prob = 0.2;
+  config.admission.dedup = true;
+  config.admission.dedup_window_rounds = 4;
+  config.admission.reject_replays = true;
+  config.admission.rate_tokens_per_round = 4.0;
+  config.admission.rate_bucket_cap = 8.0;
+  config.admission.queue_capacity = 24;
+  // Self-healing guard.
+  config.guard.enabled = true;
+  // Salvage + speculation.
+  config.salvage.enabled = true;
+  config.salvage.speculation = true;
+  config.salvage.speculation_margin = 0.0;
+  config.salvage.max_backup_fraction = 0.25;
+  return config;
+}
+
+// The sync storm additionally routes through a faulty two-tier tree.
+ExperimentConfig SyncChaosConfig() {
+  ExperimentConfig config = ChaosConfig();
+  config.topology.num_edges = 2;
+  config.topology.edge_crash_prob = 0.1;
+  config.topology.edge_blackout_prob = 0.05;
+  config.topology.edge_retry_cooldown_rounds = 2;
+  config.topology.edge_link_loss_prob = 0.05;
+  return config;
+}
+
+void ExpectFinite(const ExperimentResult& r) {
+  for (double v :
+       {r.accuracy_avg, r.accuracy_top10, r.accuracy_bottom10, r.global_accuracy, r.wire_mb,
+        r.retransmitted_mb, r.salvaged_mb, r.transfer_backoff_s, r.transfer_progress_mb,
+        r.tier1_wire_mb, r.tier1_retransmitted_mb, r.redundant_mb, r.salvaged_progress_mb,
+        r.useful.compute_hours, r.useful.comm_hours, r.useful.memory_tb, r.wasted.compute_hours,
+        r.wasted.comm_hours, r.wasted.memory_tb, r.wall_clock_hours}) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  for (double a : r.accuracy_history) {
+    EXPECT_TRUE(std::isfinite(a));
+  }
+}
+
+void ExpectConservation(const ExperimentResult& r, const CountingPolicy& policy) {
+  // One Report per selected execution (speculative backups included), one
+  // dropout reason per failed one, nothing double-counted.
+  EXPECT_EQ(policy.Events(), r.total_selected);
+  EXPECT_EQ(policy.Failed(), r.total_dropouts);
+  EXPECT_EQ(r.total_completed + r.total_dropouts, r.total_selected);
+  EXPECT_EQ(r.dropout_breakdown.Total(), r.total_dropouts);
+}
+
+TEST(ChaosSoakTest, SyncEngineSurvivesTheFullStormWithSalvageArmed) {
+  const ExperimentConfig config = SyncChaosConfig();
+  const std::string path = TempPath("chaos_sync_resume.ckpt");
+
+  RandomSelector full_sel(config.seed);
+  CountingPolicy full_pol;
+  SyncEngine full(config, &full_sel, &full_pol);
+  const ExperimentResult result = full.Run();
+
+  // Premise: the storm actually exercised every subsystem.
+  EXPECT_GT(result.dropout_breakdown.crashed, 0u);
+  EXPECT_GT(result.rejected_updates, 0u);
+  EXPECT_GT(result.byzantine_selected, 0u);
+  EXPECT_GT(result.transfer_attempts, 0u);
+  EXPECT_GT(result.edge_crashes + result.edge_blackouts, 0u);
+  EXPECT_GT(result.admission_deduplicated + result.admission_replay_rejected, 0u);
+  EXPECT_GT(result.partials_salvaged, 0u);
+  EXPECT_GT(result.backups_planned, 0u);
+
+  ExpectFinite(result);
+  ExpectConservation(result, full_pol);
+
+  // 50 + resume + 50 is bit-exact against the straight 100.
+  RandomSelector half_sel(config.seed);
+  CountingPolicy half_pol;
+  SyncEngine half(config, &half_sel, &half_pol);
+  for (size_t round = 0; round < config.rounds / 2; ++round) {
+    half.RunRound(round);
+  }
+  ASSERT_TRUE(Checkpointer::Save(path, half));
+  RandomSelector resumed_sel(config.seed);
+  CountingPolicy resumed_pol;
+  SyncEngine resumed(config, &resumed_sel, &resumed_pol);
+  ASSERT_TRUE(Checkpointer::Restore(path, resumed));
+  const ExperimentResult actual = resumed.Run();
+  EXPECT_EQ(actual.accuracy_history, result.accuracy_history);
+  CheckpointWriter full_state;
+  full.SaveState(full_state);
+  CheckpointWriter resumed_state;
+  resumed.SaveState(resumed_state);
+  EXPECT_EQ(full_state.buffer(), resumed_state.buffer());
+  std::remove(path.c_str());
+}
+
+TEST(ChaosSoakTest, AsyncEngineSurvivesTheFullStormWithSalvageArmed) {
+  ExperimentConfig config = ChaosConfig();
+  // No round deadline in async FL: speculation (and the tree) stay off.
+  config.salvage.speculation = false;
+  config.async_concurrency = 16;
+  config.async_buffer = 4;
+  const std::string path = TempPath("chaos_async_resume.ckpt");
+
+  CountingPolicy full_pol;
+  AsyncEngine full(config, &full_pol);
+  const ExperimentResult result = full.Run();
+
+  EXPECT_GT(result.dropout_breakdown.crashed, 0u);
+  EXPECT_GT(result.byzantine_selected, 0u);
+  EXPECT_GT(result.admission_deduplicated + result.admission_replay_rejected, 0u);
+  EXPECT_GT(result.partials_salvaged, 0u);
+
+  ExpectFinite(result);
+  ExpectConservation(result, full_pol);
+
+  CountingPolicy half_pol;
+  AsyncEngine half(config, &half_pol);
+  half.RunUntil(config.rounds / 2);
+  ASSERT_TRUE(Checkpointer::Save(path, half));
+  CountingPolicy resumed_pol;
+  AsyncEngine resumed(config, &resumed_pol);
+  ASSERT_TRUE(Checkpointer::Restore(path, resumed));
+  const ExperimentResult actual = resumed.Run();
+  EXPECT_EQ(actual.accuracy_history, result.accuracy_history);
+  CheckpointWriter full_state;
+  full.SaveState(full_state);
+  CheckpointWriter resumed_state;
+  resumed.SaveState(resumed_state);
+  EXPECT_EQ(full_state.buffer(), resumed_state.buffer());
+  std::remove(path.c_str());
+}
+
+TEST(ChaosSoakTest, RealEngineSurvivesTheFullStormWithSalvageArmed) {
+  RealFlConfig config;
+  config.num_clients = 12;
+  config.clients_per_round = 6;
+  config.num_classes = 3;
+  config.input_dim = 8;
+  config.hidden_dims = {12};
+  config.test_samples_per_class = 10;
+  config.seed = 67;
+  config.num_threads = 1;
+  config.sgd.epochs = 2;
+  config.faults.crash_prob = 0.2;
+  config.faults.corrupt_prob = 0.1;
+  config.faults.byzantine_mode = ByzantineMode::kScaledReplacement;
+  config.faults.byzantine_fraction = 0.2;
+  config.aggregator.kind = AggregatorKind::kTrimmedMean;
+  config.faults.chunk_loss_prob = 0.15;
+  config.faults.transport_chunk_mb = 0.01;
+  config.faults.max_transfer_retries = 1;
+  config.faults.duplicate_prob = 0.3;
+  config.faults.replay_prob = 0.3;
+  config.admission.dedup = true;
+  config.admission.reject_replays = true;
+  config.guard.enabled = true;
+  config.topology.num_edges = 2;
+  config.topology.edge_crash_prob = 0.1;
+  config.topology.edge_retry_cooldown_rounds = 2;
+  config.salvage.enabled = true;
+  const std::string path = TempPath("chaos_real_resume.ckpt");
+  constexpr size_t kRounds = 10;
+
+  RealFlEngine full(config);
+  CountingPolicy full_pol;
+  full.AttachPolicy(&full_pol);
+  size_t crashed = 0;
+  size_t participants = 0;
+  size_t salvaged = 0;
+  size_t redundant_deliveries = 0;
+  for (size_t r = 0; r < kRounds; ++r) {
+    const RealRoundStats stats = full.RunRoundWithPolicy();
+    EXPECT_TRUE(std::isfinite(stats.test_accuracy));
+    EXPECT_TRUE(std::isfinite(stats.test_loss));
+    crashed += stats.crashed;
+    participants += stats.participants;
+    salvaged += stats.partials_salvaged;
+    redundant_deliveries +=
+        stats.deduplicated + stats.shed + stats.rate_limited + stats.replay_rejected;
+  }
+  for (float p : full.global_model().GetParameters()) {
+    ASSERT_TRUE(std::isfinite(p));
+  }
+
+  // Premise + conservation: the storm fired, and exactly one Report per
+  // selected execution — each refused duplicate/replay delivery reports its
+  // own participated=false outcome — with completions accounted.
+  EXPECT_GT(crashed, 0u);
+  EXPECT_GT(salvaged, 0u);
+  EXPECT_GT(redundant_deliveries, 0u);
+  EXPECT_EQ(full_pol.Events(), kRounds * config.clients_per_round + redundant_deliveries);
+  EXPECT_EQ(full_pol.Events() - full_pol.Failed(), participants);
+
+  // Half + resume + half is bit-exact.
+  RealFlEngine half(config);
+  CountingPolicy half_pol;
+  half.AttachPolicy(&half_pol);
+  for (size_t r = 0; r < kRounds / 2; ++r) {
+    half.RunRoundWithPolicy();
+  }
+  ASSERT_TRUE(Checkpointer::Save(path, half));
+  RealFlEngine resumed(config);
+  CountingPolicy resumed_pol;
+  resumed.AttachPolicy(&resumed_pol);
+  ASSERT_TRUE(Checkpointer::Restore(path, resumed));
+  for (size_t r = kRounds / 2; r < kRounds; ++r) {
+    resumed.RunRoundWithPolicy();
+  }
+  EXPECT_EQ(full.global_model().GetParameters(), resumed.global_model().GetParameters());
+  CheckpointWriter full_state;
+  full.SaveState(full_state);
+  CheckpointWriter resumed_state;
+  resumed.SaveState(resumed_state);
+  EXPECT_EQ(full_state.buffer(), resumed_state.buffer());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace floatfl

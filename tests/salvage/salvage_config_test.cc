@@ -1,0 +1,233 @@
+// SalvageConfig semantics and the SpeculativeScheduler's planning contract
+// (DESIGN.md §16): the default config disables both layers, active() flips
+// on either switch, ValidateSalvageConfig aborts on every invariant breach,
+// and the scheduler's plans are a pure function of (round state, profiles) —
+// deterministic, RNG-free, capped, and drafted from outside the cohort.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/failure/checkpoint_io.h"
+#include "src/fl/client.h"
+#include "src/salvage/salvage_config.h"
+#include "src/salvage/speculative_scheduler.h"
+
+namespace floatfl {
+namespace {
+
+TEST(SalvageConfigTest, DefaultIsDisabled) {
+  const SalvageConfig config;
+  EXPECT_FALSE(config.enabled);
+  EXPECT_FALSE(config.speculation);
+  EXPECT_FALSE(config.active());
+  EXPECT_EQ(config.min_progress, 0.25);
+  EXPECT_EQ(config.speculation_margin, 0.0);
+  EXPECT_EQ(config.max_backup_fraction, 0.25);
+}
+
+TEST(SalvageConfigTest, EitherSwitchActivatesTheLayer) {
+  SalvageConfig config;
+  config.enabled = true;
+  EXPECT_TRUE(config.active());
+
+  config = SalvageConfig();
+  config.speculation = true;
+  EXPECT_TRUE(config.active());
+}
+
+TEST(SalvageConfigTest, PassiveKnobsDoNotActivateTheLayer) {
+  SalvageConfig config;
+  config.min_progress = 0.5;
+  config.speculation_margin = 0.2;
+  config.max_backup_fraction = 0.75;
+  EXPECT_FALSE(config.active());
+}
+
+TEST(SalvageConfigTest, PartialAttemptIdIsOutsideAnyRealAttemptRange) {
+  // Partial uploads dedup under their own attempt namespace; the constant
+  // must stay far above fresh-upload attempt counters (sync uses 0, async
+  // the launch count) so a partial can never fold with a full delivery.
+  EXPECT_EQ(kPartialUpdateAttempt, uint64_t{1} << 20);
+}
+
+TEST(SalvageConfigDeathTest, ValidationRejectsEveryInvariantBreach) {
+  SalvageConfig config;
+  config.min_progress = 0.0;
+  EXPECT_DEATH(ValidateSalvageConfig(config), "min_progress must be in");
+
+  config = SalvageConfig();
+  config.min_progress = 1.5;
+  EXPECT_DEATH(ValidateSalvageConfig(config), "min_progress must be in");
+
+  config = SalvageConfig();
+  config.speculation_margin = -0.1;
+  EXPECT_DEATH(ValidateSalvageConfig(config), "speculation_margin must be non-negative");
+
+  config = SalvageConfig();
+  config.max_backup_fraction = 1.5;
+  EXPECT_DEATH(ValidateSalvageConfig(config), "max_backup_fraction must be in");
+
+  config = SalvageConfig();
+  config.speculation = true;
+  config.max_backup_fraction = 0.0;
+  EXPECT_DEATH(ValidateSalvageConfig(config), "requires max_backup_fraction > 0");
+}
+
+// --- SpeculativeScheduler ---------------------------------------------------
+
+std::vector<Client> Population(size_t n) {
+  const DatasetSpec& spec = GetDatasetSpec(DatasetId::kFemnist);
+  return BuildPopulation(spec, n, 0.1, InterferenceScenario::kNone, 7);
+}
+
+// Marks `id` as a chronic straggler: observed before, and overshooting the
+// deadline by 50% on the smoothed profile.
+void MakeStraggler(std::vector<Client>& clients, size_t id) {
+  clients[id].times_selected = 3;
+  clients[id].last_deadline_diff = 0.5;
+}
+
+SalvageConfig Speculating(double margin = 0.1, double fraction = 0.25) {
+  SalvageConfig config;
+  config.speculation = true;
+  config.speculation_margin = margin;
+  config.max_backup_fraction = fraction;
+  return config;
+}
+
+TEST(SpeculativeSchedulerTest, SpeculationOffPlansNothingAndTouchesNothing) {
+  std::vector<Client> clients = Population(10);
+  MakeStraggler(clients, 0);
+  SpeculativeScheduler scheduler{SalvageConfig{}};
+  const std::vector<BackupPlan> plans = scheduler.Plan(0, {0, 1, 2}, clients);
+  EXPECT_TRUE(plans.empty());
+  EXPECT_EQ(scheduler.BackupsPlanned(), 0u);
+  EXPECT_EQ(scheduler.RoundsPlanned(), 0u);
+
+  // State is untouched: the serialized form equals a fresh scheduler's.
+  CheckpointWriter used;
+  scheduler.SaveState(used);
+  CheckpointWriter fresh;
+  SpeculativeScheduler{}.SaveState(fresh);
+  EXPECT_EQ(used.buffer(), fresh.buffer());
+}
+
+TEST(SpeculativeSchedulerTest, BacksOnlyPredictedStragglersWithObservedProfiles) {
+  std::vector<Client> clients = Population(12);
+  MakeStraggler(clients, 3);
+  // Overshooting profile but never selected: no history, never speculated on.
+  clients[5].last_deadline_diff = 0.9;
+
+  SpeculativeScheduler scheduler(Speculating(/*margin=*/0.1, /*fraction=*/1.0));
+  const std::vector<BackupPlan> plans = scheduler.Plan(4, {3, 5, 7}, clients);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].primary_slot, 0u);  // slot of client 3 in the cohort
+  // The backup is drafted from outside the busy cohort.
+  EXPECT_NE(plans[0].backup_client_id, 3u);
+  EXPECT_NE(plans[0].backup_client_id, 5u);
+  EXPECT_NE(plans[0].backup_client_id, 7u);
+  EXPECT_EQ(scheduler.BackupsPlanned(), 1u);
+  EXPECT_EQ(scheduler.RoundsPlanned(), 1u);
+}
+
+TEST(SpeculativeSchedulerTest, PlansAreDeterministicForIdenticalInputs) {
+  std::vector<Client> clients = Population(16);
+  for (size_t id : {1u, 4u, 9u}) {
+    MakeStraggler(clients, id);
+  }
+  const std::vector<size_t> cohort = {1, 4, 9, 12, 14};
+
+  SpeculativeScheduler a(Speculating());
+  SpeculativeScheduler b(Speculating());
+  for (size_t round = 0; round < 5; ++round) {
+    const std::vector<BackupPlan> pa = a.Plan(round, cohort, clients);
+    const std::vector<BackupPlan> pb = b.Plan(round, cohort, clients);
+    ASSERT_EQ(pa.size(), pb.size()) << "round " << round;
+    for (size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].primary_slot, pb[i].primary_slot);
+      EXPECT_EQ(pa[i].backup_client_id, pb[i].backup_client_id);
+    }
+  }
+  EXPECT_EQ(a.BackupsPlanned(), b.BackupsPlanned());
+}
+
+TEST(SpeculativeSchedulerTest, BackupsAreCappedAtTheConfiguredFraction) {
+  std::vector<Client> clients = Population(40);
+  std::vector<size_t> cohort;
+  for (size_t id = 0; id < 8; ++id) {
+    MakeStraggler(clients, id);  // every primary predicted to miss
+    cohort.push_back(id);
+  }
+  SpeculativeScheduler scheduler(Speculating(/*margin=*/0.1, /*fraction=*/0.25));
+  const std::vector<BackupPlan> plans = scheduler.Plan(0, cohort, clients);
+  // ceil(0.25 * 8) = 2 backups, no matter how many primaries are at risk.
+  EXPECT_EQ(plans.size(), 2u);
+
+  // Each backup executor is distinct and idle (outside the cohort).
+  std::set<size_t> backups;
+  for (const BackupPlan& plan : plans) {
+    EXPECT_GE(plan.backup_client_id, 8u);
+    backups.insert(plan.backup_client_id);
+  }
+  EXPECT_EQ(backups.size(), plans.size());
+}
+
+TEST(SpeculativeSchedulerTest, RingCursorSpreadsBackupDutyAcrossRounds) {
+  std::vector<Client> clients = Population(20);
+  MakeStraggler(clients, 1);
+  SpeculativeScheduler scheduler(Speculating(/*margin=*/0.1, /*fraction=*/1.0));
+  // Round 0 scans from the cursor's start (client 0) and drafts it.
+  const std::vector<BackupPlan> first = scheduler.Plan(0, {1}, clients);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].backup_client_id, 0u);
+  // The cursor advanced past the drafted client: round 1's scan starts at
+  // client 1 (busy as the primary) and drafts client 2, not 0 again.
+  const std::vector<BackupPlan> second = scheduler.Plan(1, {1}, clients);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].backup_client_id, 2u);
+  EXPECT_NE(first[0].backup_client_id, second[0].backup_client_id);
+}
+
+TEST(SpeculativeSchedulerTest, CooledDownClientsAreNeverDrafted) {
+  std::vector<Client> clients = Population(6);
+  MakeStraggler(clients, 0);
+  // Everyone outside the cohort is cooling down except client 4.
+  for (size_t id : {2u, 3u, 5u}) {
+    clients[id].cooldown_until_round = 100;
+  }
+  SpeculativeScheduler scheduler(Speculating(/*margin=*/0.1, /*fraction=*/1.0));
+  const std::vector<BackupPlan> plans = scheduler.Plan(0, {0, 1}, clients);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].backup_client_id, 4u);
+}
+
+TEST(SpeculativeSchedulerTest, StateRoundTripsBitExactly) {
+  std::vector<Client> clients = Population(12);
+  MakeStraggler(clients, 2);
+  SpeculativeScheduler scheduler(Speculating());
+  for (size_t round = 0; round < 4; ++round) {
+    scheduler.Plan(round, {2, 6, 10}, clients);
+  }
+  CheckpointWriter w;
+  scheduler.SaveState(w);
+
+  SpeculativeScheduler restored(Speculating());
+  CheckpointReader r(w.buffer());
+  restored.LoadState(r);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.BackupsPlanned(), scheduler.BackupsPlanned());
+  EXPECT_EQ(restored.RoundsPlanned(), scheduler.RoundsPlanned());
+
+  // The restored scheduler continues exactly where the original would.
+  const std::vector<BackupPlan> expected = scheduler.Plan(4, {2, 6, 10}, clients);
+  const std::vector<BackupPlan> actual = restored.Plan(4, {2, 6, 10}, clients);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].backup_client_id, actual[i].backup_client_id);
+  }
+}
+
+}  // namespace
+}  // namespace floatfl
